@@ -1,0 +1,120 @@
+// Fig. 5 reproduction: dynamic views v4 (horizontal partition into a
+// data-dependent set of relations) and v5 (pivot into a data-dependent set
+// of attributes), plus materialization throughput at scale.
+//
+// Paper claim (Sec. 3.1): a single dynamic view defines a SET of tables;
+// v5's semantics is a full outer join with cross products on duplicates.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "engine/query_engine.h"
+#include "schemasql/view_materializer.h"
+#include "workload/stock_data.h"
+
+namespace dynview {
+namespace {
+
+constexpr char kV4[] =
+    "create view out::C(date, price) as "
+    "select D, P from s1::stock T, T.company C, T.date D, T.price P";
+constexpr char kV5[] =
+    "create view out::stock(date, C) as "
+    "select D, P from s1::stock T, T.company C, T.date D, T.price P";
+
+void PrintReproduction() {
+  std::printf("=== Fig. 5: views with data-dependent output schemas ===\n");
+  Catalog catalog;
+  StockGenConfig cfg;
+  cfg.num_companies = 3;
+  cfg.num_dates = 3;
+  InstallStockS1(&catalog, "s1", GenerateStockS1(cfg));
+  QueryEngine engine(&catalog, "s1");
+  Catalog out4, out5;
+  auto v4 = ViewMaterializer::MaterializeSql(kV4, &engine, &out4, "out");
+  std::printf("v4 -> %zu relations:", v4.value().size());
+  for (const auto& [db, rel] : v4.value()) std::printf(" %s", rel.c_str());
+  std::printf("\n");
+  auto v5 = ViewMaterializer::MaterializeSql(kV5, &engine, &out5, "out");
+  const Table* pivoted = out5.ResolveTable("out", "stock").value();
+  std::printf("v5 -> 1 relation with %zu attributes: %s\n\n",
+              pivoted->schema().num_columns(),
+              pivoted->schema().ToString().c_str());
+  // Sec. 3.1 cross-product semantics.
+  Catalog dupcat;
+  StockGenConfig dup = cfg;
+  dup.num_companies = 2;
+  dup.num_dates = 1;
+  dup.prices_per_day = 3;
+  InstallStockS1(&dupcat, "s1", GenerateStockS1(dup));
+  QueryEngine dupeng(&dupcat, "s1");
+  Catalog dupout;
+  ViewMaterializer::MaterializeSql(kV5, &dupeng, &dupout, "out").value();
+  std::printf("3 prices x 3 prices on one date pivot to %zu tuples "
+              "(cross product, Sec. 3.1)\n\n",
+              dupout.ResolveTable("out", "stock").value()->num_rows());
+}
+
+void BM_MaterializeV4(benchmark::State& state) {
+  Catalog catalog;
+  StockGenConfig cfg;
+  cfg.num_companies = static_cast<int>(state.range(0));
+  cfg.num_dates = static_cast<int>(state.range(1));
+  Table s1 = GenerateStockS1(cfg);
+  InstallStockS1(&catalog, "s1", s1);
+  QueryEngine engine(&catalog, "s1");
+  for (auto _ : state) {
+    Catalog target;
+    auto r = ViewMaterializer::MaterializeSql(kV4, &engine, &target, "out");
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * s1.num_rows());
+}
+BENCHMARK(BM_MaterializeV4)->Args({10, 100})->Args({100, 100})->Args({100, 500});
+
+void BM_MaterializeV5(benchmark::State& state) {
+  Catalog catalog;
+  StockGenConfig cfg;
+  cfg.num_companies = static_cast<int>(state.range(0));
+  cfg.num_dates = static_cast<int>(state.range(1));
+  Table s1 = GenerateStockS1(cfg);
+  InstallStockS1(&catalog, "s1", s1);
+  QueryEngine engine(&catalog, "s1");
+  for (auto _ : state) {
+    Catalog target;
+    auto r = ViewMaterializer::MaterializeSql(kV5, &engine, &target, "out");
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * s1.num_rows());
+}
+BENCHMARK(BM_MaterializeV5)->Args({10, 100})->Args({50, 100})->Args({50, 500});
+
+// Evaluating the inverse direction: unfolding the partitioned layout back
+// into first-order form with a relation-variable query (Fig. 2 v2).
+void BM_UnfoldS2(benchmark::State& state) {
+  Catalog catalog;
+  StockGenConfig cfg;
+  cfg.num_companies = static_cast<int>(state.range(0));
+  cfg.num_dates = static_cast<int>(state.range(1));
+  Table s1 = GenerateStockS1(cfg);
+  InstallStockS2(&catalog, "s2", s1);
+  QueryEngine engine(&catalog, "s2");
+  for (auto _ : state) {
+    auto r = engine.ExecuteSql(
+        "select R, D, P from s2 -> R, R T, T.date D, T.price P");
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * s1.num_rows());
+}
+BENCHMARK(BM_UnfoldS2)->Args({10, 100})->Args({100, 100})->Args({100, 500});
+
+}  // namespace
+}  // namespace dynview
+
+int main(int argc, char** argv) {
+  dynview::PrintReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Sec. 1.1.2 reproduction: decision-analysis aggregation over dynamic
+// dimensions — the "number of hotels in each country of each class,
+// including subtotals" example, with drill-down — plus the cost of
+// GROUP BY / ROLLUP / CUBE as data and dimensionality grow.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "analytics/cube.h"
+#include "workload/hotel_data.h"
+
+namespace dynview {
+namespace {
+
+Table MakeHotels(int n) {
+  Catalog catalog;
+  HotelGenConfig cfg;
+  cfg.num_hotels = n;
+  InstallHotelDatabase(&catalog, "hoteldb", cfg);
+  return *catalog.ResolveTable("hoteldb", "hotel").value();
+}
+
+void PrintReproduction() {
+  std::printf("=== Sec. 1.1.2: cube-style summaries with subtotals ===\n");
+  Table hotel = MakeHotels(24);
+  auto rollup = RollupAggregate(hotel, {"country", "class"},
+                                {{AggFunc::kCountStar, "", "hotels"}});
+  std::printf("%s\n", rollup.value().ToString(12).c_str());
+  auto greece = DrillDown(rollup.value(), "country", Value::String("Greece"),
+                          {"class"});
+  std::printf("drill-down, Greece subtotal:\n%s\n",
+              greece.value().ToString().c_str());
+}
+
+void BM_GroupBy(benchmark::State& state) {
+  Table hotel = MakeHotels(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto r = GroupAggregate(hotel, {"country", "class"},
+                            {{AggFunc::kCountStar, "", "n"}});
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * hotel.num_rows());
+}
+BENCHMARK(BM_GroupBy)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_Rollup(benchmark::State& state) {
+  Table hotel = MakeHotels(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto r = RollupAggregate(hotel, {"country", "class"},
+                             {{AggFunc::kCountStar, "", "n"}});
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * hotel.num_rows());
+}
+BENCHMARK(BM_Rollup)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_Cube(benchmark::State& state) {
+  Table hotel = MakeHotels(static_cast<int>(state.range(0)));
+  // Dimensionality sweep: 2, 3 and 4 dimensions (2^d strata).
+  std::vector<std::string> dims = {"country", "class"};
+  if (state.range(1) >= 3) dims.push_back("chain");
+  if (state.range(1) >= 4) dims.push_back("city");
+  for (auto _ : state) {
+    auto r = CubeAggregate(hotel, dims, {{AggFunc::kCountStar, "", "n"}});
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * hotel.num_rows());
+}
+BENCHMARK(BM_Cube)->Args({10000, 2})->Args({10000, 3})->Args({10000, 4});
+
+}  // namespace
+}  // namespace dynview
+
+int main(int argc, char** argv) {
+  dynview::PrintReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

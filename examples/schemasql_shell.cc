@@ -1,0 +1,163 @@
+// An interactive SchemaSQL shell over the paper's demo federation.
+//
+// Loads the stock (s1/s2/s3 + db0), hotel and tickets workloads, installs
+// the schema-browser meta tables, and reads statements from stdin:
+//
+//   $ ./schemasql_shell
+//   > select R, T.date, T.price from s2 -> R, R T;
+//   > create view out::C(date, price) as select D, P from s1::stock T,
+//     T.company C, T.date D, T.price P;
+//   > \d                      -- list databases and relations
+//   > \plan select ...;       -- show the optimizer's plan (with statistics)
+//   > \save /tmp/feddir       -- persist the federation as CSV + manifest
+//   > \load /tmp/feddir       -- replace the federation from disk
+//   > \q
+//
+// Statements may span lines; terminate with ';'. CREATE VIEW materializes
+// into the federation; CREATE INDEX builds and reports the index.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/str_util.h"
+#include "engine/query_engine.h"
+#include "index/view_index.h"
+#include "integration/schema_browser.h"
+#include "optimizer/optimizer.h"
+#include "relational/catalog_io.h"
+#include "schemasql/view_materializer.h"
+#include "sql/parser.h"
+#include "workload/hotel_data.h"
+#include "workload/stock_data.h"
+#include "workload/tickets_data.h"
+
+using namespace dynview;
+
+namespace {
+
+void ListCatalog(const Catalog& catalog) {
+  for (const std::string& db : catalog.DatabaseNames()) {
+    std::printf("%s:", db.c_str());
+    for (const std::string& rel :
+         catalog.GetDatabase(db).value()->TableNames()) {
+      const Table* t = catalog.ResolveTable(db, rel).value();
+      std::printf(" %s[%zu]", rel.c_str(), t->num_rows());
+    }
+    std::printf("\n");
+  }
+}
+
+void RunStatement(Catalog* catalog, const std::string& text) {
+  QueryEngine engine(catalog, "s1");
+  Result<Statement> stmt = Parser::Parse(text);
+  if (!stmt.ok()) {
+    std::printf("error: %s\n", stmt.status().ToString().c_str());
+    return;
+  }
+  if (stmt.value().select) {
+    auto r = engine.Execute(stmt.value().select.get());
+    if (!r.ok()) {
+      std::printf("error: %s\n", r.status().ToString().c_str());
+      return;
+    }
+    std::printf("%s(%zu rows)\n", r.value().ToString(40).c_str(),
+                r.value().num_rows());
+  } else if (stmt.value().create_view) {
+    auto created = ViewMaterializer::Materialize(*stmt.value().create_view,
+                                                 &engine, catalog, "views");
+    if (!created.ok()) {
+      std::printf("error: %s\n", created.status().ToString().c_str());
+      return;
+    }
+    std::printf("materialized:");
+    for (const auto& [db, rel] : created.value()) {
+      std::printf(" %s::%s", db.c_str(), rel.c_str());
+    }
+    std::printf("\n");
+  } else if (stmt.value().create_index) {
+    auto idx = ViewIndex::Build(*stmt.value().create_index, &engine);
+    if (!idx.ok()) {
+      std::printf("error: %s\n", idx.status().ToString().c_str());
+      return;
+    }
+    std::printf("index %s built: %zu entries\n", idx.value().name().c_str(),
+                idx.value().contents().num_rows());
+  }
+}
+
+}  // namespace
+
+int main() {
+  Catalog catalog;
+  StockGenConfig scfg;
+  Table s1 = GenerateStockS1(scfg);
+  InstallStockS1(&catalog, "s1", s1);
+  InstallStockS2(&catalog, "s2", s1);
+  InstallStockS3(&catalog, "s3", s1);
+  InstallDb0(&catalog, "db0", scfg);
+  HotelGenConfig hcfg;
+  InstallHotelDatabase(&catalog, "hoteldb", hcfg);
+  InstallHprice(&catalog, "hoteldb");
+  InstallHotelwords(&catalog, "hoteldb");
+  TicketsGenConfig tcfg;
+  InstallTicketJurisdictions(&catalog, "tix", tcfg);
+  InstallTicketsIntegration(&catalog, "tickets", tcfg);
+  SchemaBrowser::InstallMetaTables(catalog, &catalog, "meta");
+
+  std::printf("DynView SchemaSQL shell — \\d lists the catalog, \\q quits.\n");
+  std::string buffer;
+  std::string line;
+  std::printf("> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    std::string trimmed(Trim(line));
+    if (buffer.empty() && (trimmed == "\\q" || trimmed == "quit")) break;
+    if (buffer.empty() && trimmed == "\\d") {
+      ListCatalog(catalog);
+      std::printf("> ");
+      std::fflush(stdout);
+      continue;
+    }
+    if (buffer.empty() && trimmed.rfind("\\save ", 0) == 0) {
+      Status st = SaveCatalog(catalog, std::string(Trim(trimmed.substr(6))));
+      std::printf("%s\n> ", st.ok() ? "saved" : st.ToString().c_str());
+      std::fflush(stdout);
+      continue;
+    }
+    if (buffer.empty() && trimmed.rfind("\\load ", 0) == 0) {
+      auto loaded = LoadCatalog(std::string(Trim(trimmed.substr(6))));
+      if (loaded.ok()) {
+        catalog = std::move(loaded).value();
+        SchemaBrowser::InstallMetaTables(catalog, &catalog, "meta").ToString();
+        std::printf("loaded\n> ");
+      } else {
+        std::printf("%s\n> ", loaded.status().ToString().c_str());
+      }
+      std::fflush(stdout);
+      continue;
+    }
+    if (buffer.empty() && trimmed.rfind("\\plan ", 0) == 0) {
+      std::string sql(Trim(trimmed.substr(6)));
+      if (!sql.empty() && sql.back() == ';') sql.pop_back();
+      Optimizer opt(&catalog, "s1");
+      opt.EnableStatistics();
+      auto plan = opt.Plan(sql);
+      std::printf("%s\n> ",
+                  plan.ok() ? plan.value().Describe().c_str()
+                            : plan.status().ToString().c_str());
+      std::fflush(stdout);
+      continue;
+    }
+    buffer += line + "\n";
+    if (trimmed.size() >= 1 && trimmed.back() == ';') {
+      RunStatement(&catalog, buffer);
+      // Refresh the self-description after DDL.
+      SchemaBrowser::InstallMetaTables(catalog, &catalog, "meta");
+      buffer.clear();
+      std::printf("> ");
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

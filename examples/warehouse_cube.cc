@@ -1,0 +1,77 @@
+// Decision analysis over a warehouse (Sec. 1.1.2): data cube-style
+// summaries with subtotals, drill-down, and dynamically created dimensions.
+//
+// The extensibility point the paper makes: dimensions are just columns, and
+// dynamic views can mint new ones (here, a price-band dimension derived
+// from hotelpricing) without touching the schema of the analysis code.
+
+#include <cstdio>
+#include <string>
+
+#include "analytics/cube.h"
+#include "engine/query_engine.h"
+#include "workload/hotel_data.h"
+
+using namespace dynview;
+
+int main() {
+  Catalog catalog;
+  HotelGenConfig config;
+  config.num_hotels = 60;
+  InstallHotelDatabase(&catalog, "hoteldb", config);
+  QueryEngine engine(&catalog, "hoteldb");
+  const Table& hotel = *catalog.ResolveTable("hoteldb", "hotel").value();
+
+  // The paper's example: number of hotels in each country of each class,
+  // INCLUDING subtotals for all classes and all countries.
+  auto rollup = RollupAggregate(hotel, {"country", "class"},
+                                {{AggFunc::kCountStar, "", "hotels"}});
+  if (!rollup.ok()) {
+    std::fprintf(stderr, "%s\n", rollup.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("hotels per (country, class) with subtotals "
+              "(NULL = ALL):\n%s\n",
+              rollup.value().ToString(30).c_str());
+
+  // Drill down: the Greece subtotal, then Greece by class.
+  auto greece_total = DrillDown(rollup.value(), "country",
+                                Value::String("Greece"), {"class"});
+  std::printf("Greece subtotal:\n%s\n",
+              greece_total.value().ToString().c_str());
+
+  // Full cube adds the per-class subtotals the rollup lacks.
+  auto cube = CubeAggregate(hotel, {"country", "class"},
+                            {{AggFunc::kCountStar, "", "hotels"}});
+  auto luxury = DrillDown(cube.value(), "class", Value::String("luxury"),
+                          {"country"});
+  std::printf("all-countries luxury subtotal (cube-only stratum):\n%s\n",
+              luxury.value().ToString().c_str());
+
+  // A dynamically created dimension: price band, derived by a query (the
+  // paper's "dynamic creation of new dimensions"). No schema change — the
+  // analysis below is the same code over a richer table.
+  auto banded = engine.ExecuteSql(
+      "select T.hid hid, H.country country, H.class class, "
+      "T.sgl_lo price from hoteldb::hotelpricing T, hoteldb::hotel H "
+      "where T.hid = H.hid");
+  if (!banded.ok()) {
+    std::fprintf(stderr, "%s\n", banded.status().ToString().c_str());
+    return 1;
+  }
+  // Band column computed client-side for the demo.
+  Table with_band(Schema({{"country", TypeKind::kString},
+                          {"band", TypeKind::kString},
+                          {"price", TypeKind::kInt}}));
+  for (const Row& r : banded.value().rows()) {
+    int64_t p = r[3].as_int();
+    const char* band = p < 70 ? "budget" : (p < 110 ? "mid" : "premium");
+    with_band.AppendRowUnchecked({r[1], Value::String(band), r[3]});
+  }
+  auto band_cube = RollupAggregate(
+      with_band, {"band", "country"},
+      {{AggFunc::kCountStar, "", "hotels"}, {AggFunc::kAvg, "price", "avg"}});
+  std::printf("new dimension 'price band' (rollup, truncated):\n%s\n",
+              band_cube.value().ToString(14).c_str());
+  return 0;
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Regenerates every reproduced figure/experiment (see EXPERIMENTS.md):
+# builds, runs the test suite, then every bench binary, collecting outputs
+# under results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=Release
+cmake --build build
+
+mkdir -p results
+ctest --test-dir build --output-on-failure 2>&1 | tee results/tests.txt
+
+for b in build/bench/bench_*; do
+  name="$(basename "$b")"
+  echo "=== $name ==="
+  "$b" 2>&1 | tee "results/${name}.txt"
+done
+
+for e in quickstart stock_integration hotel_publishing ticket_indexing \
+         warehouse_cube; do
+  echo "=== example: $e ==="
+  "./build/examples/$e" 2>&1 | tee "results/example_${e}.txt"
+done
+
+echo "All outputs collected under results/."

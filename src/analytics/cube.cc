@@ -1,0 +1,207 @@
+#include "analytics/cube.h"
+
+#include <unordered_map>
+
+namespace dynview {
+
+namespace {
+
+struct Accumulator {
+  int64_t count = 0;        // Non-null inputs (or rows for COUNT(*)).
+  int64_t rows = 0;         // All rows.
+  double sum = 0;
+  bool all_int = true;
+  int64_t isum = 0;
+  bool has_minmax = false;
+  Value min, max;
+};
+
+Status Accumulate(Accumulator* acc, const Value& v) {
+  ++acc->rows;
+  if (v.is_null()) return Status::OK();
+  ++acc->count;
+  if (v.is_numeric()) {
+    acc->sum += v.NumericAsDouble();
+    if (v.kind() == TypeKind::kInt) {
+      acc->isum += v.as_int();
+    } else {
+      acc->all_int = false;
+    }
+  } else {
+    acc->all_int = false;
+  }
+  if (!acc->has_minmax) {
+    acc->min = v;
+    acc->max = v;
+    acc->has_minmax = true;
+    return Status::OK();
+  }
+  int cmp = 0;
+  DV_ASSIGN_OR_RETURN(TriBool known, Value::Compare(v, acc->min, &cmp));
+  if (known == TriBool::kTrue && cmp < 0) acc->min = v;
+  DV_ASSIGN_OR_RETURN(known, Value::Compare(v, acc->max, &cmp));
+  if (known == TriBool::kTrue && cmp > 0) acc->max = v;
+  return Status::OK();
+}
+
+Result<Value> Finalize(const Accumulator& acc, AggFunc func) {
+  switch (func) {
+    case AggFunc::kCountStar:
+      return Value::Int(acc.rows);
+    case AggFunc::kCount:
+      return Value::Int(acc.count);
+    case AggFunc::kSum:
+      if (acc.count == 0) return Value::Null();
+      return acc.all_int ? Value::Int(acc.isum) : Value::Double(acc.sum);
+    case AggFunc::kAvg:
+      if (acc.count == 0) return Value::Null();
+      return Value::Double(acc.sum / static_cast<double>(acc.count));
+    case AggFunc::kMin:
+      return acc.has_minmax ? acc.min : Value::Null();
+    case AggFunc::kMax:
+      return acc.has_minmax ? acc.max : Value::Null();
+  }
+  return Status::Internal("bad aggregate");
+}
+
+/// Aggregates with a fixed generalization pattern: dims[i] participates in
+/// the group key iff keep[i]; generalized dims emit NULL.
+Status AggregateStratum(const Table& in, const std::vector<int>& dim_idx,
+                        const std::vector<bool>& keep,
+                        const std::vector<int>& measure_idx,
+                        const std::vector<CubeMeasure>& measures, Table* out) {
+  std::unordered_map<Row, size_t, RowGroupHash, RowGroupEq> group_of;
+  std::vector<Row> keys;
+  std::vector<std::vector<Accumulator>> accs;
+  for (const Row& r : in.rows()) {
+    Row key(dim_idx.size(), Value::Null());
+    for (size_t d = 0; d < dim_idx.size(); ++d) {
+      if (keep[d]) key[d] = r[dim_idx[d]];
+    }
+    auto [it, inserted] = group_of.emplace(key, keys.size());
+    if (inserted) {
+      keys.push_back(key);
+      accs.emplace_back(measures.size());
+    }
+    std::vector<Accumulator>& group = accs[it->second];
+    for (size_t m = 0; m < measures.size(); ++m) {
+      Value v = measure_idx[m] >= 0 ? r[measure_idx[m]] : Value::Int(1);
+      if (measures[m].func == AggFunc::kCountStar) v = Value::Int(1);
+      DV_RETURN_IF_ERROR(Accumulate(&group[m], v));
+    }
+  }
+  for (size_t g = 0; g < keys.size(); ++g) {
+    Row row = keys[g];
+    for (size_t m = 0; m < measures.size(); ++m) {
+      DV_ASSIGN_OR_RETURN(Value v, Finalize(accs[g][m], measures[m].func));
+      row.push_back(std::move(v));
+    }
+    out->AppendRowUnchecked(std::move(row));
+  }
+  return Status::OK();
+}
+
+Result<Table> CubeImpl(const Table& in, const std::vector<std::string>& dims,
+                       const std::vector<CubeMeasure>& measures,
+                       const std::vector<std::vector<bool>>& strata) {
+  std::vector<int> dim_idx;
+  for (const std::string& d : dims) {
+    int idx = in.schema().IndexOf(d);
+    if (idx < 0) return Status::InvalidArgument("no dimension column '" + d + "'");
+    dim_idx.push_back(idx);
+  }
+  std::vector<int> measure_idx;
+  for (const CubeMeasure& m : measures) {
+    if (m.func == AggFunc::kCountStar) {
+      measure_idx.push_back(-1);
+      continue;
+    }
+    int idx = in.schema().IndexOf(m.column);
+    if (idx < 0) {
+      return Status::InvalidArgument("no measure column '" + m.column + "'");
+    }
+    measure_idx.push_back(idx);
+  }
+  std::vector<Column> cols;
+  for (size_t d = 0; d < dims.size(); ++d) {
+    cols.push_back(in.schema().column(dim_idx[d]));
+  }
+  for (const CubeMeasure& m : measures) {
+    cols.emplace_back(m.as.empty() ? std::string(AggFuncName(m.func)) : m.as,
+                      TypeKind::kNull);
+  }
+  Table out{Schema(std::move(cols))};
+  for (const std::vector<bool>& keep : strata) {
+    DV_RETURN_IF_ERROR(
+        AggregateStratum(in, dim_idx, keep, measure_idx, measures, &out));
+  }
+  out.SortRows();
+  return out;
+}
+
+}  // namespace
+
+Result<Table> RollupAggregate(const Table& in,
+                              const std::vector<std::string>& dims,
+                              const std::vector<CubeMeasure>& measures) {
+  std::vector<std::vector<bool>> strata;
+  for (size_t k = dims.size() + 1; k-- > 0;) {
+    std::vector<bool> keep(dims.size(), false);
+    for (size_t i = 0; i < k; ++i) keep[i] = true;
+    strata.push_back(std::move(keep));
+  }
+  return CubeImpl(in, dims, measures, strata);
+}
+
+Result<Table> CubeAggregate(const Table& in,
+                            const std::vector<std::string>& dims,
+                            const std::vector<CubeMeasure>& measures) {
+  if (dims.size() > 16) {
+    return Status::InvalidArgument("too many cube dimensions");
+  }
+  std::vector<std::vector<bool>> strata;
+  for (uint32_t mask = 0; mask < (1u << dims.size()); ++mask) {
+    std::vector<bool> keep(dims.size(), false);
+    for (size_t d = 0; d < dims.size(); ++d) {
+      if (mask & (1u << d)) keep[d] = true;
+    }
+    strata.push_back(std::move(keep));
+  }
+  return CubeImpl(in, dims, measures, strata);
+}
+
+Result<Table> GroupAggregate(const Table& in,
+                             const std::vector<std::string>& dims,
+                             const std::vector<CubeMeasure>& measures) {
+  std::vector<std::vector<bool>> strata{std::vector<bool>(dims.size(), true)};
+  return CubeImpl(in, dims, measures, strata);
+}
+
+Result<Table> DrillDown(const Table& summary, const std::string& dim,
+                        const Value& value,
+                        const std::vector<std::string>& generalized) {
+  int dim_idx = summary.schema().IndexOf(dim);
+  if (dim_idx < 0) {
+    return Status::InvalidArgument("no dimension column '" + dim + "'");
+  }
+  std::vector<int> gen_idx;
+  for (const std::string& g : generalized) {
+    int idx = summary.schema().IndexOf(g);
+    if (idx < 0) {
+      return Status::InvalidArgument("no dimension column '" + g + "'");
+    }
+    gen_idx.push_back(idx);
+  }
+  Table out(summary.schema());
+  for (const Row& r : summary.rows()) {
+    if (!r[dim_idx].GroupEquals(value)) continue;
+    bool ok = true;
+    for (int g : gen_idx) {
+      if (!r[g].is_null()) ok = false;
+    }
+    if (ok) out.AppendRowUnchecked(r);
+  }
+  return out;
+}
+
+}  // namespace dynview

@@ -1,0 +1,56 @@
+#ifndef DYNVIEW_ANALYTICS_CUBE_H_
+#define DYNVIEW_ANALYTICS_CUBE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/table.h"
+#include "sql/ast.h"
+
+namespace dynview {
+
+/// Decision-analysis aggregation (Sec. 1.1.2 of the paper): tabular, data
+/// cube-style summaries "including subtotals for all classes and all
+/// countries", with drill-down by refining dimensions. Dimensions are
+/// columns of a (possibly view-derived) table; the set of dimensions can be
+/// extended at runtime simply by deriving new columns — the extensibility
+/// the paper's dynamic views provide.
+
+/// One aggregate to compute per group.
+struct CubeMeasure {
+  AggFunc func = AggFunc::kCountStar;
+  /// Input column; ignored for COUNT(*).
+  std::string column;
+  /// Output column name.
+  std::string as;
+};
+
+/// GROUP BY `dims` with ROLLUP: one result stratum per prefix of `dims`
+/// (full grouping, then subtotals with the last dimension generalized, ...,
+/// down to the grand total). Generalized positions hold NULL ("ALL").
+Result<Table> RollupAggregate(const Table& in,
+                              const std::vector<std::string>& dims,
+                              const std::vector<CubeMeasure>& measures);
+
+/// Full CUBE: one stratum per subset of `dims` (Gray et al.'s operator the
+/// paper cites [14]). Generalized positions hold NULL.
+Result<Table> CubeAggregate(const Table& in,
+                            const std::vector<std::string>& dims,
+                            const std::vector<CubeMeasure>& measures);
+
+/// Plain GROUP BY over `dims` (the finest stratum only).
+Result<Table> GroupAggregate(const Table& in,
+                             const std::vector<std::string>& dims,
+                             const std::vector<CubeMeasure>& measures);
+
+/// Drill-down: restrict `cube_or_rollup` output to the rows where `dim`
+/// equals `value` and every dimension in `generalized` is the ALL marker
+/// (NULL). A navigation helper for the Sec. 1.1.2 browsing flow.
+Result<Table> DrillDown(const Table& summary, const std::string& dim,
+                        const Value& value,
+                        const std::vector<std::string>& generalized);
+
+}  // namespace dynview
+
+#endif  // DYNVIEW_ANALYTICS_CUBE_H_

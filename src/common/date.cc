@@ -1,0 +1,84 @@
+#include "common/date.h"
+
+#include <cstdio>
+
+namespace dynview {
+
+namespace {
+
+// Days-from-civil algorithm (Howard Hinnant's public-domain formulation).
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153u * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int* y_out, int* m_out, int* d_out) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : -9);
+  *y_out = static_cast<int>(y + (m <= 2));
+  *m_out = static_cast<int>(m);
+  *d_out = static_cast<int>(d);
+}
+
+bool IsLeap(int y) { return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0; }
+
+int DaysInMonth(int y, int m) {
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (m == 2 && IsLeap(y)) return 29;
+  return kDays[m - 1];
+}
+
+}  // namespace
+
+Result<Date> Date::FromYmd(int year, int month, int day) {
+  if (month < 1 || month > 12) {
+    return Status::InvalidArgument("month out of range: " + std::to_string(month));
+  }
+  if (day < 1 || day > DaysInMonth(year, month)) {
+    return Status::InvalidArgument("day out of range: " + std::to_string(day));
+  }
+  return Date(static_cast<int32_t>(DaysFromCivil(year, month, day)));
+}
+
+Result<Date> Date::Parse(std::string_view text) {
+  int a = 0, b = 0, c = 0;
+  char sep1 = 0, sep2 = 0;
+  std::string buf(text);
+  if (std::sscanf(buf.c_str(), "%d%c%d%c%d", &a, &sep1, &b, &sep2, &c) == 5 &&
+      sep1 == sep2 && (sep1 == '-' || sep1 == '/')) {
+    if (sep1 == '-') {
+      // YYYY-MM-DD.
+      return FromYmd(a, b, c);
+    }
+    // M/D/YY or M/D/YYYY.
+    int year = c;
+    if (year < 100) year += (year < 70) ? 2000 : 1900;
+    return FromYmd(year, a, b);
+  }
+  return Status::ParseError("unparseable date: '" + buf + "'");
+}
+
+std::string Date::ToString() const {
+  int y, m, d;
+  ToYmd(&y, &m, &d);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+  return buf;
+}
+
+void Date::ToYmd(int* year, int* month, int* day) const {
+  CivilFromDays(days_, year, month, day);
+}
+
+}  // namespace dynview

@@ -1,0 +1,53 @@
+#ifndef DYNVIEW_COMMON_DATE_H_
+#define DYNVIEW_COMMON_DATE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace dynview {
+
+/// Calendar date stored as days since the Unix epoch (1970-01-01). The stock
+/// examples in the paper quantify over dates ("T1.date = T2.date + 1"), so
+/// dates must support ordered comparison and integer arithmetic.
+class Date {
+ public:
+  Date() : days_(0) {}
+  explicit Date(int32_t days_since_epoch) : days_(days_since_epoch) {}
+
+  /// Builds a date from a civil triple. `year` is the full year (e.g. 1998),
+  /// `month` in [1,12], `day` in [1,31]. Invalid triples yield an error.
+  static Result<Date> FromYmd(int year, int month, int day);
+
+  /// Parses "YYYY-MM-DD" or the paper's "M/D/YY" / "M/D/YYYY" shorthand.
+  /// Two-digit years are interpreted in [1970, 2069] to match the paper's
+  /// 1/1/98-style literals.
+  static Result<Date> Parse(std::string_view text);
+
+  int32_t days_since_epoch() const { return days_; }
+
+  /// Returns the date `n` days after this one.
+  Date AddDays(int32_t n) const { return Date(days_ + n); }
+
+  /// Formats as "YYYY-MM-DD".
+  std::string ToString() const;
+
+  /// Decomposes into a civil triple.
+  void ToYmd(int* year, int* month, int* day) const;
+
+  friend bool operator==(const Date& a, const Date& b) {
+    return a.days_ == b.days_;
+  }
+  friend auto operator<=>(const Date& a, const Date& b) {
+    return a.days_ <=> b.days_;
+  }
+
+ private:
+  int32_t days_;
+};
+
+}  // namespace dynview
+
+#endif  // DYNVIEW_COMMON_DATE_H_

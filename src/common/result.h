@@ -1,0 +1,69 @@
+#ifndef DYNVIEW_COMMON_RESULT_H_
+#define DYNVIEW_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace dynview {
+
+/// Holds either a value of type `T` or an error `Status`, in the spirit of
+/// `absl::StatusOr<T>` / `arrow::Result<T>`. Used pervasively since the
+/// project does not use exceptions.
+///
+/// Usage:
+///   Result<Table> r = Evaluate(query);
+///   if (!r.ok()) return r.status();
+///   Table t = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs an errored result. `status` must be non-OK.
+  Result(Status status)  // NOLINT: implicit by design, mirrors StatusOr.
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  /// Constructs a successful result holding `value`.
+  Result(T value)  // NOLINT: implicit by design, mirrors StatusOr.
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Accesses the held value. Must only be called when `ok()`.
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace dynview
+
+/// Evaluates `expr` (a Result<T>), propagating errors; otherwise moves the
+/// value into `lhs`. `lhs` may be a declaration ("auto x") or an lvalue.
+#define DV_ASSIGN_OR_RETURN(lhs, expr)                   \
+  DV_ASSIGN_OR_RETURN_IMPL(                              \
+      DV_RESULT_CONCAT(_dv_result_, __LINE__), lhs, expr)
+
+#define DV_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) return tmp.status();            \
+  lhs = std::move(tmp).value();
+
+#define DV_RESULT_CONCAT_INNER(a, b) a##b
+#define DV_RESULT_CONCAT(a, b) DV_RESULT_CONCAT_INNER(a, b)
+
+#endif  // DYNVIEW_COMMON_RESULT_H_

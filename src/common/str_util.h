@@ -1,0 +1,43 @@
+#ifndef DYNVIEW_COMMON_STR_UTIL_H_
+#define DYNVIEW_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dynview {
+
+/// Returns `s` lowercased (ASCII only; SQL identifiers are ASCII).
+std::string ToLower(std::string_view s);
+
+/// Returns `s` uppercased (ASCII only).
+std::string ToUpper(std::string_view s);
+
+/// Case-insensitive ASCII equality, used for SQL keywords and identifiers.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `pieces` with `sep`.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True if `haystack` contains `needle` (case sensitive).
+bool Contains(std::string_view haystack, std::string_view needle);
+
+/// True if `haystack` contains `needle`, ignoring ASCII case. Used by the
+/// keyword-search machinery (Fig. 9 of the paper).
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+/// SQL LIKE pattern match: '%' matches any run, '_' any single character.
+bool LikeMatch(std::string_view text, std::string_view pattern);
+
+/// Tokenizes `text` into lowercase alphanumeric words (for inverted indexes).
+std::vector<std::string> TokenizeWords(std::string_view text);
+
+}  // namespace dynview
+
+#endif  // DYNVIEW_COMMON_STR_UTIL_H_

@@ -1,0 +1,138 @@
+#include "core/containment.h"
+
+#include <functional>
+#include <set>
+
+#include "common/str_util.h"
+#include "core/implication.h"
+#include "core/normalize.h"
+#include "core/view_definition.h"
+#include "sql/parser.h"
+
+namespace dynview {
+
+namespace {
+
+struct Prepared {
+  std::unique_ptr<SelectStmt> stmt;
+  QueryInfo info;
+};
+
+Result<Prepared> Prepare(const std::string& sql, const Catalog& catalog,
+                         const std::string& default_db) {
+  Prepared p;
+  DV_ASSIGN_OR_RETURN(p.stmt, Parser::ParseSelect(sql));
+  if (p.stmt->union_next != nullptr || p.stmt->distinct ||
+      !p.stmt->group_by.empty() || p.stmt->having != nullptr) {
+    return Status::Unsupported(
+        "containment covers single-block SPJ queries");
+  }
+  for (const SelectItem& item : p.stmt->select_list) {
+    if (item.expr->ContainsAggregate() ||
+        item.expr->kind == ExprKind::kStar) {
+      return Status::Unsupported("containment covers SPJ select lists");
+    }
+  }
+  DV_ASSIGN_OR_RETURN(BoundQuery bq,
+                      NormalizeQuery(p.stmt.get(), catalog, default_db));
+  DV_ASSIGN_OR_RETURN(p.info, AnalyzeQuery(*p.stmt, bq, default_db));
+  return p;
+}
+
+/// Applies a variable mapping (lowercased var → replacement name) to a
+/// cloned expression.
+std::unique_ptr<Expr> MapExpr(const Expr& e,
+                              const std::map<std::string, std::string>& h) {
+  std::unique_ptr<Expr> out = e.Clone();
+  std::function<void(Expr*)> walk = [&](Expr* node) {
+    if (node == nullptr) return;
+    if (node->kind == ExprKind::kVarRef) {
+      auto it = h.find(ToLower(node->var_name));
+      if (it != h.end()) node->var_name = it->second;
+      return;
+    }
+    walk(node->left.get());
+    walk(node->right.get());
+  };
+  walk(out.get());
+  return out;
+}
+
+}  // namespace
+
+Result<bool> ContainmentChecker::Contained(const std::string& q1_sql,
+                                           const std::string& q2_sql) const {
+  DV_ASSIGN_OR_RETURN(Prepared q1, Prepare(q1_sql, *catalog_, default_db_));
+  DV_ASSIGN_OR_RETURN(Prepared q2, Prepare(q2_sql, *catalog_, default_db_));
+  if (q1.stmt->select_list.size() != q2.stmt->select_list.size()) {
+    return false;  // Different head arity: never contained.
+  }
+
+  ConditionAnalyzer q1_conds(q1.info.conds);
+
+  // Candidate images for each q2 tuple variable.
+  const size_t n2 = q2.info.tables.size();
+  std::vector<std::vector<size_t>> candidates(n2);
+  for (size_t i = 0; i < n2; ++i) {
+    for (size_t j = 0; j < q1.info.tables.size(); ++j) {
+      if (q2.info.tables[i] == q1.info.tables[j]) candidates[i].push_back(j);
+    }
+    if (candidates[i].empty()) return false;
+  }
+
+  constexpr int kMaxAssignments = 200000;
+  int tried = 0;
+  std::vector<size_t> pick(n2, 0);
+  std::function<Result<bool>(size_t)> search = [&](size_t depth) -> Result<bool> {
+    if (tried > kMaxAssignments) return false;
+    if (depth == n2) {
+      ++tried;
+      // Induced variable mapping h : Var(q2) → Var(q1).
+      std::map<std::string, std::string> h;
+      for (size_t i = 0; i < n2; ++i) {
+        std::string t2 = ToLower(q2.info.tuple_vars[i]);
+        std::string t1 = ToLower(q1.info.tuple_vars[pick[i]]);
+        auto d2 = q2.info.domain_of.find(t2);
+        auto d1 = q1.info.domain_of.find(t1);
+        if (d2 == q2.info.domain_of.end()) continue;
+        if (d1 == q1.info.domain_of.end()) return false;
+        for (const auto& [attr, var2] : d2->second) {
+          auto a1 = d1->second.find(attr);
+          if (a1 == d1->second.end()) return false;
+          h[ToLower(var2)] = a1->second;
+        }
+      }
+      // Every q2 condition must be implied by q1's closure after mapping.
+      for (const Expr* c : q2.info.conds) {
+        std::unique_ptr<Expr> mapped = MapExpr(*c, h);
+        if (!q1_conds.Implies(*mapped)) return false;
+      }
+      // Heads align positionally up to implied equality.
+      for (size_t k = 0; k < q1.stmt->select_list.size(); ++k) {
+        std::unique_ptr<Expr> mapped =
+            MapExpr(*q2.stmt->select_list[k].expr, h);
+        auto eq = Expr::MakeCompare(BinaryOp::kEq,
+                                    q1.stmt->select_list[k].expr->Clone(),
+                                    std::move(mapped));
+        if (!q1_conds.Implies(*eq)) return false;
+      }
+      return true;
+    }
+    for (size_t cand : candidates[depth]) {
+      pick[depth] = cand;
+      DV_ASSIGN_OR_RETURN(bool found, search(depth + 1));
+      if (found) return true;
+    }
+    return false;
+  };
+  return search(0);
+}
+
+Result<bool> ContainmentChecker::Equivalent(const std::string& q1_sql,
+                                            const std::string& q2_sql) const {
+  DV_ASSIGN_OR_RETURN(bool fwd, Contained(q1_sql, q2_sql));
+  if (!fwd) return false;
+  return Contained(q2_sql, q1_sql);
+}
+
+}  // namespace dynview

@@ -1,0 +1,44 @@
+#ifndef DYNVIEW_CORE_CONTAINMENT_H_
+#define DYNVIEW_CORE_CONTAINMENT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/usability.h"
+
+namespace dynview {
+
+/// Set containment and equivalence tests for SPJ queries (Def. 4.1 of the
+/// paper; the machinery of Levy/Mendelzon/Sagiv/Srivastava [25] that the
+/// usability theorems specialize).
+///
+/// `Contained(q1, q2)` proves q1 ⊆ q2 by searching for a containment
+/// mapping h : Var(q2) → Var(q1): tuple variables map over identical
+/// relations, every condition of q2 is implied (under the q1 condition
+/// closure) after mapping, and the select lists align positionally up to
+/// implied equality. The test is *sound but not complete* — a `false`
+/// answer means "not proved", which is the correct polarity for all users
+/// (rewriters must never act on an unproved equivalence). On the pure
+/// conjunctive (equality-only) fragment the test is the classical complete
+/// homomorphism check.
+class ContainmentChecker {
+ public:
+  ContainmentChecker(const Catalog* catalog, std::string default_db)
+      : catalog_(catalog), default_db_(std::move(default_db)) {}
+
+  /// True if q1 ⊆ q2 (set semantics) is proved.
+  Result<bool> Contained(const std::string& q1_sql,
+                         const std::string& q2_sql) const;
+
+  /// True if set equivalence is proved (containment both ways, Def. 4.1).
+  Result<bool> Equivalent(const std::string& q1_sql,
+                          const std::string& q2_sql) const;
+
+ private:
+  const Catalog* catalog_;
+  std::string default_db_;
+};
+
+}  // namespace dynview
+
+#endif  // DYNVIEW_CORE_CONTAINMENT_H_

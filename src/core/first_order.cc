@@ -1,0 +1,126 @@
+#include "core/first_order.h"
+
+#include <map>
+
+#include "common/str_util.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+
+namespace dynview {
+
+std::string QuantifiedLabelSpace::Describe() const {
+  switch (kind) {
+    case Kind::kDatabases:
+      return "database names of the federation";
+    case Kind::kRelationsOf:
+      return "relation names of " + db;
+    case Kind::kAttributesOf:
+      return "attribute names of " + db + "::" + rel;
+  }
+  return "?";
+}
+
+std::string QuantifiedLabelSpace::SuggestedInterface() const {
+  switch (kind) {
+    case Kind::kDatabases:
+      return "expose a meta relation databases(db) — see SchemaBrowser — or "
+             "unite the databases into one relation with a 'db' column";
+    case Kind::kRelationsOf:
+      return "unite the relations of " + db +
+             " into a single relation with a label column (the s2 → s1 "
+             "transformation; view v2 of Fig. 2)";
+    case Kind::kAttributesOf:
+      return "unpivot " + db + "::" + rel +
+             " into (key..., attribute, value) — an hprice/hotelwords-style "
+             "interface schema (Fig. 7/9)";
+  }
+  return "?";
+}
+
+std::string FirstOrderReport::Describe() const {
+  std::string out;
+  int ho = 0;
+  for (bool fo : first_order) {
+    if (!fo) ++ho;
+  }
+  out += std::to_string(first_order.size()) + " queries, " +
+         std::to_string(ho) + " higher order\n";
+  if (schema_is_first_order()) {
+    out += "schema is FIRST ORDER for this workload (Sec. 3.2)\n";
+    return out;
+  }
+  out += "schema is NOT first order for this workload; quantified spaces:\n";
+  for (const QuantifiedLabelSpace& q : quantified) {
+    out += "  * " + q.Describe() + " (" + std::to_string(q.query_count) +
+           " queries)\n    fix: " + q.SuggestedInterface() + "\n";
+  }
+  return out;
+}
+
+Result<FirstOrderReport> AnalyzeWorkloadFirstOrder(
+    const std::vector<std::string>& workload, const std::string& default_db) {
+  FirstOrderReport report;
+  // Keyed by (kind, db, rel) for deduplication.
+  std::map<std::tuple<int, std::string, std::string>, int> spaces;
+  for (const std::string& sql : workload) {
+    DV_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> stmt,
+                        Parser::ParseSelect(sql));
+    bool fo = true;
+    for (SelectStmt* branch = stmt.get(); branch != nullptr;
+         branch = branch->union_next.get()) {
+      DV_ASSIGN_OR_RETURN(BoundQuery bq, Binder::BindBranch(branch));
+      (void)bq;
+      for (const FromItem& f : branch->from_items) {
+        switch (f.kind) {
+          case FromItemKind::kDatabaseVar:
+            fo = false;
+            ++spaces[{0, "", ""}];
+            break;
+          case FromItemKind::kRelationVar: {
+            fo = false;
+            std::string db = f.db.is_variable
+                                 ? "<" + f.db.text + ">"
+                                 : (f.db.empty() ? default_db : f.db.text);
+            ++spaces[{1, ToLower(db), ""}];
+            break;
+          }
+          case FromItemKind::kAttributeVar: {
+            fo = false;
+            std::string db = f.db.is_variable
+                                 ? "<" + f.db.text + ">"
+                                 : (f.db.empty() ? default_db : f.db.text);
+            std::string rel =
+                f.rel.is_variable ? "<" + f.rel.text + ">" : f.rel.text;
+            ++spaces[{2, ToLower(db), ToLower(rel)}];
+            break;
+          }
+          default:
+            break;
+        }
+      }
+    }
+    report.first_order.push_back(fo);
+  }
+  for (const auto& [key, count] : spaces) {
+    QuantifiedLabelSpace q;
+    switch (std::get<0>(key)) {
+      case 0:
+        q.kind = QuantifiedLabelSpace::Kind::kDatabases;
+        break;
+      case 1:
+        q.kind = QuantifiedLabelSpace::Kind::kRelationsOf;
+        q.db = std::get<1>(key);
+        break;
+      default:
+        q.kind = QuantifiedLabelSpace::Kind::kAttributesOf;
+        q.db = std::get<1>(key);
+        q.rel = std::get<2>(key);
+        break;
+    }
+    q.query_count = count;
+    report.quantified.push_back(std::move(q));
+  }
+  return report;
+}
+
+}  // namespace dynview

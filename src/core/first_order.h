@@ -1,0 +1,51 @@
+#ifndef DYNVIEW_CORE_FIRST_ORDER_H_
+#define DYNVIEW_CORE_FIRST_ORDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dynview {
+
+/// Sec. 3.2 of the paper: "For a set of queries Q, a schema is first order
+/// if all queries in Q can be written in a first order language such as
+/// SQL" (Litwin et al.'s first-order normal form, [28]). This analyzer
+/// decides that relation for a workload and — when the schema is NOT first
+/// order for it — reports which label spaces the queries quantify over and
+/// the interface schemas (Fig. 7-style) that would make the workload first
+/// order.
+struct QuantifiedLabelSpace {
+  enum class Kind { kDatabases, kRelationsOf, kAttributesOf };
+  Kind kind = Kind::kDatabases;
+  std::string db;   // kRelationsOf / kAttributesOf.
+  std::string rel;  // kAttributesOf.
+  /// How many workload queries quantify over this space.
+  int query_count = 0;
+
+  std::string Describe() const;
+  /// The restructuring that demotes this label space to data: e.g. for
+  /// kAttributesOf, "unpivot db::rel into (key..., attribute, value)".
+  std::string SuggestedInterface() const;
+};
+
+struct FirstOrderReport {
+  /// Index-aligned with the input workload: true if that query is first
+  /// order as written.
+  std::vector<bool> first_order;
+  /// The schema is first order for the workload iff this is empty.
+  std::vector<QuantifiedLabelSpace> quantified;
+
+  bool schema_is_first_order() const { return quantified.empty(); }
+  std::string Describe() const;
+};
+
+/// Parses and analyzes `workload` (SELECT statements). Queries that fail to
+/// parse produce an error; binding is syntactic (no catalog access needed).
+Result<FirstOrderReport> AnalyzeWorkloadFirstOrder(
+    const std::vector<std::string>& workload,
+    const std::string& default_db);
+
+}  // namespace dynview
+
+#endif  // DYNVIEW_CORE_FIRST_ORDER_H_

@@ -1,0 +1,196 @@
+#include "core/normalize.h"
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "common/str_util.h"
+
+namespace dynview {
+
+namespace {
+
+/// Lowercased key identifying a (tuple variable, attribute label) pair.
+/// Attribute-variable labels are prefixed so they cannot collide with
+/// constant attribute names.
+std::string PairKey(const std::string& tuple, const NameTerm& attr) {
+  return ToLower(tuple) + "." + (attr.is_variable ? "$" : "") +
+         ToLower(attr.text);
+}
+
+std::set<std::string> UsedVarNames(const SelectStmt& stmt) {
+  std::set<std::string> used;
+  for (const FromItem& f : stmt.from_items) used.insert(ToLower(f.var));
+  return used;
+}
+
+std::string SynthesizeName(const std::string& tuple, const std::string& attr,
+                           std::set<std::string>* used) {
+  std::string base = attr;
+  if (used->count(ToLower(base)) == 0) {
+    used->insert(ToLower(base));
+    return base;
+  }
+  base = tuple + "_" + attr;
+  std::string candidate = base;
+  int suffix = 2;
+  while (used->count(ToLower(candidate)) > 0) {
+    candidate = base + std::to_string(suffix++);
+  }
+  used->insert(ToLower(candidate));
+  return candidate;
+}
+
+/// Existing domain-variable declarations keyed by (tuple, attr).
+std::map<std::string, std::string> DomainVarIndex(const SelectStmt& stmt) {
+  std::map<std::string, std::string> index;
+  for (const FromItem& f : stmt.from_items) {
+    if (f.kind == FromItemKind::kDomainVar) {
+      index[PairKey(f.tuple, f.attr)] = f.var;
+    }
+  }
+  return index;
+}
+
+using ExprVisitor = std::function<Status(std::unique_ptr<Expr>*)>;
+
+Status WalkExprSlots(SelectStmt* stmt, const ExprVisitor& visit);
+
+Status WalkExpr(std::unique_ptr<Expr>* slot, const ExprVisitor& visit) {
+  if (*slot == nullptr) return Status::OK();
+  DV_RETURN_IF_ERROR(visit(slot));
+  Expr* e = slot->get();
+  if (e->left) DV_RETURN_IF_ERROR(WalkExpr(&e->left, visit));
+  if (e->right) DV_RETURN_IF_ERROR(WalkExpr(&e->right, visit));
+  return Status::OK();
+}
+
+Status WalkExprSlots(SelectStmt* stmt, const ExprVisitor& visit) {
+  for (SelectItem& item : stmt->select_list) {
+    DV_RETURN_IF_ERROR(WalkExpr(&item.expr, visit));
+  }
+  if (stmt->where) DV_RETURN_IF_ERROR(WalkExpr(&stmt->where, visit));
+  for (auto& g : stmt->group_by) DV_RETURN_IF_ERROR(WalkExpr(&g, visit));
+  if (stmt->having) DV_RETURN_IF_ERROR(WalkExpr(&stmt->having, visit));
+  for (OrderItem& o : stmt->order_by) {
+    DV_RETURN_IF_ERROR(WalkExpr(&o.expr, visit));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ResolveBareColumns(SelectStmt* stmt, const BoundQuery& bq,
+                          const Catalog& catalog,
+                          const std::string& default_db) {
+  return WalkExprSlots(stmt, [&](std::unique_ptr<Expr>* slot) -> Status {
+    Expr* e = slot->get();
+    if (e->kind != ExprKind::kVarRef) return Status::OK();
+    if (bq.Find(e->var_name) != nullptr) return Status::OK();
+    // Locate the unique tuple variable whose relation has this attribute.
+    const FromItem* match = nullptr;
+    int count = 0;
+    for (const FromItem& f : stmt->from_items) {
+      if (f.kind != FromItemKind::kTupleVar) continue;
+      if (f.rel.is_variable || f.db.is_variable) continue;
+      std::string db = f.db.empty() ? default_db : f.db.text;
+      Result<const Table*> t = catalog.ResolveTable(db, f.rel.text);
+      if (!t.ok()) continue;
+      if (t.value()->schema().HasColumn(e->var_name)) {
+        match = &f;
+        ++count;
+      }
+    }
+    if (count == 0) {
+      return Status::BindError("unresolved column '" + e->var_name + "'");
+    }
+    if (count > 1) {
+      return Status::BindError("ambiguous column '" + e->var_name + "'");
+    }
+    std::string attr = e->var_name;
+    e->kind = ExprKind::kColumnRef;
+    e->qualifier = match->var;
+    e->column = NameTerm(attr);
+    e->var_name.clear();
+    return Status::OK();
+  });
+}
+
+Status ReplaceColumnRefsWithDomainVars(SelectStmt* stmt,
+                                       const BoundQuery& bq) {
+  std::map<std::string, std::string> index = DomainVarIndex(*stmt);
+  std::set<std::string> used = UsedVarNames(*stmt);
+  return WalkExprSlots(stmt, [&](std::unique_ptr<Expr>* slot) -> Status {
+    Expr* e = slot->get();
+    if (e->kind != ExprKind::kColumnRef) return Status::OK();
+    const BoundVariable* t = bq.Find(e->qualifier);
+    if (t == nullptr || t->cls != VarClass::kTuple) {
+      return Status::BindError("column reference '" + e->qualifier + "." +
+                               e->column.text +
+                               "' does not qualify a tuple variable");
+    }
+    std::string key = PairKey(e->qualifier, e->column);
+    auto it = index.find(key);
+    std::string var;
+    if (it != index.end()) {
+      var = it->second;
+    } else {
+      var = SynthesizeName(e->qualifier, e->column.text, &used);
+      FromItem decl;
+      decl.kind = FromItemKind::kDomainVar;
+      decl.tuple = e->qualifier;
+      decl.attr = e->column;
+      decl.var = var;
+      stmt->from_items.push_back(std::move(decl));
+      index[key] = var;
+    }
+    e->kind = ExprKind::kVarRef;
+    e->var_name = var;
+    e->qualifier.clear();
+    e->column = NameTerm();
+    return Status::OK();
+  });
+}
+
+Status DeclareAllDomainVars(SelectStmt* stmt, const BoundQuery& bq,
+                            const Catalog& catalog,
+                            const std::string& default_db) {
+  (void)bq;
+  std::map<std::string, std::string> index = DomainVarIndex(*stmt);
+  std::set<std::string> used = UsedVarNames(*stmt);
+  std::vector<FromItem> to_add;
+  for (const FromItem& f : stmt->from_items) {
+    if (f.kind != FromItemKind::kTupleVar) continue;
+    if (f.rel.is_variable || f.db.is_variable) continue;
+    std::string db = f.db.empty() ? default_db : f.db.text;
+    Result<const Table*> t = catalog.ResolveTable(db, f.rel.text);
+    if (!t.ok()) continue;  // Unresolvable here; evaluation will report.
+    for (const Column& c : t.value()->schema().columns()) {
+      NameTerm attr(c.name);
+      std::string key = PairKey(f.var, attr);
+      if (index.count(key) > 0) continue;
+      std::string var = SynthesizeName(f.var, c.name, &used);
+      FromItem decl;
+      decl.kind = FromItemKind::kDomainVar;
+      decl.tuple = f.var;
+      decl.attr = attr;
+      decl.var = var;
+      index[key] = var;
+      to_add.push_back(std::move(decl));
+    }
+  }
+  for (FromItem& f : to_add) stmt->from_items.push_back(std::move(f));
+  return Status::OK();
+}
+
+Result<BoundQuery> NormalizeQuery(SelectStmt* stmt, const Catalog& catalog,
+                                  const std::string& default_db) {
+  DV_ASSIGN_OR_RETURN(BoundQuery bq, Binder::BindBranch(stmt));
+  DV_RETURN_IF_ERROR(ResolveBareColumns(stmt, bq, catalog, default_db));
+  DV_RETURN_IF_ERROR(ReplaceColumnRefsWithDomainVars(stmt, bq));
+  DV_ASSIGN_OR_RETURN(bq, Binder::BindBranch(stmt));
+  DV_RETURN_IF_ERROR(DeclareAllDomainVars(stmt, bq, catalog, default_db));
+  return Binder::BindBranch(stmt);
+}
+
+}  // namespace dynview

@@ -1,0 +1,47 @@
+#ifndef DYNVIEW_CORE_NORMALIZE_H_
+#define DYNVIEW_CORE_NORMALIZE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "relational/catalog.h"
+#include "sql/ast.h"
+#include "sql/binder.h"
+
+namespace dynview {
+
+/// Sec. 5 of the paper assumes queries "explicitly declare all tuple and
+/// domain variables" — no relation-name shorthands, no `T.attr` shorthands.
+/// These passes bring an arbitrary parsed query into that normal form so the
+/// variable-mapping machinery (Def. 5.1) is total and purely syntactic.
+
+/// Rewrites bare column references (`select price from stock T`) into
+/// qualified `T.price` form by locating the unique tuple variable whose
+/// relation carries the attribute (consults `catalog`). The statement must
+/// already be bound.
+Status ResolveBareColumns(SelectStmt* stmt, const BoundQuery& bq,
+                          const Catalog& catalog,
+                          const std::string& default_db);
+
+/// Replaces every `T.attr` column reference in expressions with a domain
+/// variable, declaring one when absent. Synthesized names derive from the
+/// attribute name. The statement must already be bound; call
+/// Binder::BindBranch again afterwards.
+Status ReplaceColumnRefsWithDomainVars(SelectStmt* stmt, const BoundQuery& bq);
+
+/// Declares a domain variable for *every* attribute of every scanned
+/// relation (consulting `catalog`), so that a containment mapping can map
+/// each view variable to a query variable (Def. 5.1 requires images for all
+/// of Var(V)).
+Status DeclareAllDomainVars(SelectStmt* stmt, const BoundQuery& bq,
+                            const Catalog& catalog,
+                            const std::string& default_db);
+
+/// Runs all passes in order and rebinds. After this, every data access in
+/// the statement goes through an explicitly declared domain variable.
+Result<BoundQuery> NormalizeQuery(SelectStmt* stmt, const Catalog& catalog,
+                                  const std::string& default_db);
+
+}  // namespace dynview
+
+#endif  // DYNVIEW_CORE_NORMALIZE_H_

@@ -1,0 +1,193 @@
+#include "core/unfold.h"
+
+#include <map>
+#include <set>
+
+#include "common/str_util.h"
+#include "core/normalize.h"
+#include "sql/parser.h"
+
+namespace dynview {
+
+namespace {
+
+void RenameRefs(Expr* e, const std::map<std::string, std::string>& renames) {
+  if (e == nullptr) return;
+  if (e->kind == ExprKind::kVarRef) {
+    auto it = renames.find(ToLower(e->var_name));
+    if (it != renames.end()) e->var_name = it->second;
+    return;
+  }
+  RenameRefs(e->left.get(), renames);
+  RenameRefs(e->right.get(), renames);
+}
+
+void RenameRefsInStmt(SelectStmt* stmt,
+                      const std::map<std::string, std::string>& renames) {
+  for (SelectItem& item : stmt->select_list) {
+    RenameRefs(item.expr.get(), renames);
+  }
+  RenameRefs(stmt->where.get(), renames);
+  for (auto& g : stmt->group_by) RenameRefs(g.get(), renames);
+  RenameRefs(stmt->having.get(), renames);
+  for (OrderItem& o : stmt->order_by) RenameRefs(o.expr.get(), renames);
+}
+
+std::unique_ptr<Expr> AndChain(std::unique_ptr<Expr> a,
+                               std::unique_ptr<Expr> b) {
+  if (!a) return b;
+  if (!b) return a;
+  return Expr::MakeBinary(ExprKind::kLogic, BinaryOp::kAnd, std::move(a),
+                          std::move(b));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SelectStmt>> ViewUnfolder::UnfoldSql(
+    const ViewDefinition& view, const std::string& query_sql) const {
+  DV_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> stmt,
+                      Parser::ParseSelect(query_sql));
+  DV_ASSIGN_OR_RETURN(BoundQuery bq, NormalizeQuery(stmt.get(), *catalog_,
+                                                    source_default_db_));
+  (void)bq;
+  return Unfold(view, *stmt);
+}
+
+Result<std::unique_ptr<SelectStmt>> ViewUnfolder::Unfold(
+    const ViewDefinition& view, const SelectStmt& query) const {
+  if (view.HasAttributeVariables()) {
+    return Status::Unsupported(
+        "pivot sources are not unfoldable (a pivoted tuple aggregates a "
+        "whole group, Sec. 3.1)");
+  }
+  if (view.IsAggregateView()) {
+    return Status::Unsupported("aggregate sources are not unfoldable");
+  }
+  for (const std::string& dom : view.sel()) {
+    if (view.FindDomainDecl(dom) == nullptr) {
+      return Status::Unsupported("view output '" + dom +
+                                 "' is not a plain column projection");
+    }
+  }
+
+  std::unique_ptr<SelectStmt> out = query.Clone();
+  std::map<std::string, std::string> renames;  // Query var → unfolded var.
+  std::vector<FromItem> new_items;
+  std::unique_ptr<Expr> extra_conds;
+  std::set<std::string> taken;
+  for (const FromItem& f : query.from_items) taken.insert(ToLower(f.var));
+  int copy = 0;
+  size_t matched = 0;
+
+  std::vector<FromItem> kept;
+  for (FromItem& f : out->from_items) {
+    if (f.kind != FromItemKind::kTupleVar) {
+      kept.push_back(std::move(f));
+      continue;
+    }
+    // Does this scan match the view's output location?
+    std::string db = f.db.empty() ? source_default_db_ : f.db.text;
+    std::string db_label, rel_label;
+    bool match = true;
+    if (view.db_term().empty() || !view.db_term().is_variable) {
+      std::string vdb = view.db_term().empty() ? source_default_db_
+                                               : view.db_term().text;
+      if (!EqualsIgnoreCase(db, vdb)) match = false;
+    } else {
+      db_label = db;  // Database name carries data.
+    }
+    if (!view.rel_term().is_variable) {
+      if (!EqualsIgnoreCase(f.rel.text, view.rel_term().text)) match = false;
+    } else {
+      rel_label = f.rel.text;  // Relation name carries data.
+    }
+    if (!match) {
+      kept.push_back(std::move(f));
+      continue;
+    }
+    ++matched;
+
+    // Inline a fresh copy of the body.
+    std::string prefix = "u" + std::to_string(copy++) + "_";
+    std::unique_ptr<SelectStmt> body = view.body().Clone();
+    std::map<std::string, std::string> body_renames;
+    for (FromItem& bf : body->from_items) {
+      std::string fresh = prefix + bf.var;
+      while (taken.count(ToLower(fresh)) > 0) fresh = "u" + fresh;
+      taken.insert(ToLower(fresh));
+      body_renames[ToLower(bf.var)] = fresh;
+    }
+    for (FromItem& bf : body->from_items) {
+      bf.var = body_renames[ToLower(bf.var)];
+      if (bf.kind == FromItemKind::kDomainVar) {
+        auto it = body_renames.find(ToLower(bf.tuple));
+        if (it != body_renames.end()) bf.tuple = it->second;
+      }
+      new_items.push_back(bf.Clone());
+    }
+    // Label constraints: the scanned table's name pins the label variables.
+    auto pin_label = [&](const NameTerm& term, const std::string& label) {
+      if (!term.is_variable || label.empty()) return;
+      auto it = body_renames.find(ToLower(term.text));
+      if (it == body_renames.end()) return;
+      extra_conds = AndChain(
+          std::move(extra_conds),
+          Expr::MakeCompare(BinaryOp::kEq, Expr::MakeVarRef(it->second),
+                            Expr::MakeLiteral(Value::String(label))));
+    };
+    pin_label(view.db_term(), db_label);
+    pin_label(view.rel_term(), rel_label);
+    // Body conditions (renamed).
+    if (body->where) {
+      std::unique_ptr<Expr> conds = body->where->Clone();
+      RenameRefs(conds.get(), body_renames);
+      extra_conds = AndChain(std::move(extra_conds), std::move(conds));
+    }
+    // Map the query's domain variables over this scan to the body's output
+    // variables (positional: view attr i ← Dom(i)).
+    for (const FromItem& d : query.from_items) {
+      if (d.kind != FromItemKind::kDomainVar) continue;
+      if (!EqualsIgnoreCase(d.tuple, f.var)) continue;
+      int pos = -1;
+      for (size_t i = 0; i < view.att_terms().size(); ++i) {
+        if (EqualsIgnoreCase(view.att_terms()[i].text, d.attr.text)) {
+          pos = static_cast<int>(i);
+        }
+      }
+      if (pos < 0) {
+        return Status::BindError("source query references attribute '" +
+                                 d.attr.text +
+                                 "' absent from the view header");
+      }
+      auto it = body_renames.find(ToLower(view.dom_of(pos)));
+      if (it == body_renames.end()) {
+        return Status::Internal("view output variable not renamed");
+      }
+      renames[ToLower(d.var)] = it->second;
+    }
+    // The scan and its domain declarations disappear (handled below).
+  }
+  if (matched == 0) {
+    return Status::NotFound("query references no table of the view");
+  }
+  // Drop domain declarations of replaced scans.
+  std::set<std::string> kept_tuples;
+  for (const FromItem& f : kept) {
+    if (f.kind == FromItemKind::kTupleVar) kept_tuples.insert(ToLower(f.var));
+  }
+  std::vector<FromItem> final_items;
+  for (FromItem& f : kept) {
+    if (f.kind == FromItemKind::kDomainVar &&
+        kept_tuples.count(ToLower(f.tuple)) == 0) {
+      continue;
+    }
+    final_items.push_back(std::move(f));
+  }
+  for (FromItem& f : new_items) final_items.push_back(std::move(f));
+  out->from_items = std::move(final_items);
+  out->where = AndChain(std::move(out->where), std::move(extra_conds));
+  RenameRefsInStmt(out.get(), renames);
+  return out;
+}
+
+}  // namespace dynview

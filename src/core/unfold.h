@@ -1,0 +1,53 @@
+#ifndef DYNVIEW_CORE_UNFOLD_H_
+#define DYNVIEW_CORE_UNFOLD_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "core/view_definition.h"
+
+namespace dynview {
+
+/// View unfolding — the dual of Alg. 5.1. The paper's Sec. 1.1 insists that
+/// existing applications cannot be rewritten: they keep posing queries
+/// against the *legacy* layout (e.g. `s2::coA`) even when the data migrates
+/// under the integration schema I. Since each source is a view over I
+/// (Fig. 6), a legacy query unfolds by inlining the view body wherever the
+/// query scans a source table, constraining the view's label variables to
+/// the scanned table's name (GAV-style expansion):
+///
+///   SELECT T.price FROM s2::coA T          -- legacy query
+///   ⇒ SELECT P FROM I::stock U, U.company C, U.price P WHERE C = 'coA'
+///
+/// Supported sources: SQL views and dynamic views whose labels are database
+/// or relation names (partitioning views). Attribute-variable (pivot)
+/// sources are not unfoldable row-by-row — a pivoted tuple aggregates a
+/// whole group (Sec. 3.1), so those queries go through materializations.
+class ViewUnfolder {
+ public:
+  /// `catalog` provides the source tables' schemas for normalization; the
+  /// unfolded query is expressed over `view`'s base tables (typically the
+  /// integration database).
+  ViewUnfolder(const Catalog* catalog, std::string source_default_db)
+      : catalog_(catalog), source_default_db_(std::move(source_default_db)) {}
+
+  /// Unfolds every FROM reference of `query_sql` that matches `view`'s
+  /// output location. Fails if the view is not unfoldable or no reference
+  /// matches.
+  Result<std::unique_ptr<SelectStmt>> UnfoldSql(
+      const ViewDefinition& view, const std::string& query_sql) const;
+
+  /// AST-level variant; `query` must be bound and normalized against the
+  /// source schemas.
+  Result<std::unique_ptr<SelectStmt>> Unfold(const ViewDefinition& view,
+                                             const SelectStmt& query) const;
+
+ private:
+  const Catalog* catalog_;
+  std::string source_default_db_;
+};
+
+}  // namespace dynview
+
+#endif  // DYNVIEW_CORE_UNFOLD_H_

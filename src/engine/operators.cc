@@ -1,0 +1,165 @@
+#include "engine/operators.h"
+
+#include <unordered_map>
+
+namespace dynview {
+
+namespace {
+
+Schema ConcatSchemas(const Schema& a, const Schema& b) {
+  std::vector<Column> cols = a.columns();
+  for (const Column& c : b.columns()) cols.push_back(c);
+  return Schema(std::move(cols));
+}
+
+Row ConcatRows(const Row& a, const Row& b) {
+  Row out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+bool AnyNull(const Row& row, const std::vector<int>& keys) {
+  for (int k : keys) {
+    if (row[static_cast<size_t>(k)].is_null()) return true;
+  }
+  return false;
+}
+
+Row KeyOf(const Row& row, const std::vector<int>& keys) {
+  Row key;
+  key.reserve(keys.size());
+  for (int k : keys) key.push_back(row[static_cast<size_t>(k)]);
+  return key;
+}
+
+Status CheckKeys(const Table& t, const std::vector<int>& keys,
+                 const char* side) {
+  for (int k : keys) {
+    if (k < 0 || static_cast<size_t>(k) >= t.schema().num_columns()) {
+      return Status::InvalidArgument(std::string("join key out of range on ") +
+                                     side);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Table> HashJoin(const Table& left, const Table& right,
+                       const std::vector<int>& left_keys,
+                       const std::vector<int>& right_keys) {
+  if (left_keys.size() != right_keys.size()) {
+    return Status::InvalidArgument("mismatched join key arity");
+  }
+  DV_RETURN_IF_ERROR(CheckKeys(left, left_keys, "left"));
+  DV_RETURN_IF_ERROR(CheckKeys(right, right_keys, "right"));
+  Table out(ConcatSchemas(left.schema(), right.schema()));
+  std::unordered_map<Row, std::vector<size_t>, RowGroupHash, RowGroupEq> index;
+  index.reserve(right.num_rows());
+  for (size_t i = 0; i < right.num_rows(); ++i) {
+    if (AnyNull(right.row(i), right_keys)) continue;
+    index[KeyOf(right.row(i), right_keys)].push_back(i);
+  }
+  for (const Row& lrow : left.rows()) {
+    if (AnyNull(lrow, left_keys)) continue;
+    auto it = index.find(KeyOf(lrow, left_keys));
+    if (it == index.end()) continue;
+    for (size_t ri : it->second) {
+      out.AppendRowUnchecked(ConcatRows(lrow, right.row(ri)));
+    }
+  }
+  return out;
+}
+
+Table CrossProduct(const Table& left, const Table& right) {
+  Table out(ConcatSchemas(left.schema(), right.schema()));
+  out.Reserve(left.num_rows() * right.num_rows());
+  for (const Row& l : left.rows()) {
+    for (const Row& r : right.rows()) {
+      out.AppendRowUnchecked(ConcatRows(l, r));
+    }
+  }
+  return out;
+}
+
+Result<Table> FullOuterJoin(const Table& left, const Table& right,
+                            const std::vector<int>& left_keys,
+                            const std::vector<int>& right_keys) {
+  if (left_keys.size() != right_keys.size()) {
+    return Status::InvalidArgument("mismatched join key arity");
+  }
+  DV_RETURN_IF_ERROR(CheckKeys(left, left_keys, "left"));
+  DV_RETURN_IF_ERROR(CheckKeys(right, right_keys, "right"));
+  Table out(ConcatSchemas(left.schema(), right.schema()));
+  std::unordered_map<Row, std::vector<size_t>, RowGroupHash, RowGroupEq> index;
+  index.reserve(right.num_rows());
+  for (size_t i = 0; i < right.num_rows(); ++i) {
+    if (AnyNull(right.row(i), right_keys)) continue;
+    index[KeyOf(right.row(i), right_keys)].push_back(i);
+  }
+  std::vector<bool> right_matched(right.num_rows(), false);
+  Row null_right(right.schema().num_columns(), Value::Null());
+  Row null_left(left.schema().num_columns(), Value::Null());
+  for (const Row& lrow : left.rows()) {
+    bool matched = false;
+    if (!AnyNull(lrow, left_keys)) {
+      auto it = index.find(KeyOf(lrow, left_keys));
+      if (it != index.end()) {
+        matched = true;
+        for (size_t ri : it->second) {
+          right_matched[ri] = true;
+          out.AppendRowUnchecked(ConcatRows(lrow, right.row(ri)));
+        }
+      }
+    }
+    if (!matched) out.AppendRowUnchecked(ConcatRows(lrow, null_right));
+  }
+  for (size_t i = 0; i < right.num_rows(); ++i) {
+    if (!right_matched[i]) {
+      out.AppendRowUnchecked(ConcatRows(null_left, right.row(i)));
+    }
+  }
+  return out;
+}
+
+Result<Table> UnionAll(const Table& a, const Table& b) {
+  if (a.schema().num_columns() != b.schema().num_columns()) {
+    return Status::InvalidArgument("UNION arity mismatch: " +
+                                   std::to_string(a.schema().num_columns()) +
+                                   " vs " +
+                                   std::to_string(b.schema().num_columns()));
+  }
+  Table out(a.schema());
+  out.Reserve(a.num_rows() + b.num_rows());
+  for (const Row& r : a.rows()) out.AppendRowUnchecked(r);
+  for (const Row& r : b.rows()) out.AppendRowUnchecked(r);
+  return out;
+}
+
+Result<Table> ProjectColumns(const Table& t, const std::vector<int>& cols,
+                             const std::vector<std::string>& names) {
+  if (cols.size() != names.size()) {
+    return Status::InvalidArgument("projection arity mismatch");
+  }
+  std::vector<Column> out_cols;
+  out_cols.reserve(cols.size());
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (cols[i] < 0 || static_cast<size_t>(cols[i]) >= t.schema().num_columns()) {
+      return Status::InvalidArgument("projection index out of range");
+    }
+    out_cols.emplace_back(names[i], t.schema().column(cols[i]).type);
+  }
+  Table out(Schema(std::move(out_cols)));
+  out.Reserve(t.num_rows());
+  for (const Row& r : t.rows()) {
+    Row nr;
+    nr.reserve(cols.size());
+    for (int c : cols) nr.push_back(r[static_cast<size_t>(c)]);
+    out.AppendRowUnchecked(std::move(nr));
+  }
+  return out;
+}
+
+}  // namespace dynview

@@ -1,0 +1,40 @@
+#ifndef DYNVIEW_ENGINE_OPERATORS_H_
+#define DYNVIEW_ENGINE_OPERATORS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "relational/table.h"
+
+namespace dynview {
+
+/// Inner hash equi-join: rows of `left` × `right` where the key columns are
+/// pairwise GroupEquals (NULL keys never match, per SQL). Output columns are
+/// left's followed by right's.
+Result<Table> HashJoin(const Table& left, const Table& right,
+                       const std::vector<int>& left_keys,
+                       const std::vector<int>& right_keys);
+
+/// Cross product (used when no equi-join key is available).
+Table CrossProduct(const Table& left, const Table& right);
+
+/// Full outer join on key columns. Matching rows combine (cross product per
+/// key, preserving multiplicities — the paper's Sec. 3.1 pivot semantics);
+/// unmatched rows pad the other side with NULLs. Output: left columns
+/// followed by right columns (both key sets retained; callers coalesce).
+/// NULL keys never match.
+Result<Table> FullOuterJoin(const Table& left, const Table& right,
+                            const std::vector<int>& left_keys,
+                            const std::vector<int>& right_keys);
+
+/// Appends all rows of `b` to a copy of `a` (schemas must have equal arity;
+/// `a`'s schema wins).
+Result<Table> UnionAll(const Table& a, const Table& b);
+
+/// Projects `t` to `cols` (indexes), renaming columns to `names`.
+Result<Table> ProjectColumns(const Table& t, const std::vector<int>& cols,
+                             const std::vector<std::string>& names);
+
+}  // namespace dynview
+
+#endif  // DYNVIEW_ENGINE_OPERATORS_H_

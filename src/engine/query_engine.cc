@@ -1,0 +1,687 @@
+#include "engine/query_engine.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/str_util.h"
+#include "engine/expr_eval.h"
+#include "engine/operators.h"
+#include "schemasql/instantiate.h"
+#include "sql/parser.h"
+
+namespace dynview {
+
+namespace {
+
+/// A partially joined result: the table plus name→column bindings.
+struct WorkingSet {
+  Table table;
+  ColumnBindings bindings;
+};
+
+void SplitConjuncts(const Expr* e, std::vector<const Expr*>* out) {
+  if (e == nullptr) return;
+  if (e->kind == ExprKind::kLogic && e->op == BinaryOp::kAnd) {
+    SplitConjuncts(e->left.get(), out);
+    SplitConjuncts(e->right.get(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+std::string OutputName(const SelectItem& item, size_t index) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr != nullptr) {
+    if (item.expr->kind == ExprKind::kVarRef) return item.expr->var_name;
+    if (item.expr->kind == ExprKind::kColumnRef) return item.expr->column.text;
+    if (item.expr->kind == ExprKind::kAgg) {
+      return ToLower(AggFuncName(item.expr->agg_func));
+    }
+  }
+  return "col" + std::to_string(index);
+}
+
+/// Filters `w` in place by `pred` (rows kept iff the predicate is True).
+Result<Table> FilterTable(const Table& in, const ColumnBindings& bindings,
+                          const Expr& pred) {
+  Table out(in.schema());
+  for (const Row& r : in.rows()) {
+    DV_ASSIGN_OR_RETURN(TriBool t, EvaluatePredicate(pred, r, bindings));
+    if (t == TriBool::kTrue) out.AppendRowUnchecked(r);
+  }
+  return out;
+}
+
+/// Hash join of two working sets on evaluated key expressions. NULL keys
+/// never match.
+Result<Table> JoinOnExprs(const Table& left, const ColumnBindings& lb,
+                          const Table& right, const ColumnBindings& rb,
+                          const std::vector<const Expr*>& lkeys,
+                          const std::vector<const Expr*>& rkeys) {
+  std::vector<Column> cols = left.schema().columns();
+  for (const Column& c : right.schema().columns()) cols.push_back(c);
+  Table out{Schema(std::move(cols))};
+
+  std::unordered_map<Row, std::vector<size_t>, RowGroupHash, RowGroupEq> index;
+  index.reserve(right.num_rows());
+  for (size_t i = 0; i < right.num_rows(); ++i) {
+    Row key;
+    key.reserve(rkeys.size());
+    bool null_key = false;
+    for (const Expr* k : rkeys) {
+      DV_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*k, right.row(i), rb));
+      if (v.is_null()) null_key = true;
+      key.push_back(std::move(v));
+    }
+    if (!null_key) index[std::move(key)].push_back(i);
+  }
+  for (const Row& lrow : left.rows()) {
+    Row key;
+    key.reserve(lkeys.size());
+    bool null_key = false;
+    for (const Expr* k : lkeys) {
+      DV_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*k, lrow, lb));
+      if (v.is_null()) null_key = true;
+      key.push_back(std::move(v));
+    }
+    if (null_key) continue;
+    auto it = index.find(key);
+    if (it == index.end()) continue;
+    for (size_t ri : it->second) {
+      Row combined = lrow;
+      const Row& rrow = right.row(ri);
+      combined.insert(combined.end(), rrow.begin(), rrow.end());
+      out.AppendRowUnchecked(std::move(combined));
+    }
+  }
+  return out;
+}
+
+/// Computes one aggregate over the rows of a group.
+Result<Value> ComputeAggregate(const Expr& agg,
+                               const std::vector<const Row*>& rows,
+                               const ColumnBindings& bindings) {
+  if (agg.agg_func == AggFunc::kCountStar) {
+    return Value::Int(static_cast<int64_t>(rows.size()));
+  }
+  std::vector<Value> values;
+  values.reserve(rows.size());
+  for (const Row* r : rows) {
+    DV_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*agg.left, *r, bindings));
+    if (!v.is_null()) values.push_back(std::move(v));
+  }
+  if (agg.agg_distinct) {
+    std::vector<Value> uniq;
+    std::unordered_set<size_t> seen_hashes;  // Coarse filter then exact scan.
+    for (const Value& v : values) {
+      bool dup = false;
+      for (const Value& u : uniq) {
+        if (u.GroupEquals(v)) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) uniq.push_back(v);
+    }
+    values = std::move(uniq);
+  }
+  switch (agg.agg_func) {
+    case AggFunc::kCount:
+      return Value::Int(static_cast<int64_t>(values.size()));
+    case AggFunc::kSum:
+    case AggFunc::kAvg: {
+      if (values.empty()) return Value::Null();
+      bool all_int = true;
+      double dsum = 0;
+      int64_t isum = 0;
+      for (const Value& v : values) {
+        if (!v.is_numeric()) {
+          return Status::TypeError("SUM/AVG over non-numeric values");
+        }
+        if (v.kind() != TypeKind::kInt) all_int = false;
+        dsum += v.NumericAsDouble();
+        if (v.kind() == TypeKind::kInt) isum += v.as_int();
+      }
+      if (agg.agg_func == AggFunc::kAvg) {
+        return Value::Double(dsum / static_cast<double>(values.size()));
+      }
+      return all_int ? Value::Int(isum) : Value::Double(dsum);
+    }
+    case AggFunc::kMin:
+    case AggFunc::kMax: {
+      if (values.empty()) return Value::Null();
+      Value best = values[0];
+      for (size_t i = 1; i < values.size(); ++i) {
+        int cmp = 0;
+        DV_ASSIGN_OR_RETURN(TriBool known,
+                            Value::Compare(values[i], best, &cmp));
+        if (known != TriBool::kTrue) {
+          return Status::TypeError("MIN/MAX over incomparable values");
+        }
+        bool take = agg.agg_func == AggFunc::kMin ? cmp < 0 : cmp > 0;
+        if (take) best = values[i];
+      }
+      return best;
+    }
+    default:
+      return Status::Internal("bad aggregate");
+  }
+}
+
+/// Replaces every aggregate node by its computed value over the group,
+/// returning an aggregate-free clone evaluable on the representative row.
+Result<std::unique_ptr<Expr>> FoldAggregates(
+    const Expr& e, const std::vector<const Row*>& rows,
+    const ColumnBindings& bindings) {
+  if (e.kind == ExprKind::kAgg) {
+    DV_ASSIGN_OR_RETURN(Value v, ComputeAggregate(e, rows, bindings));
+    return Expr::MakeLiteral(std::move(v));
+  }
+  std::unique_ptr<Expr> out = e.Clone();
+  if (e.left) {
+    DV_ASSIGN_OR_RETURN(out->left, FoldAggregates(*e.left, rows, bindings));
+  }
+  if (e.right) {
+    DV_ASSIGN_OR_RETURN(out->right, FoldAggregates(*e.right, rows, bindings));
+  }
+  return out;
+}
+
+/// True if the tree references any column or variable.
+bool HasRefs(const Expr& e) {
+  if (e.kind == ExprKind::kVarRef || e.kind == ExprKind::kColumnRef) return true;
+  if (e.left && HasRefs(*e.left)) return true;
+  if (e.right && HasRefs(*e.right)) return true;
+  return false;
+}
+
+/// Collects the maximal aggregate-free subexpressions (and aggregate
+/// arguments) that reference columns — the base values a global aggregation
+/// layer needs from the grounded union.
+void CollectBaseExprs(const Expr& e,
+                      const std::function<void(const Expr&)>& add) {
+  if (e.kind == ExprKind::kAgg) {
+    if (e.left) add(*e.left);
+    return;
+  }
+  if (!e.ContainsAggregate()) {
+    if (HasRefs(e)) add(e);
+    return;
+  }
+  if (e.left) CollectBaseExprs(*e.left, add);
+  if (e.right) CollectBaseExprs(*e.right, add);
+}
+
+/// Rewrites `e` against the inner projection: any subtree whose rendering is
+/// a collected base expression becomes a reference to its inner column.
+std::unique_ptr<Expr> RewriteToInner(
+    const Expr& e, const std::map<std::string, std::string>& expr_to_col) {
+  if (e.kind != ExprKind::kLiteral && e.kind != ExprKind::kStar) {
+    auto it = expr_to_col.find(e.ToString());
+    if (it != expr_to_col.end()) return Expr::MakeVarRef(it->second);
+  }
+  std::unique_ptr<Expr> out = e.Clone();
+  if (e.left) out->left = RewriteToInner(*e.left, expr_to_col);
+  if (e.right) out->right = RewriteToInner(*e.right, expr_to_col);
+  return out;
+}
+
+}  // namespace
+
+Result<Table> QueryEngine::ExecuteSql(const std::string& sql) {
+  DV_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> stmt,
+                      Parser::ParseSelect(sql));
+  return Execute(stmt.get());
+}
+
+Result<Table> QueryEngine::Execute(SelectStmt* stmt) {
+  Result<Table> acc = Status::Internal("unset");
+  bool first = true;
+  bool pending_all = false;
+  for (SelectStmt* branch = stmt; branch != nullptr;
+       branch = branch->union_next.get()) {
+    DV_ASSIGN_OR_RETURN(BoundQuery bq, Binder::BindBranch(branch));
+    DV_ASSIGN_OR_RETURN(Table t, EvaluateBranch(*branch, bq));
+    if (first) {
+      acc = std::move(t);
+      first = false;
+    } else {
+      DV_ASSIGN_OR_RETURN(Table merged, UnionAll(acc.value(), t));
+      if (!pending_all) merged = merged.Distinct();
+      acc = std::move(merged);
+    }
+    pending_all = branch->union_all;
+  }
+  return acc;
+}
+
+namespace {
+
+Table ApplyLimit(Table t, int64_t limit) {
+  if (limit < 0 || t.num_rows() <= static_cast<size_t>(limit)) return t;
+  Table out(t.schema());
+  out.Reserve(static_cast<size_t>(limit));
+  for (int64_t i = 0; i < limit; ++i) out.AppendRowUnchecked(t.row(i));
+  return out;
+}
+
+}  // namespace
+
+Result<Table> QueryEngine::EvaluateBranch(const SelectStmt& stmt,
+                                          const BoundQuery& bq) {
+  if (stmt.limit >= 0 && stmt.union_next != nullptr) {
+    return Status::Unsupported("LIMIT on a UNION branch");
+  }
+  if (!bq.higher_order) return EvaluateFirstOrder(stmt, bq);
+
+  // SchemaSQL semantics: grouping, aggregation, DISTINCT and ORDER BY apply
+  // over the union of ALL groundings (Ex. 5.2: max(P) ranges across every
+  // attribute instantiation). Such queries run in two layers: an
+  // aggregate-free inner query evaluated per grounding and unioned, then
+  // the aggregation layer over the union.
+  bool needs_global = stmt.distinct || !stmt.order_by.empty() ||
+                      !stmt.group_by.empty() || stmt.having != nullptr;
+  for (const SelectItem& item : stmt.select_list) {
+    if (item.expr->ContainsAggregate()) needs_global = true;
+  }
+  if (needs_global) return EvaluateHigherOrderGlobal(stmt, bq);
+
+  DV_ASSIGN_OR_RETURN(std::vector<InstantiatedQuery> ground,
+                      InstantiateSchemaVars(stmt, bq, *catalog_, default_db_));
+  Table acc;
+  bool first = true;
+  for (InstantiatedQuery& iq : ground) {
+    DV_ASSIGN_OR_RETURN(BoundQuery ibq, Binder::BindBranch(iq.query.get()));
+    DV_ASSIGN_OR_RETURN(Table t, EvaluateFirstOrder(*iq.query, ibq));
+    if (first) {
+      acc = std::move(t);
+      first = false;
+    } else {
+      DV_ASSIGN_OR_RETURN(acc, UnionAll(acc, t));
+    }
+  }
+  if (first) {
+    // Zero groundings: produce an empty table with the statement's output
+    // names (star cannot be expanded without a grounding).
+    std::vector<Column> cols;
+    for (size_t i = 0; i < stmt.select_list.size(); ++i) {
+      if (stmt.select_list[i].expr->kind == ExprKind::kStar) {
+        return Status::Unsupported(
+            "SELECT * requires at least one schema-variable grounding");
+      }
+      cols.emplace_back(OutputName(stmt.select_list[i], i), TypeKind::kNull);
+    }
+    return Table(Schema(std::move(cols)));
+  }
+  return ApplyLimit(std::move(acc), stmt.limit);
+}
+
+Result<Table> QueryEngine::EvaluateHigherOrderGlobal(const SelectStmt& stmt,
+                                                     const BoundQuery& bq) {
+  (void)bq;  // Binding annotations live in the AST; kept for symmetry.
+  // 1. Collect the base expressions (group keys, aggregate arguments,
+  //    aggregate-free select/having/order subtrees).
+  std::map<std::string, std::string> expr_to_col;
+  std::vector<std::unique_ptr<Expr>> base;
+  auto add = [&](const Expr& e) {
+    std::string key = e.ToString();
+    if (expr_to_col.count(key) > 0) return;
+    expr_to_col[key] = "bc" + std::to_string(base.size());
+    base.push_back(e.Clone());
+  };
+  for (const auto& g : stmt.group_by) add(*g);
+  for (const SelectItem& item : stmt.select_list) {
+    if (item.expr->kind == ExprKind::kStar) {
+      return Status::Unsupported(
+          "SELECT * cannot be combined with global higher-order "
+          "aggregation/ordering");
+    }
+    CollectBaseExprs(*item.expr, add);
+  }
+  if (stmt.having) CollectBaseExprs(*stmt.having, add);
+  for (const OrderItem& o : stmt.order_by) CollectBaseExprs(*o.expr, add);
+
+  // 2. Inner query: same FROM/WHERE, projecting the base expressions.
+  std::unique_ptr<SelectStmt> inner = stmt.Clone();
+  inner->distinct = false;
+  inner->group_by.clear();
+  inner->having.reset();
+  inner->order_by.clear();
+  inner->limit = -1;
+  inner->union_next.reset();
+  inner->select_list.clear();
+  for (auto& b : base) {
+    std::string name = expr_to_col[b->ToString()];
+    inner->select_list.emplace_back(std::move(b), name);
+  }
+  if (inner->select_list.empty()) {
+    // e.g. SELECT COUNT(*) — project a constant to keep row multiplicity.
+    inner->select_list.emplace_back(Expr::MakeLiteral(Value::Int(1)), "bc0");
+  }
+  DV_ASSIGN_OR_RETURN(BoundQuery ibq, Binder::BindBranch(inner.get()));
+  DV_ASSIGN_OR_RETURN(Table rows, EvaluateBranch(*inner, ibq));
+
+  // 3. Outer query over the unioned rows in a scratch catalog.
+  Catalog scratch;
+  scratch.GetOrCreateDatabase("sc")->PutTable("inner_rows", std::move(rows));
+  auto outer = std::make_unique<SelectStmt>();
+  outer->distinct = stmt.distinct;
+  outer->limit = stmt.limit;
+  FromItem scan;
+  scan.kind = FromItemKind::kTupleVar;
+  scan.rel = NameTerm("inner_rows");
+  scan.var = "inner_rows";
+  outer->from_items.push_back(std::move(scan));
+  for (size_t i = 0; i < stmt.select_list.size(); ++i) {
+    outer->select_list.emplace_back(
+        RewriteToInner(*stmt.select_list[i].expr, expr_to_col),
+        OutputName(stmt.select_list[i], i));
+  }
+  for (const auto& g : stmt.group_by) {
+    outer->group_by.push_back(RewriteToInner(*g, expr_to_col));
+  }
+  if (stmt.having) outer->having = RewriteToInner(*stmt.having, expr_to_col);
+  for (const OrderItem& o : stmt.order_by) {
+    OrderItem no;
+    no.expr = RewriteToInner(*o.expr, expr_to_col);
+    no.descending = o.descending;
+    outer->order_by.push_back(std::move(no));
+  }
+  QueryEngine sub(&scratch, "sc");
+  DV_ASSIGN_OR_RETURN(BoundQuery obq, Binder::BindBranch(outer.get()));
+  return sub.EvaluateFirstOrder(*outer, obq);
+}
+
+Result<Table> QueryEngine::EvaluateFirstOrder(const SelectStmt& stmt,
+                                              const BoundQuery& bq) {
+  (void)bq;  // Binding annotations live in the AST; kept for symmetry.
+  std::vector<const Expr*> conjuncts;
+  SplitConjuncts(stmt.where.get(), &conjuncts);
+  std::vector<bool> applied(conjuncts.size(), false);
+
+  // Constant conjuncts (e.g. grounded label comparisons such as
+  // 'price' <> 'date') evaluate once; a false one empties every scan.
+  bool infeasible = false;
+  {
+    ColumnBindings empty;
+    Row no_row;
+    for (size_t i = 0; i < conjuncts.size(); ++i) {
+      if (!CanEvaluate(*conjuncts[i], empty)) continue;
+      DV_ASSIGN_OR_RETURN(TriBool t,
+                          EvaluatePredicate(*conjuncts[i], no_row, empty));
+      if (t != TriBool::kTrue) infeasible = true;
+      applied[i] = true;
+    }
+  }
+
+  // Join pipeline over tuple variables in declaration order.
+  WorkingSet w;
+  bool first = true;
+  for (const FromItem& f : stmt.from_items) {
+    if (f.kind != FromItemKind::kTupleVar) continue;
+    if (f.db.is_variable || f.rel.is_variable) {
+      return Status::Internal("schema variable survived grounding: " +
+                              f.ToString());
+    }
+    std::string db_name = f.db.empty() ? default_db_ : f.db.text;
+    DV_ASSIGN_OR_RETURN(const Table* base,
+                        catalog_->ResolveTable(db_name, f.rel.text));
+
+    // Scan with bindings for this tuple variable.
+    WorkingSet scan;
+    scan.table = Table(base->schema());
+    for (size_t c = 0; c < base->schema().num_columns(); ++c) {
+      scan.bindings.AddQualified(f.var, base->schema().column(c).name,
+                                 static_cast<int>(c));
+    }
+    // Register domain variables projecting this tuple variable.
+    for (const FromItem& d : stmt.from_items) {
+      if (d.kind != FromItemKind::kDomainVar) continue;
+      if (!EqualsIgnoreCase(d.tuple, f.var)) continue;
+      if (d.attr.is_variable) {
+        return Status::Internal("attribute variable survived grounding: " +
+                                d.ToString());
+      }
+      int idx = scan.bindings.LookupQualified(f.var, d.attr.text);
+      if (idx < 0) {
+        return Status::BindError("relation '" + f.rel.text +
+                                 "' has no attribute '" + d.attr.text +
+                                 "' (domain variable " + d.var + ")");
+      }
+      scan.bindings.AddNamed(d.var, idx);
+    }
+    if (!infeasible) {
+      scan.table.Reserve(base->num_rows());
+      for (const Row& r : base->rows()) scan.table.AppendRowUnchecked(r);
+    }
+    // Predicate pushdown onto the scan.
+    for (size_t i = 0; i < conjuncts.size(); ++i) {
+      if (applied[i] || conjuncts[i]->ContainsAggregate()) continue;
+      if (!CanEvaluate(*conjuncts[i], scan.bindings)) continue;
+      DV_ASSIGN_OR_RETURN(scan.table, FilterTable(scan.table, scan.bindings,
+                                                  *conjuncts[i]));
+      applied[i] = true;
+    }
+
+    if (first) {
+      w = std::move(scan);
+      first = false;
+      continue;
+    }
+
+    // Discover equi-join keys among the unapplied conjuncts.
+    std::vector<const Expr*> lkeys, rkeys;
+    for (size_t i = 0; i < conjuncts.size(); ++i) {
+      if (applied[i]) continue;
+      const Expr* c = conjuncts[i];
+      if (c->kind != ExprKind::kCompare || c->op != BinaryOp::kEq) continue;
+      if (CanEvaluate(*c->left, w.bindings) &&
+          CanEvaluate(*c->right, scan.bindings)) {
+        lkeys.push_back(c->left.get());
+        rkeys.push_back(c->right.get());
+        applied[i] = true;
+      } else if (CanEvaluate(*c->right, w.bindings) &&
+                 CanEvaluate(*c->left, scan.bindings)) {
+        lkeys.push_back(c->right.get());
+        rkeys.push_back(c->left.get());
+        applied[i] = true;
+      }
+    }
+    int old_width = static_cast<int>(w.table.schema().num_columns());
+    Table joined;
+    if (!lkeys.empty()) {
+      DV_ASSIGN_OR_RETURN(joined, JoinOnExprs(w.table, w.bindings, scan.table,
+                                              scan.bindings, lkeys, rkeys));
+    } else {
+      joined = CrossProduct(w.table, scan.table);
+    }
+    w.table = std::move(joined);
+    w.bindings.MergeShifted(scan.bindings, old_width);
+
+    // Apply conjuncts that have just become evaluable.
+    for (size_t i = 0; i < conjuncts.size(); ++i) {
+      if (applied[i] || conjuncts[i]->ContainsAggregate()) continue;
+      if (!CanEvaluate(*conjuncts[i], w.bindings)) continue;
+      DV_ASSIGN_OR_RETURN(w.table,
+                          FilterTable(w.table, w.bindings, *conjuncts[i]));
+      applied[i] = true;
+    }
+  }
+  if (first) {
+    return Status::BindError("query has no tuple variables in FROM");
+  }
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    if (!applied[i]) {
+      return Status::BindError("unresolvable predicate: " +
+                               conjuncts[i]->ToString());
+    }
+  }
+
+  // Output schema.
+  bool has_star = false;
+  bool has_agg = !stmt.group_by.empty() || stmt.having != nullptr;
+  for (const SelectItem& item : stmt.select_list) {
+    if (item.expr->kind == ExprKind::kStar) has_star = true;
+    if (item.expr->ContainsAggregate()) has_agg = true;
+  }
+  if (has_star && has_agg) {
+    return Status::Unsupported("SELECT * cannot be combined with aggregation");
+  }
+
+  std::vector<Column> out_cols;
+  if (has_star) {
+    for (const Column& c : w.table.schema().columns()) out_cols.push_back(c);
+    for (size_t i = 0; i < stmt.select_list.size(); ++i) {
+      if (stmt.select_list[i].expr->kind != ExprKind::kStar) {
+        out_cols.emplace_back(OutputName(stmt.select_list[i], i),
+                              TypeKind::kNull);
+      }
+    }
+  } else {
+    for (size_t i = 0; i < stmt.select_list.size(); ++i) {
+      out_cols.emplace_back(OutputName(stmt.select_list[i], i),
+                            TypeKind::kNull);
+    }
+  }
+  Table out{Schema(std::move(out_cols))};
+  std::vector<Row> order_keys;
+
+  // ORDER BY may reference a select-list alias; resolve those to output
+  // positions (standard SQL), everything else evaluates in input context.
+  std::unordered_map<std::string, size_t> alias_pos;
+  for (size_t i = 0; i < stmt.select_list.size(); ++i) {
+    std::string name = OutputName(stmt.select_list[i], i);
+    alias_pos.emplace(ToLower(name), i);
+  }
+  auto order_output_pos = [&](const Expr& e) -> int {
+    if (e.kind != ExprKind::kVarRef) return -1;
+    // Input columns win over aliases only when resolvable; alias resolution
+    // is the fallback for otherwise-unresolvable names.
+    if (CanEvaluate(e, w.bindings)) return -1;
+    auto it = alias_pos.find(ToLower(e.var_name));
+    if (it == alias_pos.end()) return -1;
+    return static_cast<int>(it->second);
+  };
+
+  if (!has_agg) {
+    out.Reserve(w.table.num_rows());
+    for (const Row& r : w.table.rows()) {
+      Row orow;
+      for (const SelectItem& item : stmt.select_list) {
+        if (item.expr->kind == ExprKind::kStar) {
+          orow.insert(orow.end(), r.begin(), r.end());
+          continue;
+        }
+        DV_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*item.expr, r, w.bindings));
+        orow.push_back(std::move(v));
+      }
+      if (!stmt.order_by.empty()) {
+        Row key;
+        for (const OrderItem& o : stmt.order_by) {
+          int pos = order_output_pos(*o.expr);
+          if (pos >= 0) {
+            key.push_back(orow[pos]);
+            continue;
+          }
+          DV_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*o.expr, r, w.bindings));
+          key.push_back(std::move(v));
+        }
+        order_keys.push_back(std::move(key));
+      }
+      out.AppendRowUnchecked(std::move(orow));
+    }
+  } else {
+    // Group rows by the GROUP BY key (single global group when absent).
+    std::unordered_map<Row, size_t, RowGroupHash, RowGroupEq> group_of;
+    std::vector<std::vector<const Row*>> groups;
+    std::vector<Row> group_keys;
+    if (stmt.group_by.empty()) {
+      groups.emplace_back();
+      group_keys.emplace_back();
+      for (const Row& r : w.table.rows()) groups[0].push_back(&r);
+    } else {
+      for (const Row& r : w.table.rows()) {
+        Row key;
+        key.reserve(stmt.group_by.size());
+        for (const auto& g : stmt.group_by) {
+          DV_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*g, r, w.bindings));
+          key.push_back(std::move(v));
+        }
+        auto [it, inserted] = group_of.emplace(key, groups.size());
+        if (inserted) {
+          groups.emplace_back();
+          group_keys.push_back(std::move(key));
+        }
+        groups[it->second].push_back(&r);
+      }
+    }
+    Row null_rep(w.table.schema().num_columns(), Value::Null());
+    for (size_t gi = 0; gi < groups.size(); ++gi) {
+      const std::vector<const Row*>& rows = groups[gi];
+      const Row& rep = rows.empty() ? null_rep : *rows[0];
+      if (stmt.having != nullptr) {
+        DV_ASSIGN_OR_RETURN(auto folded,
+                            FoldAggregates(*stmt.having, rows, w.bindings));
+        DV_ASSIGN_OR_RETURN(TriBool t,
+                            EvaluatePredicate(*folded, rep, w.bindings));
+        if (t != TriBool::kTrue) continue;
+      }
+      Row orow;
+      orow.reserve(stmt.select_list.size());
+      for (const SelectItem& item : stmt.select_list) {
+        DV_ASSIGN_OR_RETURN(auto folded,
+                            FoldAggregates(*item.expr, rows, w.bindings));
+        DV_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*folded, rep, w.bindings));
+        orow.push_back(std::move(v));
+      }
+      if (!stmt.order_by.empty()) {
+        Row key;
+        for (const OrderItem& o : stmt.order_by) {
+          int pos = order_output_pos(*o.expr);
+          if (pos >= 0) {
+            key.push_back(orow[pos]);
+            continue;
+          }
+          DV_ASSIGN_OR_RETURN(auto folded,
+                              FoldAggregates(*o.expr, rows, w.bindings));
+          DV_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*folded, rep, w.bindings));
+          key.push_back(std::move(v));
+        }
+        order_keys.push_back(std::move(key));
+      }
+      out.AppendRowUnchecked(std::move(orow));
+    }
+  }
+
+  if (stmt.distinct) out = out.Distinct();
+
+  if (!stmt.order_by.empty() && !out.rows().empty()) {
+    // DISTINCT + ORDER BY: recompute is unnecessary because distinct keeps
+    // the first occurrence; but the key array then mismatches. Sort a
+    // permutation of (key, row) pairs instead when sizes align; otherwise
+    // fall back to sorting output rows by their own columns.
+    if (order_keys.size() == out.num_rows()) {
+      std::vector<size_t> perm(out.num_rows());
+      for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+      std::stable_sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
+        for (size_t k = 0; k < stmt.order_by.size(); ++k) {
+          int c = Value::TotalOrderCompare(order_keys[a][k], order_keys[b][k]);
+          if (c != 0) return stmt.order_by[k].descending ? c > 0 : c < 0;
+        }
+        return false;
+      });
+      Table sorted(out.schema());
+      sorted.Reserve(out.num_rows());
+      for (size_t i : perm) sorted.AppendRowUnchecked(out.row(i));
+      out = std::move(sorted);
+    } else {
+      out.SortRows();
+    }
+  }
+  return ApplyLimit(std::move(out), stmt.limit);
+}
+
+}  // namespace dynview

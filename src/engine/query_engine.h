@@ -1,0 +1,59 @@
+#ifndef DYNVIEW_ENGINE_QUERY_ENGINE_H_
+#define DYNVIEW_ENGINE_QUERY_ENGINE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "relational/catalog.h"
+#include "sql/ast.h"
+#include "sql/binder.h"
+
+namespace dynview {
+
+/// Evaluates SQL and SchemaSQL SELECT statements against a federation
+/// catalog.
+///
+/// First-order queries run through a join pipeline (hash joins on equi-join
+/// conjuncts, predicate pushdown, grouping/aggregation, DISTINCT, ORDER BY,
+/// UNION). Higher-order queries are first grounded: every schema variable is
+/// instantiated against the catalog (see schemasql/instantiate.h) and the
+/// resulting first-order queries are evaluated and bag-unioned. This is the
+/// "minimal extension to existing query engines" execution model the paper
+/// proposes: the higher-order machinery reduces to orchestration around a
+/// conventional evaluator.
+class QueryEngine {
+ public:
+  /// `catalog` must outlive the engine. `default_db` resolves unqualified
+  /// relation names.
+  QueryEngine(const Catalog* catalog, std::string default_db)
+      : catalog_(catalog), default_db_(std::move(default_db)) {}
+
+  const Catalog& catalog() const { return *catalog_; }
+  const std::string& default_db() const { return default_db_; }
+
+  /// Parses, binds and evaluates a SELECT statement.
+  Result<Table> ExecuteSql(const std::string& sql);
+
+  /// Binds and evaluates a parsed statement (all UNION branches).
+  Result<Table> Execute(SelectStmt* stmt);
+
+  /// Evaluates an already-bound single branch (no UNION chain following).
+  Result<Table> EvaluateBranch(const SelectStmt& stmt, const BoundQuery& bq);
+
+ private:
+  Result<Table> EvaluateFirstOrder(const SelectStmt& stmt,
+                                   const BoundQuery& bq);
+
+  /// Evaluates a higher-order branch whose aggregation / DISTINCT / ORDER BY
+  /// must apply across all groundings: evaluates an aggregate-free inner
+  /// projection per grounding, unions, then applies the outer layer.
+  Result<Table> EvaluateHigherOrderGlobal(const SelectStmt& stmt,
+                                          const BoundQuery& bq);
+
+  const Catalog* catalog_;
+  std::string default_db_;
+};
+
+}  // namespace dynview
+
+#endif  // DYNVIEW_ENGINE_QUERY_ENGINE_H_

@@ -1,0 +1,245 @@
+#include "index/btree.h"
+
+#include <algorithm>
+
+namespace dynview {
+
+namespace {
+
+bool KeyLess(const Value& a, const Value& b) {
+  return Value::TotalOrderCompare(a, b) < 0;
+}
+
+bool KeyEq(const Value& a, const Value& b) {
+  return Value::TotalOrderCompare(a, b) == 0;
+}
+
+}  // namespace
+
+BTreeIndex::BTreeIndex(int fanout) : fanout_(std::max(fanout, 3)) {
+  root_ = std::make_unique<Node>();
+}
+
+Status BTreeIndex::Insert(const Value& key, int64_t row_id) {
+  if (key.is_null()) {
+    return Status::InvalidArgument("NULL keys are not indexed");
+  }
+  std::optional<SplitResult> split = InsertInto(root_.get(), key, row_id);
+  if (split.has_value()) {
+    auto new_root = std::make_unique<Node>();
+    new_root->is_leaf = false;
+    new_root->keys.push_back(std::move(split->separator));
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split->right));
+    root_ = std::move(new_root);
+  }
+  ++num_entries_;
+  return Status::OK();
+}
+
+std::optional<BTreeIndex::SplitResult> BTreeIndex::InsertInto(
+    Node* node, const Value& key, int64_t row_id) {
+  if (node->is_leaf) {
+    auto it = std::lower_bound(
+        node->entries.begin(), node->entries.end(), key,
+        [](const LeafEntry& e, const Value& k) { return KeyLess(e.key, k); });
+    if (it != node->entries.end() && KeyEq(it->key, key)) {
+      it->row_ids.push_back(row_id);
+      return std::nullopt;
+    }
+    LeafEntry entry;
+    entry.key = key;
+    entry.row_ids.push_back(row_id);
+    node->entries.insert(it, std::move(entry));
+    if (static_cast<int>(node->entries.size()) <= fanout_) return std::nullopt;
+    // Split the leaf.
+    size_t mid = node->entries.size() / 2;
+    auto right = std::make_unique<Node>();
+    right->is_leaf = true;
+    right->entries.assign(std::make_move_iterator(node->entries.begin() + mid),
+                          std::make_move_iterator(node->entries.end()));
+    node->entries.resize(mid);
+    right->next_leaf = node->next_leaf;
+    node->next_leaf = right.get();
+    SplitResult result;
+    result.separator = right->entries.front().key;
+    result.right = std::move(right);
+    return result;
+  }
+  // Internal node: descend.
+  size_t i = std::upper_bound(node->keys.begin(), node->keys.end(), key,
+                              [](const Value& k, const Value& nk) {
+                                return KeyLess(k, nk);
+                              }) -
+             node->keys.begin();
+  std::optional<SplitResult> split =
+      InsertInto(node->children[i].get(), key, row_id);
+  if (!split.has_value()) return std::nullopt;
+  node->keys.insert(node->keys.begin() + i, std::move(split->separator));
+  node->children.insert(node->children.begin() + i + 1,
+                        std::move(split->right));
+  if (static_cast<int>(node->keys.size()) <= fanout_) return std::nullopt;
+  // Split the internal node: middle key moves up.
+  size_t mid = node->keys.size() / 2;
+  auto right = std::make_unique<Node>();
+  right->is_leaf = false;
+  SplitResult result;
+  result.separator = std::move(node->keys[mid]);
+  right->keys.assign(std::make_move_iterator(node->keys.begin() + mid + 1),
+                     std::make_move_iterator(node->keys.end()));
+  right->children.assign(
+      std::make_move_iterator(node->children.begin() + mid + 1),
+      std::make_move_iterator(node->children.end()));
+  node->keys.resize(mid);
+  node->children.resize(mid + 1);
+  result.right = std::move(right);
+  return result;
+}
+
+const BTreeIndex::Node* BTreeIndex::FindLeaf(const Value& key) const {
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    size_t i = std::upper_bound(node->keys.begin(), node->keys.end(), key,
+                                [](const Value& k, const Value& nk) {
+                                  return KeyLess(k, nk);
+                                }) -
+               node->keys.begin();
+    node = node->children[i].get();
+  }
+  return node;
+}
+
+std::vector<int64_t> BTreeIndex::Lookup(const Value& key) const {
+  std::vector<int64_t> out;
+  if (key.is_null()) return out;
+  const Node* leaf = FindLeaf(key);
+  auto it = std::lower_bound(
+      leaf->entries.begin(), leaf->entries.end(), key,
+      [](const LeafEntry& e, const Value& k) { return KeyLess(e.key, k); });
+  if (it != leaf->entries.end() && KeyEq(it->key, key)) return it->row_ids;
+  return out;
+}
+
+std::vector<int64_t> BTreeIndex::Range(const std::optional<Value>& lo,
+                                       bool lo_inclusive,
+                                       const std::optional<Value>& hi,
+                                       bool hi_inclusive) const {
+  std::vector<int64_t> out;
+  // Locate the starting leaf.
+  const Node* leaf;
+  if (lo.has_value()) {
+    leaf = FindLeaf(*lo);
+  } else {
+    const Node* node = root_.get();
+    while (!node->is_leaf) node = node->children.front().get();
+    leaf = node;
+  }
+  for (; leaf != nullptr; leaf = leaf->next_leaf) {
+    for (const LeafEntry& e : leaf->entries) {
+      if (lo.has_value()) {
+        int c = Value::TotalOrderCompare(e.key, *lo);
+        if (c < 0 || (c == 0 && !lo_inclusive)) continue;
+      }
+      if (hi.has_value()) {
+        int c = Value::TotalOrderCompare(e.key, *hi);
+        if (c > 0 || (c == 0 && !hi_inclusive)) return out;
+      }
+      out.insert(out.end(), e.row_ids.begin(), e.row_ids.end());
+    }
+  }
+  return out;
+}
+
+size_t BTreeIndex::num_keys() const {
+  size_t n = 0;
+  const Node* node = root_.get();
+  while (!node->is_leaf) node = node->children.front().get();
+  for (const Node* leaf = node; leaf != nullptr; leaf = leaf->next_leaf) {
+    n += leaf->entries.size();
+  }
+  return n;
+}
+
+int BTreeIndex::height() const {
+  int h = 1;
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    node = node->children.front().get();
+    ++h;
+  }
+  return h;
+}
+
+Status BTreeIndex::CheckNode(const Node* node, int depth,
+                             int leaf_depth) const {
+  if (node->is_leaf) {
+    if (depth != leaf_depth) {
+      return Status::Internal("leaves at different depths");
+    }
+    for (size_t i = 1; i < node->entries.size(); ++i) {
+      if (!KeyLess(node->entries[i - 1].key, node->entries[i].key)) {
+        return Status::Internal("leaf keys out of order");
+      }
+    }
+    if (static_cast<int>(node->entries.size()) > fanout_) {
+      return Status::Internal("leaf overflow");
+    }
+    return Status::OK();
+  }
+  if (node->children.size() != node->keys.size() + 1) {
+    return Status::Internal("internal node arity mismatch");
+  }
+  if (static_cast<int>(node->keys.size()) > fanout_) {
+    return Status::Internal("internal overflow");
+  }
+  for (size_t i = 1; i < node->keys.size(); ++i) {
+    if (!KeyLess(node->keys[i - 1], node->keys[i])) {
+      return Status::Internal("internal keys out of order");
+    }
+  }
+  for (const auto& child : node->children) {
+    DV_RETURN_IF_ERROR(CheckNode(child.get(), depth + 1, leaf_depth));
+  }
+  return Status::OK();
+}
+
+Status BTreeIndex::CheckInvariants() const {
+  int leaf_depth = height();
+  DV_RETURN_IF_ERROR(CheckNode(root_.get(), 1, leaf_depth));
+  // Leaf chain covers exactly num_entries_ entries in sorted order.
+  const Node* node = root_.get();
+  while (!node->is_leaf) node = node->children.front().get();
+  size_t total = 0;
+  const Value* prev = nullptr;
+  for (const Node* leaf = node; leaf != nullptr; leaf = leaf->next_leaf) {
+    for (const LeafEntry& e : leaf->entries) {
+      total += e.row_ids.size();
+      if (prev != nullptr && !KeyLess(*prev, e.key)) {
+        return Status::Internal("leaf chain keys out of order");
+      }
+      prev = &e.key;
+    }
+  }
+  if (total != num_entries_) {
+    return Status::Internal("entry count mismatch: " + std::to_string(total) +
+                            " vs " + std::to_string(num_entries_));
+  }
+  return Status::OK();
+}
+
+Result<BTreeIndex> BTreeIndex::Build(const Table& table,
+                                     const std::string& column, int fanout) {
+  int idx = table.schema().IndexOf(column);
+  if (idx < 0) {
+    return Status::InvalidArgument("no column named '" + column + "'");
+  }
+  BTreeIndex index(fanout);
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    const Value& key = table.row(i)[idx];
+    if (key.is_null()) continue;
+    DV_RETURN_IF_ERROR(index.Insert(key, static_cast<int64_t>(i)));
+  }
+  return index;
+}
+
+}  // namespace dynview

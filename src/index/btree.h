@@ -1,0 +1,89 @@
+#ifndef DYNVIEW_INDEX_BTREE_H_
+#define DYNVIEW_INDEX_BTREE_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/table.h"
+
+namespace dynview {
+
+/// An in-memory B+-tree mapping a single `Value` key to row ids, with
+/// duplicate keys allowed (multimap semantics). This is the access method
+/// behind the paper's `create index ... as btree` structures (Figs. 4/8):
+/// the indexed rows typically come from a (possibly higher-order) view, so
+/// an index can span all relations of a data-dependent union.
+///
+/// Keys are ordered by Value::TotalOrderCompare. NULL keys are rejected at
+/// insert (SQL indexes skip NULLs).
+class BTreeIndex {
+ public:
+  /// `fanout` is the maximum number of keys per node (≥ 3).
+  explicit BTreeIndex(int fanout = 64);
+
+  BTreeIndex(BTreeIndex&&) = default;
+  BTreeIndex& operator=(BTreeIndex&&) = default;
+
+  /// Inserts `(key, row_id)`. NULL keys fail.
+  Status Insert(const Value& key, int64_t row_id);
+
+  /// Row ids with exactly this key (empty when absent), in insertion order.
+  std::vector<int64_t> Lookup(const Value& key) const;
+
+  /// Row ids with keys in the given range. Unset bounds are open ends.
+  std::vector<int64_t> Range(const std::optional<Value>& lo, bool lo_inclusive,
+                             const std::optional<Value>& hi,
+                             bool hi_inclusive) const;
+
+  size_t num_entries() const { return num_entries_; }
+  size_t num_keys() const;
+  int height() const;
+
+  /// Verifies structural invariants (sorted keys, balanced leaves, linked
+  /// leaf chain, fanout bounds). Used by property tests.
+  Status CheckInvariants() const;
+
+  /// Builds an index over `column` of `table`, keyed per row. NULL cells are
+  /// skipped.
+  static Result<BTreeIndex> Build(const Table& table,
+                                  const std::string& column, int fanout = 64);
+
+ private:
+  struct Node;
+  struct LeafEntry {
+    Value key;
+    std::vector<int64_t> row_ids;
+  };
+  struct Node {
+    bool is_leaf = true;
+    // Internal: keys.size() + 1 == children.size(); child i holds keys
+    // strictly less than keys[i].
+    std::vector<Value> keys;
+    std::vector<std::unique_ptr<Node>> children;
+    // Leaf.
+    std::vector<LeafEntry> entries;
+    Node* next_leaf = nullptr;
+  };
+
+  /// Inserts into the subtree; on split, returns the separator key and the
+  /// new right sibling.
+  struct SplitResult {
+    Value separator;
+    std::unique_ptr<Node> right;
+  };
+  std::optional<SplitResult> InsertInto(Node* node, const Value& key,
+                                        int64_t row_id);
+
+  const Node* FindLeaf(const Value& key) const;
+  Status CheckNode(const Node* node, int depth, int leaf_depth) const;
+
+  int fanout_;
+  std::unique_ptr<Node> root_;
+  size_t num_entries_ = 0;
+};
+
+}  // namespace dynview
+
+#endif  // DYNVIEW_INDEX_BTREE_H_

@@ -1,0 +1,85 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace dynview {
+
+void InvertedIndex::Add(const std::string& word, int64_t row_id,
+                        const std::string& attribute) {
+  std::vector<Posting>& list = postings_[word];
+  Posting p{row_id, attribute};
+  if (!list.empty() && list.back() == p) return;  // Repeats within a cell.
+  list.push_back(std::move(p));
+  ++num_postings_;
+}
+
+InvertedIndex InvertedIndex::Build(const Table& table) {
+  InvertedIndex index;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.schema().num_columns(); ++c) {
+      const Value& v = table.row(r)[c];
+      if (v.is_null()) continue;
+      for (const std::string& word : TokenizeWords(v.ToLabel())) {
+        index.Add(word, static_cast<int64_t>(r), table.schema().column(c).name);
+      }
+    }
+  }
+  return index;
+}
+
+Result<InvertedIndex> InvertedIndex::BuildKeyed(const Table& table,
+                                                const std::string& text_column,
+                                                const std::string& attr_column) {
+  int text_idx = table.schema().IndexOf(text_column);
+  int attr_idx = table.schema().IndexOf(attr_column);
+  if (text_idx < 0) {
+    return Status::InvalidArgument("no column named '" + text_column + "'");
+  }
+  if (attr_idx < 0) {
+    return Status::InvalidArgument("no column named '" + attr_column + "'");
+  }
+  InvertedIndex index;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    const Value& text = table.row(r)[text_idx];
+    const Value& attr = table.row(r)[attr_idx];
+    if (text.is_null()) continue;
+    std::string attr_label = attr.is_null() ? "" : attr.ToLabel();
+    for (const std::string& word : TokenizeWords(text.ToLabel())) {
+      index.Add(word, static_cast<int64_t>(r), attr_label);
+    }
+  }
+  return index;
+}
+
+std::vector<InvertedIndex::Posting> InvertedIndex::Lookup(
+    const std::string& word) const {
+  auto it = postings_.find(ToLower(word));
+  if (it == postings_.end()) return {};
+  return it->second;
+}
+
+std::vector<int64_t> InvertedIndex::LookupAll(const std::string& phrase) const {
+  std::vector<std::string> words = TokenizeWords(phrase);
+  if (words.empty()) return {};
+  std::vector<int64_t> acc;
+  for (size_t w = 0; w < words.size(); ++w) {
+    std::vector<int64_t> rows;
+    for (const Posting& p : Lookup(words[w])) rows.push_back(p.row_id);
+    std::sort(rows.begin(), rows.end());
+    rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+    if (w == 0) {
+      acc = std::move(rows);
+    } else {
+      std::vector<int64_t> merged;
+      std::set_intersection(acc.begin(), acc.end(), rows.begin(), rows.end(),
+                            std::back_inserter(merged));
+      acc = std::move(merged);
+    }
+    if (acc.empty()) break;
+  }
+  return acc;
+}
+
+}  // namespace dynview

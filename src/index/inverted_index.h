@@ -1,0 +1,63 @@
+#ifndef DYNVIEW_INDEX_INVERTED_INDEX_H_
+#define DYNVIEW_INDEX_INVERTED_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/table.h"
+
+namespace dynview {
+
+/// An inverted keyword index (Fig. 9 of the paper): maps each word to the
+/// rows (and the attribute within the row) whose text contains it. This is
+/// the access method behind `create index ... as inverted`, used to answer
+/// unstructured predicates like "some attribute contains 'Sofitel'" inside
+/// a structured plan.
+class InvertedIndex {
+ public:
+  struct Posting {
+    int64_t row_id = 0;
+    /// The attribute whose value contained the word (the paper's keywords
+    /// index returns (hid, attribute) pairs).
+    std::string attribute;
+
+    friend bool operator==(const Posting& a, const Posting& b) {
+      return a.row_id == b.row_id && a.attribute == b.attribute;
+    }
+  };
+
+  /// Builds over all string-typed cells of `table` (words lowercased,
+  /// alphanumeric tokenization). Non-string cells are indexed by their label
+  /// rendering so numeric keywords also match.
+  static InvertedIndex Build(const Table& table);
+
+  /// Builds over a single column (e.g. the `value` column of hotelwords),
+  /// recording `attr_column`'s cell as the posting attribute. Fails if
+  /// either column is missing.
+  static Result<InvertedIndex> BuildKeyed(const Table& table,
+                                          const std::string& text_column,
+                                          const std::string& attr_column);
+
+  /// Postings for a word (case-insensitive); empty when absent. A posting
+  /// appears once per (row, attribute) even if the word repeats.
+  std::vector<Posting> Lookup(const std::string& word) const;
+
+  /// Rows containing every word of `phrase` (conjunctive keyword search).
+  std::vector<int64_t> LookupAll(const std::string& phrase) const;
+
+  size_t num_words() const { return postings_.size(); }
+  size_t num_postings() const { return num_postings_; }
+
+ private:
+  void Add(const std::string& word, int64_t row_id,
+           const std::string& attribute);
+
+  std::unordered_map<std::string, std::vector<Posting>> postings_;
+  size_t num_postings_ = 0;
+};
+
+}  // namespace dynview
+
+#endif  // DYNVIEW_INDEX_INVERTED_INDEX_H_

@@ -1,0 +1,90 @@
+#include "index/view_index.h"
+
+#include <algorithm>
+
+#include "sql/parser.h"
+
+namespace dynview {
+
+Result<ViewIndex> ViewIndex::BuildSql(const std::string& create_index_sql,
+                                      QueryEngine* engine) {
+  DV_ASSIGN_OR_RETURN(std::unique_ptr<CreateIndexStmt> stmt,
+                      Parser::ParseCreateIndex(create_index_sql));
+  return Build(*stmt, engine);
+}
+
+Result<ViewIndex> ViewIndex::Build(const CreateIndexStmt& stmt,
+                                   QueryEngine* engine) {
+  if (stmt.given.size() != 1) {
+    return Status::Unsupported("exactly one GIVEN key expression is supported");
+  }
+  ViewIndex index;
+  index.name_ = stmt.name;
+  index.method_ = stmt.method;
+  index.definition_ = stmt.ToString();
+
+  // Evaluate the defining query with the key expression prepended, so the
+  // key is column 0 of the materialized contents.
+  std::unique_ptr<CreateIndexStmt> clone = stmt.Clone();
+  auto body = std::move(clone->query);
+  SelectItem key_item(std::move(clone->given[0]), "xx_key");
+  body->select_list.insert(body->select_list.begin(), std::move(key_item));
+  DV_ASSIGN_OR_RETURN(index.contents_, engine->Execute(body.get()));
+
+  if (stmt.method == IndexMethod::kBtree) {
+    DV_ASSIGN_OR_RETURN(BTreeIndex bt,
+                        BTreeIndex::Build(index.contents_, "xx_key"));
+    index.btree_ = std::make_unique<BTreeIndex>(std::move(bt));
+  } else {
+    DV_ASSIGN_OR_RETURN(
+        InvertedIndex inv,
+        InvertedIndex::BuildKeyed(index.contents_, "xx_key", "xx_key"));
+    index.inverted_ = std::make_unique<InvertedIndex>(std::move(inv));
+  }
+  return index;
+}
+
+Table ViewIndex::RowsFor(const std::vector<int64_t>& row_ids) const {
+  // Payload schema: contents without the key column.
+  std::vector<Column> cols(contents_.schema().columns().begin() + 1,
+                           contents_.schema().columns().end());
+  Table out{Schema(std::move(cols))};
+  out.Reserve(row_ids.size());
+  for (int64_t id : row_ids) {
+    const Row& r = contents_.row(static_cast<size_t>(id));
+    out.AppendRowUnchecked(Row(r.begin() + 1, r.end()));
+  }
+  return out;
+}
+
+Result<Table> ViewIndex::Probe(const Value& key) const {
+  if (btree_ == nullptr) {
+    return Status::InvalidArgument("Probe on a non-btree index");
+  }
+  return RowsFor(btree_->Lookup(key));
+}
+
+Result<Table> ViewIndex::ProbeRange(const std::optional<Value>& lo,
+                                    bool lo_inclusive,
+                                    const std::optional<Value>& hi,
+                                    bool hi_inclusive) const {
+  if (btree_ == nullptr) {
+    return Status::InvalidArgument("ProbeRange on a non-btree index");
+  }
+  return RowsFor(btree_->Range(lo, lo_inclusive, hi, hi_inclusive));
+}
+
+Result<Table> ViewIndex::ProbeKeyword(const std::string& word) const {
+  if (inverted_ == nullptr) {
+    return Status::InvalidArgument("ProbeKeyword on a non-inverted index");
+  }
+  std::vector<int64_t> ids;
+  for (const auto& p : inverted_->Lookup(word)) ids.push_back(p.row_id);
+  // De-duplicate (a word may occur in several cells of one row... the key is
+  // a single column here, but stay defensive).
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return RowsFor(ids);
+}
+
+}  // namespace dynview

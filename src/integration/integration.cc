@@ -1,0 +1,135 @@
+#include "integration/integration.h"
+
+#include "common/str_util.h"
+#include "core/aggregate_rewrite.h"
+#include "schemasql/view_materializer.h"
+#include "sql/parser.h"
+
+namespace dynview {
+
+IntegrationSystem::IntegrationSystem(Catalog* catalog,
+                                     std::string integration_db)
+    : catalog_(catalog),
+      integration_db_(std::move(integration_db)),
+      engine_(catalog, integration_db_),
+      optimizer_(catalog, integration_db_) {}
+
+Result<const ViewDefinition*> IntegrationSystem::RegisterAndMaterializeSource(
+    const std::string& create_view_sql) {
+  DV_RETURN_IF_ERROR(ViewMaterializer::MaterializeSql(
+                         create_view_sql, &engine_, catalog_, integration_db_)
+                         .status());
+  return RegisterSource(create_view_sql);
+}
+
+Result<const ViewDefinition*> IntegrationSystem::RegisterSource(
+    const std::string& create_view_sql) {
+  DV_ASSIGN_OR_RETURN(
+      ViewDefinition view,
+      ViewDefinition::FromSql(create_view_sql, *catalog_, integration_db_));
+  auto holder = std::make_shared<ViewDefinition>(std::move(view));
+  sources_.push_back(holder);
+  optimizer_.RegisterView(holder);
+  return holder.get();
+}
+
+Result<const ViewIndex*> IntegrationSystem::RegisterIndex(
+    const std::string& create_index_sql) {
+  DV_ASSIGN_OR_RETURN(std::unique_ptr<CreateIndexStmt> stmt,
+                      Parser::ParseCreateIndex(create_index_sql));
+  DV_ASSIGN_OR_RETURN(ViewIndex index, ViewIndex::Build(*stmt, &engine_));
+  auto holder = std::make_shared<ViewIndex>(std::move(index));
+  indexes_.push_back(holder);
+  // Derive optimizer registration metadata when the defining query has the
+  // restricted single-table shape `... by given T.key select T.a1,... from
+  // [db::]rel T [...]`; richer indexes remain probe-able directly.
+  const SelectStmt& body = *stmt->query;
+  size_t tuple_count = 0;
+  const FromItem* scan = nullptr;
+  for (const FromItem& f : body.from_items) {
+    if (f.kind == FromItemKind::kTupleVar) {
+      ++tuple_count;
+      scan = &f;
+    }
+  }
+  if (tuple_count == 1 && scan != nullptr && !scan->rel.is_variable &&
+      !scan->db.is_variable && stmt->given.size() == 1 &&
+      stmt->given[0]->kind == ExprKind::kColumnRef) {
+    std::vector<std::string> payload;
+    bool simple = true;
+    for (const SelectItem& item : body.select_list) {
+      if (item.expr->kind == ExprKind::kColumnRef &&
+          !item.expr->column.is_variable) {
+        payload.push_back(item.expr->column.text);
+      } else {
+        simple = false;
+      }
+    }
+    if (simple) {
+      std::string db = scan->db.empty() ? integration_db_ : scan->db.text;
+      optimizer_.RegisterIndex(holder,
+                               TableRef{ToLower(db), ToLower(scan->rel.text)},
+                               stmt->given[0]->column.text, payload);
+    }
+  }
+  return holder.get();
+}
+
+Result<TranslationResult> IntegrationSystem::Rewrite(const std::string& sql,
+                                                     bool multiset) {
+  QueryTranslator translator(catalog_, integration_db_);
+  AggregateViewRewriter agg_rewriter(catalog_, integration_db_);
+  std::string last_reason;
+  for (const auto& source : sources_) {
+    if (source->IsAggregateView()) {
+      // Sec. 5.2 / Ex. 5.3: aggregate-defined sources answer aggregate
+      // queries by re-aggregation. AVG re-aggregation requires the
+      // uniform-group assumption, so it is only offered for set semantics.
+      Result<TranslationResult> t = agg_rewriter.Rewrite(
+          *source, sql, /*allow_avg_reaggregation=*/!multiset);
+      if (t.ok()) return t;
+      last_reason = t.status().message();
+      continue;
+    }
+    Result<TranslationResult> t =
+        translator.TranslateSqlAll(*source, sql, multiset);
+    if (t.ok()) return t;
+    last_reason = t.status().message();
+  }
+  return Status::NotFound("no registered source can answer the query" +
+                          (last_reason.empty() ? "" : ": " + last_reason));
+}
+
+Result<Table> IntegrationSystem::Answer(const std::string& sql,
+                                        bool multiset) {
+  Result<TranslationResult> rewritten = Rewrite(sql, multiset);
+  if (rewritten.ok()) {
+    return engine_.Execute(rewritten.value().query.get());
+  }
+  // Fall back to data stored directly under I (the architecture permits
+  // locally stored integration data).
+  Result<Table> direct = engine_.ExecuteSql(sql);
+  if (direct.ok() && direct.value().num_rows() > 0) return direct;
+  if (direct.ok()) return direct;  // Empty but well formed.
+  return rewritten.status();
+}
+
+Result<Table> IntegrationSystem::AnswerOptimized(const std::string& sql) {
+  return optimizer_.Run(sql);
+}
+
+Result<Table> IntegrationSystem::KeywordSearch(
+    const std::string& interface_table, const std::string& keyword) {
+  // Prefer a registered inverted index whose payload matches.
+  for (const auto& idx : indexes_) {
+    if (idx->method() != IndexMethod::kInverted) continue;
+    Result<Table> hits = idx->ProbeKeyword(ToLower(keyword));
+    if (hits.ok()) return hits;
+  }
+  // Scan fallback: any attribute whose value contains the keyword.
+  return engine_.ExecuteSql("select * from " + integration_db_ +
+                            "::" + interface_table +
+                            " T where contains(T.value, '" + keyword + "')");
+}
+
+}  // namespace dynview

@@ -1,0 +1,90 @@
+#ifndef DYNVIEW_INTEGRATION_INTEGRATION_H_
+#define DYNVIEW_INTEGRATION_INTEGRATION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/translate.h"
+#include "core/usability.h"
+#include "core/view_definition.h"
+#include "engine/query_engine.h"
+#include "index/view_index.h"
+#include "optimizer/optimizer.h"
+#include "relational/catalog.h"
+
+namespace dynview {
+
+/// The Fig. 6 architecture. The integration schema I is a stable,
+/// first-order schema designed for the new application; every data source
+/// (legacy schema, interface schema, or index) is registered as an SQL or
+/// dynamic view *over* I whose materialization carries the actual data.
+/// Queries are posed against I and answered by rewriting them onto the
+/// registered sources (local-as-view query answering), optionally through
+/// the Sec. 6 optimizer.
+class IntegrationSystem {
+ public:
+  /// `integration_db` names the database inside `catalog` holding I's
+  /// schema. I's tables may be *virtual*: present in the catalog (for
+  /// binding and statistics) but possibly empty, with the data living only
+  /// under the sources.
+  IntegrationSystem(Catalog* catalog, std::string integration_db);
+
+  /// Registers a source described by `create_view_sql` (a view over I) and
+  /// materializes it from I's current contents into `catalog`. Use when I
+  /// holds the data and sources are derived (warehouse loading direction).
+  Result<const ViewDefinition*> RegisterAndMaterializeSource(
+      const std::string& create_view_sql);
+
+  /// Registers a source whose materialization already exists in the catalog
+  /// (the usual legacy-integration direction: the sources ARE the data).
+  Result<const ViewDefinition*> RegisterSource(
+      const std::string& create_view_sql);
+
+  /// Registers a view-described index built against I.
+  Result<const ViewIndex*> RegisterIndex(const std::string& create_index_sql);
+
+  /// Answers `sql` (a first-order query on I) by rewriting it onto a usable
+  /// source (Alg. 5.1) and executing the rewriting. Tries sources in
+  /// registration order; `multiset` demands a bag-correct rewriting
+  /// (Thm. 5.4), otherwise set-correctness (Thm. 5.2) suffices.
+  /// Fails with NotFound if no registered source can answer the query and
+  /// I itself holds no data for it.
+  Result<Table> Answer(const std::string& sql, bool multiset);
+
+  /// Like Answer, but returns the chosen rewriting without executing.
+  /// Aggregate queries are additionally offered to aggregate-defined
+  /// sources via the Sec. 5.2 re-aggregation machinery (Ex. 5.3).
+  Result<TranslationResult> Rewrite(const std::string& sql, bool multiset);
+
+  /// Answers `sql` through the Sec. 6 optimizer (all registered sources and
+  /// indexes offered as access paths).
+  Result<Table> AnswerOptimized(const std::string& sql);
+
+  /// Keyword search over I (Sec. 1.1.2): rows of `interface_table` (an
+  /// unpivoted (id, attribute, value) interface schema) whose value contains
+  /// `keyword`, answered via a registered inverted index when one matches,
+  /// else by scan.
+  Result<Table> KeywordSearch(const std::string& interface_table,
+                              const std::string& keyword);
+
+  const std::vector<std::shared_ptr<ViewDefinition>>& sources() const {
+    return sources_;
+  }
+
+  QueryEngine* engine() { return &engine_; }
+  Optimizer* optimizer() { return &optimizer_; }
+
+ private:
+  Catalog* catalog_;
+  std::string integration_db_;
+  QueryEngine engine_;
+  Optimizer optimizer_;
+  std::vector<std::shared_ptr<ViewDefinition>> sources_;
+  std::vector<std::shared_ptr<ViewIndex>> indexes_;
+};
+
+}  // namespace dynview
+
+#endif  // DYNVIEW_INTEGRATION_INTEGRATION_H_

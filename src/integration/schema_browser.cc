@@ -1,0 +1,64 @@
+#include "integration/schema_browser.h"
+
+#include "common/str_util.h"
+
+namespace dynview {
+
+Status SchemaBrowser::InstallMetaTables(const Catalog& catalog,
+                                        Catalog* target,
+                                        const std::string& meta_db) {
+  Table databases(Schema({{"db", TypeKind::kString}}));
+  Table relations(Schema({{"db", TypeKind::kString},
+                          {"rel", TypeKind::kString},
+                          {"num_rows", TypeKind::kInt},
+                          {"num_attrs", TypeKind::kInt}}));
+  Table attributes(Schema({{"db", TypeKind::kString},
+                           {"rel", TypeKind::kString},
+                           {"attr", TypeKind::kString},
+                           {"position", TypeKind::kInt},
+                           {"type", TypeKind::kString}}));
+  for (const std::string& db_name : catalog.DatabaseNames()) {
+    if (EqualsIgnoreCase(db_name, meta_db)) continue;  // Stable fixpoint.
+    databases.AppendRowUnchecked({Value::String(db_name)});
+    DV_ASSIGN_OR_RETURN(const Database* db, catalog.GetDatabase(db_name));
+    for (const std::string& rel_name : db->TableNames()) {
+      DV_ASSIGN_OR_RETURN(const Table* t, db->GetTable(rel_name));
+      relations.AppendRowUnchecked(
+          {Value::String(db_name), Value::String(rel_name),
+           Value::Int(static_cast<int64_t>(t->num_rows())),
+           Value::Int(static_cast<int64_t>(t->schema().num_columns()))});
+      for (size_t c = 0; c < t->schema().num_columns(); ++c) {
+        attributes.AppendRowUnchecked(
+            {Value::String(db_name), Value::String(rel_name),
+             Value::String(t->schema().column(c).name),
+             Value::Int(static_cast<int64_t>(c)),
+             Value::String(TypeKindName(t->schema().column(c).type))});
+      }
+    }
+  }
+  Database* meta = target->GetOrCreateDatabase(meta_db);
+  meta->PutTable("databases", std::move(databases));
+  meta->PutTable("relations", std::move(relations));
+  meta->PutTable("attributes", std::move(attributes));
+  return Status::OK();
+}
+
+Result<Table> SchemaBrowser::RelationsWithAttribute(
+    const Catalog& catalog, const std::string& attr,
+    const std::string& exclude_db) {
+  Table out(Schema({{"db", TypeKind::kString}, {"rel", TypeKind::kString}}));
+  for (const std::string& db_name : catalog.DatabaseNames()) {
+    if (EqualsIgnoreCase(db_name, exclude_db)) continue;
+    DV_ASSIGN_OR_RETURN(const Database* db, catalog.GetDatabase(db_name));
+    for (const std::string& rel_name : db->TableNames()) {
+      DV_ASSIGN_OR_RETURN(const Table* t, db->GetTable(rel_name));
+      if (t->schema().HasColumn(attr)) {
+        out.AppendRowUnchecked(
+            {Value::String(db_name), Value::String(rel_name)});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dynview

@@ -1,0 +1,40 @@
+#ifndef DYNVIEW_INTEGRATION_SCHEMA_BROWSER_H_
+#define DYNVIEW_INTEGRATION_SCHEMA_BROWSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "relational/catalog.h"
+
+namespace dynview {
+
+/// Schema browsing (Sec. 3 of the paper: dynamic views "permit schema
+/// browsing and new forms of data independence"). The federation's metadata
+/// is itself exposed as relations, so ordinary SQL — not a separate catalog
+/// API — answers questions like "which relations have a price attribute?".
+/// This is the inverse direction of a dynamic view: schema labels demoted to
+/// data.
+///
+/// Installed tables (in database `meta_db`):
+///   databases(db)
+///   relations(db, rel, num_rows, num_attrs)
+///   attributes(db, rel, attr, position, type)
+class SchemaBrowser {
+ public:
+  /// Snapshots `catalog`'s structure into `meta_db` inside `target`
+  /// (typically the same catalog — self-description). Pre-existing meta
+  /// tables are replaced. `meta_db` itself is excluded from the snapshot
+  /// when self-describing, so the fixpoint is stable.
+  static Status InstallMetaTables(const Catalog& catalog, Catalog* target,
+                                  const std::string& meta_db);
+
+  /// Convenience: relations of `catalog` (excluding `exclude_db`) that have
+  /// an attribute named `attr`.
+  static Result<Table> RelationsWithAttribute(const Catalog& catalog,
+                                              const std::string& attr,
+                                              const std::string& exclude_db);
+};
+
+}  // namespace dynview
+
+#endif  // DYNVIEW_INTEGRATION_SCHEMA_BROWSER_H_

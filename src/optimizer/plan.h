@@ -1,0 +1,74 @@
+#ifndef DYNVIEW_OPTIMIZER_PLAN_H_
+#define DYNVIEW_OPTIMIZER_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "core/view_definition.h"
+#include "engine/query_engine.h"
+#include "index/view_index.h"
+#include "relational/table.h"
+#include "sql/ast.h"
+
+namespace dynview {
+
+/// A physical plan node. Every node produces a table whose columns are named
+/// by the query's domain variables, so parent nodes compose by name.
+///
+/// Per Sec. 6 of the paper, materialized (dynamic) views and view-described
+/// indexes are *primitive access paths*: a kViewScan node carries the
+/// already-translated SQL/SchemaSQL subquery and the optimizer needs no
+/// further knowledge of its higher-order internals — only the set of tables
+/// and predicates it answers.
+struct PlanNode {
+  enum class Kind { kTableScan, kIndexProbe, kViewScan, kJoin };
+
+  Kind kind = Kind::kTableScan;
+  double est_rows = 0;
+  double est_cost = 0;
+
+  // kTableScan.
+  TableRef table;
+  std::string tuple_var;
+  /// (attribute, output column name) pairs to emit.
+  std::vector<std::pair<std::string, std::string>> outputs;
+  /// Conjuncts applied at this node (column references are output names).
+  std::vector<std::unique_ptr<Expr>> filters;
+
+  // kIndexProbe (also uses `outputs`/`filters`). Exactly one of the probe
+  // forms applies: an equality key (B+-tree) or a keyword (inverted index,
+  // the Fig. 9 unstructured-predicate access path).
+  const ViewIndex* index = nullptr;
+  Value probe_key;
+  std::string probe_keyword;
+
+  // kViewScan.
+  std::string view_name;
+  /// The translated subquery shipped to the view's materialization.
+  std::unique_ptr<SelectStmt> rewritten;
+  /// Query tuple variables this access answers (Sec. 6 bookkeeping).
+  std::vector<std::string> covered_vars;
+  /// Number of query conjuncts absorbed by the view.
+  size_t absorbed_conjuncts = 0;
+
+  // kJoin (hash join on the equality conjuncts among `join_conds`, residual
+  // conjuncts filtered afterwards).
+  std::unique_ptr<PlanNode> left;
+  std::unique_ptr<PlanNode> right;
+  std::vector<std::unique_ptr<Expr>> join_conds;
+
+  std::unique_ptr<PlanNode> Clone() const;
+
+  /// Multi-line plan rendering with cost/cardinality annotations.
+  std::string Describe(int indent = 0) const;
+
+  /// Executes the plan against `engine`'s catalog.
+  Result<Table> Execute(QueryEngine* engine) const;
+};
+
+}  // namespace dynview
+
+#endif  // DYNVIEW_OPTIMIZER_PLAN_H_

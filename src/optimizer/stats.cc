@@ -1,0 +1,112 @@
+#include "optimizer/stats.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/str_util.h"
+
+namespace dynview {
+
+namespace {
+
+std::optional<double> OrderableAsDouble(const Value& v) {
+  if (v.is_numeric()) return v.NumericAsDouble();
+  if (v.kind() == TypeKind::kDate) {
+    return static_cast<double>(v.as_date().days_since_epoch());
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+TableStats TableStats::Compute(const Table& table) {
+  TableStats stats;
+  stats.num_rows = table.num_rows();
+  for (size_t c = 0; c < table.schema().num_columns(); ++c) {
+    ColumnStats cs;
+    std::unordered_set<size_t> hashes;  // Hash-based distinct (exact enough).
+    std::vector<Value> reps;            // Verify collisions exactly.
+    for (const Row& r : table.rows()) {
+      const Value& v = r[c];
+      if (v.is_null()) {
+        ++cs.num_nulls;
+        continue;
+      }
+      size_t h = v.GroupHash();
+      if (hashes.insert(h).second) {
+        reps.push_back(v);
+      }
+      std::optional<double> d = OrderableAsDouble(v);
+      if (d.has_value()) {
+        if (!cs.min.has_value() || *d < *cs.min) cs.min = d;
+        if (!cs.max.has_value() || *d > *cs.max) cs.max = d;
+      }
+    }
+    cs.num_distinct = reps.size();
+    stats.columns[ToLower(table.schema().column(c).name)] = std::move(cs);
+  }
+  return stats;
+}
+
+const ColumnStats* TableStats::Find(const std::string& column) const {
+  auto it = columns.find(ToLower(column));
+  if (it == columns.end()) return nullptr;
+  return &it->second;
+}
+
+const TableStats* StatsCache::Get(const TableRef& table) {
+  auto key = std::make_pair(table.db, table.rel);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return &it->second;
+  Result<const Table*> t = catalog_->ResolveTable(table.db, table.rel);
+  if (!t.ok()) return nullptr;
+  auto [inserted, ok] = cache_.emplace(key, TableStats::Compute(*t.value()));
+  (void)ok;
+  return &inserted->second;
+}
+
+double EqualitySelectivity(const ColumnStats& stats, size_t table_rows) {
+  if (stats.num_distinct == 0 || table_rows == 0) return 1.0;
+  return std::min(1.0, 1.0 / static_cast<double>(stats.num_distinct));
+}
+
+double RangeSelectivity(const ColumnStats& stats, BinaryOp op,
+                        const Value& constant, double fallback) {
+  std::optional<double> c =
+      constant.is_numeric()
+          ? std::optional<double>(constant.NumericAsDouble())
+          : (constant.kind() == TypeKind::kDate
+                 ? std::optional<double>(static_cast<double>(
+                       constant.as_date().days_since_epoch()))
+                 : std::nullopt);
+  if (!c.has_value() || !stats.min.has_value() || !stats.max.has_value() ||
+      *stats.max <= *stats.min) {
+    return fallback;
+  }
+  double span = *stats.max - *stats.min;
+  double frac;
+  switch (op) {
+    case BinaryOp::kLess:
+    case BinaryOp::kLessEq:
+      frac = (*c - *stats.min) / span;
+      break;
+    case BinaryOp::kGreater:
+    case BinaryOp::kGreaterEq:
+      frac = (*stats.max - *c) / span;
+      break;
+    default:
+      return fallback;
+  }
+  return std::clamp(frac, 0.0, 1.0);
+}
+
+double JoinSelectivity(const ColumnStats* left, const ColumnStats* right,
+                       double fallback) {
+  size_t ndv = 0;
+  if (left != nullptr) ndv = std::max(ndv, left->num_distinct);
+  if (right != nullptr) ndv = std::max(ndv, right->num_distinct);
+  if (ndv == 0) return fallback;
+  return std::min(1.0, 1.0 / static_cast<double>(ndv));
+}
+
+}  // namespace dynview

@@ -1,0 +1,69 @@
+#ifndef DYNVIEW_OPTIMIZER_STATS_H_
+#define DYNVIEW_OPTIMIZER_STATS_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/view_definition.h"
+#include "relational/catalog.h"
+
+namespace dynview {
+
+/// Per-column statistics for cardinality estimation.
+struct ColumnStats {
+  size_t num_distinct = 0;
+  size_t num_nulls = 0;
+  /// Present when the column is orderable (numeric or date) and non-empty.
+  std::optional<double> min;
+  std::optional<double> max;
+};
+
+/// Per-table statistics.
+struct TableStats {
+  size_t num_rows = 0;
+  /// Keyed by lowercased column name.
+  std::map<std::string, ColumnStats> columns;
+
+  /// Scans `table` once, counting distincts exactly (in-memory tables make
+  /// exact statistics affordable; a disk system would sample).
+  static TableStats Compute(const Table& table);
+
+  const ColumnStats* Find(const std::string& column) const;
+};
+
+/// Lazily computed statistics for the tables of a catalog. Entries are
+/// keyed by (db, rel); the cache holds a snapshot — callers refresh by
+/// constructing a new cache after bulk updates.
+class StatsCache {
+ public:
+  explicit StatsCache(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Statistics for `table`, computing on first use; nullptr if the table
+  /// does not exist.
+  const TableStats* Get(const TableRef& table);
+
+ private:
+  const Catalog* catalog_;
+  std::map<std::pair<std::string, std::string>, TableStats> cache_;
+};
+
+/// Selectivity helpers shared by the optimizer.
+
+/// Equality with a constant: 1/ndv (uniformity), bounded to (0, 1].
+double EqualitySelectivity(const ColumnStats& stats, size_t table_rows);
+
+/// Range predicate selectivity by min/max interpolation when the column is
+/// orderable; `fallback` otherwise. `op` ∈ {<, <=, >, >=}.
+double RangeSelectivity(const ColumnStats& stats, BinaryOp op,
+                        const Value& constant, double fallback);
+
+/// Equi-join selectivity: 1/max(ndv_left, ndv_right).
+double JoinSelectivity(const ColumnStats* left, const ColumnStats* right,
+                       double fallback);
+
+}  // namespace dynview
+
+#endif  // DYNVIEW_OPTIMIZER_STATS_H_

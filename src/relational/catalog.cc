@@ -1,0 +1,113 @@
+#include "relational/catalog.h"
+
+#include "common/str_util.h"
+
+namespace dynview {
+
+Status Database::AddTable(const std::string& rel_name, Table table) {
+  std::string key = ToLower(rel_name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table '" + rel_name + "' already exists in " +
+                                 name_);
+  }
+  tables_.emplace(key, std::make_pair(rel_name, std::move(table)));
+  return Status::OK();
+}
+
+void Database::PutTable(const std::string& rel_name, Table table) {
+  std::string key = ToLower(rel_name);
+  tables_[key] = std::make_pair(rel_name, std::move(table));
+}
+
+Status Database::DropTable(const std::string& rel_name) {
+  std::string key = ToLower(rel_name);
+  if (tables_.erase(key) == 0) {
+    return Status::NotFound("table '" + rel_name + "' not found in " + name_);
+  }
+  return Status::OK();
+}
+
+bool Database::HasTable(const std::string& rel_name) const {
+  return tables_.count(ToLower(rel_name)) > 0;
+}
+
+Result<const Table*> Database::GetTable(const std::string& rel_name) const {
+  auto it = tables_.find(ToLower(rel_name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + rel_name + "' not found in database '" +
+                            name_ + "'");
+  }
+  return &it->second.second;
+}
+
+Result<Table*> Database::GetMutableTable(const std::string& rel_name) {
+  auto it = tables_.find(ToLower(rel_name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + rel_name + "' not found in database '" +
+                            name_ + "'");
+  }
+  return &it->second.second;
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, entry] : tables_) names.push_back(entry.first);
+  return names;
+}
+
+Result<Database*> Catalog::CreateDatabase(const std::string& db_name) {
+  std::string key = ToLower(db_name);
+  if (databases_.count(key) > 0) {
+    return Status::AlreadyExists("database '" + db_name + "' already exists");
+  }
+  auto [it, ok] =
+      databases_.emplace(key, std::make_pair(db_name, Database(db_name)));
+  (void)ok;
+  return &it->second.second;
+}
+
+Database* Catalog::GetOrCreateDatabase(const std::string& db_name) {
+  std::string key = ToLower(db_name);
+  auto it = databases_.find(key);
+  if (it == databases_.end()) {
+    it = databases_.emplace(key, std::make_pair(db_name, Database(db_name)))
+             .first;
+  }
+  return &it->second.second;
+}
+
+bool Catalog::HasDatabase(const std::string& db_name) const {
+  return databases_.count(ToLower(db_name)) > 0;
+}
+
+Result<const Database*> Catalog::GetDatabase(const std::string& db_name) const {
+  auto it = databases_.find(ToLower(db_name));
+  if (it == databases_.end()) {
+    return Status::NotFound("database '" + db_name + "' not found");
+  }
+  return &it->second.second;
+}
+
+Result<Database*> Catalog::GetMutableDatabase(const std::string& db_name) {
+  auto it = databases_.find(ToLower(db_name));
+  if (it == databases_.end()) {
+    return Status::NotFound("database '" + db_name + "' not found");
+  }
+  return &it->second.second;
+}
+
+Result<const Table*> Catalog::ResolveTable(const std::string& db_name,
+                                           const std::string& rel_name) const {
+  DV_ASSIGN_OR_RETURN(const Database* db, GetDatabase(db_name));
+  return db->GetTable(rel_name);
+}
+
+std::vector<std::string> Catalog::DatabaseNames() const {
+  std::vector<std::string> names;
+  names.reserve(databases_.size());
+  for (const auto& [key, entry] : databases_) names.push_back(entry.first);
+  return names;
+}
+
+}  // namespace dynview

@@ -1,0 +1,78 @@
+#ifndef DYNVIEW_RELATIONAL_CATALOG_H_
+#define DYNVIEW_RELATIONAL_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/table.h"
+
+namespace dynview {
+
+/// A named database: an ordered map of relation name → table. Relation names
+/// are schema labels that SchemaSQL relation variables (`db -> R`) range
+/// over, so enumeration order must be deterministic (we keep names sorted).
+class Database {
+ public:
+  Database() = default;
+  explicit Database(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Adds `table` under `rel_name`; fails if it already exists.
+  Status AddTable(const std::string& rel_name, Table table);
+
+  /// Replaces or creates `rel_name`.
+  void PutTable(const std::string& rel_name, Table table);
+
+  /// Removes `rel_name`; fails if absent.
+  Status DropTable(const std::string& rel_name);
+
+  bool HasTable(const std::string& rel_name) const;
+  Result<const Table*> GetTable(const std::string& rel_name) const;
+  Result<Table*> GetMutableTable(const std::string& rel_name);
+
+  /// Relation names in sorted order — the range of a relation variable.
+  std::vector<std::string> TableNames() const;
+
+  size_t num_tables() const { return tables_.size(); }
+
+ private:
+  std::string name_;
+  // Keyed by lowercase name; value keeps original-case name + table.
+  std::map<std::string, std::pair<std::string, Table>> tables_;
+};
+
+/// A federation of databases (Fig. 6 of the paper): the range of SchemaSQL
+/// database variables (`-> D`).
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Creates an empty database; fails if the name is taken.
+  Result<Database*> CreateDatabase(const std::string& db_name);
+
+  /// Returns the database, creating it if needed.
+  Database* GetOrCreateDatabase(const std::string& db_name);
+
+  bool HasDatabase(const std::string& db_name) const;
+  Result<const Database*> GetDatabase(const std::string& db_name) const;
+  Result<Database*> GetMutableDatabase(const std::string& db_name);
+
+  /// Resolves `db.rel`; fails with NotFound naming the missing piece.
+  Result<const Table*> ResolveTable(const std::string& db_name,
+                                    const std::string& rel_name) const;
+
+  /// Database names in sorted order — the range of a database variable.
+  std::vector<std::string> DatabaseNames() const;
+
+  size_t num_databases() const { return databases_.size(); }
+
+ private:
+  std::map<std::string, std::pair<std::string, Database>> databases_;
+};
+
+}  // namespace dynview
+
+#endif  // DYNVIEW_RELATIONAL_CATALOG_H_

@@ -1,0 +1,100 @@
+#include "relational/catalog_io.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/str_util.h"
+#include "relational/csv.h"
+
+namespace dynview {
+
+namespace {
+
+/// File-system-safe rendering of a label (labels are SQL identifiers, but
+/// stay defensive).
+std::string Sanitize(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-') {
+      out += c;
+    } else {
+      out += '_';
+    }
+  }
+  return out.empty() ? "_" : out;
+}
+
+Status EnsureDirectory(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) == 0) {
+    if (S_ISDIR(st.st_mode)) return Status::OK();
+    return Status::InvalidArgument("'" + path + "' exists and is not a directory");
+  }
+  if (::mkdir(path.c_str(), 0755) != 0) {
+    return Status::InvalidArgument("cannot create '" + path +
+                                   "': " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveCatalog(const Catalog& catalog, const std::string& directory) {
+  DV_RETURN_IF_ERROR(EnsureDirectory(directory));
+  std::string manifest;
+  for (const std::string& db_name : catalog.DatabaseNames()) {
+    DV_ASSIGN_OR_RETURN(const Database* db, catalog.GetDatabase(db_name));
+    for (const std::string& rel_name : db->TableNames()) {
+      DV_ASSIGN_OR_RETURN(const Table* t, db->GetTable(rel_name));
+      std::string file = Sanitize(db_name) + "__" + Sanitize(rel_name) + ".csv";
+      DV_RETURN_IF_ERROR(WriteCsvFile(*t, directory + "/" + file));
+      // Manifest lines are themselves CSV-quoted where needed.
+      Table line(Schema::FromNames({"db", "rel", "file"}));
+      line.AppendRowUnchecked({Value::String(db_name), Value::String(rel_name),
+                               Value::String(file)});
+      std::string csv = TableToCsv(line);
+      // Strip the header row of the helper table.
+      manifest += csv.substr(csv.find('\n') + 1);
+    }
+  }
+  std::string path = directory + "/manifest";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open '" + path +
+                                   "': " + std::strerror(errno));
+  }
+  std::string header = "db,rel,file\n";
+  std::fwrite(header.data(), 1, header.size(), f);
+  std::fwrite(manifest.data(), 1, manifest.size(), f);
+  std::fclose(f);
+  return Status::OK();
+}
+
+Result<Catalog> LoadCatalog(const std::string& directory) {
+  DV_ASSIGN_OR_RETURN(Table manifest,
+                      ReadCsvFile(directory + "/manifest",
+                                  /*infer_types=*/false));
+  if (manifest.schema().num_columns() != 3) {
+    return Status::ParseError("malformed manifest (expected 3 columns)");
+  }
+  Catalog catalog;
+  for (const Row& r : manifest.rows()) {
+    if (r[0].is_null() || r[1].is_null() || r[2].is_null()) {
+      return Status::ParseError("manifest row with missing fields");
+    }
+    std::string db = r[0].as_string();
+    std::string rel = r[1].as_string();
+    std::string file = r[2].as_string();
+    DV_ASSIGN_OR_RETURN(Table t, ReadCsvFile(directory + "/" + file,
+                                             /*infer_types=*/true));
+    catalog.GetOrCreateDatabase(db)->PutTable(rel, std::move(t));
+  }
+  return catalog;
+}
+
+}  // namespace dynview

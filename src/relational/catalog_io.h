@@ -1,0 +1,26 @@
+#ifndef DYNVIEW_RELATIONAL_CATALOG_IO_H_
+#define DYNVIEW_RELATIONAL_CATALOG_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "relational/catalog.h"
+
+namespace dynview {
+
+/// Persists a federation as a directory of CSV files plus a `manifest`
+/// listing `database,relation,filename` per table. Values round-trip through
+/// the typed CSV layer (relational/csv.h), so a saved catalog reloads with
+/// identical contents — letting the examples and the shell keep federations
+/// across runs and letting external tools produce them.
+
+/// Writes every table of `catalog` under `directory` (created if needed).
+/// Existing files are overwritten; stale files are not removed.
+Status SaveCatalog(const Catalog& catalog, const std::string& directory);
+
+/// Loads a federation previously written by SaveCatalog.
+Result<Catalog> LoadCatalog(const std::string& directory);
+
+}  // namespace dynview
+
+#endif  // DYNVIEW_RELATIONAL_CATALOG_IO_H_

@@ -1,0 +1,228 @@
+#include "relational/csv.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/str_util.h"
+
+namespace dynview {
+
+namespace {
+
+bool NeedsQuoting(const std::string& s) {
+  return s.find_first_of(",\"\n\r") != std::string::npos || s.empty();
+}
+
+void AppendField(std::string* out, const std::string& field) {
+  if (!NeedsQuoting(field)) {
+    *out += field;
+    return;
+  }
+  *out += '"';
+  for (char c : field) {
+    if (c == '"') *out += '"';
+    *out += c;
+  }
+  *out += '"';
+}
+
+std::string FieldOf(const Value& v) {
+  switch (v.kind()) {
+    case TypeKind::kNull:
+      return "";  // Empty unquoted field round-trips to NULL.
+    case TypeKind::kString:
+      return v.as_string();
+    default:
+      return v.ToLabel();
+  }
+}
+
+/// Parses one CSV record starting at `*pos`; advances past the record's
+/// line terminator. `quoted[i]` reports whether field i was quoted.
+Result<bool> ParseRecord(const std::string& csv, size_t* pos,
+                         std::vector<std::string>* fields,
+                         std::vector<bool>* quoted) {
+  fields->clear();
+  quoted->clear();
+  size_t i = *pos;
+  const size_t n = csv.size();
+  if (i >= n) return false;
+  std::string field;
+  bool was_quoted = false;
+  bool in_quotes = false;
+  while (i <= n) {
+    if (in_quotes) {
+      if (i >= n) return Status::ParseError("unterminated quoted CSV field");
+      char c = csv[i];
+      if (c == '"' && i + 1 < n && csv[i + 1] == '"') {
+        field += '"';
+        i += 2;
+      } else if (c == '"') {
+        in_quotes = false;
+        ++i;
+      } else {
+        field += c;
+        ++i;
+      }
+      continue;
+    }
+    if (i == n || csv[i] == '\n' || csv[i] == '\r') {
+      fields->push_back(std::move(field));
+      quoted->push_back(was_quoted);
+      // Swallow the newline sequence.
+      if (i < n && csv[i] == '\r') ++i;
+      if (i < n && csv[i] == '\n') ++i;
+      *pos = i;
+      return true;
+    }
+    char c = csv[i];
+    if (c == ',') {
+      fields->push_back(std::move(field));
+      quoted->push_back(was_quoted);
+      field.clear();
+      was_quoted = false;
+      ++i;
+    } else if (c == '"' && field.empty()) {
+      in_quotes = true;
+      was_quoted = true;
+      ++i;
+    } else {
+      field += c;
+      ++i;
+    }
+  }
+  return Status::Internal("unreachable CSV state");
+}
+
+Value InferValue(const std::string& field, bool was_quoted) {
+  if (field.empty() && !was_quoted) return Value::Null();
+  if (was_quoted) return Value::String(field);
+  // INT.
+  {
+    char* end = nullptr;
+    errno = 0;
+    long long v = std::strtoll(field.c_str(), &end, 10);
+    if (errno == 0 && end != field.c_str() && *end == '\0') {
+      return Value::Int(v);
+    }
+  }
+  // DOUBLE.
+  {
+    char* end = nullptr;
+    errno = 0;
+    double v = std::strtod(field.c_str(), &end);
+    if (errno == 0 && end != field.c_str() && *end == '\0') {
+      return Value::Double(v);
+    }
+  }
+  if (EqualsIgnoreCase(field, "true")) return Value::Bool(true);
+  if (EqualsIgnoreCase(field, "false")) return Value::Bool(false);
+  if (field.size() == 10 && field[4] == '-' && field[7] == '-') {
+    Result<Date> d = Date::Parse(field);
+    if (d.ok()) return Value::MakeDate(d.value());
+  }
+  return Value::String(field);
+}
+
+}  // namespace
+
+std::string TableToCsv(const Table& table) {
+  std::string out;
+  const Schema& schema = table.schema();
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if (c > 0) out += ',';
+    AppendField(&out, schema.column(c).name);
+  }
+  out += '\n';
+  for (const Row& r : table.rows()) {
+    for (size_t c = 0; c < r.size(); ++c) {
+      if (c > 0) out += ',';
+      if (r[c].is_null()) continue;  // Empty unquoted field.
+      // Strings that could be misread as numbers/NULL are quoted.
+      std::string field = FieldOf(r[c]);
+      if (r[c].kind() == TypeKind::kString &&
+          (!InferValue(field, false).GroupEquals(r[c]) || field.empty())) {
+        *(&out) += '"';
+        for (char ch : field) {
+          if (ch == '"') out += '"';
+          out += ch;
+        }
+        out += '"';
+      } else {
+        AppendField(&out, field);
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<Table> TableFromCsv(const std::string& csv, bool infer_types) {
+  size_t pos = 0;
+  std::vector<std::string> fields;
+  std::vector<bool> quoted;
+  DV_ASSIGN_OR_RETURN(bool has_header, ParseRecord(csv, &pos, &fields, &quoted));
+  if (!has_header) return Status::ParseError("empty CSV input");
+  Table table(Schema::FromNames(fields));
+  const size_t arity = fields.size();
+  while (true) {
+    DV_ASSIGN_OR_RETURN(bool more, ParseRecord(csv, &pos, &fields, &quoted));
+    if (!more) break;
+    if (fields.size() == 1 && fields[0].empty() && !quoted[0]) {
+      continue;  // Blank line.
+    }
+    if (fields.size() != arity) {
+      return Status::ParseError("CSV row arity " +
+                                std::to_string(fields.size()) +
+                                " does not match header " +
+                                std::to_string(arity));
+    }
+    Row row;
+    row.reserve(arity);
+    for (size_t c = 0; c < arity; ++c) {
+      if (infer_types) {
+        row.push_back(InferValue(fields[c], quoted[c]));
+      } else if (fields[c].empty() && !quoted[c]) {
+        row.push_back(Value::Null());
+      } else {
+        row.push_back(Value::String(fields[c]));
+      }
+    }
+    table.AppendRowUnchecked(std::move(row));
+  }
+  return table;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open '" + path +
+                                   "': " + std::strerror(errno));
+  }
+  std::string csv = TableToCsv(table);
+  size_t written = std::fwrite(csv.data(), 1, csv.size(), f);
+  std::fclose(f);
+  if (written != csv.size()) {
+    return Status::Internal("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<Table> ReadCsvFile(const std::string& path, bool infer_types) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open '" + path +
+                            "': " + std::strerror(errno));
+  }
+  std::string csv;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    csv.append(buf, n);
+  }
+  std::fclose(f);
+  return TableFromCsv(csv, infer_types);
+}
+
+}  // namespace dynview

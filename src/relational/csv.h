@@ -1,0 +1,31 @@
+#ifndef DYNVIEW_RELATIONAL_CSV_H_
+#define DYNVIEW_RELATIONAL_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "relational/table.h"
+
+namespace dynview {
+
+/// CSV import/export for tables (RFC 4180 quoting), so federations can be
+/// loaded from and results handed to external tooling. The header row
+/// carries column names; empty unquoted fields read back as NULL.
+
+/// Serializes `table` (header + rows). Strings are written unquoted unless
+/// they contain a comma, quote or newline; quotes are doubled.
+std::string TableToCsv(const Table& table);
+
+/// Parses CSV text into a table. The first row is the header. With
+/// `infer_types`, each field is parsed as (in order) NULL (empty), INT,
+/// DOUBLE, BOOL (true/false), DATE (YYYY-MM-DD), else STRING; otherwise all
+/// non-empty fields are strings.
+Result<Table> TableFromCsv(const std::string& csv, bool infer_types);
+
+/// File convenience wrappers.
+Status WriteCsvFile(const Table& table, const std::string& path);
+Result<Table> ReadCsvFile(const std::string& path, bool infer_types);
+
+}  // namespace dynview
+
+#endif  // DYNVIEW_RELATIONAL_CSV_H_

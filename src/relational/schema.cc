@@ -1,0 +1,58 @@
+#include "relational/schema.h"
+
+#include "common/str_util.h"
+
+namespace dynview {
+
+Schema Schema::FromNames(const std::vector<std::string>& names) {
+  std::vector<Column> cols;
+  cols.reserve(names.size());
+  for (const auto& n : names) cols.emplace_back(n, TypeKind::kNull);
+  return Schema(std::move(cols));
+}
+
+int Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Schema::AddColumn(Column column) {
+  if (HasColumn(column.name)) {
+    return Status::AlreadyExists("duplicate column '" + column.name + "'");
+  }
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+std::vector<std::string> Schema::ColumnNames() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const auto& c : columns_) names.push_back(c.name);
+  return names;
+}
+
+bool Schema::SameNames(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (!EqualsIgnoreCase(columns_[i].name, other.columns_[i].name)) return false;
+  }
+  return true;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    if (columns_[i].type != TypeKind::kNull) {
+      out += " ";
+      out += TypeKindName(columns_[i].type);
+    }
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace dynview

@@ -1,0 +1,299 @@
+#include "restructure/restructure.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/str_util.h"
+#include "engine/operators.h"
+
+namespace dynview {
+
+namespace {
+
+Result<int> RequireColumn(const Table& t, const std::string& name) {
+  int idx = t.schema().IndexOf(name);
+  if (idx < 0) {
+    return Status::InvalidArgument("no column named '" + name + "'");
+  }
+  return idx;
+}
+
+}  // namespace
+
+Result<std::vector<std::pair<std::string, Table>>> PartitionByColumn(
+    const Table& in, const std::string& label_col) {
+  DV_ASSIGN_OR_RETURN(int label_idx, RequireColumn(in, label_col));
+  // Remaining columns, in order.
+  std::vector<int> keep;
+  std::vector<Column> keep_cols;
+  for (size_t i = 0; i < in.schema().num_columns(); ++i) {
+    if (static_cast<int>(i) == label_idx) continue;
+    keep.push_back(static_cast<int>(i));
+    keep_cols.push_back(in.schema().column(i));
+  }
+  std::map<std::string, Table> parts;  // Sorted by label.
+  for (const Row& r : in.rows()) {
+    const Value& label = r[label_idx];
+    if (label.is_null()) {
+      return Status::InvalidArgument(
+          "NULL label cannot become a relation name");
+    }
+    std::string name = label.ToLabel();
+    auto it = parts.find(name);
+    if (it == parts.end()) {
+      it = parts.emplace(name, Table(Schema(keep_cols))).first;
+    }
+    Row nr;
+    nr.reserve(keep.size());
+    for (int c : keep) nr.push_back(r[c]);
+    it->second.AppendRowUnchecked(std::move(nr));
+  }
+  std::vector<std::pair<std::string, Table>> out;
+  out.reserve(parts.size());
+  for (auto& [name, table] : parts) out.emplace_back(name, std::move(table));
+  return out;
+}
+
+Result<Table> Unite(const std::vector<std::pair<std::string, Table>>& parts,
+                    const std::string& label_col_name) {
+  if (parts.empty()) {
+    return Status::InvalidArgument("Unite requires at least one part");
+  }
+  std::vector<Column> cols;
+  cols.emplace_back(label_col_name, TypeKind::kString);
+  for (const Column& c : parts[0].second.schema().columns()) cols.push_back(c);
+  Table out{Schema(std::move(cols))};
+  for (const auto& [name, part] : parts) {
+    if (part.schema().num_columns() != parts[0].second.schema().num_columns()) {
+      return Status::InvalidArgument("Unite parts have mismatched arity");
+    }
+    for (const Row& r : part.rows()) {
+      Row nr;
+      nr.reserve(r.size() + 1);
+      nr.push_back(Value::String(name));
+      nr.insert(nr.end(), r.begin(), r.end());
+      out.AppendRowUnchecked(std::move(nr));
+    }
+  }
+  return out;
+}
+
+Result<Table> Pivot(const Table& in, const std::vector<std::string>& group_cols,
+                    const std::string& label_col,
+                    const std::string& value_col) {
+  DV_ASSIGN_OR_RETURN(int label_idx, RequireColumn(in, label_col));
+  DV_ASSIGN_OR_RETURN(int value_idx, RequireColumn(in, value_col));
+  std::vector<int> group_idx;
+  for (const std::string& g : group_cols) {
+    DV_ASSIGN_OR_RETURN(int gi, RequireColumn(in, g));
+    if (gi == label_idx || gi == value_idx) {
+      return Status::InvalidArgument(
+          "group column overlaps label/value column");
+    }
+    group_idx.push_back(gi);
+  }
+
+  // Per-label projections (sorted labels).
+  std::map<std::string, Table> per_label;
+  std::vector<Column> part_cols;
+  for (int gi : group_idx) part_cols.push_back(in.schema().column(gi));
+  part_cols.emplace_back("__value", in.schema().column(value_idx).type);
+  for (const Row& r : in.rows()) {
+    const Value& label = r[label_idx];
+    if (label.is_null()) {
+      return Status::InvalidArgument(
+          "NULL label cannot become an attribute name");
+    }
+    std::string name = label.ToLabel();
+    auto it = per_label.find(name);
+    if (it == per_label.end()) {
+      it = per_label.emplace(name, Table(Schema(part_cols))).first;
+    }
+    Row nr;
+    nr.reserve(group_idx.size() + 1);
+    for (int gi : group_idx) nr.push_back(r[gi]);
+    nr.push_back(r[value_idx]);
+    it->second.AppendRowUnchecked(std::move(nr));
+  }
+
+  // Output schema: group columns then one column per label.
+  std::vector<Column> out_cols;
+  for (int gi : group_idx) out_cols.push_back(in.schema().column(gi));
+  std::map<std::string, size_t> label_pos;  // Label → output column index.
+  for (const auto& [name, unused] : per_label) {
+    label_pos[name] = out_cols.size();
+    out_cols.emplace_back(name, in.schema().column(value_idx).type);
+  }
+  Table acc{Schema(out_cols)};
+  if (per_label.empty()) return acc;
+
+  // Fast path: when every (group, label) pair carries at most one value the
+  // full outer join degenerates to one output row per group key, fillable in
+  // a single pass (the overwhelmingly common case; the Sec. 3.1 cross
+  // product only arises on duplicated pairs).
+  {
+    std::unordered_map<Row, size_t, RowGroupHash, RowGroupEq> row_of;
+    std::vector<Row> out_rows;
+    bool duplicate_free = true;
+    for (const Row& r : in.rows()) {
+      Row key;
+      key.reserve(group_idx.size());
+      for (int gi : group_idx) key.push_back(r[gi]);
+      bool group_has_null = false;
+      for (const Value& v : key) {
+        if (v.is_null()) group_has_null = true;
+      }
+      if (group_has_null) {
+        // NULL group keys never join; keep the outer-join path's semantics.
+        duplicate_free = false;
+        break;
+      }
+      auto [it, inserted] = row_of.emplace(key, out_rows.size());
+      if (inserted) {
+        Row nr(out_cols.size(), Value::Null());
+        for (size_t k = 0; k < key.size(); ++k) nr[k] = key[k];
+        out_rows.push_back(std::move(nr));
+      }
+      size_t pos = label_pos[r[label_idx].ToLabel()];
+      Row& target = out_rows[it->second];
+      if (!target[pos].is_null()) {
+        duplicate_free = false;  // Cross product needed; fall back.
+        break;
+      }
+      target[pos] = r[value_idx];
+    }
+    if (duplicate_free) {
+      for (Row& r : out_rows) acc.AppendRowUnchecked(std::move(r));
+      return acc;
+    }
+    acc.Clear();
+  }
+
+  // Seed with the first label's projection, padded with NULLs for the other
+  // label columns; then iteratively full-outer-join the rest on the group
+  // key, coalescing the key columns (Sec. 3.1 ⊗ semantics).
+  const size_t k = group_idx.size();
+  size_t label_ordinal = 0;
+  for (auto& [name, part] : per_label) {
+    if (label_ordinal == 0) {
+      for (const Row& r : part.rows()) {
+        Row nr(out_cols.size(), Value::Null());
+        for (size_t i = 0; i < k; ++i) nr[i] = r[i];
+        nr[k] = r[k];
+        acc.AppendRowUnchecked(std::move(nr));
+      }
+      ++label_ordinal;
+      continue;
+    }
+    std::vector<int> acc_keys, part_keys;
+    for (size_t i = 0; i < k; ++i) {
+      acc_keys.push_back(static_cast<int>(i));
+      part_keys.push_back(static_cast<int>(i));
+    }
+    DV_ASSIGN_OR_RETURN(Table joined,
+                        FullOuterJoin(acc, part, acc_keys, part_keys));
+    // joined columns: [acc (k + labels so far...)] ++ [part (k + value)].
+    size_t acc_width = acc.schema().num_columns();
+    Table next{Schema(out_cols)};
+    next.Reserve(joined.num_rows());
+    for (const Row& r : joined.rows()) {
+      Row nr(out_cols.size(), Value::Null());
+      // Coalesce group keys.
+      for (size_t i = 0; i < k; ++i) {
+        nr[i] = r[i].is_null() ? r[acc_width + i] : r[i];
+      }
+      // Earlier label columns.
+      for (size_t i = k; i < acc_width; ++i) nr[i] = r[i];
+      // This label's value.
+      nr[k + label_ordinal] = r[acc_width + k];
+      next.AppendRowUnchecked(std::move(nr));
+    }
+    acc = std::move(next);
+    ++label_ordinal;
+  }
+  return acc;
+}
+
+Result<Table> Unpivot(const Table& in,
+                      const std::vector<std::string>& group_cols,
+                      const std::string& label_out,
+                      const std::string& value_out) {
+  std::vector<int> group_idx;
+  std::vector<bool> is_group(in.schema().num_columns(), false);
+  for (const std::string& g : group_cols) {
+    DV_ASSIGN_OR_RETURN(int gi, RequireColumn(in, g));
+    group_idx.push_back(gi);
+    is_group[gi] = true;
+  }
+  std::vector<Column> out_cols;
+  for (int gi : group_idx) out_cols.push_back(in.schema().column(gi));
+  out_cols.emplace_back(label_out, TypeKind::kString);
+  out_cols.emplace_back(value_out, TypeKind::kNull);
+  Table out{Schema(std::move(out_cols))};
+  for (const Row& r : in.rows()) {
+    for (size_t c = 0; c < in.schema().num_columns(); ++c) {
+      if (is_group[c]) continue;
+      if (r[c].is_null()) continue;  // Outer-join padding disappears.
+      Row nr;
+      nr.reserve(group_idx.size() + 2);
+      for (int gi : group_idx) nr.push_back(r[gi]);
+      nr.push_back(Value::String(in.schema().column(c).name));
+      nr.push_back(r[c]);
+      out.AppendRowUnchecked(std::move(nr));
+    }
+  }
+  return out;
+}
+
+Result<Table> PivotRoundTrip(const Table& in,
+                             const std::vector<std::string>& group_cols,
+                             const std::string& label_col,
+                             const std::string& value_col) {
+  DV_ASSIGN_OR_RETURN(Table pivoted,
+                      Pivot(in, group_cols, label_col, value_col));
+  return Unpivot(pivoted, group_cols, label_col, value_col);
+}
+
+Result<bool> PivotPreservesInstance(const Table& in,
+                                    const std::vector<std::string>& group_cols,
+                                    const std::string& label_col,
+                                    const std::string& value_col) {
+  DV_ASSIGN_OR_RETURN(Table back,
+                      PivotRoundTrip(in, group_cols, label_col, value_col));
+  // Compare as bags, modulo column order: rebuild `in` in the round-trip
+  // column order (group..., label, value).
+  std::vector<int> order;
+  for (const std::string& g : group_cols) {
+    DV_ASSIGN_OR_RETURN(int gi, RequireColumn(in, g));
+    order.push_back(gi);
+  }
+  DV_ASSIGN_OR_RETURN(int li, RequireColumn(in, label_col));
+  DV_ASSIGN_OR_RETURN(int vi, RequireColumn(in, value_col));
+  order.push_back(li);
+  order.push_back(vi);
+  std::vector<std::string> names;
+  for (int c : order) names.push_back(in.schema().column(c).name);
+  DV_ASSIGN_OR_RETURN(Table reordered, ProjectColumns(in, order, names));
+  return back.BagEquals(reordered);
+}
+
+Result<bool> PartitionPreservesInstance(const Table& in,
+                                        const std::string& label_col) {
+  DV_ASSIGN_OR_RETURN(auto parts, PartitionByColumn(in, label_col));
+  if (parts.empty()) return in.num_rows() == 0;
+  DV_ASSIGN_OR_RETURN(Table back, Unite(parts, label_col));
+  // Reorder `in` so the label column is first, matching Unite's layout.
+  DV_ASSIGN_OR_RETURN(int li, RequireColumn(in, label_col));
+  std::vector<int> order{li};
+  std::vector<std::string> names{in.schema().column(li).name};
+  for (size_t c = 0; c < in.schema().num_columns(); ++c) {
+    if (static_cast<int>(c) == li) continue;
+    order.push_back(static_cast<int>(c));
+    names.push_back(in.schema().column(c).name);
+  }
+  DV_ASSIGN_OR_RETURN(Table reordered, ProjectColumns(in, order, names));
+  return back.BagEquals(reordered);
+}
+
+}  // namespace dynview

@@ -1,0 +1,81 @@
+#ifndef DYNVIEW_RESTRUCTURE_RESTRUCTURE_H_
+#define DYNVIEW_RESTRUCTURE_RESTRUCTURE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/table.h"
+
+namespace dynview {
+
+/// Standalone restructuring transformations between the schematically
+/// heterogeneous layouts of Fig. 1 (and Sec. 4 of the paper). These are the
+/// data-movement primitives that dynamic views induce:
+///
+///  * Partition / Unite  — horizontal: data values become relation names
+///    (relation-variable views, Sec. 4.2). Information-capacity preserving.
+///  * Pivot / Unpivot    — vertical: data values become attribute names
+///    (attribute-variable views, Sec. 4.3). NOT capacity preserving: pivots
+///    lose multiplicities (Figs. 12/14) and introduce NULL padding.
+
+/// Splits `in` horizontally by the value of `label_col`: one output table per
+/// distinct label (sorted), each with `label_col` projected away. This is the
+/// s1 → s2 transformation of Fig. 1 (view v4 of Fig. 5).
+Result<std::vector<std::pair<std::string, Table>>> PartitionByColumn(
+    const Table& in, const std::string& label_col);
+
+/// Inverse of PartitionByColumn: prepends a `label_col_name` column holding
+/// each part's label and unions the parts (s2 → s1; view v2 of Fig. 2).
+/// All parts must share the same schema arity; the first part's schema wins.
+Result<Table> Unite(
+    const std::vector<std::pair<std::string, Table>>& parts,
+    const std::string& label_col_name);
+
+/// Pivots `in` vertically: for each distinct value L of `label_col` a new
+/// column named L is created holding `value_col`; rows agree on `group_cols`.
+/// Semantics follow Sec. 3.1 of the paper exactly: the result is the full
+/// outer join of the per-label projections on `group_cols`, so a group with
+/// multiple rows for several labels produces their cross product, and labels
+/// absent for a group yield NULL. This is the s1 → s3 transformation (view
+/// v5 of Fig. 5). Column order: group_cols..., then labels sorted.
+Result<Table> Pivot(const Table& in, const std::vector<std::string>& group_cols,
+                    const std::string& label_col,
+                    const std::string& value_col);
+
+/// Unpivots: every column not in `group_cols` becomes a (label, value) pair;
+/// NULL values are dropped (they are outer-join padding under the paper's
+/// semantics). This is the s3 → s1 transformation (view v3 of Fig. 2).
+Result<Table> Unpivot(const Table& in,
+                      const std::vector<std::string>& group_cols,
+                      const std::string& label_out,
+                      const std::string& value_out);
+
+/// Round-trips `in` through Pivot then Unpivot. Sec. 4.3 / Fig. 12: the
+/// round trip is the identity exactly when the pivot loses no information;
+/// duplicate (group, label, value) rows and cross-group duplicates collapse.
+Result<Table> PivotRoundTrip(const Table& in,
+                             const std::vector<std::string>& group_cols,
+                             const std::string& label_col,
+                             const std::string& value_col);
+
+/// True if Pivot is information-preserving *for this instance*: the round
+/// trip returns the original bag. (Statically, attribute-variable
+/// restructurings are never capacity preserving — Thm. discussion in
+/// Sec. 4.3; this dynamic check identifies the instances that collide.)
+Result<bool> PivotPreservesInstance(const Table& in,
+                                    const std::vector<std::string>& group_cols,
+                                    const std::string& label_col,
+                                    const std::string& value_col);
+
+/// Round-trips `in` through Partition then Unite and reports whether the bag
+/// is preserved. Sec. 4.2: relation-variable restructuring is capacity
+/// preserving, so this returns true for every instance whose label column is
+/// NULL-free (NULL labels have no relation name to carry them).
+Result<bool> PartitionPreservesInstance(const Table& in,
+                                        const std::string& label_col);
+
+}  // namespace dynview
+
+#endif  // DYNVIEW_RESTRUCTURE_RESTRUCTURE_H_

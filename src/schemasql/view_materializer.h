@@ -1,0 +1,46 @@
+#ifndef DYNVIEW_SCHEMASQL_VIEW_MATERIALIZER_H_
+#define DYNVIEW_SCHEMASQL_VIEW_MATERIALIZER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/query_engine.h"
+#include "relational/catalog.h"
+#include "sql/ast.h"
+
+namespace dynview {
+
+/// Materializes CREATE VIEW statements, including views with data-dependent
+/// output schemas (dynamic views, Def. 3.1):
+///
+///  * a variable view (relation) name partitions the result horizontally —
+///    one output table per label (Fig. 5 v4: one relation per company);
+///  * a variable database name partitions across databases (Fig. 5 v6);
+///  * a variable attribute label pivots vertically with the paper's Sec. 3.1
+///    full-outer-join semantics — one output column per label, groups with
+///    several rows per label produce cross products, absent labels pad NULL
+///    (Fig. 5 v5: one price column per company).
+///
+/// At most one attribute position may be a variable (SchemaSQL's practical
+/// restriction; more would require nested pivots).
+class ViewMaterializer {
+ public:
+  /// Evaluates `view`'s body against `engine`'s catalog and writes the
+  /// resulting table(s) into `target`. A view without a database qualifier
+  /// lands in `default_target_db`. Returns the (database, relation) pairs
+  /// created, in deterministic order.
+  static Result<std::vector<std::pair<std::string, std::string>>> Materialize(
+      const CreateViewStmt& view, QueryEngine* engine, Catalog* target,
+      const std::string& default_target_db);
+
+  /// Parses `create_view_sql` and materializes it (convenience).
+  static Result<std::vector<std::pair<std::string, std::string>>>
+  MaterializeSql(const std::string& create_view_sql, QueryEngine* engine,
+                 Catalog* target, const std::string& default_target_db);
+};
+
+}  // namespace dynview
+
+#endif  // DYNVIEW_SCHEMASQL_VIEW_MATERIALIZER_H_

@@ -1,0 +1,24 @@
+#ifndef DYNVIEW_SQL_LEXER_H_
+#define DYNVIEW_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/token.h"
+
+namespace dynview {
+
+/// Tokenizes a SQL/SchemaSQL string. Keywords are case-insensitive;
+/// identifiers preserve case. String literals use single quotes with ''
+/// escaping. `DATE '1998-01-02'` produces a date literal. Comments: `--` to
+/// end of line.
+class Lexer {
+ public:
+  /// Lexes the entire input; returns the token stream terminated by kEnd.
+  static Result<std::vector<Token>> Tokenize(const std::string& input);
+};
+
+}  // namespace dynview
+
+#endif  // DYNVIEW_SQL_LEXER_H_

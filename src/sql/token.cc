@@ -1,0 +1,72 @@
+#include "sql/token.h"
+
+namespace dynview {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd: return "end of input";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kStringLiteral: return "string literal";
+    case TokenKind::kIntLiteral: return "integer literal";
+    case TokenKind::kDoubleLiteral: return "double literal";
+    case TokenKind::kDateLiteral: return "date literal";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kArrow: return "'->'";
+    case TokenKind::kDoubleColon: return "'::'";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNotEq: return "'<>'";
+    case TokenKind::kLess: return "'<'";
+    case TokenKind::kLessEq: return "'<='";
+    case TokenKind::kGreater: return "'>'";
+    case TokenKind::kGreaterEq: return "'>='";
+    case TokenKind::kSelect: return "SELECT";
+    case TokenKind::kDistinct: return "DISTINCT";
+    case TokenKind::kFrom: return "FROM";
+    case TokenKind::kWhere: return "WHERE";
+    case TokenKind::kGroup: return "GROUP";
+    case TokenKind::kBy: return "BY";
+    case TokenKind::kHaving: return "HAVING";
+    case TokenKind::kOrder: return "ORDER";
+    case TokenKind::kAsc: return "ASC";
+    case TokenKind::kDesc: return "DESC";
+    case TokenKind::kUnion: return "UNION";
+    case TokenKind::kLimit: return "LIMIT";
+    case TokenKind::kAll: return "ALL";
+    case TokenKind::kAnd: return "AND";
+    case TokenKind::kOr: return "OR";
+    case TokenKind::kNot: return "NOT";
+    case TokenKind::kAs: return "AS";
+    case TokenKind::kCreate: return "CREATE";
+    case TokenKind::kView: return "VIEW";
+    case TokenKind::kIndex: return "INDEX";
+    case TokenKind::kBtree: return "BTREE";
+    case TokenKind::kInverted: return "INVERTED";
+    case TokenKind::kGiven: return "GIVEN";
+    case TokenKind::kLike: return "LIKE";
+    case TokenKind::kContains: return "CONTAINS";
+    case TokenKind::kHasword: return "HASWORD";
+    case TokenKind::kBetween: return "BETWEEN";
+    case TokenKind::kIn: return "IN";
+    case TokenKind::kIs: return "IS";
+    case TokenKind::kNull: return "NULL";
+    case TokenKind::kTrue: return "TRUE";
+    case TokenKind::kFalse: return "FALSE";
+    case TokenKind::kDate: return "DATE";
+    case TokenKind::kCount: return "COUNT";
+    case TokenKind::kSum: return "SUM";
+    case TokenKind::kAvg: return "AVG";
+    case TokenKind::kMin: return "MIN";
+    case TokenKind::kMax: return "MAX";
+  }
+  return "?";
+}
+
+}  // namespace dynview

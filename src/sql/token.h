@@ -1,0 +1,95 @@
+#ifndef DYNVIEW_SQL_TOKEN_H_
+#define DYNVIEW_SQL_TOKEN_H_
+
+#include <string>
+
+namespace dynview {
+
+/// Lexical token kinds for SQL extended with SchemaSQL syntax. The SchemaSQL
+/// extensions are `->` (schema-variable declarator) and `::` (database ::
+/// relation qualifier), per Lakshmanan et al. (VLDB '96) as used in the paper.
+enum class TokenKind {
+  kEnd = 0,
+  kIdentifier,     // stock, T, coA  (case preserved; keywords recognized separately)
+  kStringLiteral,  // 'nyse'
+  kIntLiteral,     // 200
+  kDoubleLiteral,  // 3.5
+  kDateLiteral,    // DATE '1998-01-02'  or  1/1/98 shorthand inside quotes
+
+  // Punctuation.
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kArrow,        // ->
+  kDoubleColon,  // ::
+  kSemicolon,
+
+  // Comparison operators.
+  kEq,        // =
+  kNotEq,     // <> or !=
+  kLess,      // <
+  kLessEq,    // <=
+  kGreater,   // >
+  kGreaterEq, // >=
+
+  // Keywords (case-insensitive).
+  kSelect,
+  kDistinct,
+  kFrom,
+  kWhere,
+  kGroup,
+  kBy,
+  kHaving,
+  kOrder,
+  kAsc,
+  kDesc,
+  kUnion,
+  kAll,
+  kLimit,
+  kAnd,
+  kOr,
+  kNot,
+  kAs,
+  kCreate,
+  kView,
+  kIndex,
+  kBtree,
+  kInverted,
+  kGiven,
+  kLike,
+  kContains,
+  kHasword,
+  kBetween,
+  kIn,
+  kIs,
+  kNull,
+  kTrue,
+  kFalse,
+  kDate,
+  kCount,
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+};
+
+/// Returns a printable name for diagnostics.
+const char* TokenKindName(TokenKind kind);
+
+/// A lexed token with its source text and position (for error messages).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;       // Raw text (identifier spelling, literal contents).
+  size_t position = 0;    // Byte offset in the input.
+
+  bool is(TokenKind k) const { return kind == k; }
+};
+
+}  // namespace dynview
+
+#endif  // DYNVIEW_SQL_TOKEN_H_

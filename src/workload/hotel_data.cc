@@ -1,0 +1,112 @@
+#include "workload/hotel_data.h"
+
+#include "restructure/restructure.h"
+
+namespace dynview {
+
+namespace {
+
+uint64_t NextRandom(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+const char* kChains[] = {"Sofitel", "Hilton", "Ibis", "Ritz", "Palace"};
+const char* kCities[] = {"Athens", "Paris", "Rome", "Madrid", "Lisbon",
+                         "Berlin", "Vienna"};
+const char* kCountries[] = {"Greece", "France", "Italy", "Spain", "Portugal",
+                            "Germany", "Austria"};
+const char* kClasses[] = {"luxury", "business", "budget"};
+
+}  // namespace
+
+std::string HotelChainName(int i) { return kChains[i % 5]; }
+std::string HotelCityName(int i) { return kCities[i % 7]; }
+std::string HotelCountryName(int i) { return kCountries[i % 7]; }
+
+Status InstallHotelDatabase(Catalog* catalog, const std::string& db,
+                            const HotelGenConfig& config) {
+  Database* d = catalog->GetOrCreateDatabase(db);
+  uint64_t state = config.seed;
+
+  Table hotel(Schema({{"hid", TypeKind::kInt},
+                      {"name", TypeKind::kString},
+                      {"city", TypeKind::kString},
+                      {"country", TypeKind::kString},
+                      {"chain", TypeKind::kString},
+                      {"class", TypeKind::kString}}));
+  Table pricing(Schema({{"hid", TypeKind::kInt},
+                        {"sgl_lo", TypeKind::kInt},
+                        {"sgl_hi", TypeKind::kInt},
+                        {"dbl_lo", TypeKind::kInt},
+                        {"dbl_hi", TypeKind::kInt},
+                        {"ste_lo", TypeKind::kInt},
+                        {"ste_hi", TypeKind::kInt}}));
+  Table resort(Schema({{"hid", TypeKind::kInt},
+                       {"beach", TypeKind::kString},
+                       {"season", TypeKind::kString}}));
+  Table confctr(Schema({{"hid", TypeKind::kInt},
+                        {"rooms_meeting", TypeKind::kInt},
+                        {"capacity", TypeKind::kInt}}));
+
+  for (int h = 0; h < config.num_hotels; ++h) {
+    std::string chain = HotelChainName(h);
+    std::string city = HotelCityName(h);
+    // Keep city and country consistent (same cycle length).
+    std::string country = HotelCountryName(h);
+    std::string name = chain + " " + city + " " + std::to_string(h);
+    hotel.AppendRowUnchecked({Value::Int(h), Value::String(name),
+                              Value::String(city), Value::String(country),
+                              Value::String(chain),
+                              Value::String(kClasses[h % 3])});
+    // Low-season prices in [40, 140); high adds [20, 80); doubles and
+    // suites scale up. Some hotels dip under $70 for the Fig. 7 query.
+    int64_t base = 40 + static_cast<int64_t>(NextRandom(&state) % 100);
+    int64_t bump = 20 + static_cast<int64_t>(NextRandom(&state) % 60);
+    pricing.AppendRowUnchecked(
+        {Value::Int(h), Value::Int(base), Value::Int(base + bump),
+         Value::Int(base + 30), Value::Int(base + bump + 40),
+         Value::Int(base + 90), Value::Int(base + bump + 120)});
+    if (h % 3 == 0) {
+      resort.AppendRowUnchecked(
+          {Value::Int(h), Value::String(h % 6 == 0 ? "private" : "public"),
+           Value::String(h % 2 == 0 ? "summer" : "all-year")});
+    }
+    if (h % 4 == 0) {
+      confctr.AppendRowUnchecked(
+          {Value::Int(h), Value::Int(2 + static_cast<int64_t>(h % 7)),
+           Value::Int(100 + static_cast<int64_t>(NextRandom(&state) % 400))});
+    }
+  }
+  d->PutTable("hotel", std::move(hotel));
+  d->PutTable("hotelpricing", std::move(pricing));
+  d->PutTable("resort", std::move(resort));
+  d->PutTable("confctr", std::move(confctr));
+  return Status::OK();
+}
+
+Status InstallHprice(Catalog* catalog, const std::string& db) {
+  DV_ASSIGN_OR_RETURN(Database* d, catalog->GetMutableDatabase(db));
+  DV_ASSIGN_OR_RETURN(const Table* pricing, d->GetTable("hotelpricing"));
+  // Unpivot hotelpricing(hid, <rmtype columns>) → hprice(hid, rmtype, price):
+  // the interface schema representing pricing attribute names as data.
+  DV_ASSIGN_OR_RETURN(Table hprice,
+                      Unpivot(*pricing, {"hid"}, "rmtype", "price"));
+  d->PutTable("hprice", std::move(hprice));
+  return Status::OK();
+}
+
+Status InstallHotelwords(Catalog* catalog, const std::string& db) {
+  DV_ASSIGN_OR_RETURN(Database* d, catalog->GetMutableDatabase(db));
+  DV_ASSIGN_OR_RETURN(const Table* hotel, d->GetTable("hotel"));
+  // Unpivot hotel(hid, attrs...) → hotelwords(hid, attribute, value): one
+  // row per attribute value of each hotel (Fig. 9).
+  DV_ASSIGN_OR_RETURN(Table words,
+                      Unpivot(*hotel, {"hid"}, "attribute", "value"));
+  d->PutTable("hotelwords", std::move(words));
+  return Status::OK();
+}
+
+}  // namespace dynview

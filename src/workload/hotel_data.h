@@ -1,0 +1,47 @@
+#ifndef DYNVIEW_WORKLOAD_HOTEL_DATA_H_
+#define DYNVIEW_WORKLOAD_HOTEL_DATA_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "relational/catalog.h"
+
+namespace dynview {
+
+/// Deterministic generator for the paper's DataWeb hotel example (Figs. 3,
+/// 7 and 9). The generated database contains:
+///   hotel(hid, name, city, country, chain, class)
+///   hotelpricing(hid, sgl_lo, sgl_hi, dbl_lo, dbl_hi, ste_lo, ste_hi)
+///       — one column per (room type, season) pair: the schema whose price
+///         attributes a schema-independent query must quantify over (Fig. 7)
+///   resort(hid, beach, season)        — subclass of hotel
+///   confctr(hid, rooms_meeting, capacity)
+/// plus the interface schemas of the paper's architecture:
+///   hprice(hid, rmtype, price)        — unpivoted pricing (Fig. 7)
+///   hotelwords(hid, attribute, value) — one row per attribute value (Fig. 9)
+struct HotelGenConfig {
+  int num_hotels = 50;
+  uint64_t seed = 7;
+};
+
+/// Installs all base tables into database `db` of `catalog`.
+Status InstallHotelDatabase(Catalog* catalog, const std::string& db,
+                            const HotelGenConfig& config);
+
+/// Installs the hprice interface schema, derived from hotelpricing (the
+/// hotelpricing table then becomes a dynamic view over hprice).
+Status InstallHprice(Catalog* catalog, const std::string& db);
+
+/// Installs the hotelwords interface schema, derived from hotel (Fig. 9).
+Status InstallHotelwords(Catalog* catalog, const std::string& db);
+
+/// Chain names cycle through a fixed list including "Sofitel" so the
+/// paper's keyword-search examples always have matches.
+std::string HotelChainName(int i);
+std::string HotelCityName(int i);
+std::string HotelCountryName(int i);
+
+}  // namespace dynview
+
+#endif  // DYNVIEW_WORKLOAD_HOTEL_DATA_H_

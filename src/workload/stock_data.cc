@@ -1,0 +1,119 @@
+#include "workload/stock_data.h"
+
+#include "restructure/restructure.h"
+
+namespace dynview {
+
+namespace {
+
+/// SplitMix64: deterministic, well-distributed, and stable across platforms.
+uint64_t NextRandom(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+Date BaseDate() { return Date::Parse("1998-01-01").value(); }
+
+}  // namespace
+
+std::string CompanyName(int i) {
+  std::string suffix;
+  int n = i;
+  do {
+    suffix.insert(suffix.begin(), static_cast<char>('A' + (n % 26)));
+    n = n / 26 - 1;
+  } while (n >= 0);
+  return "co" + suffix;
+}
+
+std::string ExchangeName(int i) {
+  static const char* kNames[] = {"nyse", "nasdaq", "amex"};
+  return kNames[i % 3];
+}
+
+std::string CompanyTypeName(int i) {
+  static const char* kNames[] = {"hitech", "retail", "energy", "finance"};
+  return kNames[i % 4];
+}
+
+Table GenerateStockS1(const StockGenConfig& config) {
+  Table t(Schema({{"company", TypeKind::kString},
+                  {"date", TypeKind::kDate},
+                  {"price", TypeKind::kInt}}));
+  uint64_t state = config.seed;
+  for (int c = 0; c < config.num_companies; ++c) {
+    std::string name = CompanyName(c);
+    for (int d = 0; d < config.num_dates; ++d) {
+      for (int k = 0; k < config.prices_per_day; ++k) {
+        int64_t price = 50 + static_cast<int64_t>(NextRandom(&state) % 350);
+        t.AppendRowUnchecked({Value::String(name),
+                              Value::MakeDate(BaseDate().AddDays(d)),
+                              Value::Int(price)});
+      }
+    }
+  }
+  return t;
+}
+
+Table GenerateStockDb0(const StockGenConfig& config) {
+  Table s1 = GenerateStockS1(config);
+  Table t(Schema({{"company", TypeKind::kString},
+                  {"date", TypeKind::kDate},
+                  {"price", TypeKind::kInt},
+                  {"exch", TypeKind::kString}}));
+  // Exchange is a function of the company so the nyse-restriction views of
+  // Fig. 13 select a stable subset.
+  for (const Row& r : s1.rows()) {
+    const std::string& co = r[0].as_string();
+    int idx = 0;
+    for (char ch : co) idx = idx * 31 + ch;
+    Row nr = r;
+    nr.push_back(Value::String(ExchangeName(idx < 0 ? -idx : idx)));
+    t.AppendRowUnchecked(std::move(nr));
+  }
+  return t;
+}
+
+Table GenerateCoType(const StockGenConfig& config) {
+  Table t(Schema({{"co", TypeKind::kString}, {"type", TypeKind::kString}}));
+  for (int c = 0; c < config.num_companies; ++c) {
+    t.AppendRowUnchecked(
+        {Value::String(CompanyName(c)), Value::String(CompanyTypeName(c))});
+  }
+  return t;
+}
+
+Status InstallStockS1(Catalog* catalog, const std::string& db,
+                      const Table& s1) {
+  catalog->GetOrCreateDatabase(db)->PutTable("stock", s1);
+  return Status::OK();
+}
+
+Status InstallStockS2(Catalog* catalog, const std::string& db,
+                      const Table& s1) {
+  DV_ASSIGN_OR_RETURN(auto parts, PartitionByColumn(s1, "company"));
+  Database* d = catalog->GetOrCreateDatabase(db);
+  for (auto& [name, table] : parts) {
+    d->PutTable(name, std::move(table));
+  }
+  return Status::OK();
+}
+
+Status InstallStockS3(Catalog* catalog, const std::string& db,
+                      const Table& s1) {
+  DV_ASSIGN_OR_RETURN(Table pivoted, Pivot(s1, {"date"}, "company", "price"));
+  catalog->GetOrCreateDatabase(db)->PutTable("stock", std::move(pivoted));
+  return Status::OK();
+}
+
+Status InstallDb0(Catalog* catalog, const std::string& db,
+                  const StockGenConfig& config) {
+  Database* d = catalog->GetOrCreateDatabase(db);
+  d->PutTable("stock", GenerateStockDb0(config));
+  d->PutTable("cotype", GenerateCoType(config));
+  return Status::OK();
+}
+
+}  // namespace dynview

@@ -1,0 +1,65 @@
+#ifndef DYNVIEW_WORKLOAD_STOCK_DATA_H_
+#define DYNVIEW_WORKLOAD_STOCK_DATA_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "relational/catalog.h"
+
+namespace dynview {
+
+/// Deterministic generator for the paper's stock examples (Figs. 1 and 10).
+/// The same logical data is installed under the three schematically
+/// heterogeneous layouts:
+///   s1: stock(company, date, price)            — all data as data
+///   s2: one relation per company: <co>(date, price)
+///   s3: stock(date, <coA>, <coB>, ...)          — one column per company
+/// and, for Sec. 4/5's Fig. 10 federation:
+///   db0: stock(company, date, price, exch), cotype(co, type)
+struct StockGenConfig {
+  int num_companies = 3;
+  int num_dates = 5;
+  /// Rows per (company, date). >1 introduces duplicate multiplicities — the
+  /// instances that expose the capacity loss of attribute views (Fig. 14).
+  int prices_per_day = 1;
+  uint64_t seed = 42;
+};
+
+/// "coA", "coB", ..., "coZ", "coAA", ...
+std::string CompanyName(int i);
+
+/// Cycles through "nyse", "nasdaq", "amex".
+std::string ExchangeName(int i);
+
+/// Cycles through "hitech", "retail", "energy", "finance".
+std::string CompanyTypeName(int i);
+
+/// The s1-layout table stock(company, date, price). Dates start 1998-01-01.
+/// Prices are deterministic in [50, 400).
+Table GenerateStockS1(const StockGenConfig& config);
+
+/// db0-layout stock(company, date, price, exch) consistent with
+/// GenerateStockS1 for the shared columns.
+Table GenerateStockDb0(const StockGenConfig& config);
+
+/// cotype(co, type) assigning each company a type (Fig. 10 / Q2 of Fig. 13).
+Table GenerateCoType(const StockGenConfig& config);
+
+/// Installs s1 = {stock} into database `db` of `catalog`.
+Status InstallStockS1(Catalog* catalog, const std::string& db, const Table& s1);
+
+/// Installs the s2 layout: one table per company, derived from `s1`.
+Status InstallStockS2(Catalog* catalog, const std::string& db, const Table& s1);
+
+/// Installs the s3 layout: a single pivoted table, derived from `s1`
+/// (Sec. 3.1 full-outer-join semantics; duplicates cross-product).
+Status InstallStockS3(Catalog* catalog, const std::string& db, const Table& s1);
+
+/// Installs db0 = {stock, cotype} (Fig. 10).
+Status InstallDb0(Catalog* catalog, const std::string& db,
+                  const StockGenConfig& config);
+
+}  // namespace dynview
+
+#endif  // DYNVIEW_WORKLOAD_STOCK_DATA_H_

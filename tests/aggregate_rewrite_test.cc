@@ -1,0 +1,223 @@
+// Tests for Sec. 5.2 aggregate-view rewriting (Ex. 5.3): aggregate queries
+// answered from aggregate-defined views by re-aggregation over the view's
+// finer groups, including the dynamic-label view of the paper's example.
+
+#include <gtest/gtest.h>
+
+#include "core/aggregate_rewrite.h"
+#include "engine/query_engine.h"
+#include "schemasql/view_materializer.h"
+#include "sql/parser.h"
+#include "workload/stock_data.h"
+
+namespace dynview {
+namespace {
+
+class AggregateRewriteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StockGenConfig cfg;
+    cfg.num_companies = 5;
+    cfg.num_dates = 8;
+    ASSERT_TRUE(InstallDb0(&catalog_, "db0", cfg).ok());
+  }
+
+  /// Materializes `view_sql` and returns its definition.
+  ViewDefinition Install(const std::string& view_sql,
+                         const std::string& target_db) {
+    QueryEngine engine(&catalog_, "db0");
+    auto created = ViewMaterializer::MaterializeSql(view_sql, &engine,
+                                                    &catalog_, target_db);
+    EXPECT_TRUE(created.ok()) << created.status().ToString();
+    auto vd = ViewDefinition::FromSql(view_sql, catalog_, "db0");
+    EXPECT_TRUE(vd.ok()) << vd.status().ToString();
+    return std::move(vd).value();
+  }
+
+  Table Run(const std::string& sql) {
+    QueryEngine engine(&catalog_, "db0");
+    auto r = engine.ExecuteSql(sql);
+    EXPECT_TRUE(r.ok()) << sql << "\n -> " << r.status().ToString();
+    return r.ok() ? std::move(r).value() : Table();
+  }
+
+  Table RunStmt(SelectStmt* stmt) {
+    QueryEngine engine(&catalog_, "db0");
+    auto r = engine.Execute(stmt);
+    EXPECT_TRUE(r.ok()) << stmt->ToString() << "\n -> "
+                        << r.status().ToString();
+    return r.ok() ? std::move(r).value() : Table();
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(AggregateRewriteTest, StripViewAggregation) {
+  auto view = Parser::ParseCreateView(
+                  "create view v(co, mx) as select C, max(P) from "
+                  "db0::stock T, T.company C, T.price P group by C")
+                  .value();
+  auto core = StripViewAggregation(*view);
+  ASSERT_TRUE(core.ok()) << core.status().ToString();
+  EXPECT_TRUE(core.value()->query->group_by.empty());
+  EXPECT_EQ(core.value()->query->select_list[1].expr->kind, ExprKind::kVarRef);
+}
+
+TEST_F(AggregateRewriteTest, MaxReaggregatesOverCoarserGroups) {
+  ViewDefinition view = Install(
+      "create view db5::daily(co, dt, mx) as "
+      "select C, D, max(P) from db0::stock T, T.company C, T.date D, "
+      "T.price P group by C, D",
+      "db5");
+  AggregateViewRewriter rewriter(&catalog_, "db0");
+  const std::string q =
+      "select C, max(P) from db0::stock T, T.company C, T.price P group by C";
+  auto r = rewriter.Rewrite(view, q, /*allow_avg_reaggregation=*/false);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  Table direct = Run(q);
+  Table rewritten = RunStmt(r.value().query.get());
+  EXPECT_TRUE(direct.BagEquals(rewritten))
+      << r.value().query->ToString() << "\n" << direct.ToString(8)
+      << rewritten.ToString(8);
+}
+
+TEST_F(AggregateRewriteTest, CountReaggregatesAsSum) {
+  ViewDefinition view = Install(
+      "create view db6::cnt(co, dt, n) as "
+      "select C, D, count(P) from db0::stock T, T.company C, T.date D, "
+      "T.price P group by C, D",
+      "db6");
+  AggregateViewRewriter rewriter(&catalog_, "db0");
+  const std::string q =
+      "select C, count(P) from db0::stock T, T.company C, T.price P "
+      "group by C";
+  auto r = rewriter.Rewrite(view, q, false);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // The re-aggregation is SUM over the view's count column.
+  EXPECT_NE(r.value().query->ToString().find("SUM"), std::string::npos);
+  Table direct = Run(q);
+  Table rewritten = RunStmt(r.value().query.get());
+  EXPECT_TRUE(direct.BagEquals(rewritten)) << r.value().query->ToString();
+}
+
+TEST_F(AggregateRewriteTest, SumWithResidualOnGroupColumn) {
+  ViewDefinition view = Install(
+      "create view db7::sums(co, dt, s) as "
+      "select C, D, sum(P) from db0::stock T, T.company C, T.date D, "
+      "T.price P group by C, D",
+      "db7");
+  AggregateViewRewriter rewriter(&catalog_, "db0");
+  // The date predicate survives as a residual on a view group column.
+  const std::string q =
+      "select C, sum(P) from db0::stock T, T.company C, T.price P, T.date D "
+      "where D > DATE '1998-01-03' group by C";
+  auto r = rewriter.Rewrite(view, q, false);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  Table direct = Run(q);
+  Table rewritten = RunStmt(r.value().query.get());
+  EXPECT_TRUE(direct.BagEquals(rewritten)) << r.value().query->ToString();
+}
+
+TEST_F(AggregateRewriteTest, ResidualOnAggregatedColumnRejected) {
+  ViewDefinition view = Install(
+      "create view db8::sums(co, dt, s) as "
+      "select C, D, sum(P) from db0::stock T, T.company C, T.date D, "
+      "T.price P group by C, D",
+      "db8");
+  AggregateViewRewriter rewriter(&catalog_, "db0");
+  // A predicate on the raw price cannot be applied post-aggregation.
+  auto r = rewriter.Rewrite(
+      view,
+      "select C, sum(P) from db0::stock T, T.company C, T.price P "
+      "where P > 100 group by C",
+      false);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(AggregateRewriteTest, TooCoarseViewRejected) {
+  ViewDefinition view = Install(
+      "create view db9::perco(co, mx) as "
+      "select C, max(P) from db0::stock T, T.company C, T.price P group by C",
+      "db9");
+  AggregateViewRewriter rewriter(&catalog_, "db0");
+  // The query groups by date, which the view aggregated away.
+  auto r = rewriter.Rewrite(
+      view,
+      "select D, max(P) from db0::stock T, T.date D, T.price P group by D",
+      false);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(AggregateRewriteTest, AggregateFunctionMismatchRejected) {
+  ViewDefinition view = Install(
+      "create view db10::mx(co, dt, mx) as "
+      "select C, D, max(P) from db0::stock T, T.company C, T.date D, "
+      "T.price P group by C, D",
+      "db10");
+  AggregateViewRewriter rewriter(&catalog_, "db0");
+  auto r = rewriter.Rewrite(
+      view,
+      "select C, sum(P) from db0::stock T, T.company C, T.price P group by C",
+      false);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(AggregateRewriteTest, AvgNeedsUniformityFlagForCoarserGroups) {
+  ViewDefinition view = Install(
+      "create view db11::avgs(co, dt, a) as "
+      "select C, D, avg(P) from db0::stock T, T.company C, T.date D, "
+      "T.price P group by C, D",
+      "db11");
+  AggregateViewRewriter rewriter(&catalog_, "db0");
+  const std::string q =
+      "select C, avg(P) from db0::stock T, T.company C, T.price P group by C";
+  EXPECT_FALSE(rewriter.Rewrite(view, q, false).ok());
+  auto r = rewriter.Rewrite(view, q, true);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // With one price per (company, date), avg-of-avg equals avg.
+  Table direct = Run(q);
+  Table rewritten = RunStmt(r.value().query.get());
+  EXPECT_TRUE(direct.BagEquals(rewritten)) << r.value().query->ToString();
+}
+
+TEST_F(AggregateRewriteTest, Example53DynamicLabels) {
+  // The paper's Ex. 5.3 view: per-exchange databases, companies pivoted into
+  // attributes, per-(exchange, date, company) averages.
+  ViewDefinition view = Install(
+      "create view E::daily(date, C) as "
+      "select D, avg(P) from db0::stock T, T.exch E, T.date D, T.price P, "
+      "T.company C where D > DATE '1980-01-01' group by E, D, C",
+      "aggdb");
+  AggregateViewRewriter rewriter(&catalog_, "db0");
+  const std::string q =
+      "select E, C, avg(P) from db0::stock T, T.exch E, T.company C, "
+      "T.price P, T.date D where D > DATE '1990-01-01' group by E, C";
+  auto r = rewriter.Rewrite(view, q, /*allow_avg_reaggregation=*/true);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // The rewriting is higher order: it quantifies over the per-exchange
+  // databases and pivoted company attributes.
+  EXPECT_TRUE(r.value().query->IsHigherOrder()) << r.value().query->ToString();
+  Table direct = Run(q);
+  Table rewritten = RunStmt(r.value().query.get());
+  direct.SortRows();
+  rewritten.SortRows();
+  EXPECT_TRUE(direct.BagEquals(rewritten))
+      << r.value().query->ToString() << "\ndirect:\n" << direct.ToString(12)
+      << "rewritten:\n" << rewritten.ToString(12);
+}
+
+TEST_F(AggregateRewriteTest, NonAggregateViewRejected) {
+  ViewDefinition view = Install(
+      "create view db12::flat(co, p) as "
+      "select C, P from db0::stock T, T.company C, T.price P",
+      "db12");
+  AggregateViewRewriter rewriter(&catalog_, "db0");
+  auto r = rewriter.Rewrite(
+      view,
+      "select C, max(P) from db0::stock T, T.company C, T.price P group by C",
+      false);
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace dynview

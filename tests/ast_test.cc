@@ -1,0 +1,167 @@
+// Direct tests for the AST: printers for every node/FROM-item kind, deep
+// cloning, and parse → print → parse stability for all statement kinds.
+
+#include <gtest/gtest.h>
+
+#include "sql/ast.h"
+#include "sql/parser.h"
+
+namespace dynview {
+namespace {
+
+TEST(AstPrinterTest, FromItemKinds) {
+  FromItem dbv;
+  dbv.kind = FromItemKind::kDatabaseVar;
+  dbv.var = "D";
+  EXPECT_EQ(dbv.ToString(), "-> D");
+
+  FromItem relv;
+  relv.kind = FromItemKind::kRelationVar;
+  relv.db = NameTerm("s2");
+  relv.var = "R";
+  EXPECT_EQ(relv.ToString(), "s2 -> R");
+
+  FromItem attrv;
+  attrv.kind = FromItemKind::kAttributeVar;
+  attrv.db = NameTerm("s3");
+  attrv.rel = NameTerm("stock");
+  attrv.var = "A";
+  EXPECT_EQ(attrv.ToString(), "s3::stock -> A");
+
+  FromItem tuple;
+  tuple.kind = FromItemKind::kTupleVar;
+  tuple.db = NameTerm("s1");
+  tuple.rel = NameTerm("stock");
+  tuple.var = "T";
+  EXPECT_EQ(tuple.ToString(), "s1::stock T");
+
+  FromItem bare;
+  bare.kind = FromItemKind::kTupleVar;
+  bare.rel = NameTerm("hotel");
+  bare.var = "H";
+  EXPECT_EQ(bare.ToString(), "hotel H");
+
+  FromItem domain;
+  domain.kind = FromItemKind::kDomainVar;
+  domain.tuple = "T";
+  domain.attr = NameTerm("price");
+  domain.var = "P";
+  EXPECT_EQ(domain.ToString(), "T.price P");
+}
+
+TEST(AstPrinterTest, ExpressionForms) {
+  auto e = Parser::ParseSelect(
+      "select a from t where not (a = 1 or b = 2) and c is null "
+      "and d like 'x%' and contains(e, 'w') and hasword(f, 'w')");
+  ASSERT_TRUE(e.ok());
+  std::string s = e.value()->where->ToString();
+  EXPECT_NE(s.find("NOT ("), std::string::npos);
+  EXPECT_NE(s.find("IS NULL"), std::string::npos);
+  EXPECT_NE(s.find("LIKE 'x%'"), std::string::npos);
+  EXPECT_NE(s.find("CONTAINS(e, 'w')"), std::string::npos);
+  EXPECT_NE(s.find("HASWORD(f, 'w')"), std::string::npos);
+  // OR under AND keeps parentheses.
+  EXPECT_NE(s.find("(a = 1 OR b = 2)"), std::string::npos) << s;
+}
+
+TEST(AstPrinterTest, AggregateAndStarForms) {
+  auto e = Parser::ParseSelect(
+      "select count(*), count(distinct a), sum(b), avg(c), min(d), max(e), * "
+      "from t");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.value()->select_list[0].expr->ToString(), "COUNT(*)");
+  EXPECT_EQ(e.value()->select_list[1].expr->ToString(), "COUNT(DISTINCT a)");
+  EXPECT_EQ(e.value()->select_list[2].expr->ToString(), "SUM(b)");
+  EXPECT_EQ(e.value()->select_list[6].expr->ToString(), "*");
+}
+
+TEST(AstPrinterTest, DateLiteralPrintsReparseably) {
+  auto e = Parser::ParseSelect(
+      "select a from t where a > DATE '1998-01-02'");
+  ASSERT_TRUE(e.ok());
+  // Dates print as 1998-01-02; the printed form must reparse. (The printer
+  // emits the bare ISO form, which the lexer reads back as an identifier
+  // context... verify via full round trip.)
+  auto again = Parser::ParseSelect(e.value()->ToString());
+  ASSERT_TRUE(again.ok()) << e.value()->ToString();
+}
+
+class StatementRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(StatementRoundTrip, PrintParsePrintIsStable) {
+  auto first = Parser::Parse(GetParam());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  std::string text1;
+  if (first.value().select) {
+    text1 = first.value().select->ToString();
+  } else if (first.value().create_view) {
+    text1 = first.value().create_view->ToString();
+  } else {
+    text1 = first.value().create_index->ToString();
+  }
+  auto second = Parser::Parse(text1);
+  ASSERT_TRUE(second.ok()) << text1 << "\n -> " << second.status().ToString();
+  std::string text2;
+  if (second.value().select) {
+    text2 = second.value().select->ToString();
+  } else if (second.value().create_view) {
+    text2 = second.value().create_view->ToString();
+  } else {
+    text2 = second.value().create_index->ToString();
+  }
+  EXPECT_EQ(text1, text2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Statements, StatementRoundTrip,
+    ::testing::Values(
+        "select R, D, P from s2 -> R, R T, T.date D, T.price P where P > 200",
+        "select A, T.date, T.A from s3::stock -> A, s3::stock T "
+        "where A <> 'date'",
+        "select D from -> DB, DB::stock T, T.date D",
+        "select C, max(P) from s1::stock T, T.company C, T.price P "
+        "group by C having min(P) > 10 order by C desc limit 3",
+        "select a from t union all select b from u union select c from v",
+        "create view s2::C(date, price) as select D, P from s1::stock T, "
+        "T.company C, T.date D, T.price P",
+        "create view v(a, b) as select X, Y from t T, T.a X, T.b Y "
+        "where X > 1 and Y < 2",
+        "create index ticketInfr as btree by given T.infr "
+        "select R, T.tnum, T.lic from tix -> R, R T",
+        "create index kw as inverted by given T.value "
+        "select T.hid from hotelwords T"));
+
+TEST(AstCloneTest, StatementsCloneDeeply) {
+  auto view = Parser::ParseCreateView(
+                  "create view s2::C(date, price) as select D, P from "
+                  "s1::stock T, T.company C, T.date D, T.price P")
+                  .value();
+  auto copy = view->Clone();
+  EXPECT_EQ(view->ToString(), copy->ToString());
+  copy->attrs[0].text = "changed";
+  EXPECT_NE(view->ToString(), copy->ToString());
+
+  auto index = Parser::ParseCreateIndex(
+                   "create index i as btree by given T.a "
+                   "select T.b from t T")
+                   .value();
+  auto icopy = index->Clone();
+  EXPECT_EQ(index->ToString(), icopy->ToString());
+  icopy->name = "renamed";
+  EXPECT_NE(index->ToString(), icopy->ToString());
+}
+
+TEST(AstUtilTest, CollectVarRefsAndContainsAggregate) {
+  auto e = Parser::ParseSelect("select max(a) + b from t where c = d").value();
+  std::vector<std::string> refs;
+  e->select_list[0].expr->CollectVarRefs(&refs);
+  ASSERT_EQ(refs.size(), 2u);
+  EXPECT_EQ(refs[0], "a");
+  EXPECT_EQ(refs[1], "b");
+  EXPECT_TRUE(e->select_list[0].expr->ContainsAggregate());
+  EXPECT_FALSE(e->where->ContainsAggregate());
+  EXPECT_TRUE(e->IsHigherOrder() == false);
+}
+
+}  // namespace
+}  // namespace dynview

@@ -1,0 +1,205 @@
+// Binder tests: variable resolution, scoping rules, and the Def. 3.1
+// view classification (first-order / dynamic / higher-order).
+
+#include <gtest/gtest.h>
+
+#include "sql/binder.h"
+#include "sql/parser.h"
+
+namespace dynview {
+namespace {
+
+TEST(BinderTest, ClassifiesVariableDeclarations) {
+  auto s = Parser::ParseSelect(
+                "select R, D from -> DB, DB -> R, R T, T.date D")
+                .value();
+  auto bq = Binder::BindSelect(s.get());
+  ASSERT_TRUE(bq.ok()) << bq.status().ToString();
+  EXPECT_TRUE(bq.value().higher_order);
+  EXPECT_EQ(bq.value().Find("DB")->cls, VarClass::kDatabase);
+  EXPECT_EQ(bq.value().Find("R")->cls, VarClass::kRelation);
+  EXPECT_EQ(bq.value().Find("T")->cls, VarClass::kTuple);
+  EXPECT_EQ(bq.value().Find("D")->cls, VarClass::kDomain);
+  EXPECT_EQ(bq.value().Find("missing"), nullptr);
+}
+
+TEST(BinderTest, LookupIsCaseInsensitive) {
+  auto s = Parser::ParseSelect("select D from stock T, T.date D").value();
+  auto bq = Binder::BindSelect(s.get());
+  ASSERT_TRUE(bq.ok());
+  EXPECT_NE(bq.value().Find("d"), nullptr);
+  EXPECT_FALSE(bq.value().higher_order);
+}
+
+TEST(BinderTest, MarksRelationVariableUseInTupleDecl) {
+  auto s = Parser::ParseSelect("select 1 from s2 -> R, R T").value();
+  auto bq = Binder::BindSelect(s.get());
+  ASSERT_TRUE(bq.ok());
+  // The tuple declaration `R T` must be flagged as ranging over a variable.
+  EXPECT_TRUE(s->from_items[1].rel.is_variable);
+  EXPECT_FALSE(s->from_items[0].db.is_variable);  // s2 is a constant.
+}
+
+TEST(BinderTest, AttributeVariableInDomainDecl) {
+  auto s = Parser::ParseSelect(
+               "select A, P from s3::stock -> A, s3::stock T, T.A P "
+               "where A <> 'date'")
+               .value();
+  auto bq = Binder::BindSelect(s.get());
+  ASSERT_TRUE(bq.ok()) << bq.status().ToString();
+  EXPECT_TRUE(s->from_items[2].attr.is_variable);
+  EXPECT_EQ(bq.value().Find("A")->cls, VarClass::kAttribute);
+  EXPECT_EQ(bq.value().Find("P")->cls, VarClass::kDomain);
+}
+
+TEST(BinderTest, RelationShorthandForDomainVariable) {
+  // Fig. 9: `from hotelwords T, hotelwords.attribute A` — qualifier is a
+  // relation name resolving to the unique tuple variable over it.
+  auto s = Parser::ParseSelect(
+               "select A from hotelwords T, hotelwords.attribute A")
+               .value();
+  auto bq = Binder::BindSelect(s.get());
+  ASSERT_TRUE(bq.ok()) << bq.status().ToString();
+  EXPECT_EQ(s->from_items[1].tuple, "T");
+}
+
+TEST(BinderTest, DuplicateVariableRejected) {
+  auto s = Parser::ParseSelect("select 1 from stock T, stock T").value();
+  EXPECT_EQ(Binder::BindSelect(s.get()).status().code(),
+            StatusCode::kBindError);
+}
+
+TEST(BinderTest, DomainOverNonTupleRejected) {
+  auto s = Parser::ParseSelect("select 1 from s2 -> R, R.date D, R T").value();
+  EXPECT_EQ(Binder::BindSelect(s.get()).status().code(),
+            StatusCode::kBindError);
+}
+
+TEST(BinderTest, ClassDirectedLabelResolution) {
+  // A domain variable named C does NOT capture the database position of
+  // `C -> R` (class-directed scoping): C there is a constant database label.
+  auto s = Parser::ParseSelect(
+               "select 1 from stock T, T.company C, C -> R, R U")
+               .value();
+  auto bq = Binder::BindSelect(s.get());
+  ASSERT_TRUE(bq.ok()) << bq.status().ToString();
+  EXPECT_FALSE(s->from_items[2].db.is_variable);
+  // Likewise, a domain variable named after an attribute does not shadow
+  // the attribute label in a later declaration.
+  auto s2 = Parser::ParseSelect(
+                "select P from stock T1, T1.date date, stock T2, "
+                "T2.date P")
+                .value();
+  auto bq2 = Binder::BindSelect(s2.get());
+  ASSERT_TRUE(bq2.ok()) << bq2.status().ToString();
+  EXPECT_FALSE(s2->from_items[3].attr.is_variable);
+}
+
+TEST(BinderTest, ColumnRefQualifierMustBeTupleVar) {
+  auto s = Parser::ParseSelect("select X.price from stock T").value();
+  EXPECT_EQ(Binder::BindSelect(s.get()).status().code(),
+            StatusCode::kBindError);
+}
+
+TEST(BinderTest, ColumnRefRelationShorthand) {
+  auto s = Parser::ParseSelect("select stock.price from stock T").value();
+  auto bq = Binder::BindSelect(s.get());
+  ASSERT_TRUE(bq.ok()) << bq.status().ToString();
+  EXPECT_EQ(s->select_list[0].expr->qualifier, "T");
+}
+
+TEST(BinderTest, UnionBranchesHaveOwnScopes) {
+  auto s = Parser::ParseSelect(
+               "select D from coA T, T.date D union "
+               "select D from coB T, T.date D")
+               .value();
+  EXPECT_TRUE(Binder::BindSelect(s.get()).ok());
+}
+
+// ---- View classification (Def. 3.1) ---------------------------------------
+
+ViewClass ClassifyView(const std::string& sql) {
+  auto v = Parser::ParseCreateView(sql);
+  EXPECT_TRUE(v.ok()) << v.status().ToString();
+  auto bv = Binder::BindView(v.value().get());
+  EXPECT_TRUE(bv.ok()) << bv.status().ToString();
+  return bv.value().view_class;
+}
+
+TEST(ClassifyTest, PlainSqlViewIsFirstOrder) {
+  // Note: header labels are matched case-insensitively against body
+  // variables (SchemaSQL identifiers are case-insensitive), so the labels
+  // here must not collide with D/P.
+  EXPECT_EQ(ClassifyView("create view v(dt, pr) as "
+                         "select D, P from s1::stock T, T.date D, T.price P"),
+            ViewClass::kFirstOrder);
+}
+
+TEST(ClassifyTest, Fig5V4IsDynamic) {
+  // Horizontal partitioning: relation name from data.
+  EXPECT_EQ(ClassifyView(
+                "create view s2::C(date, price) as select D, P "
+                "from s1::stock T, T.company C, T.date D, T.price P"),
+            ViewClass::kDynamic);
+}
+
+TEST(ClassifyTest, Fig5V5IsDynamic) {
+  // Vertical partitioning (pivot): attribute names from data.
+  EXPECT_EQ(ClassifyView(
+                "create view s3::stock(date, C) as select D, P "
+                "from s1::stock T, T.company C, T.date D, T.price P"),
+            ViewClass::kDynamic);
+}
+
+TEST(ClassifyTest, Fig5V6IsHigherOrder) {
+  // v6 declares an attribute variable in its body — not dynamic per
+  // Def. 3.1 even though its output schema is data dependent.
+  EXPECT_EQ(ClassifyView(
+                "create view A::avgview(date, avgprice) as "
+                "select D, avg(P) from s3::stock T, s2::stock -> A, "
+                "T.A P, T.date D where A <> 'date' group by A, D"),
+            ViewClass::kHigherOrder);
+}
+
+TEST(ClassifyTest, Fig2V2IsHigherOrder) {
+  // First-order output schema but a higher-order body.
+  EXPECT_EQ(ClassifyView("create view stock(co, date, price) as "
+                         "select R, D, P from s2 -> R, R T, T.date D, "
+                         "T.price P"),
+            ViewClass::kHigherOrder);
+}
+
+TEST(ClassifyTest, TupleVariableInHeaderRejected) {
+  auto v = Parser::ParseCreateView(
+               "create view s2::T(date) as "
+               "select D from s1::stock T, T.date D")
+               .value();
+  EXPECT_EQ(Binder::BindView(v.get()).status().code(), StatusCode::kBindError);
+}
+
+TEST(ClassifyTest, HeaderVariableFlagsAreSet) {
+  auto v = Parser::ParseCreateView(
+               "create view s3::stock(date, C) as select D, P "
+               "from s1::stock T, T.company C, T.date D, T.price P")
+               .value();
+  auto bv = Binder::BindView(v.get());
+  ASSERT_TRUE(bv.ok());
+  EXPECT_FALSE(bv.value().db_is_variable);
+  EXPECT_FALSE(bv.value().name_is_variable);
+  ASSERT_EQ(bv.value().attr_is_variable.size(), 2u);
+  EXPECT_FALSE(bv.value().attr_is_variable[0]);
+  EXPECT_TRUE(bv.value().attr_is_variable[1]);
+}
+
+TEST(BinderTest, BindIndexBindsGivenExprs) {
+  auto idx = Parser::ParseCreateIndex(
+                 "create index ticketInfr as btree by given T.infr "
+                 "select T.state, T.tnum from tickets T")
+                 .value();
+  auto bq = Binder::BindIndex(idx.get());
+  ASSERT_TRUE(bq.ok()) << bq.status().ToString();
+  EXPECT_NE(bq.value().Find("T"), nullptr);
+}
+
+}  // namespace
+}  // namespace dynview

@@ -1,0 +1,133 @@
+// Tests for the SPJ containment/equivalence checker (Def. 4.1, the [25]
+// machinery underlying Sec. 5).
+
+#include <gtest/gtest.h>
+
+#include "core/containment.h"
+#include "workload/stock_data.h"
+
+namespace dynview {
+namespace {
+
+class ContainmentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StockGenConfig cfg;
+    ASSERT_TRUE(InstallDb0(&catalog_, "db0", cfg).ok());
+  }
+
+  bool Contained(const std::string& a, const std::string& b) {
+    ContainmentChecker checker(&catalog_, "db0");
+    auto r = checker.Contained(a, b);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() && r.value();
+  }
+
+  bool Equivalent(const std::string& a, const std::string& b) {
+    ContainmentChecker checker(&catalog_, "db0");
+    auto r = checker.Equivalent(a, b);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() && r.value();
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(ContainmentTest, IdenticalQueriesAreEquivalent) {
+  const std::string q =
+      "select C, P from db0::stock T, T.company C, T.price P where P > 100";
+  EXPECT_TRUE(Equivalent(q, q));
+}
+
+TEST_F(ContainmentTest, RenamedVariablesAreEquivalent) {
+  EXPECT_TRUE(Equivalent(
+      "select C, P from db0::stock T, T.company C, T.price P where P > 100",
+      "select X, Y from db0::stock U, U.company X, U.price Y "
+      "where Y > 100"));
+}
+
+TEST_F(ContainmentTest, StrongerFilterIsContained) {
+  const std::string narrow =
+      "select P from db0::stock T, T.price P where P > 200";
+  const std::string wide =
+      "select P from db0::stock T, T.price P where P > 100";
+  EXPECT_TRUE(Contained(narrow, wide));
+  EXPECT_FALSE(Contained(wide, narrow));
+  EXPECT_FALSE(Equivalent(narrow, wide));
+}
+
+TEST_F(ContainmentTest, JoinContainedInProjection) {
+  // The classic: a self-join query is contained in the single-scan query
+  // (map both tuple variables to the one scan).
+  const std::string join =
+      "select C1 from db0::stock T1, db0::stock T2, T1.company C1, "
+      "T2.company C2 where C1 = C2";
+  const std::string single =
+      "select C from db0::stock T, T.company C";
+  EXPECT_TRUE(Contained(join, single));
+  // And conversely: the single scan maps into the join by collapsing both
+  // tuple variables onto one (T1 = T2 is consistent).
+  EXPECT_TRUE(Contained(single, join));
+}
+
+TEST_F(ContainmentTest, JoinWithExtraPredicateNotContainedBack) {
+  const std::string join =
+      "select C1 from db0::stock T1, db0::stock T2, T1.company C1, "
+      "T2.company C2, T2.price P2 where C1 = C2 and P2 > 300";
+  const std::string single = "select C from db0::stock T, T.company C";
+  EXPECT_TRUE(Contained(join, single));
+  EXPECT_FALSE(Contained(single, join));
+}
+
+TEST_F(ContainmentTest, DifferentHeadsNotEquivalent) {
+  EXPECT_FALSE(Equivalent(
+      "select C from db0::stock T, T.company C",
+      "select D from db0::stock T, T.date D"));
+  EXPECT_FALSE(Equivalent(
+      "select C from db0::stock T, T.company C",
+      "select C, P from db0::stock T, T.company C, T.price P"));
+}
+
+TEST_F(ContainmentTest, ConstantHeadsThroughEqualities) {
+  // A head variable pinned to a constant matches a literal head.
+  EXPECT_TRUE(Equivalent(
+      "select E from db0::stock T, T.exch E where E = 'nyse'",
+      "select 'nyse' from db0::stock T, T.exch E where E = 'nyse'"));
+}
+
+TEST_F(ContainmentTest, DifferentTablesNeverContained) {
+  EXPECT_FALSE(Contained("select Y from db0::cotype T, T.type Y",
+                         "select C from db0::stock T, T.company C"));
+}
+
+TEST_F(ContainmentTest, TransitiveEqualityReasoning) {
+  EXPECT_TRUE(Contained(
+      "select C1 from db0::stock T1, db0::stock T2, T1.company C1, "
+      "T2.company C2, T1.date D1, T2.date D2 "
+      "where C1 = C2 and D1 = D2 and T1.price = 100 and T2.price = 100",
+      "select C1 from db0::stock T1, T1.company C1 where T1.price = 100"));
+}
+
+TEST_F(ContainmentTest, BetweenRangesCompose) {
+  EXPECT_TRUE(Contained(
+      "select P from db0::stock T, T.price P where P between 150 and 200",
+      "select P from db0::stock T, T.price P where P between 100 and 300"));
+  EXPECT_FALSE(Contained(
+      "select P from db0::stock T, T.price P where P between 100 and 300",
+      "select P from db0::stock T, T.price P where P between 150 and 200"));
+}
+
+TEST_F(ContainmentTest, UnsupportedShapesReported) {
+  ContainmentChecker checker(&catalog_, "db0");
+  EXPECT_FALSE(checker
+                   .Contained("select max(P) from db0::stock T, T.price P",
+                              "select P from db0::stock T, T.price P")
+                   .ok());
+  EXPECT_FALSE(checker
+                   .Contained("select distinct P from db0::stock T, T.price P",
+                              "select P from db0::stock T, T.price P")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace dynview

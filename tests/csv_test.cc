@@ -1,0 +1,113 @@
+// Tests for CSV import/export, including round trips of all value kinds,
+// quoting edge cases, and file I/O.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "relational/csv.h"
+#include "workload/stock_data.h"
+
+namespace dynview {
+namespace {
+
+TEST(CsvTest, HeaderAndSimpleRows) {
+  Table t(Schema::FromNames({"a", "b"}));
+  t.AppendRowUnchecked({Value::Int(1), Value::String("x")});
+  std::string csv = TableToCsv(t);
+  EXPECT_EQ(csv, "a,b\n1,x\n");
+}
+
+TEST(CsvTest, QuotingSpecialCharacters) {
+  Table t(Schema::FromNames({"s"}));
+  t.AppendRowUnchecked({Value::String("a,b")});
+  t.AppendRowUnchecked({Value::String("say \"hi\"")});
+  t.AppendRowUnchecked({Value::String("line\nbreak")});
+  std::string csv = TableToCsv(t);
+  auto back = TableFromCsv(csv, /*infer_types=*/true);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(back.value().BagEquals(t)) << csv;
+}
+
+TEST(CsvTest, NullRoundTrip) {
+  Table t(Schema::FromNames({"a", "b"}));
+  t.AppendRowUnchecked({Value::Null(), Value::Int(2)});
+  auto back = TableFromCsv(TableToCsv(t), true);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().row(0)[0].is_null());
+  EXPECT_EQ(back.value().row(0)[1].as_int(), 2);
+}
+
+TEST(CsvTest, TypeInference) {
+  auto t = TableFromCsv("i,d,b,dt,s\n42,3.5,true,1998-01-02,hello\n", true);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  const Row& r = t.value().row(0);
+  EXPECT_EQ(r[0].kind(), TypeKind::kInt);
+  EXPECT_EQ(r[0].as_int(), 42);
+  EXPECT_EQ(r[1].kind(), TypeKind::kDouble);
+  EXPECT_EQ(r[2].kind(), TypeKind::kBool);
+  EXPECT_EQ(r[3].kind(), TypeKind::kDate);
+  EXPECT_EQ(r[4].kind(), TypeKind::kString);
+}
+
+TEST(CsvTest, QuotedNumbersStayStrings) {
+  auto t = TableFromCsv("x\n\"42\"\n", true);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value().row(0)[0].kind(), TypeKind::kString);
+  EXPECT_EQ(t.value().row(0)[0].as_string(), "42");
+}
+
+TEST(CsvTest, NumericLookingStringsQuotedOnWrite) {
+  // A STRING holding "123" must round-trip as a string.
+  Table t(Schema::FromNames({"s"}));
+  t.AppendRowUnchecked({Value::String("123")});
+  t.AppendRowUnchecked({Value::String("")});
+  auto back = TableFromCsv(TableToCsv(t), true);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().row(0)[0].kind(), TypeKind::kString);
+  EXPECT_EQ(back.value().row(1)[0].kind(), TypeKind::kString);
+}
+
+TEST(CsvTest, GeneratedWorkloadRoundTrips) {
+  StockGenConfig cfg;
+  cfg.num_companies = 5;
+  cfg.num_dates = 10;
+  Table s1 = GenerateStockS1(cfg);
+  auto back = TableFromCsv(TableToCsv(s1), true);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().BagEquals(s1));
+  EXPECT_TRUE(back.value().schema().SameNames(s1.schema()));
+}
+
+TEST(CsvTest, ErrorPaths) {
+  EXPECT_FALSE(TableFromCsv("", true).ok());
+  EXPECT_FALSE(TableFromCsv("a,b\n1\n", true).ok());       // Arity mismatch.
+  EXPECT_FALSE(TableFromCsv("a\n\"unterminated\n", true).ok());
+  EXPECT_FALSE(ReadCsvFile("/nonexistent/x.csv", true).ok());
+}
+
+TEST(CsvTest, BlankLinesSkipped) {
+  auto t = TableFromCsv("a\n1\n\n2\n", true);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value().num_rows(), 2u);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Table t(Schema::FromNames({"co", "price"}));
+  t.AppendRowUnchecked({Value::String("coA"), Value::Int(100)});
+  std::string path = "/tmp/dynview_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(t, path).ok());
+  auto back = ReadCsvFile(path, true);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().BagEquals(t));
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, NoInferenceKeepsStrings) {
+  auto t = TableFromCsv("a,b\n1,x\n", false);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value().row(0)[0].kind(), TypeKind::kString);
+}
+
+}  // namespace
+}  // namespace dynview

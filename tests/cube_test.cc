@@ -1,0 +1,147 @@
+// Tests for the Sec. 1.1.2 decision-analysis substrate: GROUP BY / ROLLUP /
+// CUBE with subtotals, and drill-down navigation.
+
+#include <gtest/gtest.h>
+
+#include "analytics/cube.h"
+#include "workload/hotel_data.h"
+
+namespace dynview {
+namespace {
+
+Table SmallHotels() {
+  Table t(Schema::FromNames({"country", "class", "rooms"}));
+  auto add = [&](const char* c, const char* k, int64_t r) {
+    t.AppendRowUnchecked({Value::String(c), Value::String(k), Value::Int(r)});
+  };
+  add("Greece", "luxury", 100);
+  add("Greece", "luxury", 200);
+  add("Greece", "budget", 50);
+  add("France", "luxury", 300);
+  add("France", "budget", 80);
+  add("France", "budget", 40);
+  return t;
+}
+
+int64_t FindCount(const Table& t, const Value& c0, const Value& c1) {
+  for (const Row& r : t.rows()) {
+    if (r[0].GroupEquals(c0) && r[1].GroupEquals(c1)) return r[2].as_int();
+  }
+  return -1;
+}
+
+TEST(CubeTest, GroupAggregateBasic) {
+  auto r = GroupAggregate(SmallHotels(), {"country", "class"},
+                          {{AggFunc::kCountStar, "", "n"}});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().num_rows(), 4u);  // 2 countries × 2 classes.
+  EXPECT_EQ(FindCount(r.value(), Value::String("Greece"),
+                      Value::String("luxury")),
+            2);
+  EXPECT_EQ(FindCount(r.value(), Value::String("France"),
+                      Value::String("budget")),
+            2);
+}
+
+TEST(CubeTest, RollupAddsPrefixSubtotals) {
+  // The paper's example: hotels per country per class INCLUDING subtotals.
+  auto r = RollupAggregate(SmallHotels(), {"country", "class"},
+                           {{AggFunc::kCountStar, "", "n"}});
+  ASSERT_TRUE(r.ok());
+  // Strata: (country, class) = 4 rows, (country) = 2 rows, () = 1 row.
+  EXPECT_EQ(r.value().num_rows(), 7u);
+  EXPECT_EQ(FindCount(r.value(), Value::String("Greece"), Value::Null()), 3);
+  EXPECT_EQ(FindCount(r.value(), Value::String("France"), Value::Null()), 3);
+  EXPECT_EQ(FindCount(r.value(), Value::Null(), Value::Null()), 6);
+  // No class-only subtotal in a rollup.
+  EXPECT_EQ(FindCount(r.value(), Value::Null(), Value::String("luxury")), -1);
+}
+
+TEST(CubeTest, CubeAddsAllSubsets) {
+  auto r = CubeAggregate(SmallHotels(), {"country", "class"},
+                         {{AggFunc::kCountStar, "", "n"}});
+  ASSERT_TRUE(r.ok());
+  // 4 + 2 + 2 + 1 rows.
+  EXPECT_EQ(r.value().num_rows(), 9u);
+  EXPECT_EQ(FindCount(r.value(), Value::Null(), Value::String("luxury")), 3);
+  EXPECT_EQ(FindCount(r.value(), Value::Null(), Value::String("budget")), 3);
+}
+
+TEST(CubeTest, MultipleMeasures) {
+  auto r = GroupAggregate(
+      SmallHotels(), {"country"},
+      {{AggFunc::kCountStar, "", "n"},
+       {AggFunc::kSum, "rooms", "total_rooms"},
+       {AggFunc::kAvg, "rooms", "avg_rooms"},
+       {AggFunc::kMin, "rooms", "min_rooms"},
+       {AggFunc::kMax, "rooms", "max_rooms"}});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().num_rows(), 2u);
+  for (const Row& row : r.value().rows()) {
+    if (row[0].as_string() == "Greece") {
+      EXPECT_EQ(row[1].as_int(), 3);
+      EXPECT_EQ(row[2].as_int(), 350);
+      EXPECT_NEAR(row[3].as_double(), 350.0 / 3, 1e-9);
+      EXPECT_EQ(row[4].as_int(), 50);
+      EXPECT_EQ(row[5].as_int(), 200);
+    }
+  }
+}
+
+TEST(CubeTest, DrillDownSelectsStratum) {
+  auto cube = CubeAggregate(SmallHotels(), {"country", "class"},
+                            {{AggFunc::kCountStar, "", "n"}});
+  ASSERT_TRUE(cube.ok());
+  // Greece total (class generalized).
+  auto greece = DrillDown(cube.value(), "country", Value::String("Greece"),
+                          {"class"});
+  ASSERT_TRUE(greece.ok());
+  ASSERT_EQ(greece.value().num_rows(), 1u);
+  EXPECT_EQ(greece.value().row(0)[2].as_int(), 3);
+  // Greece by class (nothing generalized).
+  auto by_class =
+      DrillDown(cube.value(), "country", Value::String("Greece"), {});
+  ASSERT_TRUE(by_class.ok());
+  EXPECT_EQ(by_class.value().num_rows(), 3u);  // luxury, budget, + ALL row.
+}
+
+TEST(CubeTest, ErrorsOnUnknownColumns) {
+  EXPECT_FALSE(GroupAggregate(SmallHotels(), {"nope"}, {}).ok());
+  EXPECT_FALSE(GroupAggregate(SmallHotels(), {"country"},
+                              {{AggFunc::kSum, "nope", "s"}})
+                   .ok());
+  EXPECT_FALSE(
+      DrillDown(SmallHotels(), "nope", Value::Null(), {}).ok());
+}
+
+TEST(CubeTest, NullMeasuresSkipped) {
+  Table t(Schema::FromNames({"g", "v"}));
+  t.AppendRowUnchecked({Value::String("a"), Value::Int(10)});
+  t.AppendRowUnchecked({Value::String("a"), Value::Null()});
+  auto r = GroupAggregate(t, {"g"},
+                          {{AggFunc::kCount, "v", "c"},
+                           {AggFunc::kCountStar, "", "n"},
+                           {AggFunc::kSum, "v", "s"}});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().num_rows(), 1u);
+  EXPECT_EQ(r.value().row(0)[1].as_int(), 1);  // COUNT(v) skips NULL.
+  EXPECT_EQ(r.value().row(0)[2].as_int(), 2);  // COUNT(*) does not.
+  EXPECT_EQ(r.value().row(0)[3].as_int(), 10);
+}
+
+TEST(CubeTest, HotelWorkloadEndToEnd) {
+  Catalog catalog;
+  HotelGenConfig cfg;
+  cfg.num_hotels = 60;
+  ASSERT_TRUE(InstallHotelDatabase(&catalog, "hoteldb", cfg).ok());
+  const Table* hotel = catalog.ResolveTable("hoteldb", "hotel").value();
+  auto rollup = RollupAggregate(*hotel, {"country", "class"},
+                                {{AggFunc::kCountStar, "", "hotels"}});
+  ASSERT_TRUE(rollup.ok());
+  // Grand total equals the hotel count.
+  int64_t grand = FindCount(rollup.value(), Value::Null(), Value::Null());
+  EXPECT_EQ(grand, 60);
+}
+
+}  // namespace
+}  // namespace dynview

@@ -1,0 +1,127 @@
+// The paper's Ex. 4.2 / Fig. 14 instances, verbatim: I1 (ibm twice, ge
+// once, all nyse hitech) and I2 (the saturated instance) both map to the
+// same pivoted view instance J1, so Q2' cannot distinguish them — it
+// returns "I1 plus a second copy of the ge tuple" (four tuples).
+
+#include <gtest/gtest.h>
+
+#include "core/translate.h"
+#include "engine/query_engine.h"
+#include "restructure/restructure.h"
+#include "schemasql/view_materializer.h"
+
+namespace dynview {
+namespace {
+
+constexpr char kViewSql[] =
+    "create view db2::nyse(date, C) as "
+    "select D, P from db0::stock T, T.exch E, T.company C, "
+    "T.date D, T.price P where E = 'nyse'";
+
+Row StockRow(const char* co, int64_t price) {
+  return {Value::String(co),
+          Value::MakeDate(Date::Parse("1998-01-01").value()),
+          Value::Int(price), Value::String("nyse")};
+}
+
+Schema StockSchema() {
+  return Schema({{"company", TypeKind::kString},
+                 {"date", TypeKind::kDate},
+                 {"price", TypeKind::kInt},
+                 {"exch", TypeKind::kString}});
+}
+
+/// Installs an instance of db0 (stock + cotype marking both firms hitech).
+Catalog MakeDb0(const std::vector<Row>& stock_rows) {
+  Catalog catalog;
+  Table stock(StockSchema());
+  for (const Row& r : stock_rows) stock.AppendRowUnchecked(r);
+  Table cotype(Schema({{"co", TypeKind::kString}, {"type", TypeKind::kString}}));
+  cotype.AppendRowUnchecked({Value::String("ibm"), Value::String("hitech")});
+  cotype.AppendRowUnchecked({Value::String("ge"), Value::String("hitech")});
+  Database* db = catalog.GetOrCreateDatabase("db0");
+  db->PutTable("stock", std::move(stock));
+  db->PutTable("cotype", std::move(cotype));
+  return catalog;
+}
+
+const char kQ2[] =
+    "select C1, D1, P1 from db0::stock T1, T1.date D1, T1.company C1, "
+    "T1.price P1, T1.exch E1, db0::cotype T2, T2.co C2, T2.type Y1 "
+    "where E1 = 'nyse' and C1 = C2 and Y1 = 'hitech'";
+
+TEST(Fig14Test, InstancesCollapseToTheSameViewImage) {
+  // I1: two ibm prices, one ge price on the same date.
+  Catalog i1 = MakeDb0({StockRow("ibm", 100), StockRow("ibm", 102),
+                        StockRow("ge", 120)});
+  // I2: the saturated instance — ge's tuple duplicated.
+  Catalog i2 = MakeDb0({StockRow("ibm", 100), StockRow("ibm", 102),
+                        StockRow("ge", 120), StockRow("ge", 120)});
+  QueryEngine e1(&i1, "db0");
+  QueryEngine e2(&i2, "db0");
+  Catalog m1, m2;
+  ASSERT_TRUE(ViewMaterializer::MaterializeSql(kViewSql, &e1, &m1, "db2").ok());
+  ASSERT_TRUE(ViewMaterializer::MaterializeSql(kViewSql, &e2, &m2, "db2").ok());
+  const Table* j1 = m1.ResolveTable("db2", "nyse").value();
+  const Table* j2 = m2.ResolveTable("db2", "nyse").value();
+  // Both instances map to the same J1 *as a set of tuples* — I2's image
+  // merely duplicates J1's rows (2×2 cross product), carrying no extra
+  // information. This is the Sec. 4.3 information loss: no query over the
+  // view can separate the instances.
+  EXPECT_TRUE(j1->SetEquals(*j2)) << j1->ToString() << j2->ToString();
+  EXPECT_EQ(j1->num_rows(), 2u);  // Two cross-product rows on the date.
+  EXPECT_EQ(j2->num_rows(), 4u);
+  EXPECT_EQ(j2->Distinct().num_rows(), 2u);
+}
+
+TEST(Fig14Test, Q2ReturnsI1ButQ2PrimeReturnsFourTuples) {
+  Catalog catalog = MakeDb0({StockRow("ibm", 100), StockRow("ibm", 102),
+                             StockRow("ge", 120)});
+  QueryEngine engine(&catalog, "db0");
+  ASSERT_TRUE(
+      ViewMaterializer::MaterializeSql(kViewSql, &engine, &catalog, "db2")
+          .ok());
+  Table direct = engine.ExecuteSql(kQ2).value();
+  EXPECT_EQ(direct.num_rows(), 3u);  // "Q2 ... will return I1" (projected).
+
+  ViewDefinition view = ViewDefinition::FromSql(kViewSql, catalog, "db0").value();
+  QueryTranslator translator(&catalog, "db0");
+  auto t = translator.TranslateSql(view, kQ2, /*multiset=*/false);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  Table rewritten = engine.Execute(t.value().query.get()).value();
+  // "Query Q2' on the same database will return four tuples, I1 plus a
+  // second copy of the ge tuple."
+  EXPECT_EQ(rewritten.num_rows(), 4u) << rewritten.ToString();
+  EXPECT_TRUE(direct.SetEquals(rewritten));
+  int ge_copies = 0;
+  for (const Row& r : rewritten.rows()) {
+    if (r[0].as_string() == "ge") ++ge_copies;
+  }
+  EXPECT_EQ(ge_copies, 2);
+}
+
+TEST(Fig14Test, Q2DistinguishesI1FromI2ButTheViewCannot) {
+  Catalog i1 = MakeDb0({StockRow("ibm", 100), StockRow("ibm", 102),
+                        StockRow("ge", 120)});
+  Catalog i2 = MakeDb0({StockRow("ibm", 100), StockRow("ibm", 102),
+                        StockRow("ge", 120), StockRow("ge", 120)});
+  QueryEngine e1(&i1, "db0");
+  QueryEngine e2(&i2, "db0");
+  Table r1 = e1.ExecuteSql(kQ2).value();
+  Table r2 = e2.ExecuteSql(kQ2).value();
+  // "Q2 returns different results in I1 and I2."
+  EXPECT_FALSE(r1.BagEquals(r2));
+  // But the rewriting over the shared view image returns the same bag for
+  // both — exactly I2's answer (the saturated instance round-trips).
+  ASSERT_TRUE(
+      ViewMaterializer::MaterializeSql(kViewSql, &e1, &i1, "db2").ok());
+  ViewDefinition view = ViewDefinition::FromSql(kViewSql, i1, "db0").value();
+  QueryTranslator translator(&i1, "db0");
+  auto t = translator.TranslateSql(view, kQ2, false);
+  ASSERT_TRUE(t.ok());
+  Table via_view = e1.Execute(t.value().query.get()).value();
+  EXPECT_TRUE(via_view.BagEquals(r2)) << via_view.ToString() << r2.ToString();
+}
+
+}  // namespace
+}  // namespace dynview

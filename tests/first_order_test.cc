@@ -1,0 +1,86 @@
+// Tests for the Sec. 3.2 first-order-normal-form workload analyzer.
+
+#include <gtest/gtest.h>
+
+#include "core/first_order.h"
+
+namespace dynview {
+namespace {
+
+TEST(FirstOrderTest, PureSqlWorkloadIsFirstOrder) {
+  auto r = AnalyzeWorkloadFirstOrder(
+      {"select C, P from s1::stock T, T.company C, T.price P",
+       "select D from s1::stock T, T.date D where T.price > 100"},
+      "s1");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value().schema_is_first_order());
+  EXPECT_TRUE(r.value().first_order[0]);
+  EXPECT_TRUE(r.value().first_order[1]);
+}
+
+TEST(FirstOrderTest, RelationQuantificationDetected) {
+  auto r = AnalyzeWorkloadFirstOrder(
+      {"select R from s2 -> R, R T, T.price P where P > 100",
+       "select C from s1::stock T, T.company C"},
+      "s1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().schema_is_first_order());
+  EXPECT_FALSE(r.value().first_order[0]);
+  EXPECT_TRUE(r.value().first_order[1]);
+  ASSERT_EQ(r.value().quantified.size(), 1u);
+  const QuantifiedLabelSpace& q = r.value().quantified[0];
+  EXPECT_EQ(q.kind, QuantifiedLabelSpace::Kind::kRelationsOf);
+  EXPECT_EQ(q.db, "s2");
+  EXPECT_EQ(q.query_count, 1);
+  EXPECT_NE(q.SuggestedInterface().find("unite"), std::string::npos);
+}
+
+TEST(FirstOrderTest, AttributeQuantificationSuggestsUnpivot) {
+  auto r = AnalyzeWorkloadFirstOrder(
+      {"select A from s3::stock -> A, s3::stock T where A <> 'date'",
+       "select A, P from s3::stock -> A, s3::stock T, T.A P"},
+      "s3");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().quantified.size(), 1u);
+  const QuantifiedLabelSpace& q = r.value().quantified[0];
+  EXPECT_EQ(q.kind, QuantifiedLabelSpace::Kind::kAttributesOf);
+  EXPECT_EQ(q.rel, "stock");
+  EXPECT_EQ(q.query_count, 2);  // Deduplicated across queries, counted.
+  EXPECT_NE(q.SuggestedInterface().find("unpivot"), std::string::npos);
+}
+
+TEST(FirstOrderTest, DatabaseQuantificationDetected) {
+  auto r = AnalyzeWorkloadFirstOrder({"select D from -> D, D::stock T"}, "s1");
+  ASSERT_TRUE(r.ok());
+  ASSERT_GE(r.value().quantified.size(), 1u);
+  EXPECT_EQ(r.value().quantified[0].kind,
+            QuantifiedLabelSpace::Kind::kDatabases);
+}
+
+TEST(FirstOrderTest, UnionBranchesAnalyzed) {
+  auto r = AnalyzeWorkloadFirstOrder(
+      {"select C from s1::stock T, T.company C union "
+       "select R from s2 -> R, R T"},
+      "s1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().first_order[0]);
+}
+
+TEST(FirstOrderTest, DescribeIsReadable) {
+  auto r = AnalyzeWorkloadFirstOrder(
+      {"select R from s2 -> R, R T",
+       "select A from s3::stock -> A, s3::stock T"},
+      "s1");
+  ASSERT_TRUE(r.ok());
+  std::string d = r.value().Describe();
+  EXPECT_NE(d.find("2 higher order"), std::string::npos) << d;
+  EXPECT_NE(d.find("NOT first order"), std::string::npos) << d;
+  EXPECT_NE(d.find("fix:"), std::string::npos) << d;
+}
+
+TEST(FirstOrderTest, ParseErrorsPropagate) {
+  EXPECT_FALSE(AnalyzeWorkloadFirstOrder({"select from"}, "s1").ok());
+}
+
+}  // namespace
+}  // namespace dynview

@@ -1,0 +1,115 @@
+// Unit tests for the SQL/SchemaSQL lexer.
+
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+
+namespace dynview {
+namespace {
+
+std::vector<Token> Lex(const std::string& s) {
+  auto r = Lexer::Tokenize(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? r.value() : std::vector<Token>{};
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto t = Lex("SeLeCt FROM where");
+  ASSERT_EQ(t.size(), 4u);  // Including kEnd.
+  EXPECT_EQ(t[0].kind, TokenKind::kSelect);
+  EXPECT_EQ(t[1].kind, TokenKind::kFrom);
+  EXPECT_EQ(t[2].kind, TokenKind::kWhere);
+  EXPECT_EQ(t[3].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, SchemaSqlOperators) {
+  auto t = Lex("-> s2 :: stock");
+  EXPECT_EQ(t[0].kind, TokenKind::kArrow);
+  EXPECT_EQ(t[1].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(t[2].kind, TokenKind::kDoubleColon);
+  EXPECT_EQ(t[3].kind, TokenKind::kIdentifier);
+}
+
+TEST(LexerTest, ArrowVersusMinus) {
+  auto t = Lex("a - b -> c");
+  EXPECT_EQ(t[1].kind, TokenKind::kMinus);
+  EXPECT_EQ(t[3].kind, TokenKind::kArrow);
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  auto t = Lex("= <> != < <= > >=");
+  EXPECT_EQ(t[0].kind, TokenKind::kEq);
+  EXPECT_EQ(t[1].kind, TokenKind::kNotEq);
+  EXPECT_EQ(t[2].kind, TokenKind::kNotEq);
+  EXPECT_EQ(t[3].kind, TokenKind::kLess);
+  EXPECT_EQ(t[4].kind, TokenKind::kLessEq);
+  EXPECT_EQ(t[5].kind, TokenKind::kGreater);
+  EXPECT_EQ(t[6].kind, TokenKind::kGreaterEq);
+}
+
+TEST(LexerTest, StringLiteralWithEscapes) {
+  auto t = Lex("'nyse' 'it''s'");
+  EXPECT_EQ(t[0].kind, TokenKind::kStringLiteral);
+  EXPECT_EQ(t[0].text, "nyse");
+  EXPECT_EQ(t[1].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringErrors) {
+  EXPECT_FALSE(Lexer::Tokenize("select 'oops").ok());
+}
+
+TEST(LexerTest, NumericLiterals) {
+  auto t = Lex("200 3.5 70");
+  EXPECT_EQ(t[0].kind, TokenKind::kIntLiteral);
+  EXPECT_EQ(t[0].text, "200");
+  EXPECT_EQ(t[1].kind, TokenKind::kDoubleLiteral);
+  EXPECT_EQ(t[1].text, "3.5");
+}
+
+TEST(LexerTest, DateLiteralVersusDateIdentifier) {
+  // `DATE '1998-01-02'` is a literal; a bare `date` is an identifier (the
+  // stock schema's date column).
+  auto t = Lex("T.date = DATE '1998-01-02'");
+  EXPECT_EQ(t[0].kind, TokenKind::kIdentifier);  // T
+  EXPECT_EQ(t[2].kind, TokenKind::kIdentifier);  // date
+  EXPECT_EQ(t[2].text, "date");
+  EXPECT_EQ(t[4].kind, TokenKind::kDateLiteral);
+  EXPECT_EQ(t[4].text, "1998-01-02");
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto t = Lex("select -- the select list\n x");
+  EXPECT_EQ(t[0].kind, TokenKind::kSelect);
+  EXPECT_EQ(t[1].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(t[1].text, "x");
+}
+
+TEST(LexerTest, AggregateKeywords) {
+  auto t = Lex("count sum avg min max");
+  EXPECT_EQ(t[0].kind, TokenKind::kCount);
+  EXPECT_EQ(t[1].kind, TokenKind::kSum);
+  EXPECT_EQ(t[2].kind, TokenKind::kAvg);
+  EXPECT_EQ(t[3].kind, TokenKind::kMin);
+  EXPECT_EQ(t[4].kind, TokenKind::kMax);
+}
+
+TEST(LexerTest, PositionsAreTracked) {
+  auto t = Lex("select x");
+  EXPECT_EQ(t[0].position, 0u);
+  EXPECT_EQ(t[1].position, 7u);
+}
+
+TEST(LexerTest, StrayCharactersError) {
+  EXPECT_FALSE(Lexer::Tokenize("select #").ok());
+  EXPECT_FALSE(Lexer::Tokenize("a : b").ok());
+  EXPECT_FALSE(Lexer::Tokenize("a ! b").ok());
+}
+
+TEST(LexerTest, IdentifiersPreserveCase) {
+  auto t = Lex("CoA T1");
+  EXPECT_EQ(t[0].text, "CoA");
+  EXPECT_EQ(t[1].text, "T1");
+}
+
+}  // namespace
+}  // namespace dynview

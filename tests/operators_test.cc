@@ -1,0 +1,137 @@
+// Unit tests for the table-level operators: hash join, cross product, full
+// outer join (the Sec. 3.1 pivot workhorse), union, projection.
+
+#include <gtest/gtest.h>
+
+#include "engine/operators.h"
+
+namespace dynview {
+namespace {
+
+Table MakeTable(const std::vector<std::string>& cols,
+                const std::vector<Row>& rows) {
+  Table t(Schema::FromNames(cols));
+  for (const Row& r : rows) t.AppendRowUnchecked(r);
+  return t;
+}
+
+TEST(HashJoinTest, BasicEquiJoin) {
+  Table l = MakeTable({"k", "a"}, {{Value::Int(1), Value::String("x")},
+                                   {Value::Int(2), Value::String("y")}});
+  Table r = MakeTable({"k2", "b"}, {{Value::Int(1), Value::String("p")},
+                                    {Value::Int(3), Value::String("q")}});
+  auto j = HashJoin(l, r, {0}, {0});
+  ASSERT_TRUE(j.ok());
+  ASSERT_EQ(j.value().num_rows(), 1u);
+  EXPECT_EQ(j.value().row(0)[1].as_string(), "x");
+  EXPECT_EQ(j.value().row(0)[3].as_string(), "p");
+  EXPECT_EQ(j.value().schema().num_columns(), 4u);
+}
+
+TEST(HashJoinTest, DuplicatesMultiply) {
+  Table l = MakeTable({"k"}, {{Value::Int(1)}, {Value::Int(1)}});
+  Table r = MakeTable({"k"}, {{Value::Int(1)}, {Value::Int(1)},
+                              {Value::Int(1)}});
+  auto j = HashJoin(l, r, {0}, {0});
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j.value().num_rows(), 6u);  // Bag semantics: 2 × 3.
+}
+
+TEST(HashJoinTest, NullKeysNeverMatch) {
+  Table l = MakeTable({"k"}, {{Value::Null()}});
+  Table r = MakeTable({"k"}, {{Value::Null()}});
+  auto j = HashJoin(l, r, {0}, {0});
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j.value().num_rows(), 0u);
+}
+
+TEST(HashJoinTest, KeyArityMismatchRejected) {
+  Table t = MakeTable({"k"}, {});
+  EXPECT_FALSE(HashJoin(t, t, {0}, {0, 0}).ok());
+  EXPECT_FALSE(HashJoin(t, t, {5}, {0}).ok());
+}
+
+TEST(CrossProductTest, AllPairs) {
+  Table l = MakeTable({"a"}, {{Value::Int(1)}, {Value::Int(2)}});
+  Table r = MakeTable({"b"}, {{Value::Int(3)}, {Value::Int(4)},
+                              {Value::Int(5)}});
+  Table x = CrossProduct(l, r);
+  EXPECT_EQ(x.num_rows(), 6u);
+  EXPECT_EQ(x.schema().num_columns(), 2u);
+}
+
+TEST(FullOuterJoinTest, MatchesAndPadding) {
+  Table l = MakeTable({"k", "a"}, {{Value::Int(1), Value::String("x")},
+                                   {Value::Int(2), Value::String("y")}});
+  Table r = MakeTable({"k", "b"}, {{Value::Int(2), Value::String("p")},
+                                   {Value::Int(3), Value::String("q")}});
+  auto j = FullOuterJoin(l, r, {0}, {0});
+  ASSERT_TRUE(j.ok());
+  // 1 match (k=2) + 1 left-only (k=1) + 1 right-only (k=3).
+  EXPECT_EQ(j.value().num_rows(), 3u);
+  int padded_left = 0, padded_right = 0, matched = 0;
+  for (const Row& row : j.value().rows()) {
+    bool lnull = row[0].is_null();
+    bool rnull = row[2].is_null();
+    if (lnull) ++padded_left;
+    else if (rnull) ++padded_right;
+    else ++matched;
+  }
+  EXPECT_EQ(matched, 1);
+  EXPECT_EQ(padded_left, 1);
+  EXPECT_EQ(padded_right, 1);
+}
+
+TEST(FullOuterJoinTest, CrossProductPerKey) {
+  // The Sec. 3.1 semantics: multiplicities multiply within a key.
+  Table l = MakeTable({"k", "a"}, {{Value::Int(1), Value::Int(10)},
+                                   {Value::Int(1), Value::Int(20)},
+                                   {Value::Int(1), Value::Int(30)}});
+  Table r = MakeTable({"k", "b"}, {{Value::Int(1), Value::Int(100)},
+                                   {Value::Int(1), Value::Int(200)}});
+  auto j = FullOuterJoin(l, r, {0}, {0});
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j.value().num_rows(), 6u);
+}
+
+TEST(FullOuterJoinTest, NullKeysPadBothSides) {
+  Table l = MakeTable({"k"}, {{Value::Null()}});
+  Table r = MakeTable({"k"}, {{Value::Null()}});
+  auto j = FullOuterJoin(l, r, {0}, {0});
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j.value().num_rows(), 2u);  // Each padded, neither matched.
+}
+
+TEST(UnionAllTest, ConcatenatesBags) {
+  Table a = MakeTable({"x"}, {{Value::Int(1)}});
+  Table b = MakeTable({"y"}, {{Value::Int(1)}, {Value::Int(2)}});
+  auto u = UnionAll(a, b);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u.value().num_rows(), 3u);
+  EXPECT_EQ(u.value().schema().column(0).name, "x");  // Left schema wins.
+}
+
+TEST(UnionAllTest, ArityMismatchRejected) {
+  Table a = MakeTable({"x"}, {});
+  Table b = MakeTable({"x", "y"}, {});
+  EXPECT_FALSE(UnionAll(a, b).ok());
+}
+
+TEST(ProjectColumnsTest, ReorderAndRename) {
+  Table t = MakeTable({"a", "b", "c"},
+                      {{Value::Int(1), Value::Int(2), Value::Int(3)}});
+  auto p = ProjectColumns(t, {2, 0}, {"cc", "aa"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().schema().column(0).name, "cc");
+  EXPECT_EQ(p.value().row(0)[0].as_int(), 3);
+  EXPECT_EQ(p.value().row(0)[1].as_int(), 1);
+}
+
+TEST(ProjectColumnsTest, Errors) {
+  Table t = MakeTable({"a"}, {});
+  EXPECT_FALSE(ProjectColumns(t, {0}, {"x", "y"}).ok());
+  EXPECT_FALSE(ProjectColumns(t, {7}, {"x"}).ok());
+}
+
+}  // namespace
+}  // namespace dynview

@@ -1,0 +1,214 @@
+// Unit tests for the relational substrate: Value semantics (3VL), Schema,
+// Table (bag semantics), Database and Catalog.
+
+#include <gtest/gtest.h>
+
+#include "relational/catalog.h"
+#include "relational/schema.h"
+#include "relational/table.h"
+#include "relational/value.h"
+
+namespace dynview {
+namespace {
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_EQ(Value::Null().kind(), TypeKind::kNull);
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Bool(true).as_bool(), true);
+  EXPECT_EQ(Value::Int(42).as_int(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(3.5).as_double(), 3.5);
+  EXPECT_EQ(Value::String("nyse").as_string(), "nyse");
+  Date d = Date::Parse("1998-01-02").value();
+  EXPECT_EQ(Value::MakeDate(d).as_date(), d);
+}
+
+TEST(ValueTest, NumericCoercionInCompare) {
+  int cmp = 0;
+  auto r = Value::Compare(Value::Int(2), Value::Double(2.0), &cmp);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), TriBool::kTrue);
+  EXPECT_EQ(cmp, 0);
+  r = Value::Compare(Value::Int(2), Value::Double(2.5), &cmp);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(cmp, 0);
+}
+
+TEST(ValueTest, NullComparisonIsUnknown) {
+  int cmp = 0;
+  auto r = Value::Compare(Value::Null(), Value::Int(1), &cmp);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), TriBool::kUnknown);
+  auto eq = Value::SqlEquals(Value::Null(), Value::Null());
+  ASSERT_TRUE(eq.ok());
+  EXPECT_EQ(eq.value(), TriBool::kUnknown);
+}
+
+TEST(ValueTest, IncomparableKindsError) {
+  int cmp = 0;
+  auto r = Value::Compare(Value::Int(1), Value::String("x"), &cmp);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+}
+
+TEST(ValueTest, GroupSemantics) {
+  // NULL groups with NULL; INT 1 groups with DOUBLE 1.0.
+  EXPECT_TRUE(Value::Null().GroupEquals(Value::Null()));
+  EXPECT_FALSE(Value::Null().GroupEquals(Value::Int(0)));
+  EXPECT_TRUE(Value::Int(1).GroupEquals(Value::Double(1.0)));
+  EXPECT_EQ(Value::Int(1).GroupHash(), Value::Double(1.0).GroupHash());
+  EXPECT_TRUE(Value::String("a").GroupEquals(Value::String("a")));
+  EXPECT_FALSE(Value::String("a").GroupEquals(Value::String("b")));
+}
+
+TEST(ValueTest, TriLogicTables) {
+  EXPECT_EQ(TriAnd(TriBool::kTrue, TriBool::kUnknown), TriBool::kUnknown);
+  EXPECT_EQ(TriAnd(TriBool::kFalse, TriBool::kUnknown), TriBool::kFalse);
+  EXPECT_EQ(TriOr(TriBool::kTrue, TriBool::kUnknown), TriBool::kTrue);
+  EXPECT_EQ(TriOr(TriBool::kFalse, TriBool::kUnknown), TriBool::kUnknown);
+  EXPECT_EQ(TriNot(TriBool::kUnknown), TriBool::kUnknown);
+  EXPECT_EQ(TriNot(TriBool::kTrue), TriBool::kFalse);
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(7).ToString(), "7");
+  EXPECT_EQ(Value::String("x").ToString(), "'x'");
+  EXPECT_EQ(Value::String("x").ToLabel(), "x");
+  EXPECT_EQ(Value::Bool(false).ToString(), "FALSE");
+}
+
+TEST(SchemaTest, LookupIsCaseInsensitive) {
+  Schema s = Schema::FromNames({"Company", "date", "price"});
+  EXPECT_EQ(s.IndexOf("company"), 0);
+  EXPECT_EQ(s.IndexOf("DATE"), 1);
+  EXPECT_EQ(s.IndexOf("missing"), -1);
+  EXPECT_TRUE(s.HasColumn("PRICE"));
+}
+
+TEST(SchemaTest, AddColumnRejectsDuplicates) {
+  Schema s;
+  EXPECT_TRUE(s.AddColumn(Column("a", TypeKind::kInt)).ok());
+  Status st = s.AddColumn(Column("A", TypeKind::kString));
+  EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, SameNames) {
+  Schema a = Schema::FromNames({"x", "y"});
+  Schema b = Schema::FromNames({"X", "Y"});
+  Schema c = Schema::FromNames({"y", "x"});
+  EXPECT_TRUE(a.SameNames(b));
+  EXPECT_FALSE(a.SameNames(c));
+}
+
+Table MakeTable(const std::vector<std::string>& cols,
+                const std::vector<Row>& rows) {
+  Table t(Schema::FromNames(cols));
+  for (const Row& r : rows) {
+    auto st = t.AppendRow(r);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+  return t;
+}
+
+TEST(TableTest, AppendChecksArity) {
+  Table t(Schema::FromNames({"a", "b"}));
+  EXPECT_TRUE(t.AppendRow({Value::Int(1), Value::Int(2)}).ok());
+  EXPECT_FALSE(t.AppendRow({Value::Int(1)}).ok());
+}
+
+TEST(TableTest, BagSemanticsRetainDuplicates) {
+  Table t = MakeTable({"a"}, {{Value::Int(1)}, {Value::Int(1)}});
+  EXPECT_EQ(t.num_rows(), 2u);
+  Table d = t.Distinct();
+  EXPECT_EQ(d.num_rows(), 1u);
+}
+
+TEST(TableTest, BagEquality) {
+  Table a = MakeTable({"a"}, {{Value::Int(1)}, {Value::Int(2)}, {Value::Int(1)}});
+  Table b = MakeTable({"a"}, {{Value::Int(2)}, {Value::Int(1)}, {Value::Int(1)}});
+  Table c = MakeTable({"a"}, {{Value::Int(1)}, {Value::Int(2)}});
+  EXPECT_TRUE(a.BagEquals(b));
+  EXPECT_FALSE(a.BagEquals(c));
+  EXPECT_TRUE(a.SetEquals(c));
+}
+
+TEST(TableTest, SetEqualityIgnoresMultiplicity) {
+  // The heart of the paper's Sec. 4.3: views that lose multiplicities can
+  // remain set-equal while differing as bags.
+  Table i1 = MakeTable({"x"}, {{Value::Int(1)}, {Value::Int(1)}});
+  Table i2 = MakeTable({"x"}, {{Value::Int(1)}});
+  EXPECT_TRUE(i1.SetEquals(i2));
+  EXPECT_FALSE(i1.BagEquals(i2));
+}
+
+TEST(TableTest, SortRowsIsDeterministic) {
+  Table t = MakeTable({"a", "b"}, {{Value::Int(2), Value::String("b")},
+                                   {Value::Int(1), Value::String("z")},
+                                   {Value::Int(1), Value::String("a")}});
+  t.SortRows();
+  EXPECT_EQ(t.row(0)[0].as_int(), 1);
+  EXPECT_EQ(t.row(0)[1].as_string(), "a");
+  EXPECT_EQ(t.row(2)[0].as_int(), 2);
+}
+
+TEST(TableTest, ToStringRendersHeaderAndRows) {
+  Table t = MakeTable({"co", "price"}, {{Value::String("coA"), Value::Int(100)}});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("co"), std::string::npos);
+  EXPECT_NE(s.find("'coA'"), std::string::npos);
+  EXPECT_NE(s.find("100"), std::string::npos);
+}
+
+TEST(TableTest, ToStringTruncates) {
+  Table t(Schema::FromNames({"a"}));
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value::Int(i)}).ok());
+  }
+  std::string s = t.ToString(3);
+  EXPECT_NE(s.find("7 more rows"), std::string::npos);
+}
+
+TEST(CatalogTest, DatabaseTableLifecycle) {
+  Catalog cat;
+  auto db = cat.CreateDatabase("s2");
+  ASSERT_TRUE(db.ok());
+  EXPECT_FALSE(cat.CreateDatabase("S2").ok());  // Case-insensitive clash.
+  Table t(Schema::FromNames({"date", "price"}));
+  EXPECT_TRUE(db.value()->AddTable("coA", std::move(t)).ok());
+  EXPECT_TRUE(db.value()->HasTable("COA"));
+  EXPECT_FALSE(db.value()->AddTable("coa", Table()).ok());
+  auto got = cat.ResolveTable("s2", "coA");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value()->schema().num_columns(), 2u);
+  EXPECT_TRUE(db.value()->DropTable("coA").ok());
+  EXPECT_FALSE(db.value()->DropTable("coA").ok());
+}
+
+TEST(CatalogTest, NamesAreSortedForVariableRanges) {
+  Catalog cat;
+  Database* db = cat.GetOrCreateDatabase("s2");
+  db->PutTable("coC", Table());
+  db->PutTable("coA", Table());
+  db->PutTable("coB", Table());
+  auto names = db->TableNames();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "coA");
+  EXPECT_EQ(names[1], "coB");
+  EXPECT_EQ(names[2], "coC");
+  cat.GetOrCreateDatabase("db1");
+  auto dbs = cat.DatabaseNames();
+  ASSERT_EQ(dbs.size(), 2u);
+  EXPECT_EQ(dbs[0], "db1");
+  EXPECT_EQ(dbs[1], "s2");
+}
+
+TEST(CatalogTest, MissingLookupsReportNotFound) {
+  Catalog cat;
+  EXPECT_EQ(cat.GetDatabase("nope").status().code(), StatusCode::kNotFound);
+  cat.GetOrCreateDatabase("db");
+  EXPECT_EQ(cat.ResolveTable("db", "nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace dynview

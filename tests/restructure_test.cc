@@ -1,0 +1,249 @@
+// Tests for the restructuring library (Fig. 1 transformations) including
+// property-style round-trip sweeps, plus the Sec. 3.1 cross-product pivot
+// semantics on duplicated instances.
+
+#include <gtest/gtest.h>
+
+#include "restructure/restructure.h"
+#include "workload/stock_data.h"
+
+namespace dynview {
+namespace {
+
+Table SmallStock() {
+  Table t(Schema({{"company", TypeKind::kString},
+                  {"date", TypeKind::kString},
+                  {"price", TypeKind::kInt}}));
+  auto add = [&](const char* c, const char* d, int64_t p) {
+    t.AppendRowUnchecked(
+        {Value::String(c), Value::String(d), Value::Int(p)});
+  };
+  add("coA", "d1", 100);
+  add("coA", "d2", 110);
+  add("coB", "d1", 200);
+  add("coC", "d2", 300);
+  return t;
+}
+
+TEST(PartitionTest, SplitsByLabelSorted) {
+  auto parts = PartitionByColumn(SmallStock(), "company");
+  ASSERT_TRUE(parts.ok()) << parts.status().ToString();
+  ASSERT_EQ(parts.value().size(), 3u);
+  EXPECT_EQ(parts.value()[0].first, "coA");
+  EXPECT_EQ(parts.value()[0].second.num_rows(), 2u);
+  EXPECT_EQ(parts.value()[1].first, "coB");
+  EXPECT_EQ(parts.value()[2].first, "coC");
+  // Label column is projected away.
+  EXPECT_EQ(parts.value()[0].second.schema().num_columns(), 2u);
+  EXPECT_EQ(parts.value()[0].second.schema().column(0).name, "date");
+}
+
+TEST(PartitionTest, NullLabelRejected) {
+  Table t(Schema::FromNames({"label", "v"}));
+  t.AppendRowUnchecked({Value::Null(), Value::Int(1)});
+  EXPECT_FALSE(PartitionByColumn(t, "label").ok());
+}
+
+TEST(PartitionTest, MissingColumnRejected) {
+  EXPECT_FALSE(PartitionByColumn(SmallStock(), "nope").ok());
+}
+
+TEST(UniteTest, InverseOfPartition) {
+  Table s = SmallStock();
+  auto parts = PartitionByColumn(s, "company").value();
+  auto back = Unite(parts, "company");
+  ASSERT_TRUE(back.ok());
+  // Unite puts the label first; same bag modulo column order.
+  EXPECT_EQ(back.value().num_rows(), s.num_rows());
+  EXPECT_EQ(back.value().schema().column(0).name, "company");
+}
+
+TEST(UniteTest, EmptyPartsRejected) {
+  EXPECT_FALSE(Unite({}, "label").ok());
+}
+
+TEST(PivotTest, BasicPivotShape) {
+  auto p = Pivot(SmallStock(), {"date"}, "company", "price");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  const Table& t = p.value();
+  // Columns: date, coA, coB, coC.
+  ASSERT_EQ(t.schema().num_columns(), 4u);
+  EXPECT_EQ(t.schema().column(0).name, "date");
+  EXPECT_EQ(t.schema().column(1).name, "coA");
+  EXPECT_EQ(t.schema().column(3).name, "coC");
+  // Two dates → two rows.
+  EXPECT_EQ(t.num_rows(), 2u);
+  // Missing combinations are NULL-padded: coB has no d2 price.
+  for (const Row& r : t.rows()) {
+    if (r[0].as_string() == "d2") {
+      EXPECT_TRUE(r[2].is_null());
+      EXPECT_EQ(r[3].as_int(), 300);
+    } else {
+      EXPECT_EQ(r[1].as_int(), 100);
+      EXPECT_TRUE(r[3].is_null());
+    }
+  }
+}
+
+TEST(PivotTest, DuplicatesCrossProductPerSec31) {
+  // The paper's example: three coA prices and two coB prices on the same
+  // date yield 3 × 2 = 6 tuples.
+  Table t(Schema::FromNames({"company", "date", "price"}));
+  for (int p : {1, 2, 3}) {
+    t.AppendRowUnchecked(
+        {Value::String("coA"), Value::String("1/1/98"), Value::Int(p)});
+  }
+  for (int p : {10, 20}) {
+    t.AppendRowUnchecked(
+        {Value::String("coB"), Value::String("1/1/98"), Value::Int(p)});
+  }
+  auto piv = Pivot(t, {"date"}, "company", "price");
+  ASSERT_TRUE(piv.ok());
+  EXPECT_EQ(piv.value().num_rows(), 6u);
+}
+
+TEST(PivotTest, NullLabelRejected) {
+  Table t(Schema::FromNames({"company", "date", "price"}));
+  t.AppendRowUnchecked({Value::Null(), Value::String("d"), Value::Int(1)});
+  EXPECT_FALSE(Pivot(t, {"date"}, "company", "price").ok());
+}
+
+TEST(UnpivotTest, DropsNullPadding) {
+  Table s = SmallStock();
+  Table piv = Pivot(s, {"date"}, "company", "price").value();
+  auto back = Unpivot(piv, {"date"}, "company", "price");
+  ASSERT_TRUE(back.ok());
+  // The NULL cells introduced by padding disappear; original 4 rows return.
+  EXPECT_EQ(back.value().num_rows(), 4u);
+}
+
+TEST(RoundTripTest, LosslessInstanceRoundTrips) {
+  auto ok = PivotPreservesInstance(SmallStock(), {"date"}, "company", "price");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_TRUE(ok.value());
+}
+
+TEST(RoundTripTest, Fig12CollisionDetected) {
+  // Fig. 12: I1 = {(a,b,c),(a,b,c')} and I2 = {(a,b,c),(a,b,c'),(a,b',c),
+  // (a,b',c')} (b/b' as labels) map to the same pivoted instance. Concretely
+  // the cross product reappears on unpivot, so I1 does NOT round trip while
+  // I2 (the full cross product) does.
+  Table i1(Schema::FromNames({"a0", "a1", "a2"}));
+  auto add = [&](Table* t, const char* g, const char* label, int v) {
+    t->AppendRowUnchecked(
+        {Value::String(g), Value::String(label), Value::Int(v)});
+  };
+  add(&i1, "g", "b", 1);
+  add(&i1, "g", "b2", 2);
+  add(&i1, "g", "b", 3);  // Second b-value for the same group key.
+  // Pivot groups on a0 only; labels from a1; values a2.
+  auto preserved = PivotPreservesInstance(i1, {"a0"}, "a1", "a2");
+  ASSERT_TRUE(preserved.ok());
+  EXPECT_FALSE(preserved.value());  // Cross product inflates the bag.
+
+  // The saturated instance (full cross product) DOES round trip — it is the
+  // canonical representative both instances collapse to.
+  Table i2(Schema::FromNames({"a0", "a1", "a2"}));
+  add(&i2, "g", "b", 1);
+  add(&i2, "g", "b", 3);
+  add(&i2, "g", "b2", 2);
+  auto rt1 = PivotRoundTrip(i1, {"a0"}, "a1", "a2");
+  auto rt2 = PivotRoundTrip(i2, {"a0"}, "a1", "a2");
+  ASSERT_TRUE(rt1.ok());
+  ASSERT_TRUE(rt2.ok());
+  // Same pivoted image ⇒ same round-trip result: information was lost.
+  EXPECT_TRUE(rt1.value().BagEquals(rt2.value()));
+}
+
+TEST(RoundTripTest, PartitionAlwaysPreserves) {
+  // Sec. 4.2: relation-variable restructuring is capacity preserving.
+  auto ok = PartitionPreservesInstance(SmallStock(), "company");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok.value());
+}
+
+// ---- Property sweeps over generated instances ------------------------------
+
+struct SweepParam {
+  int companies;
+  int dates;
+  int prices_per_day;
+  uint64_t seed;
+};
+
+class RestructureSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(RestructureSweep, PartitionUniteIsIdentity) {
+  StockGenConfig cfg;
+  cfg.num_companies = GetParam().companies;
+  cfg.num_dates = GetParam().dates;
+  cfg.prices_per_day = GetParam().prices_per_day;
+  cfg.seed = GetParam().seed;
+  Table s1 = GenerateStockS1(cfg);
+  auto ok = PartitionPreservesInstance(s1, "company");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok.value());
+}
+
+TEST_P(RestructureSweep, PivotRoundTripsIffDuplicateFree) {
+  StockGenConfig cfg;
+  cfg.num_companies = GetParam().companies;
+  cfg.num_dates = GetParam().dates;
+  cfg.prices_per_day = GetParam().prices_per_day;
+  cfg.seed = GetParam().seed;
+  Table s1 = GenerateStockS1(cfg);
+  auto ok = PivotPreservesInstance(s1, {"date"}, "company", "price");
+  ASSERT_TRUE(ok.ok());
+  if (cfg.prices_per_day == 1) {
+    EXPECT_TRUE(ok.value());
+  } else {
+    // Multiple prices per (company, date) trigger the Sec. 3.1 cross
+    // product, inflating multiplicities on the way back.
+    EXPECT_FALSE(ok.value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RestructureSweep,
+    ::testing::Values(SweepParam{1, 1, 1, 1}, SweepParam{2, 3, 1, 7},
+                      SweepParam{5, 10, 1, 11}, SweepParam{10, 20, 1, 13},
+                      SweepParam{3, 4, 2, 17}, SweepParam{4, 2, 3, 19},
+                      SweepParam{26, 5, 1, 23},
+                      // Duplicate sweeps stay small: the Sec. 3.1 cross
+                      // product grows as prices_per_day^companies per date.
+                      SweepParam{6, 3, 2, 29}));
+
+TEST(GeneratorTest, CompanyNamesAreDistinctAndStable) {
+  EXPECT_EQ(CompanyName(0), "coA");
+  EXPECT_EQ(CompanyName(25), "coZ");
+  EXPECT_EQ(CompanyName(26), "coAA");
+  std::set<std::string> names;
+  for (int i = 0; i < 100; ++i) names.insert(CompanyName(i));
+  EXPECT_EQ(names.size(), 100u);
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  StockGenConfig cfg;
+  cfg.seed = 99;
+  Table a = GenerateStockS1(cfg);
+  Table b = GenerateStockS1(cfg);
+  EXPECT_TRUE(a.BagEquals(b));
+  cfg.seed = 100;
+  Table c = GenerateStockS1(cfg);
+  EXPECT_FALSE(a.BagEquals(c));
+}
+
+TEST(GeneratorTest, Db0ExchangeIsFunctionOfCompany) {
+  StockGenConfig cfg;
+  Table db0 = GenerateStockDb0(cfg);
+  std::map<std::string, std::string> exch;
+  for (const Row& r : db0.rows()) {
+    auto [it, inserted] = exch.emplace(r[0].as_string(), r[3].as_string());
+    if (!inserted) {
+      EXPECT_EQ(it->second, r[3].as_string());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dynview

@@ -1,0 +1,273 @@
+// Failure-injection and robustness tests: malformed inputs and broken
+// catalogs must produce Status errors (never crashes) through every public
+// entry point.
+
+#include <gtest/gtest.h>
+
+#include "core/translate.h"
+#include "core/view_definition.h"
+#include "engine/query_engine.h"
+#include "index/view_index.h"
+#include "integration/integration.h"
+#include "optimizer/optimizer.h"
+#include "schemasql/view_materializer.h"
+#include "sql/parser.h"
+#include "workload/stock_data.h"
+
+namespace dynview {
+namespace {
+
+class RobustnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StockGenConfig cfg;
+    ASSERT_TRUE(InstallDb0(&catalog_, "db0", cfg).ok());
+  }
+  Catalog catalog_;
+};
+
+TEST_F(RobustnessTest, MalformedSqlCorpus) {
+  // A small fuzz-like corpus: every string must yield a ParseError (or any
+  // error), never a crash.
+  const char* kCorpus[] = {
+      "",
+      ";",
+      "select",
+      "select from",
+      "select a from",
+      "select a from t where",
+      "select a from t group",
+      "select a from t order",
+      "select a from -> ",
+      "select a from t.b",
+      "select a from ::x T",
+      "select a from x -> ",
+      "select a from x::y -> ",
+      "select count( from t",
+      "select a from t union",
+      "create view",
+      "create view v as select 1 from t",
+      "create view v(a as select 1 from t",
+      "create index i",
+      "create index i as hash by given x select 1 from t",
+      "create index i as btree select 1 from t",
+      "select 'unterminated from t",
+      "select a from t where a ===== b",
+      "select ((((a from t",
+      "select a, from t",
+      "select a from t where a in ()",     // Empty IN list.
+      "select a from t where a between 1", // Missing AND bound.
+      "select a from t where a not like 'x'",  // NOT only before BETWEEN/IN.
+  };
+  for (const char* sql : kCorpus) {
+    auto r = Parser::Parse(sql);
+    EXPECT_FALSE(r.ok()) << "unexpectedly parsed: " << sql;
+  }
+}
+
+TEST_F(RobustnessTest, MutationFuzzNeverCrashes) {
+  // Deterministic mutation fuzzing: valid statements with random single-
+  // character edits must always yield a Status (parse or bind error) —
+  // never a crash or hang.
+  const char* kSeeds[] = {
+      "select R, D, P from s2 -> R, R T, T.date D, T.price P where P > 100",
+      "create view s2::C(date, price) as select D, P from s1::stock T, "
+      "T.company C, T.date D, T.price P",
+      "create index i as btree by given T.infr select T.tnum from tix T",
+      "select D, max(P) from db0::stock T, T.date D, T.price P group by D "
+      "having min(P) > 100 order by D limit 5",
+  };
+  const char kBytes[] = "(),.;:<>='\"-+*/aZ09_ ";
+  uint64_t state = 123456789;
+  auto rnd = [&]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  };
+  for (const char* seed : kSeeds) {
+    std::string base = seed;
+    for (int i = 0; i < 300; ++i) {
+      std::string mutated = base;
+      int edits = 1 + static_cast<int>(rnd() % 3);
+      for (int e = 0; e < edits; ++e) {
+        size_t pos = rnd() % mutated.size();
+        switch (rnd() % 3) {
+          case 0:
+            mutated[pos] = kBytes[rnd() % (sizeof(kBytes) - 1)];
+            break;
+          case 1:
+            mutated.erase(pos, 1);
+            break;
+          default:
+            mutated.insert(pos, 1, kBytes[rnd() % (sizeof(kBytes) - 1)]);
+            break;
+        }
+        if (mutated.empty()) mutated = "x";
+      }
+      auto r = Parser::Parse(mutated);
+      if (r.ok()) {
+        // If it still parses, binding and evaluation must also be safe.
+        if (r.value().select) {
+          QueryEngine engine(&catalog_, "db0");
+          auto e = engine.Execute(r.value().select.get());
+          (void)e;
+        }
+      }
+    }
+  }
+  SUCCEED();
+}
+
+TEST_F(RobustnessTest, EngineErrorsAreStatuses) {
+  QueryEngine engine(&catalog_, "db0");
+  EXPECT_FALSE(engine.ExecuteSql("select 1 from nodb::stock T").ok());
+  EXPECT_FALSE(engine.ExecuteSql("select 1 from db0::nothere T").ok());
+  EXPECT_FALSE(engine.ExecuteSql("select T.zzz from db0::stock T").ok());
+  EXPECT_FALSE(
+      engine.ExecuteSql("select 1 from db0::stock T, T.zzz X").ok());
+  // Union arity mismatch.
+  EXPECT_FALSE(engine
+                   .ExecuteSql("select T.price from db0::stock T union "
+                               "select T.price, T.date from db0::stock T")
+                   .ok());
+}
+
+TEST_F(RobustnessTest, MaterializerErrorPaths) {
+  QueryEngine engine(&catalog_, "db0");
+  Catalog target;
+  // Body errors propagate.
+  EXPECT_FALSE(ViewMaterializer::MaterializeSql(
+                   "create view v(a) as select X from nodb::t T, T.a X",
+                   &engine, &target, "out")
+                   .ok());
+  // NULL labels cannot become relation names.
+  Database* db = catalog_.GetOrCreateDatabase("nulldb");
+  Table t(Schema::FromNames({"label", "v"}));
+  t.AppendRowUnchecked({Value::Null(), Value::Int(1)});
+  db->PutTable("t", std::move(t));
+  EXPECT_FALSE(ViewMaterializer::MaterializeSql(
+                   "create view out::L(v) as select V from nulldb::t T, "
+                   "T.label L, T.v V",
+                   &engine, &target, "out")
+                   .ok());
+}
+
+TEST_F(RobustnessTest, ViewDefinitionRestrictions) {
+  // UNION bodies are outside the Sec. 5 fragment.
+  EXPECT_EQ(ViewDefinition::FromSql(
+                "create view v(a) as select P from db0::stock T, T.price P "
+                "union select P from db0::stock T, T.price P",
+                catalog_, "db0")
+                .status()
+                .code(),
+            StatusCode::kUnsupported);
+  // Higher-order bodies are outside the dynamic-view class.
+  EXPECT_EQ(ViewDefinition::FromSql(
+                "create view v(co, p) as select R, P from db0 -> R, R T, "
+                "T.price P",
+                catalog_, "db0")
+                .status()
+                .code(),
+            StatusCode::kUnsupported);
+  // Arity mismatch.
+  EXPECT_EQ(ViewDefinition::FromSql(
+                "create view v(a, b) as select P from db0::stock T, T.price P",
+                catalog_, "db0")
+                .status()
+                .code(),
+            StatusCode::kBindError);
+}
+
+TEST_F(RobustnessTest, TranslatorRefusesCleanly) {
+  ViewDefinition view =
+      ViewDefinition::FromSql(
+          "create view db1::C(date, price) as select D, P from "
+          "db0::stock T, T.company C, T.date D, T.price P",
+          catalog_, "db0")
+          .value();
+  QueryTranslator translator(&catalog_, "db0");
+  // Query over an unrelated table.
+  auto r = translator.TranslateSql(view, "select Y from db0::cotype T, T.type Y",
+                                   false);
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // Unparseable query.
+  EXPECT_FALSE(translator.TranslateSql(view, "selectx", false).ok());
+}
+
+TEST_F(RobustnessTest, IndexBuildErrorPaths) {
+  QueryEngine engine(&catalog_, "db0");
+  // Two GIVEN keys unsupported.
+  EXPECT_EQ(ViewIndex::BuildSql(
+                "create index i as btree by given T.company, T.date "
+                "select T.price from db0::stock T",
+                &engine)
+                .status()
+                .code(),
+            StatusCode::kUnsupported);
+  // Body errors propagate.
+  EXPECT_FALSE(ViewIndex::BuildSql(
+                   "create index i as btree by given T.x "
+                   "select T.y from nodb::t T",
+                   &engine)
+                   .ok());
+}
+
+TEST_F(RobustnessTest, OptimizerRefusalPaths) {
+  Optimizer opt(&catalog_, "db0");
+  EXPECT_FALSE(opt.Plan("select 1 from db0::stock T union "
+                        "select 2 from db0::stock T")
+                   .ok());
+  EXPECT_FALSE(opt.Plan("select R from db0 -> R, R T").ok());
+  EXPECT_FALSE(opt.Plan("select 1 from nodb::t T").ok());
+}
+
+TEST_F(RobustnessTest, IntegrationSystemSurfacesReasons) {
+  IntegrationSystem system(&catalog_, "db0");
+  // No sources: falls back to local data.
+  auto local = system.Answer(
+      "select P from db0::stock T, T.price P where P > 100", true);
+  EXPECT_TRUE(local.ok());
+  // Unregisterable source (bad SQL).
+  EXPECT_FALSE(system.RegisterSource("create view nope").ok());
+  // Rewrite failure carries a NotFound with the last reason.
+  auto rw = system.Rewrite("select Y from db0::cotype T, T.type Y", true);
+  EXPECT_EQ(rw.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(RobustnessTest, DeepExpressionNesting) {
+  // Deeply parenthesized expressions should parse and evaluate (recursion
+  // depth sanity, not UB).
+  std::string expr = "1";
+  for (int i = 0; i < 200; ++i) expr = "(" + expr + " + 1)";
+  QueryEngine engine(&catalog_, "db0");
+  auto r = engine.ExecuteSql("select " + expr + " from db0::cotype T");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().row(0)[0].as_int(), 201);
+}
+
+TEST_F(RobustnessTest, WideAndEmptyTables) {
+  // Zero-row table: all queries well-formed, empty results.
+  Database* db = catalog_.GetOrCreateDatabase("edge");
+  db->PutTable("empty", Table(Schema::FromNames({"a", "b"})));
+  QueryEngine engine(&catalog_, "edge");
+  auto r = engine.ExecuteSql("select A from edge::empty T, T.a A");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().num_rows(), 0u);
+  auto agg = engine.ExecuteSql("select count(*) from edge::empty T");
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(agg.value().row(0)[0].as_int(), 0);
+  // A 100-column table pivots fine.
+  std::vector<std::string> names;
+  for (int i = 0; i < 100; ++i) names.push_back("c" + std::to_string(i));
+  Table wide(Schema::FromNames(names));
+  Row row;
+  for (int i = 0; i < 100; ++i) row.push_back(Value::Int(i));
+  wide.AppendRowUnchecked(std::move(row));
+  db->PutTable("wide", std::move(wide));
+  auto ho = engine.ExecuteSql(
+      "select A, V from edge::wide -> A, edge::wide T, T.A V");
+  ASSERT_TRUE(ho.ok()) << ho.status().ToString();
+  EXPECT_EQ(ho.value().num_rows(), 100u);
+}
+
+}  // namespace
+}  // namespace dynview

@@ -1,0 +1,98 @@
+// Tests for schema browsing (Sec. 3): federation metadata exposed as
+// ordinary relations, queryable by SQL and SchemaSQL.
+
+#include <gtest/gtest.h>
+
+#include "engine/query_engine.h"
+#include "integration/schema_browser.h"
+#include "workload/stock_data.h"
+
+namespace dynview {
+namespace {
+
+class SchemaBrowserTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StockGenConfig cfg;
+    cfg.num_companies = 3;
+    Table s1 = GenerateStockS1(cfg);
+    ASSERT_TRUE(InstallStockS1(&catalog_, "s1", s1).ok());
+    ASSERT_TRUE(InstallStockS2(&catalog_, "s2", s1).ok());
+    ASSERT_TRUE(InstallStockS3(&catalog_, "s3", s1).ok());
+    ASSERT_TRUE(
+        SchemaBrowser::InstallMetaTables(catalog_, &catalog_, "meta").ok());
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(SchemaBrowserTest, MetaTablesDescribeTheFederation) {
+  QueryEngine engine(&catalog_, "meta");
+  auto dbs = engine.ExecuteSql("select db from meta::databases T");
+  ASSERT_TRUE(dbs.ok());
+  EXPECT_EQ(dbs.value().num_rows(), 3u);  // s1, s2, s3 (meta excluded).
+
+  auto rels = engine.ExecuteSql(
+      "select R from meta::relations T, T.rel R, T.db D where D = 's2'");
+  ASSERT_TRUE(rels.ok());
+  EXPECT_EQ(rels.value().num_rows(), 3u);  // One relation per company.
+}
+
+TEST_F(SchemaBrowserTest, MetadataQueriesInPlainSql) {
+  // "Which relations record a price?" — data in s1/s2 as an attribute, in
+  // s3 as... company columns. The meta schema makes the question SQL.
+  QueryEngine engine(&catalog_, "meta");
+  auto with_price = engine.ExecuteSql(
+      "select D, R from meta::attributes T, T.db D, T.rel R, T.attr A "
+      "where A = 'price'");
+  ASSERT_TRUE(with_price.ok());
+  // s1::stock plus the three s2 relations.
+  EXPECT_EQ(with_price.value().num_rows(), 4u);
+}
+
+TEST_F(SchemaBrowserTest, RowAndAttributeCountsMatch) {
+  QueryEngine engine(&catalog_, "meta");
+  auto s3 = engine.ExecuteSql(
+      "select T.num_attrs, T.num_rows from meta::relations T "
+      "where T.db = 's3'");
+  ASSERT_TRUE(s3.ok());
+  ASSERT_EQ(s3.value().num_rows(), 1u);
+  // date + 3 company columns.
+  EXPECT_EQ(s3.value().row(0)[0].as_int(), 4);
+}
+
+TEST_F(SchemaBrowserTest, RelationsWithAttributeHelper) {
+  auto r = SchemaBrowser::RelationsWithAttribute(catalog_, "price", "meta");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().num_rows(), 4u);
+  auto none = SchemaBrowser::RelationsWithAttribute(catalog_, "nosuch", "meta");
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none.value().num_rows(), 0u);
+}
+
+TEST_F(SchemaBrowserTest, SelfDescriptionIsStable) {
+  // Re-installing over a catalog that already contains meta must not count
+  // the meta tables themselves.
+  ASSERT_TRUE(
+      SchemaBrowser::InstallMetaTables(catalog_, &catalog_, "meta").ok());
+  QueryEngine engine(&catalog_, "meta");
+  auto dbs = engine.ExecuteSql("select db from meta::databases T");
+  ASSERT_TRUE(dbs.ok());
+  EXPECT_EQ(dbs.value().num_rows(), 3u);
+}
+
+TEST_F(SchemaBrowserTest, HigherOrderAndMetaQueriesAgree) {
+  // The same question answered two ways: SchemaSQL quantification over
+  // relation names vs. SQL over the meta tables.
+  QueryEngine engine(&catalog_, "meta");
+  auto via_schemasql = engine.ExecuteSql(
+      "select distinct R from s2 -> R, R T");
+  auto via_meta = engine.ExecuteSql(
+      "select R from meta::relations T, T.rel R, T.db D where D = 's2'");
+  ASSERT_TRUE(via_schemasql.ok());
+  ASSERT_TRUE(via_meta.ok());
+  EXPECT_TRUE(via_schemasql.value().SetEquals(via_meta.value()));
+}
+
+}  // namespace
+}  // namespace dynview

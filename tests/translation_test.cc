@@ -1,0 +1,244 @@
+// Algorithm 5.1 tests: translated queries are executed against materialized
+// views and compared with direct evaluation on the integration schema.
+//   Fig. 11 — Q1 → Q1′ via a relation-variable view (bag-equivalent),
+//   Fig. 13 / Ex. 4.2 — Q2 → Q2′ via an attribute-variable view
+//                        (set-equivalent; bags diverge under duplicates),
+//   Ex. 5.2 — aggregate query through a pivot view.
+
+#include <gtest/gtest.h>
+
+#include "core/translate.h"
+#include "engine/query_engine.h"
+#include "schemasql/view_materializer.h"
+#include "workload/stock_data.h"
+
+namespace dynview {
+namespace {
+
+constexpr char kRelViewSql[] =
+    "create view db1::C(date, price) as "
+    "select D, P from db0::stock T, T.company C, T.date D, T.price P";
+
+constexpr char kAttrViewSql[] =
+    "create view db2::nyse(date, C) as "
+    "select D, P from db0::stock T, T.exch E, T.company C, "
+    "T.date D, T.price P where E = 'nyse'";
+
+class TranslationTest : public ::testing::Test {
+ protected:
+  void Install(int prices_per_day) {
+    catalog_ = Catalog();
+    StockGenConfig cfg;
+    cfg.num_companies = 5;
+    cfg.num_dates = 6;
+    cfg.prices_per_day = prices_per_day;
+    ASSERT_TRUE(InstallDb0(&catalog_, "db0", cfg).ok());
+    QueryEngine engine(&catalog_, "db0");
+    ASSERT_TRUE(ViewMaterializer::MaterializeSql(kRelViewSql, &engine,
+                                                 &catalog_, "db1")
+                    .ok());
+    ASSERT_TRUE(ViewMaterializer::MaterializeSql(kAttrViewSql, &engine,
+                                                 &catalog_, "db2")
+                    .ok());
+  }
+
+  ViewDefinition MakeView(const std::string& sql) {
+    auto v = ViewDefinition::FromSql(sql, catalog_, "db0");
+    EXPECT_TRUE(v.ok()) << v.status().ToString();
+    return std::move(v).value();
+  }
+
+  Table Run(const std::string& sql) {
+    QueryEngine engine(&catalog_, "db0");
+    auto r = engine.ExecuteSql(sql);
+    EXPECT_TRUE(r.ok()) << sql << "\n  -> " << r.status().ToString();
+    return r.ok() ? std::move(r).value() : Table();
+  }
+
+  Table RunStmt(SelectStmt* stmt) {
+    QueryEngine engine(&catalog_, "db0");
+    auto r = engine.Execute(stmt);
+    EXPECT_TRUE(r.ok()) << stmt->ToString() << "\n  -> "
+                        << r.status().ToString();
+    return r.ok() ? std::move(r).value() : Table();
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(TranslationTest, Fig11RelationVariableRewriting) {
+  Install(/*prices_per_day=*/1);
+  ViewDefinition view = MakeView(kRelViewSql);
+  QueryTranslator translator(&catalog_, "db0");
+  // Q1: companies that closed over 200 on two consecutive days since 1/1/98.
+  const std::string q1 =
+      "select C1 from db0::stock T1, db0::stock T2, "
+      "T1.company C1, T2.company C2, T1.date D1, T2.date D2, "
+      "T1.price P1, T2.price P2 "
+      "where D1 = D2 + 1 and P1 > 200 and P2 > 200 and C1 = C2";
+  auto t = translator.TranslateSqlAll(view, q1, /*multiset=*/true);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  // Both stock occurrences are covered (the paper's Q1′ uses the view twice).
+  EXPECT_EQ(t.value().covered_tuple_vars.size(), 2u);
+  // Q1′ is higher order: it quantifies over db1's relations.
+  EXPECT_TRUE(t.value().query->IsHigherOrder());
+  Table direct = Run(q1);
+  Table rewritten = RunStmt(t.value().query.get());
+  EXPECT_TRUE(direct.BagEquals(rewritten))
+      << "Q1': " << t.value().query->ToString() << "\ndirect:\n"
+      << direct.ToString(10) << "rewritten:\n" << rewritten.ToString(10);
+}
+
+TEST_F(TranslationTest, Fig11RewritingPreservesBagsUnderDuplicates) {
+  // Thm. 5.4 (positive direction): relation-variable views preserve
+  // multiplicities, so the rewriting stays bag-equivalent even with
+  // duplicate rows.
+  Install(/*prices_per_day=*/2);
+  ViewDefinition view = MakeView(kRelViewSql);
+  QueryTranslator translator(&catalog_, "db0");
+  const std::string q =
+      "select C1, P1 from db0::stock T1, T1.company C1, T1.price P1 "
+      "where P1 > 100";
+  auto t = translator.TranslateSqlAll(view, q, /*multiset=*/true);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  Table direct = Run(q);
+  Table rewritten = RunStmt(t.value().query.get());
+  EXPECT_TRUE(direct.BagEquals(rewritten));
+}
+
+TEST_F(TranslationTest, Fig13AttributeVariableRewriting) {
+  Install(/*prices_per_day=*/1);
+  ViewDefinition view = MakeView(kAttrViewSql);
+  QueryTranslator translator(&catalog_, "db0");
+  // Q2: nyse prices of hitech companies.
+  const std::string q2 =
+      "select C1, D1, P1 from db0::stock T1, T1.date D1, T1.company C1, "
+      "T1.price P1, T1.exch E1, db0::cotype T2, T2.co C2, T2.type Y1 "
+      "where E1 = 'nyse' and C1 = C2 and Y1 = 'hitech'";
+  auto t = translator.TranslateSql(view, q2, /*multiset=*/false);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t.value().covered_tuple_vars.size(), 1u);
+  EXPECT_TRUE(t.value().query->IsHigherOrder());
+  // The E1 = 'nyse' conjunct is absorbed by the view.
+  EXPECT_GE(t.value().absorbed_conjuncts, 1u);
+  Table direct = Run(q2);
+  Table rewritten = RunStmt(t.value().query.get());
+  // Duplicate-free instance: bags agree.
+  EXPECT_TRUE(direct.BagEquals(rewritten))
+      << "Q2': " << t.value().query->ToString() << "\ndirect:\n"
+      << direct.ToString(20) << "rewritten:\n" << rewritten.ToString(20);
+}
+
+TEST_F(TranslationTest, Example42MultiplicityDivergence) {
+  // Ex. 4.2 / Fig. 14: with duplicated (company, date) prices the pivot
+  // loses multiplicities — Q2′ is set-equivalent but NOT bag-equivalent.
+  Install(/*prices_per_day=*/2);
+  ViewDefinition view = MakeView(kAttrViewSql);
+  QueryTranslator translator(&catalog_, "db0");
+  const std::string q =
+      "select C1, D1, P1 from db0::stock T1, T1.date D1, T1.company C1, "
+      "T1.price P1, T1.exch E1 where E1 = 'nyse'";
+  auto t = translator.TranslateSql(view, q, /*multiset=*/false);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  Table direct = Run(q);
+  Table rewritten = RunStmt(t.value().query.get());
+  EXPECT_TRUE(direct.SetEquals(rewritten));
+  EXPECT_FALSE(direct.BagEquals(rewritten))
+      << "expected the pivot cross product to inflate multiplicities";
+  // And the multiset test correctly refuses to translate.
+  auto strict_r = translator.TranslateSql(view, q, /*multiset=*/true);
+  EXPECT_FALSE(strict_r.ok());
+}
+
+TEST_F(TranslationTest, Example52AggregateThroughPivot) {
+  Install(/*prices_per_day=*/2);  // Duplicates present, MIN/MAX immune.
+  ViewDefinition view = MakeView(kAttrViewSql);
+  QueryTranslator translator(&catalog_, "db0");
+  const std::string q =
+      "select D, max(P) from db0::stock T, T.date D, T.price P, T.exch E "
+      "where E = 'nyse' group by D having min(P) > 60";
+  auto t = translator.TranslateSql(view, q, /*multiset=*/false);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  Table direct = Run(q);
+  Table rewritten = RunStmt(t.value().query.get());
+  EXPECT_TRUE(direct.BagEquals(rewritten))
+      << "Q': " << t.value().query->ToString() << "\ndirect:\n"
+      << direct.ToString(20) << "rewritten:\n" << rewritten.ToString(20);
+}
+
+TEST_F(TranslationTest, Example52AverageRejected) {
+  Install(/*prices_per_day=*/2);
+  ViewDefinition view = MakeView(kAttrViewSql);
+  QueryTranslator translator(&catalog_, "db0");
+  auto t = translator.TranslateSql(
+      view,
+      "select D, avg(P) from db0::stock T, T.date D, T.price P, T.exch E "
+      "where E = 'nyse' group by D",
+      /*multiset=*/false);
+  EXPECT_FALSE(t.ok());
+}
+
+TEST_F(TranslationTest, SqlViewRewritingIsPlainSql) {
+  Install(/*prices_per_day=*/1);
+  // Materialize a plain SQL view and rewrite onto it.
+  QueryEngine engine(&catalog_, "db0");
+  const std::string view_sql =
+      "create view db3::high(co, dt, pr) as "
+      "select C, D, P from db0::stock T, T.company C, T.date D, T.price P "
+      "where P > 100";
+  ASSERT_TRUE(
+      ViewMaterializer::MaterializeSql(view_sql, &engine, &catalog_, "db3")
+          .ok());
+  ViewDefinition view = MakeView(view_sql);
+  QueryTranslator translator(&catalog_, "db0");
+  const std::string q =
+      "select C, P from db0::stock T, T.company C, T.price P where P > 200";
+  auto t = translator.TranslateSql(view, q, /*multiset=*/true);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_FALSE(t.value().query->IsHigherOrder());
+  Table direct = Run(q);
+  Table rewritten = RunStmt(t.value().query.get());
+  EXPECT_TRUE(direct.BagEquals(rewritten));
+}
+
+TEST_F(TranslationTest, RewrittenQueryTextRoundTrips) {
+  Install(/*prices_per_day=*/1);
+  ViewDefinition view = MakeView(kAttrViewSql);
+  QueryTranslator translator(&catalog_, "db0");
+  auto t = translator.TranslateSql(
+      view,
+      "select C1, P1 from db0::stock T1, T1.company C1, T1.price P1, "
+      "T1.exch E1 where E1 = 'nyse'",
+      /*multiset=*/false);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  // The emitted SchemaSQL re-parses and evaluates identically — the
+  // translation can be shipped to a SchemaSQL-capable source as text.
+  std::string text = t.value().query->ToString();
+  Table from_text = Run(text);
+  Table from_ast = RunStmt(t.value().query.get());
+  EXPECT_TRUE(from_text.BagEquals(from_ast)) << text;
+}
+
+TEST_F(TranslationTest, PartialCoverageKeepsOtherTables) {
+  Install(/*prices_per_day=*/1);
+  ViewDefinition view = MakeView(kAttrViewSql);
+  QueryTranslator translator(&catalog_, "db0");
+  // cotype is not covered by the view and must survive in Q′.
+  auto t = translator.TranslateSql(
+      view,
+      "select C1, Y1 from db0::stock T1, T1.company C1, T1.exch E1, "
+      "db0::cotype T2, T2.co C2, T2.type Y1 "
+      "where E1 = 'nyse' and C1 = C2",
+      /*multiset=*/false);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  bool has_cotype = false;
+  for (const FromItem& f : t.value().query->from_items) {
+    if (f.kind == FromItemKind::kTupleVar && f.rel.text == "cotype") {
+      has_cotype = true;
+    }
+  }
+  EXPECT_TRUE(has_cotype);
+}
+
+}  // namespace
+}  // namespace dynview

@@ -1,0 +1,176 @@
+// View-unfolding tests (the dual of Alg. 5.1): legacy queries on the source
+// layouts are answered through the integration by inlining the view body.
+
+#include <gtest/gtest.h>
+
+#include "core/unfold.h"
+#include "sql/parser.h"
+#include "engine/query_engine.h"
+#include "schemasql/view_materializer.h"
+#include "workload/stock_data.h"
+#include "workload/tickets_data.h"
+
+namespace dynview {
+namespace {
+
+constexpr char kS2View[] =
+    "create view s2::C(date, price) as "
+    "select D, P from I::stock T, T.company C, T.date D, T.price P";
+constexpr char kPivotView[] =
+    "create view s3::stock(date, C) as "
+    "select D, P from I::stock T, T.company C, T.date D, T.price P";
+
+class UnfoldTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StockGenConfig cfg;
+    cfg.num_companies = 3;
+    cfg.num_dates = 5;
+    s1_ = GenerateStockS1(cfg);
+    ASSERT_TRUE(InstallStockS1(&catalog_, "I", s1_).ok());
+    // Materialize the legacy layout so direct evaluation is comparable.
+    QueryEngine engine(&catalog_, "I");
+    ASSERT_TRUE(
+        ViewMaterializer::MaterializeSql(kS2View, &engine, &catalog_, "s2")
+            .ok());
+  }
+
+  Table Run(const std::string& sql) {
+    QueryEngine engine(&catalog_, "I");
+    auto r = engine.ExecuteSql(sql);
+    EXPECT_TRUE(r.ok()) << sql << "\n -> " << r.status().ToString();
+    return r.ok() ? std::move(r).value() : Table();
+  }
+
+  Table RunStmt(SelectStmt* stmt) {
+    QueryEngine engine(&catalog_, "I");
+    auto r = engine.Execute(stmt);
+    EXPECT_TRUE(r.ok()) << stmt->ToString() << "\n -> "
+                        << r.status().ToString();
+    return r.ok() ? std::move(r).value() : Table();
+  }
+
+  Table s1_;
+  Catalog catalog_;
+};
+
+TEST_F(UnfoldTest, LegacyScanUnfoldsToIntegration) {
+  ViewDefinition view = ViewDefinition::FromSql(kS2View, catalog_, "I").value();
+  ViewUnfolder unfolder(&catalog_, "s2");
+  auto unfolded = unfolder.UnfoldSql(
+      view, "select P from s2::coA T, T.price P where P > 100");
+  ASSERT_TRUE(unfolded.ok()) << unfolded.status().ToString();
+  // The unfolded query scans I::stock, not s2::coA.
+  std::string text = unfolded.value()->ToString();
+  EXPECT_EQ(text.find("coA T"), std::string::npos) << text;
+  EXPECT_NE(text.find("I::stock"), std::string::npos) << text;
+  EXPECT_NE(text.find("= 'coA'"), std::string::npos) << text;
+  Table via_integration = RunStmt(unfolded.value().get());
+  Table via_materialization =
+      Run("select P from s2::coA T, T.price P where P > 100");
+  EXPECT_TRUE(via_integration.BagEquals(via_materialization)) << text;
+}
+
+TEST_F(UnfoldTest, SelfJoinAcrossTwoLegacyTables) {
+  ViewDefinition view = ViewDefinition::FromSql(kS2View, catalog_, "I").value();
+  ViewUnfolder unfolder(&catalog_, "s2");
+  const std::string q =
+      "select D1, PA, PB from s2::coA T1, s2::coB T2, T1.date D1, "
+      "T2.date D2, T1.price PA, T2.price PB where D1 = D2";
+  auto unfolded = unfolder.UnfoldSql(view, q);
+  ASSERT_TRUE(unfolded.ok()) << unfolded.status().ToString();
+  Table via_integration = RunStmt(unfolded.value().get());
+  Table direct = Run(q);
+  EXPECT_TRUE(via_integration.BagEquals(direct))
+      << unfolded.value()->ToString();
+  EXPECT_GT(direct.num_rows(), 0u);
+}
+
+TEST_F(UnfoldTest, WorksWithoutMaterialization) {
+  // The point of unfolding: answer a legacy query for a table that does NOT
+  // exist physically (a brand-new company exists only under I).
+  Table* istock =
+      catalog_.GetMutableDatabase("I").value()->GetMutableTable("stock").value();
+  ASSERT_TRUE(istock
+                  ->AppendRow({Value::String("coGHOST"),
+                               Value::MakeDate(Date::Parse("1998-03-01").value()),
+                               Value::Int(777)})
+                  .ok());
+  ViewDefinition view = ViewDefinition::FromSql(kS2View, catalog_, "I").value();
+  ViewUnfolder unfolder(&catalog_, "s2");
+  // s2::coGHOST was never materialized — normalization must not require it,
+  // so query the unfolded AST directly.
+  auto stmt = Parser::ParseSelect("select P from s2::coGHOST T, T.price P");
+  ASSERT_TRUE(stmt.ok());
+  // Bind without catalog-dependent normalization of the ghost table: use
+  // explicit domain declarations (already explicit here).
+  auto unfolded = unfolder.Unfold(view, *stmt.value());
+  ASSERT_TRUE(unfolded.ok()) << unfolded.status().ToString();
+  Table rows = RunStmt(unfolded.value().get());
+  ASSERT_EQ(rows.num_rows(), 1u);
+  EXPECT_EQ(rows.row(0)[0].as_int(), 777);
+}
+
+TEST_F(UnfoldTest, SqlViewUnfolds) {
+  const std::string view_sql =
+      "create view legacy::high(co, pr) as "
+      "select C, P from I::stock T, T.company C, T.price P where P > 200";
+  QueryEngine engine(&catalog_, "I");
+  ASSERT_TRUE(ViewMaterializer::MaterializeSql(view_sql, &engine, &catalog_,
+                                               "legacy")
+                  .ok());
+  ViewDefinition view =
+      ViewDefinition::FromSql(view_sql, catalog_, "I").value();
+  ViewUnfolder unfolder(&catalog_, "legacy");
+  const std::string q =
+      "select C, PR from legacy::high T, T.co C, T.pr PR where PR > 300";
+  auto unfolded = unfolder.UnfoldSql(view, q);
+  ASSERT_TRUE(unfolded.ok()) << unfolded.status().ToString();
+  Table via_integration = RunStmt(unfolded.value().get());
+  Table direct = Run(q);
+  EXPECT_TRUE(via_integration.BagEquals(direct))
+      << unfolded.value()->ToString();
+}
+
+TEST_F(UnfoldTest, TicketJurisdictionUnfolds) {
+  Catalog cat;
+  TicketsGenConfig cfg;
+  ASSERT_TRUE(InstallTicketsIntegration(&cat, "I", cfg).ok());
+  ASSERT_TRUE(InstallTicketJurisdictions(&cat, "tix", cfg).ok());
+  const std::string view_sql =
+      "create view tix::S(tnum, lic, infr) as "
+      "select N, L, F from I::tickets T, T.state S, T.tnum N, T.lic L, "
+      "T.infr F";
+  ViewDefinition view = ViewDefinition::FromSql(view_sql, cat, "I").value();
+  ViewUnfolder unfolder(&cat, "tix");
+  const std::string q =
+      "select L from tix::queens T, T.lic L, T.infr F where F = 'dui'";
+  auto unfolded = unfolder.UnfoldSql(view, q);
+  ASSERT_TRUE(unfolded.ok()) << unfolded.status().ToString();
+  QueryEngine engine(&cat, "I");
+  auto via_integration = engine.Execute(unfolded.value().get());
+  ASSERT_TRUE(via_integration.ok());
+  auto direct = engine.ExecuteSql(q);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(via_integration.value().BagEquals(direct.value()));
+}
+
+TEST_F(UnfoldTest, PivotSourceRejected) {
+  ViewDefinition view =
+      ViewDefinition::FromSql(kPivotView, catalog_, "I").value();
+  ViewUnfolder unfolder(&catalog_, "s3");
+  auto r = unfolder.UnfoldSql(view, "select D from s3::stock T, T.date D");
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+TEST_F(UnfoldTest, NoMatchingTableReported) {
+  ViewDefinition view = ViewDefinition::FromSql(kS2View, catalog_, "I").value();
+  ViewUnfolder unfolder(&catalog_, "s2");
+  auto stmt = Parser::ParseSelect("select P from other::t T, T.price P");
+  ASSERT_TRUE(stmt.ok());
+  auto r = unfolder.Unfold(view, *stmt.value());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace dynview

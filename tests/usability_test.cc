@@ -1,0 +1,268 @@
+// Usability tests implementing the paper's Sec. 5 theorems on the Fig. 10
+// stock federation:
+//   Thm. 5.1 — SQL SPJ views, set semantics,
+//   Thm. 5.2 — dynamic SPJ views, set semantics (Ex. 5.1 mapping),
+//   Thm. 5.3 — SQL views, multiset semantics (1-1 mappings),
+//   Thm. 5.4 — dynamic attribute views are never multiset usable,
+//   Sec. 5.2 — aggregate admissibility (duplicate-insensitive gate).
+
+#include <gtest/gtest.h>
+
+#include "core/usability.h"
+#include "engine/query_engine.h"
+#include "schemasql/view_materializer.h"
+#include "workload/stock_data.h"
+
+namespace dynview {
+namespace {
+
+constexpr char kRelViewSql[] =
+    "create view db1::C(date, price) as "
+    "select D, P from db0::stock T, T.company C, T.date D, T.price P";
+
+constexpr char kAttrViewSql[] =
+    "create view db2::nyse(date, C) as "
+    "select D, P from db0::stock T, T.exch E, T.company C, "
+    "T.date D, T.price P where E = 'nyse'";
+
+constexpr char kSqlViewSql[] =
+    "create view db3::high(co, dt, pr) as "
+    "select C, D, P from db0::stock T, T.company C, T.date D, T.price P "
+    "where P > 100";
+
+class UsabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StockGenConfig cfg;
+    cfg.num_companies = 4;
+    cfg.num_dates = 5;
+    ASSERT_TRUE(InstallDb0(&catalog_, "db0", cfg).ok());
+  }
+
+  ViewDefinition MakeView(const std::string& sql) {
+    auto v = ViewDefinition::FromSql(sql, catalog_, "db0");
+    EXPECT_TRUE(v.ok()) << v.status().ToString();
+    return std::move(v).value();
+  }
+
+  UsabilityResult Check(const std::string& view_sql, const std::string& query,
+                        bool multiset) {
+    ViewDefinition v = MakeView(view_sql);
+    UsabilityChecker checker(&catalog_, "db0");
+    auto r = checker.CheckSql(v, query, multiset);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(UsabilityTest, ViewClassification) {
+  EXPECT_EQ(MakeView(kRelViewSql).view_class(), ViewClass::kDynamic);
+  EXPECT_EQ(MakeView(kAttrViewSql).view_class(), ViewClass::kDynamic);
+  EXPECT_EQ(MakeView(kSqlViewSql).view_class(), ViewClass::kFirstOrder);
+  EXPECT_FALSE(MakeView(kRelViewSql).HasAttributeVariables());
+  EXPECT_TRUE(MakeView(kAttrViewSql).HasAttributeVariables());
+}
+
+TEST_F(UsabilityTest, ViewDefinitionNotation) {
+  ViewDefinition v = MakeView(kAttrViewSql);
+  EXPECT_EQ(v.db_term().text, "db2");
+  EXPECT_FALSE(v.db_term().is_variable);
+  EXPECT_EQ(v.rel_term().text, "nyse");
+  ASSERT_EQ(v.att_terms().size(), 2u);
+  EXPECT_TRUE(v.att_terms()[1].is_variable);
+  EXPECT_EQ(v.dom_of(0), "D");
+  EXPECT_EQ(v.dom_of(1), "P");
+  // Out(V) = {C} ∪ {D, P}.
+  EXPECT_TRUE(v.IsOutput("C"));
+  EXPECT_TRUE(v.IsOutput("D"));
+  EXPECT_TRUE(v.IsOutput("P"));
+  EXPECT_FALSE(v.IsOutput("E"));
+  ASSERT_EQ(v.tables().size(), 1u);
+  EXPECT_EQ(v.tables()[0].ToString(), "db0::stock");
+  EXPECT_EQ(v.conds().size(), 1u);
+}
+
+// ---- Thm. 5.1: SQL views, set semantics ------------------------------------
+
+TEST_F(UsabilityTest, SqlViewUsableWithImpliedConditions) {
+  UsabilityResult r = Check(
+      kSqlViewSql,
+      "select C, P from db0::stock T, T.company C, T.price P where P > 200",
+      /*multiset=*/false);
+  EXPECT_TRUE(r.usable) << r.reason;
+  // P > 200 stays residual; the view's P > 100 is absorbed.
+  ASSERT_EQ(r.residual.size(), 1u);
+  EXPECT_EQ(r.residual[0]->ToString(), "P > 200");
+}
+
+TEST_F(UsabilityTest, SqlViewRejectedWhenViewFiltersTooMuch) {
+  // View keeps P > 100; a query needing all prices cannot use it.
+  UsabilityResult r = Check(
+      kSqlViewSql,
+      "select C, P from db0::stock T, T.company C, T.price P where P > 50",
+      /*multiset=*/false);
+  EXPECT_FALSE(r.usable);
+  EXPECT_NE(r.reason.find("3a"), std::string::npos) << r.reason;
+}
+
+TEST_F(UsabilityTest, SqlViewRejectedWhenColumnProjectedOut) {
+  // The view projects out exch; a query selecting it cannot be answered.
+  UsabilityResult r = Check(
+      kSqlViewSql,
+      "select E from db0::stock T, T.exch E where T.price > 200",
+      /*multiset=*/false);
+  EXPECT_FALSE(r.usable);
+  EXPECT_NE(r.reason.find("cond. 2"), std::string::npos) << r.reason;
+}
+
+TEST_F(UsabilityTest, SqlViewConditionTwoRecoveryThroughEquality) {
+  // exch is projected out but equated to a constant-supplied variable... the
+  // paper's condition 2 alternative: A recoverable when Conds(Q) ⊨ A = φ(B).
+  UsabilityResult r = Check(
+      kSqlViewSql,
+      "select C, D2 from db0::stock T, T.company C, T.date D2, T.price P "
+      "where P > 150 and D2 = P",  // Contrived equality: D2 recoverable via P.
+      /*multiset=*/false);
+  EXPECT_TRUE(r.usable) << r.reason;
+}
+
+// ---- Thm. 5.2: dynamic views, set semantics --------------------------------
+
+TEST_F(UsabilityTest, RelationVariableViewSetUsable) {
+  UsabilityResult r = Check(
+      kRelViewSql,
+      "select C1 from db0::stock T1, T1.company C1, T1.price P1 "
+      "where P1 > 200",
+      /*multiset=*/false);
+  EXPECT_TRUE(r.usable) << r.reason;
+  // Ex. 5.1-style mapping: T→T1, C→C1, D→(date var), P→P1.
+  EXPECT_EQ(r.phi.Apply("T"), "T1");
+  EXPECT_EQ(r.phi.Apply("C"), "C1");
+  EXPECT_EQ(r.phi.Apply("P"), "P1");
+}
+
+TEST_F(UsabilityTest, AttributeViewSetUsableExample51) {
+  // Ex. 5.1: φ(T)=T1, φ(E)=E1, φ(D)=D1, φ(C)=C1, φ(P)=P1;
+  // Conds' = (C1 = C2 ∧ Y1 = 'hitech').
+  UsabilityResult r = Check(
+      kAttrViewSql,
+      "select C1, D1, P1 from db0::stock T1, T1.date D1, T1.company C1, "
+      "T1.price P1, T1.exch E1, db0::cotype T2, T2.co C2, T2.type Y1 "
+      "where E1 = 'nyse' and C1 = C2 and Y1 = 'hitech'",
+      /*multiset=*/false);
+  EXPECT_TRUE(r.usable) << r.reason;
+  EXPECT_EQ(r.phi.Apply("T"), "T1");
+  EXPECT_EQ(r.phi.Apply("E"), "E1");
+  EXPECT_EQ(r.phi.Apply("C"), "C1");
+  EXPECT_EQ(r.phi.Apply("P"), "P1");
+  ASSERT_EQ(r.residual.size(), 2u);
+}
+
+TEST_F(UsabilityTest, AttributeViewRejectedWithoutExchangeCondition) {
+  // The view keeps only nyse rows; a query over all exchanges cannot use it.
+  UsabilityResult r = Check(
+      kAttrViewSql,
+      "select C1, P1 from db0::stock T1, T1.company C1, T1.price P1",
+      /*multiset=*/false);
+  EXPECT_FALSE(r.usable);
+}
+
+TEST_F(UsabilityTest, ResidualOnNonOutputColumnRejected) {
+  // exch is not in Out(V) of the relation view; a residual predicate on it
+  // violates Thm. 5.2 condition 3(b).
+  UsabilityResult r = Check(
+      kRelViewSql,
+      "select C1 from db0::stock T1, T1.company C1, T1.exch E1 "
+      "where E1 = 'nyse'",
+      /*multiset=*/false);
+  EXPECT_FALSE(r.usable);
+  EXPECT_NE(r.reason.find("3b"), std::string::npos) << r.reason;
+}
+
+// ---- Thm. 5.3/5.4: multiset semantics --------------------------------------
+
+TEST_F(UsabilityTest, SqlViewMultisetUsableWithInjectiveMapping) {
+  UsabilityResult r = Check(
+      kSqlViewSql,
+      "select C, P from db0::stock T, T.company C, T.price P where P > 200",
+      /*multiset=*/true);
+  EXPECT_TRUE(r.usable) << r.reason;
+  EXPECT_TRUE(r.phi.one_to_one);
+}
+
+TEST_F(UsabilityTest, RelationVariableViewMultisetUsable) {
+  // Sec. 5.2: relation/database-variable restructurings preserve
+  // multiplicities (information-capacity preserving, Sec. 4.2).
+  UsabilityResult r = Check(
+      kRelViewSql,
+      "select C1, P1 from db0::stock T1, T1.company C1, T1.price P1",
+      /*multiset=*/true);
+  EXPECT_TRUE(r.usable) << r.reason;
+}
+
+TEST_F(UsabilityTest, AttributeViewNeverMultisetUsable) {
+  // Thm. 5.4 / Fig. 14: attribute variables lose multiplicities.
+  UsabilityResult r = Check(
+      kAttrViewSql,
+      "select C1, D1, P1 from db0::stock T1, T1.date D1, T1.company C1, "
+      "T1.price P1, T1.exch E1 where E1 = 'nyse'",
+      /*multiset=*/true);
+  EXPECT_FALSE(r.usable);
+  EXPECT_NE(r.reason.find("5.4"), std::string::npos) << r.reason;
+}
+
+// ---- Sec. 5.2: aggregates ---------------------------------------------------
+
+TEST_F(UsabilityTest, DuplicateInsensitiveAggregatesAllowedThroughPivot) {
+  // Ex. 5.2: MIN/MAX survive the multiplicity loss.
+  UsabilityResult r = Check(
+      kAttrViewSql,
+      "select D, max(P) from db0::stock T, T.date D, T.price P, T.exch E "
+      "where E = 'nyse' group by D having min(P) > 100",
+      /*multiset=*/false);
+  EXPECT_TRUE(r.usable) << r.reason;
+}
+
+TEST_F(UsabilityTest, DuplicateSensitiveAggregatesRejectedThroughPivot) {
+  UsabilityResult r = Check(
+      kAttrViewSql,
+      "select D, avg(P) from db0::stock T, T.date D, T.price P, T.exch E "
+      "where E = 'nyse' group by D",
+      /*multiset=*/false);
+  EXPECT_FALSE(r.usable);
+  EXPECT_NE(r.reason.find("5.2"), std::string::npos) << r.reason;
+}
+
+TEST_F(UsabilityTest, CountDistinctAllowedThroughPivot) {
+  // COUNT(DISTINCT x) is duplicate-insensitive by construction.
+  UsabilityResult r = Check(
+      kAttrViewSql,
+      "select D, count(distinct P) from db0::stock T, T.date D, T.price P, "
+      "T.exch E where E = 'nyse' group by D",
+      /*multiset=*/false);
+  EXPECT_TRUE(r.usable) << r.reason;
+}
+
+TEST_F(UsabilityTest, AggregatesThroughCapacityPreservingViewUnrestricted) {
+  // avg() through the relation-variable view is fine: Sec. 4.2 says those
+  // views preserve multiplicities.
+  UsabilityResult r = Check(
+      kRelViewSql,
+      "select C1, avg(P1) from db0::stock T1, T1.company C1, T1.price P1 "
+      "group by C1",
+      /*multiset=*/false);
+  EXPECT_TRUE(r.usable) << r.reason;
+}
+
+TEST_F(UsabilityTest, NoMatchingTableRejectsImmediately) {
+  UsabilityResult r = Check(
+      kRelViewSql, "select Y from db0::cotype T2, T2.type Y",
+      /*multiset=*/false);
+  EXPECT_FALSE(r.usable);
+  EXPECT_NE(r.reason.find("Def. 5.1"), std::string::npos) << r.reason;
+}
+
+}  // namespace
+}  // namespace dynview

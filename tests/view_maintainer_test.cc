@@ -1,0 +1,229 @@
+// Tests for incremental view maintenance: after any batch of inserts or
+// deletes, the incrementally maintained materialization must equal a fresh
+// full materialization (modulo column order for pivots).
+
+#include <gtest/gtest.h>
+
+#include "engine/operators.h"
+#include "engine/query_engine.h"
+#include "schemasql/view_maintainer.h"
+#include "schemasql/view_materializer.h"
+#include "workload/stock_data.h"
+
+namespace dynview {
+namespace {
+
+constexpr char kPartitionView[] =
+    "create view mat::C(date, price) as "
+    "select D, P from I::stock T, T.company C, T.date D, T.price P";
+constexpr char kFilteredView[] =
+    "create view mat::high(co, price) as "
+    "select C, P from I::stock T, T.company C, T.price P where P > 200";
+constexpr char kPivotView[] =
+    "create view mat::stock(date, C) as "
+    "select D, P from I::stock T, T.company C, T.date D, T.price P";
+
+Row StockRow(const std::string& co, const std::string& date, int64_t price) {
+  return {Value::String(co), Value::MakeDate(Date::Parse(date).value()),
+          Value::Int(price)};
+}
+
+class ViewMaintainerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StockGenConfig cfg;
+    cfg.num_companies = 3;
+    cfg.num_dates = 4;
+    ASSERT_TRUE(InstallStockS1(&catalog_, "I", GenerateStockS1(cfg)).ok());
+  }
+
+  /// Materializes `view_sql` into the `mat` database of `catalog_`.
+  void Materialize(const std::string& view_sql) {
+    QueryEngine engine(&catalog_, "I");
+    ASSERT_TRUE(
+        ViewMaterializer::MaterializeSql(view_sql, &engine, &catalog_, "mat")
+            .ok());
+  }
+
+  /// Fully re-materializes `view_sql` into a fresh catalog and compares
+  /// every produced table against the incrementally maintained `mat`.
+  void ExpectMatchesFullRematerialization(const std::string& view_sql) {
+    QueryEngine engine(&catalog_, "I");
+    Catalog fresh;
+    auto created =
+        ViewMaterializer::MaterializeSql(view_sql, &engine, &fresh, "mat");
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    for (const auto& [db, rel] : created.value()) {
+      auto expected = fresh.ResolveTable(db, rel);
+      auto actual = catalog_.ResolveTable(db, rel);
+      ASSERT_TRUE(actual.ok()) << "missing maintained table " << db
+                               << "::" << rel;
+      // Compare modulo column order (pivot labels may arrive in different
+      // order under incremental widening).
+      ASSERT_EQ(actual.value()->schema().num_columns(),
+                expected.value()->schema().num_columns())
+          << actual.value()->schema().ToString() << " vs "
+          << expected.value()->schema().ToString();
+      std::vector<int> order;
+      std::vector<std::string> names;
+      for (const Column& c : expected.value()->schema().columns()) {
+        int idx = actual.value()->schema().IndexOf(c.name);
+        ASSERT_GE(idx, 0) << "maintained table lacks column " << c.name;
+        order.push_back(idx);
+        names.push_back(c.name);
+      }
+      auto reordered = ProjectColumns(*actual.value(), order, names);
+      ASSERT_TRUE(reordered.ok());
+      EXPECT_TRUE(reordered.value().BagEquals(*expected.value()))
+          << db << "::" << rel << "\nmaintained:\n"
+          << reordered.value().ToString(12) << "expected:\n"
+          << expected.value()->ToString(12);
+    }
+    // No stale extra tables for dynamic labels.
+    size_t maintained = catalog_.GetDatabase("mat").value()->num_tables();
+    EXPECT_EQ(maintained, created.value().size());
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(ViewMaintainerTest, PartitionInsertExistingAndNewLabels) {
+  Materialize(kPartitionView);
+  auto m = ViewMaintainer::CreateFromSql(kPartitionView, &catalog_, "I", "mat");
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  ASSERT_TRUE(m.value()
+                  .ApplyInserts({StockRow("coA", "1998-02-01", 500),
+                                 StockRow("coNEW", "1998-02-01", 77)})
+                  .ok());
+  // The new label's table appeared.
+  EXPECT_TRUE(catalog_.GetDatabase("mat").value()->HasTable("coNEW"));
+  ExpectMatchesFullRematerialization(kPartitionView);
+}
+
+TEST_F(ViewMaintainerTest, PartitionDeleteRemovesRowsAndEmptyTables) {
+  Materialize(kPartitionView);
+  auto m = ViewMaintainer::CreateFromSql(kPartitionView, &catalog_, "I", "mat");
+  ASSERT_TRUE(m.ok());
+  // Delete every coC row (read them from the base first).
+  QueryEngine engine(&catalog_, "I");
+  Table coc = engine
+                  .ExecuteSql("select * from I::stock T "
+                              "where T.company = 'coC'")
+                  .value();
+  ASSERT_TRUE(m.value().ApplyDeletes(coc.rows()).ok());
+  EXPECT_FALSE(catalog_.GetDatabase("mat").value()->HasTable("coC"));
+  ExpectMatchesFullRematerialization(kPartitionView);
+}
+
+TEST_F(ViewMaintainerTest, FilteredViewOnlyPropagatesMatchingRows) {
+  Materialize(kFilteredView);
+  auto m = ViewMaintainer::CreateFromSql(kFilteredView, &catalog_, "I", "mat");
+  ASSERT_TRUE(m.ok());
+  size_t before =
+      catalog_.ResolveTable("mat", "high").value()->num_rows();
+  ASSERT_TRUE(m.value()
+                  .ApplyInserts({StockRow("coA", "1998-03-01", 500),
+                                 StockRow("coA", "1998-03-02", 10)})
+                  .ok());
+  size_t after = catalog_.ResolveTable("mat", "high").value()->num_rows();
+  EXPECT_EQ(after, before + 1);  // Only the 500 passes P > 200.
+  ExpectMatchesFullRematerialization(kFilteredView);
+}
+
+TEST_F(ViewMaintainerTest, PivotInsertUpdatesAffectedGroupOnly) {
+  Materialize(kPivotView);
+  auto m = ViewMaintainer::CreateFromSql(kPivotView, &catalog_, "I", "mat");
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  ASSERT_TRUE(
+      m.value().ApplyInserts({StockRow("coB", "1998-01-01", 999)}).ok());
+  ExpectMatchesFullRematerialization(kPivotView);
+}
+
+TEST_F(ViewMaintainerTest, PivotInsertNewLabelWidensSchema) {
+  Materialize(kPivotView);
+  auto m = ViewMaintainer::CreateFromSql(kPivotView, &catalog_, "I", "mat");
+  ASSERT_TRUE(m.ok());
+  ASSERT_TRUE(
+      m.value().ApplyInserts({StockRow("coNEW", "1998-01-02", 123)}).ok());
+  const Table* t = catalog_.ResolveTable("mat", "stock").value();
+  EXPECT_TRUE(t->schema().HasColumn("coNEW"));
+  ExpectMatchesFullRematerialization(kPivotView);
+}
+
+TEST_F(ViewMaintainerTest, PivotInsertNewGroupKey) {
+  Materialize(kPivotView);
+  auto m = ViewMaintainer::CreateFromSql(kPivotView, &catalog_, "I", "mat");
+  ASSERT_TRUE(m.ok());
+  ASSERT_TRUE(
+      m.value().ApplyInserts({StockRow("coA", "1999-06-01", 42)}).ok());
+  ExpectMatchesFullRematerialization(kPivotView);
+}
+
+TEST_F(ViewMaintainerTest, PivotDeleteRecomputesGroup) {
+  Materialize(kPivotView);
+  auto m = ViewMaintainer::CreateFromSql(kPivotView, &catalog_, "I", "mat");
+  ASSERT_TRUE(m.ok());
+  QueryEngine engine(&catalog_, "I");
+  Table row = engine
+                  .ExecuteSql("select * from I::stock T where "
+                              "T.company = 'coB'")
+                  .value();
+  ASSERT_GT(row.num_rows(), 0u);
+  ASSERT_TRUE(m.value().ApplyDeletes({row.row(0)}).ok());
+  ExpectMatchesFullRematerialization(kPivotView);
+}
+
+TEST_F(ViewMaintainerTest, RandomizedBatchesMatchFullRematerialization) {
+  Materialize(kPartitionView);
+  auto m = ViewMaintainer::CreateFromSql(kPartitionView, &catalog_, "I", "mat");
+  ASSERT_TRUE(m.ok());
+  uint64_t state = 4242;
+  auto rnd = [&]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  };
+  for (int batch = 0; batch < 6; ++batch) {
+    std::vector<Row> inserts;
+    for (int i = 0; i < 5; ++i) {
+      inserts.push_back(StockRow(CompanyName(static_cast<int>(rnd() % 6)),
+                                 "1998-01-0" + std::to_string(1 + rnd() % 9),
+                                 static_cast<int64_t>(rnd() % 400)));
+    }
+    ASSERT_TRUE(m.value().ApplyInserts(inserts).ok());
+    // Delete a couple of existing base rows.
+    const Table* base = catalog_.ResolveTable("I", "stock").value();
+    std::vector<Row> deletes;
+    if (base->num_rows() > 2) {
+      deletes.push_back(base->row(rnd() % base->num_rows()));
+      deletes.push_back(base->row(rnd() % base->num_rows()));
+    }
+    ASSERT_TRUE(m.value().ApplyDeletes(deletes).ok());
+    ExpectMatchesFullRematerialization(kPartitionView);
+  }
+}
+
+TEST_F(ViewMaintainerTest, UnsupportedShapesRejected) {
+  EXPECT_FALSE(ViewMaintainer::CreateFromSql(
+                   "create view mat::agg(co, mx) as select C, max(P) from "
+                   "I::stock T, T.company C, T.price P group by C",
+                   &catalog_, "I", "mat")
+                   .ok());
+  EXPECT_FALSE(ViewMaintainer::CreateFromSql(
+                   "create view mat::j(a, b) as select C1, C2 from "
+                   "I::stock T1, I::stock T2, T1.company C1, T2.company C2 "
+                   "where C1 = C2",
+                   &catalog_, "I", "mat")
+                   .ok());
+}
+
+TEST_F(ViewMaintainerTest, DeleteOfAbsentRowIsIgnored) {
+  Materialize(kPartitionView);
+  auto m = ViewMaintainer::CreateFromSql(kPartitionView, &catalog_, "I", "mat");
+  ASSERT_TRUE(m.ok());
+  ASSERT_TRUE(
+      m.value().ApplyDeletes({StockRow("ghost", "1998-01-01", 1)}).ok());
+  ExpectMatchesFullRematerialization(kPartitionView);
+}
+
+}  // namespace
+}  // namespace dynview
