@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/cube.cc" "src/CMakeFiles/dynview.dir/analytics/cube.cc.o" "gcc" "src/CMakeFiles/dynview.dir/analytics/cube.cc.o.d"
+  "/root/repo/src/common/date.cc" "src/CMakeFiles/dynview.dir/common/date.cc.o" "gcc" "src/CMakeFiles/dynview.dir/common/date.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/dynview.dir/common/status.cc.o" "gcc" "src/CMakeFiles/dynview.dir/common/status.cc.o.d"
+  "/root/repo/src/common/str_util.cc" "src/CMakeFiles/dynview.dir/common/str_util.cc.o" "gcc" "src/CMakeFiles/dynview.dir/common/str_util.cc.o.d"
+  "/root/repo/src/core/aggregate_rewrite.cc" "src/CMakeFiles/dynview.dir/core/aggregate_rewrite.cc.o" "gcc" "src/CMakeFiles/dynview.dir/core/aggregate_rewrite.cc.o.d"
+  "/root/repo/src/core/containment.cc" "src/CMakeFiles/dynview.dir/core/containment.cc.o" "gcc" "src/CMakeFiles/dynview.dir/core/containment.cc.o.d"
+  "/root/repo/src/core/first_order.cc" "src/CMakeFiles/dynview.dir/core/first_order.cc.o" "gcc" "src/CMakeFiles/dynview.dir/core/first_order.cc.o.d"
+  "/root/repo/src/core/implication.cc" "src/CMakeFiles/dynview.dir/core/implication.cc.o" "gcc" "src/CMakeFiles/dynview.dir/core/implication.cc.o.d"
+  "/root/repo/src/core/normalize.cc" "src/CMakeFiles/dynview.dir/core/normalize.cc.o" "gcc" "src/CMakeFiles/dynview.dir/core/normalize.cc.o.d"
+  "/root/repo/src/core/translate.cc" "src/CMakeFiles/dynview.dir/core/translate.cc.o" "gcc" "src/CMakeFiles/dynview.dir/core/translate.cc.o.d"
+  "/root/repo/src/core/unfold.cc" "src/CMakeFiles/dynview.dir/core/unfold.cc.o" "gcc" "src/CMakeFiles/dynview.dir/core/unfold.cc.o.d"
+  "/root/repo/src/core/usability.cc" "src/CMakeFiles/dynview.dir/core/usability.cc.o" "gcc" "src/CMakeFiles/dynview.dir/core/usability.cc.o.d"
+  "/root/repo/src/core/view_definition.cc" "src/CMakeFiles/dynview.dir/core/view_definition.cc.o" "gcc" "src/CMakeFiles/dynview.dir/core/view_definition.cc.o.d"
+  "/root/repo/src/engine/expr_eval.cc" "src/CMakeFiles/dynview.dir/engine/expr_eval.cc.o" "gcc" "src/CMakeFiles/dynview.dir/engine/expr_eval.cc.o.d"
+  "/root/repo/src/engine/operators.cc" "src/CMakeFiles/dynview.dir/engine/operators.cc.o" "gcc" "src/CMakeFiles/dynview.dir/engine/operators.cc.o.d"
+  "/root/repo/src/engine/query_engine.cc" "src/CMakeFiles/dynview.dir/engine/query_engine.cc.o" "gcc" "src/CMakeFiles/dynview.dir/engine/query_engine.cc.o.d"
+  "/root/repo/src/index/btree.cc" "src/CMakeFiles/dynview.dir/index/btree.cc.o" "gcc" "src/CMakeFiles/dynview.dir/index/btree.cc.o.d"
+  "/root/repo/src/index/inverted_index.cc" "src/CMakeFiles/dynview.dir/index/inverted_index.cc.o" "gcc" "src/CMakeFiles/dynview.dir/index/inverted_index.cc.o.d"
+  "/root/repo/src/index/view_index.cc" "src/CMakeFiles/dynview.dir/index/view_index.cc.o" "gcc" "src/CMakeFiles/dynview.dir/index/view_index.cc.o.d"
+  "/root/repo/src/integration/integration.cc" "src/CMakeFiles/dynview.dir/integration/integration.cc.o" "gcc" "src/CMakeFiles/dynview.dir/integration/integration.cc.o.d"
+  "/root/repo/src/integration/schema_browser.cc" "src/CMakeFiles/dynview.dir/integration/schema_browser.cc.o" "gcc" "src/CMakeFiles/dynview.dir/integration/schema_browser.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/dynview.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/dynview.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/plan.cc" "src/CMakeFiles/dynview.dir/optimizer/plan.cc.o" "gcc" "src/CMakeFiles/dynview.dir/optimizer/plan.cc.o.d"
+  "/root/repo/src/optimizer/stats.cc" "src/CMakeFiles/dynview.dir/optimizer/stats.cc.o" "gcc" "src/CMakeFiles/dynview.dir/optimizer/stats.cc.o.d"
+  "/root/repo/src/relational/catalog.cc" "src/CMakeFiles/dynview.dir/relational/catalog.cc.o" "gcc" "src/CMakeFiles/dynview.dir/relational/catalog.cc.o.d"
+  "/root/repo/src/relational/catalog_io.cc" "src/CMakeFiles/dynview.dir/relational/catalog_io.cc.o" "gcc" "src/CMakeFiles/dynview.dir/relational/catalog_io.cc.o.d"
+  "/root/repo/src/relational/csv.cc" "src/CMakeFiles/dynview.dir/relational/csv.cc.o" "gcc" "src/CMakeFiles/dynview.dir/relational/csv.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "src/CMakeFiles/dynview.dir/relational/schema.cc.o" "gcc" "src/CMakeFiles/dynview.dir/relational/schema.cc.o.d"
+  "/root/repo/src/relational/table.cc" "src/CMakeFiles/dynview.dir/relational/table.cc.o" "gcc" "src/CMakeFiles/dynview.dir/relational/table.cc.o.d"
+  "/root/repo/src/relational/value.cc" "src/CMakeFiles/dynview.dir/relational/value.cc.o" "gcc" "src/CMakeFiles/dynview.dir/relational/value.cc.o.d"
+  "/root/repo/src/restructure/restructure.cc" "src/CMakeFiles/dynview.dir/restructure/restructure.cc.o" "gcc" "src/CMakeFiles/dynview.dir/restructure/restructure.cc.o.d"
+  "/root/repo/src/schemasql/instantiate.cc" "src/CMakeFiles/dynview.dir/schemasql/instantiate.cc.o" "gcc" "src/CMakeFiles/dynview.dir/schemasql/instantiate.cc.o.d"
+  "/root/repo/src/schemasql/view_maintainer.cc" "src/CMakeFiles/dynview.dir/schemasql/view_maintainer.cc.o" "gcc" "src/CMakeFiles/dynview.dir/schemasql/view_maintainer.cc.o.d"
+  "/root/repo/src/schemasql/view_materializer.cc" "src/CMakeFiles/dynview.dir/schemasql/view_materializer.cc.o" "gcc" "src/CMakeFiles/dynview.dir/schemasql/view_materializer.cc.o.d"
+  "/root/repo/src/sql/ast.cc" "src/CMakeFiles/dynview.dir/sql/ast.cc.o" "gcc" "src/CMakeFiles/dynview.dir/sql/ast.cc.o.d"
+  "/root/repo/src/sql/binder.cc" "src/CMakeFiles/dynview.dir/sql/binder.cc.o" "gcc" "src/CMakeFiles/dynview.dir/sql/binder.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/dynview.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/dynview.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/dynview.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/dynview.dir/sql/parser.cc.o.d"
+  "/root/repo/src/sql/token.cc" "src/CMakeFiles/dynview.dir/sql/token.cc.o" "gcc" "src/CMakeFiles/dynview.dir/sql/token.cc.o.d"
+  "/root/repo/src/workload/hotel_data.cc" "src/CMakeFiles/dynview.dir/workload/hotel_data.cc.o" "gcc" "src/CMakeFiles/dynview.dir/workload/hotel_data.cc.o.d"
+  "/root/repo/src/workload/stock_data.cc" "src/CMakeFiles/dynview.dir/workload/stock_data.cc.o" "gcc" "src/CMakeFiles/dynview.dir/workload/stock_data.cc.o.d"
+  "/root/repo/src/workload/tickets_data.cc" "src/CMakeFiles/dynview.dir/workload/tickets_data.cc.o" "gcc" "src/CMakeFiles/dynview.dir/workload/tickets_data.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
