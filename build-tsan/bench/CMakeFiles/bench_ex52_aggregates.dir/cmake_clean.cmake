@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ex52_aggregates.dir/bench_ex52_aggregates.cc.o"
+  "CMakeFiles/bench_ex52_aggregates.dir/bench_ex52_aggregates.cc.o.d"
+  "bench_ex52_aggregates"
+  "bench_ex52_aggregates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ex52_aggregates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_restructuring.dir/bench_fig01_restructuring.cc.o"
+  "CMakeFiles/bench_fig01_restructuring.dir/bench_fig01_restructuring.cc.o.d"
+  "bench_fig01_restructuring"
+  "bench_fig01_restructuring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_restructuring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_dynamic_views.dir/bench_fig05_dynamic_views.cc.o"
+  "CMakeFiles/bench_fig05_dynamic_views.dir/bench_fig05_dynamic_views.cc.o.d"
+  "bench_fig05_dynamic_views"
+  "bench_fig05_dynamic_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_dynamic_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

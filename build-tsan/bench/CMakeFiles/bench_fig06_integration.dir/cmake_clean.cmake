@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_integration.dir/bench_fig06_integration.cc.o"
+  "CMakeFiles/bench_fig06_integration.dir/bench_fig06_integration.cc.o.d"
+  "bench_fig06_integration"
+  "bench_fig06_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_schema_independent.dir/bench_fig07_schema_independent.cc.o"
+  "CMakeFiles/bench_fig07_schema_independent.dir/bench_fig07_schema_independent.cc.o.d"
+  "bench_fig07_schema_independent"
+  "bench_fig07_schema_independent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_schema_independent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

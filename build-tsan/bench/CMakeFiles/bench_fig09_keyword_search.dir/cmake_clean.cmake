@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_keyword_search.dir/bench_fig09_keyword_search.cc.o"
+  "CMakeFiles/bench_fig09_keyword_search.dir/bench_fig09_keyword_search.cc.o.d"
+  "bench_fig09_keyword_search"
+  "bench_fig09_keyword_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_keyword_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

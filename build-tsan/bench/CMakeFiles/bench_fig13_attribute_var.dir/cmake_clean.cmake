@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_attribute_var.dir/bench_fig13_attribute_var.cc.o"
+  "CMakeFiles/bench_fig13_attribute_var.dir/bench_fig13_attribute_var.cc.o.d"
+  "bench_fig13_attribute_var"
+  "bench_fig13_attribute_var.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_attribute_var.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec112_cube.dir/bench_sec112_cube.cc.o"
+  "CMakeFiles/bench_sec112_cube.dir/bench_sec112_cube.cc.o.d"
+  "bench_sec112_cube"
+  "bench_sec112_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec112_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

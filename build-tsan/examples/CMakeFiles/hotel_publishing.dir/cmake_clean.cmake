@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotel_publishing.dir/hotel_publishing.cc.o"
+  "CMakeFiles/hotel_publishing.dir/hotel_publishing.cc.o.d"
+  "hotel_publishing"
+  "hotel_publishing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotel_publishing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

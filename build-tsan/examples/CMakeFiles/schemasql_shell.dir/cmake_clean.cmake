@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schemasql_shell.dir/schemasql_shell.cc.o"
+  "CMakeFiles/schemasql_shell.dir/schemasql_shell.cc.o.d"
+  "schemasql_shell"
+  "schemasql_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schemasql_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stock_integration.dir/stock_integration.cc.o"
+  "CMakeFiles/stock_integration.dir/stock_integration.cc.o.d"
+  "stock_integration"
+  "stock_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stock_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ticket_indexing.dir/ticket_indexing.cc.o"
+  "CMakeFiles/ticket_indexing.dir/ticket_indexing.cc.o.d"
+  "ticket_indexing"
+  "ticket_indexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ticket_indexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_cube.dir/warehouse_cube.cc.o"
+  "CMakeFiles/warehouse_cube.dir/warehouse_cube.cc.o.d"
+  "warehouse_cube"
+  "warehouse_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

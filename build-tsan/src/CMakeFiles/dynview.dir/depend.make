@@ -1,0 +1,2 @@
+# Empty dependencies file for dynview.
+# This may be replaced when dependencies are built.

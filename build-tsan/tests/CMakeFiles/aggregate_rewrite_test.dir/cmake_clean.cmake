@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregate_rewrite_test.dir/aggregate_rewrite_test.cc.o"
+  "CMakeFiles/aggregate_rewrite_test.dir/aggregate_rewrite_test.cc.o.d"
+  "aggregate_rewrite_test"
+  "aggregate_rewrite_test.pdb"
+  "aggregate_rewrite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregate_rewrite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_view_test.dir/dynamic_view_test.cc.o"
+  "CMakeFiles/dynamic_view_test.dir/dynamic_view_test.cc.o.d"
+  "dynamic_view_test"
+  "dynamic_view_test.pdb"
+  "dynamic_view_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_instances_test.dir/fig14_instances_test.cc.o"
+  "CMakeFiles/fig14_instances_test.dir/fig14_instances_test.cc.o.d"
+  "fig14_instances_test"
+  "fig14_instances_test.pdb"
+  "fig14_instances_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_instances_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/implication_test.dir/implication_test.cc.o"
+  "CMakeFiles/implication_test.dir/implication_test.cc.o.d"
+  "implication_test"
+  "implication_test.pdb"
+  "implication_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/implication_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instantiate_test.dir/instantiate_test.cc.o"
+  "CMakeFiles/instantiate_test.dir/instantiate_test.cc.o.d"
+  "instantiate_test"
+  "instantiate_test.pdb"
+  "instantiate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instantiate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kent_forms_test.dir/kent_forms_test.cc.o"
+  "CMakeFiles/kent_forms_test.dir/kent_forms_test.cc.o.d"
+  "kent_forms_test"
+  "kent_forms_test.pdb"
+  "kent_forms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kent_forms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restructure_test.dir/restructure_test.cc.o"
+  "CMakeFiles/restructure_test.dir/restructure_test.cc.o.d"
+  "restructure_test"
+  "restructure_test.pdb"
+  "restructure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restructure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

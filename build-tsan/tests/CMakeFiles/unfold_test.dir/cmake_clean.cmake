@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unfold_test.dir/unfold_test.cc.o"
+  "CMakeFiles/unfold_test.dir/unfold_test.cc.o.d"
+  "unfold_test"
+  "unfold_test.pdb"
+  "unfold_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unfold_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usability_test.dir/usability_test.cc.o"
+  "CMakeFiles/usability_test.dir/usability_test.cc.o.d"
+  "usability_test"
+  "usability_test.pdb"
+  "usability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

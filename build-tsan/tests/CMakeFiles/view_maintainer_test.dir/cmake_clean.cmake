@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_maintainer_test.dir/view_maintainer_test.cc.o"
+  "CMakeFiles/view_maintainer_test.dir/view_maintainer_test.cc.o.d"
+  "view_maintainer_test"
+  "view_maintainer_test.pdb"
+  "view_maintainer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_maintainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

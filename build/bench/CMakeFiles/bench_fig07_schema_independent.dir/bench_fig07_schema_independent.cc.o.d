@@ -183,14 +183,7 @@ bench/CMakeFiles/bench_fig07_schema_independent.dir/bench_fig07_schema_independe
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/engine/query_engine.h /root/repo/src/common/result.h \
- /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/common/status.h /root/repo/src/relational/catalog.h \
- /root/repo/src/relational/table.h /root/repo/src/relational/schema.h \
- /root/repo/src/relational/value.h /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/common/date.h \
- /root/repo/src/sql/ast.h /usr/include/c++/12/memory \
+ /root/repo/src/engine/query_engine.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -218,5 +211,28 @@ bench/CMakeFiles/bench_fig07_schema_independent.dir/bench_fig07_schema_independe
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h /root/repo/src/sql/binder.h \
- /root/repo/src/workload/hotel_data.h
+ /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /root/repo/src/common/exec_config.h /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/common/result.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/common/status.h /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /usr/include/c++/12/mutex /root/repo/src/relational/catalog.h \
+ /root/repo/src/relational/table.h /root/repo/src/relational/schema.h \
+ /root/repo/src/relational/value.h /usr/include/c++/12/variant \
+ /root/repo/src/common/date.h /root/repo/src/sql/ast.h \
+ /root/repo/src/sql/binder.h /root/repo/src/workload/hotel_data.h

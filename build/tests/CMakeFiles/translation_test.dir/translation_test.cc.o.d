@@ -300,5 +300,17 @@ tests/CMakeFiles/translation_test.dir/translation_test.cc.o: \
  /root/repo/src/relational/schema.h /root/repo/src/relational/value.h \
  /root/repo/src/common/date.h /root/repo/src/sql/ast.h \
  /root/repo/src/sql/binder.h /root/repo/src/engine/query_engine.h \
- /root/repo/src/schemasql/view_materializer.h \
+ /root/repo/src/common/exec_config.h /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /root/repo/src/schemasql/view_materializer.h \
  /root/repo/src/workload/stock_data.h

@@ -17,6 +17,13 @@ for b in build/bench/bench_*; do
   "$b" 2>&1 | tee "results/${name}.txt"
 done
 
+# Machine-readable parallel-scaling trajectory (threads 1/2/4/8): the
+# speedup preamble goes to the .txt above; this JSON is the comparable
+# artifact future PRs regress against.
+build/bench/bench_parallel_engine \
+  --benchmark_out=results/BENCH_parallel.json \
+  --benchmark_out_format=json >/dev/null
+
 for e in quickstart stock_integration hotel_publishing ticket_indexing \
          warehouse_cube; do
   echo "=== example: $e ==="

@@ -1,0 +1,91 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace dynview {
+
+namespace {
+thread_local bool t_on_worker_thread = false;
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_workers) {
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::OnWorkerThread() { return t_on_worker_thread; }
+
+void ThreadPool::WorkerLoop() {
+  t_on_worker_thread = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || workers_.empty() || OnWorkerThread()) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Shared by the caller and the helper tasks; the helpers may outlive this
+  // call (a queued helper that starts after all iterations are claimed finds
+  // next >= n and exits without touching anything else).
+  struct Batch {
+    explicit Batch(const std::function<void(size_t)>& f) : fn(f) {}
+    std::function<void(size_t)> fn;
+    std::atomic<size_t> next{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t done = 0;  // Guarded by mu.
+  };
+  auto batch = std::make_shared<Batch>(fn);
+  const size_t total = n;
+  auto drain = [batch, total] {
+    size_t ran = 0;
+    for (size_t i; (i = batch->next.fetch_add(1)) < total; ++ran) {
+      batch->fn(i);
+    }
+    if (ran > 0) {
+      std::lock_guard<std::mutex> lock(batch->mu);
+      batch->done += ran;
+      if (batch->done == total) batch->cv.notify_all();
+    }
+  };
+  const size_t helpers = std::min(workers_.size(), n - 1);
+  for (size_t h = 0; h < helpers; ++h) Submit(drain);
+  drain();  // The caller participates.
+  std::unique_lock<std::mutex> lock(batch->mu);
+  batch->cv.wait(lock, [&] { return batch->done == total; });
+}
+
+}  // namespace dynview

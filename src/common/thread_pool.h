@@ -1,0 +1,62 @@
+#ifndef DYNVIEW_COMMON_THREAD_POOL_H_
+#define DYNVIEW_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dynview {
+
+/// A fixed-size worker pool shared by the execution engine (grounding
+/// fan-out, morsel-driven operators, view partition materialisation).
+///
+/// The pool deliberately has no notion of task priorities or futures: the
+/// engine's parallelism is fork/join-shaped, so `ParallelFor` — in which the
+/// calling thread participates and which degrades to an inline serial loop
+/// when nested — covers every use. Caller participation makes the pool
+/// deadlock-free under nesting: even if every worker is busy, the caller
+/// drains its own iteration space.
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` worker threads (0 is valid: every ParallelFor then
+  /// runs inline, which is the `ExecConfig{num_threads=1}` serial mode).
+  explicit ThreadPool(size_t num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_workers() const { return workers_.size(); }
+
+  /// Enqueues `fn` for execution on some worker thread.
+  void Submit(std::function<void()> fn);
+
+  /// True when the calling thread is a worker of any ThreadPool. Used to run
+  /// nested parallel regions inline instead of flooding the queue.
+  static bool OnWorkerThread();
+
+  /// Runs `fn(0) … fn(n-1)` across the workers plus the calling thread and
+  /// returns when all iterations finished. Iterations are claimed from a
+  /// shared counter, so completion order is nondeterministic — callers that
+  /// need deterministic output write into index `i` of a pre-sized buffer
+  /// and merge in index order afterwards. Runs inline when the pool has no
+  /// workers, `n == 1`, or the caller is itself a pool worker.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dynview
+
+#endif  // DYNVIEW_COMMON_THREAD_POOL_H_

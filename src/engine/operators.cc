@@ -1,10 +1,23 @@
 #include "engine/operators.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 namespace dynview {
 
 namespace {
+
+/// Hash of the key columns of `row`, consistent with RowGroupHash over
+/// KeyOf(row, keys) but without materializing the key row. Used both to pick
+/// a build shard and to route probes to it.
+size_t KeyHash(const Row& row, const std::vector<int>& keys) {
+  size_t h = 1469598103934665603ull;
+  for (int k : keys) {
+    h ^= row[static_cast<size_t>(k)].GroupHash();
+    h *= 1099511628211ull;
+  }
+  return h;
+}
 
 Schema ConcatSchemas(const Schema& a, const Schema& b) {
   std::vector<Column> cols = a.columns();
@@ -47,28 +60,139 @@ Status CheckKeys(const Table& t, const std::vector<int>& keys,
 
 }  // namespace
 
+size_t ExecContext::MorselSize(size_t rows) const {
+  size_t threads = pool == nullptr ? 1 : pool->num_workers() + 1;
+  size_t per_thread = (rows + threads * 4 - 1) / (threads * 4);
+  return std::max(morsel_rows, per_thread);
+}
+
+void MorselFor(const ExecContext& ctx, size_t rows,
+               const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (rows == 0) return;
+  if (!ctx.ShouldParallelize(rows)) {
+    fn(0, 0, rows);
+    return;
+  }
+  const size_t m = ctx.MorselSize(rows);
+  const size_t n = (rows + m - 1) / m;
+  ctx.pool->ParallelFor(n, [&](size_t i) {
+    fn(i, i * m, std::min(rows, (i + 1) * m));
+  });
+}
+
+Result<Table> FilterRows(const Table& in, const ExecContext& ctx,
+                         const std::function<Result<bool>(const Row&)>& pred) {
+  const size_t rows = in.num_rows();
+  if (!ctx.ShouldParallelize(rows)) {
+    Table out(in.schema());
+    for (const Row& r : in.rows()) {
+      DV_ASSIGN_OR_RETURN(bool keep, pred(r));
+      if (keep) out.AppendRowUnchecked(r);
+    }
+    return out;
+  }
+  const size_t m = ctx.MorselSize(rows);
+  const size_t n = (rows + m - 1) / m;
+  std::vector<Table> parts(n);
+  std::vector<Status> errors(n, Status::OK());
+  ctx.pool->ParallelFor(n, [&](size_t i) {
+    Table part(in.schema());
+    for (size_t r = i * m, end = std::min(rows, (i + 1) * m); r < end; ++r) {
+      Result<bool> keep = pred(in.row(r));
+      if (!keep.ok()) {
+        errors[i] = keep.status();
+        break;
+      }
+      if (keep.value()) part.AppendRowUnchecked(in.row(r));
+    }
+    parts[i] = std::move(part);
+  });
+  // Merge in morsel order: output row order and the reported error (lowest
+  // erroring row) both match serial execution.
+  Table out(in.schema());
+  for (size_t i = 0; i < n; ++i) {
+    DV_RETURN_IF_ERROR(errors[i]);
+    DV_RETURN_IF_ERROR(out.AppendTable(std::move(parts[i])));
+  }
+  return out;
+}
+
 Result<Table> HashJoin(const Table& left, const Table& right,
                        const std::vector<int>& left_keys,
-                       const std::vector<int>& right_keys) {
+                       const std::vector<int>& right_keys,
+                       const ExecContext& ctx) {
   if (left_keys.size() != right_keys.size()) {
     return Status::InvalidArgument("mismatched join key arity");
   }
   DV_RETURN_IF_ERROR(CheckKeys(left, left_keys, "left"));
   DV_RETURN_IF_ERROR(CheckKeys(right, right_keys, "right"));
   Table out(ConcatSchemas(left.schema(), right.schema()));
-  std::unordered_map<Row, std::vector<size_t>, RowGroupHash, RowGroupEq> index;
-  index.reserve(right.num_rows());
-  for (size_t i = 0; i < right.num_rows(); ++i) {
-    if (AnyNull(right.row(i), right_keys)) continue;
-    index[KeyOf(right.row(i), right_keys)].push_back(i);
-  }
-  for (const Row& lrow : left.rows()) {
-    if (AnyNull(lrow, left_keys)) continue;
-    auto it = index.find(KeyOf(lrow, left_keys));
-    if (it == index.end()) continue;
-    for (size_t ri : it->second) {
-      out.AppendRowUnchecked(ConcatRows(lrow, right.row(ri)));
+  if (!ctx.ShouldParallelize(left.num_rows()) &&
+      !ctx.ShouldParallelize(right.num_rows())) {
+    std::unordered_map<Row, std::vector<size_t>, RowGroupHash, RowGroupEq>
+        index;
+    index.reserve(right.num_rows());
+    for (size_t i = 0; i < right.num_rows(); ++i) {
+      if (AnyNull(right.row(i), right_keys)) continue;
+      index[KeyOf(right.row(i), right_keys)].push_back(i);
     }
+    for (const Row& lrow : left.rows()) {
+      if (AnyNull(lrow, left_keys)) continue;
+      auto it = index.find(KeyOf(lrow, left_keys));
+      if (it == index.end()) continue;
+      for (size_t ri : it->second) {
+        out.AppendRowUnchecked(ConcatRows(lrow, right.row(ri)));
+      }
+    }
+    return out;
+  }
+
+  // Partitioned build: hash every build row once (morsel-parallel), then one
+  // task per shard inserts the rows whose hash lands in it. Each shard map
+  // is written by exactly one task.
+  using Index =
+      std::unordered_map<Row, std::vector<size_t>, RowGroupHash, RowGroupEq>;
+  const size_t num_shards = ctx.pool->num_workers() + 1;
+  std::vector<size_t> build_hash(right.num_rows());
+  std::vector<char> build_skip(right.num_rows());  // NULL keys never match.
+  MorselFor(ctx, right.num_rows(), [&](size_t, size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      build_skip[i] = AnyNull(right.row(i), right_keys) ? 1 : 0;
+      if (!build_skip[i]) build_hash[i] = KeyHash(right.row(i), right_keys);
+    }
+  });
+  std::vector<Index> shards(num_shards);
+  ctx.pool->ParallelFor(num_shards, [&](size_t s) {
+    Index& shard = shards[s];
+    for (size_t i = 0; i < right.num_rows(); ++i) {
+      if (!build_skip[i] && build_hash[i] % num_shards == s) {
+        shard[KeyOf(right.row(i), right_keys)].push_back(i);
+      }
+    }
+  });
+
+  // Morsel probe into per-morsel outputs, merged in morsel order so the
+  // result row order matches the serial join exactly.
+  const size_t rows = left.num_rows();
+  const size_t m = ctx.MorselSize(rows);
+  const size_t n = rows == 0 ? 0 : (rows + m - 1) / m;
+  std::vector<Table> parts(n);
+  ctx.pool->ParallelFor(n, [&](size_t p) {
+    Table part(out.schema());
+    for (size_t i = p * m, end = std::min(rows, (p + 1) * m); i < end; ++i) {
+      const Row& lrow = left.row(i);
+      if (AnyNull(lrow, left_keys)) continue;
+      const Index& shard = shards[KeyHash(lrow, left_keys) % num_shards];
+      auto it = shard.find(KeyOf(lrow, left_keys));
+      if (it == shard.end()) continue;
+      for (size_t ri : it->second) {
+        part.AppendRowUnchecked(ConcatRows(lrow, right.row(ri)));
+      }
+    }
+    parts[p] = std::move(part);
+  });
+  for (Table& part : parts) {
+    DV_RETURN_IF_ERROR(out.AppendTable(std::move(part)));
   }
   return out;
 }
@@ -93,6 +217,9 @@ Result<Table> FullOuterJoin(const Table& left, const Table& right,
   DV_RETURN_IF_ERROR(CheckKeys(left, left_keys, "left"));
   DV_RETURN_IF_ERROR(CheckKeys(right, right_keys, "right"));
   Table out(ConcatSchemas(left.schema(), right.schema()));
+  // Every left row emits at least one output row and unmatched right rows
+  // emit one each, so left+right is a tight lower bound on the output size.
+  out.Reserve(left.num_rows() + right.num_rows());
   std::unordered_map<Row, std::vector<size_t>, RowGroupHash, RowGroupEq> index;
   index.reserve(right.num_rows());
   for (size_t i = 0; i < right.num_rows(); ++i) {

@@ -1,19 +1,56 @@
 #ifndef DYNVIEW_ENGINE_OPERATORS_H_
 #define DYNVIEW_ENGINE_OPERATORS_H_
 
+#include <functional>
 #include <vector>
 
+#include "common/exec_config.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "relational/table.h"
 
 namespace dynview {
 
+/// Per-query execution context handed to operators: a borrowed pool (null =
+/// serial) and the morsel granularity. Operators that parallelize always
+/// merge per-morsel outputs in morsel order, so for a given input the output
+/// row order is identical to serial execution.
+struct ExecContext {
+  ThreadPool* pool = nullptr;
+  size_t morsel_rows = ExecConfig{}.morsel_rows;
+
+  /// True when an input of `rows` is worth splitting into morsels.
+  bool ShouldParallelize(size_t rows) const {
+    return pool != nullptr && pool->num_workers() > 0 && rows > morsel_rows;
+  }
+
+  /// Rows per morsel for an input of `rows`: at least `morsel_rows`, and at
+  /// most ~4 morsels per participating thread to bound scheduling overhead.
+  size_t MorselSize(size_t rows) const;
+};
+
+/// Splits `[0, rows)` into morsels and runs `fn(morsel_index, begin, end)`
+/// on the pool (inline when not worth parallelizing). Deterministic given
+/// deterministic `fn`: morsel boundaries depend only on `rows` and `ctx`.
+void MorselFor(const ExecContext& ctx, size_t rows,
+               const std::function<void(size_t, size_t, size_t)>& fn);
+
+/// Morsel-driven scan+filter: the rows of `in` for which `pred` returns
+/// true, in input order. The predicate must be safe to call concurrently on
+/// distinct rows (expression evaluation is pure, so closures over
+/// EvaluatePredicate qualify).
+Result<Table> FilterRows(const Table& in, const ExecContext& ctx,
+                         const std::function<Result<bool>(const Row&)>& pred);
+
 /// Inner hash equi-join: rows of `left` × `right` where the key columns are
 /// pairwise GroupEquals (NULL keys never match, per SQL). Output columns are
-/// left's followed by right's.
+/// left's followed by right's. Above the morsel threshold the build side is
+/// hash-partitioned and built shard-parallel, and the probe side is scanned
+/// in morsels; output order still matches the serial join.
 Result<Table> HashJoin(const Table& left, const Table& right,
                        const std::vector<int>& left_keys,
-                       const std::vector<int>& right_keys);
+                       const std::vector<int>& right_keys,
+                       const ExecContext& ctx = ExecContext());
 
 /// Cross product (used when no equi-join key is available).
 Table CrossProduct(const Table& left, const Table& right);

@@ -44,58 +44,149 @@ std::string OutputName(const SelectItem& item, size_t index) {
   return "col" + std::to_string(index);
 }
 
-/// Filters `w` in place by `pred` (rows kept iff the predicate is True).
+/// Filters `in` by `pred` (rows kept iff the predicate is True),
+/// morsel-parallel above the context's threshold.
 Result<Table> FilterTable(const Table& in, const ColumnBindings& bindings,
-                          const Expr& pred) {
-  Table out(in.schema());
-  for (const Row& r : in.rows()) {
+                          const Expr& pred, const ExecContext& ctx) {
+  return FilterRows(in, ctx, [&](const Row& r) -> Result<bool> {
     DV_ASSIGN_OR_RETURN(TriBool t, EvaluatePredicate(pred, r, bindings));
-    if (t == TriBool::kTrue) out.AppendRowUnchecked(r);
+    return t == TriBool::kTrue;
+  });
+}
+
+/// Evaluates the key expressions of `keys` over `row`; a NULL component
+/// marks the row as unjoinable (NULL keys never match, per SQL).
+Result<Row> EvalKey(const std::vector<const Expr*>& keys, const Row& row,
+                    const ColumnBindings& bindings, bool* null_key) {
+  Row key;
+  key.reserve(keys.size());
+  *null_key = false;
+  for (const Expr* k : keys) {
+    DV_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*k, row, bindings));
+    if (v.is_null()) *null_key = true;
+    key.push_back(std::move(v));
   }
-  return out;
+  return key;
 }
 
 /// Hash join of two working sets on evaluated key expressions. NULL keys
-/// never match.
+/// never match. Above the morsel threshold the build side is
+/// hash-partitioned across shards and the probe side runs in morsels;
+/// per-morsel outputs merge in morsel order, so the result row order is
+/// identical to the serial join.
 Result<Table> JoinOnExprs(const Table& left, const ColumnBindings& lb,
                           const Table& right, const ColumnBindings& rb,
                           const std::vector<const Expr*>& lkeys,
-                          const std::vector<const Expr*>& rkeys) {
+                          const std::vector<const Expr*>& rkeys,
+                          const ExecContext& ctx) {
   std::vector<Column> cols = left.schema().columns();
   for (const Column& c : right.schema().columns()) cols.push_back(c);
   Table out{Schema(std::move(cols))};
 
-  std::unordered_map<Row, std::vector<size_t>, RowGroupHash, RowGroupEq> index;
-  index.reserve(right.num_rows());
-  for (size_t i = 0; i < right.num_rows(); ++i) {
-    Row key;
-    key.reserve(rkeys.size());
-    bool null_key = false;
-    for (const Expr* k : rkeys) {
-      DV_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*k, right.row(i), rb));
-      if (v.is_null()) null_key = true;
-      key.push_back(std::move(v));
+  using Index =
+      std::unordered_map<Row, std::vector<size_t>, RowGroupHash, RowGroupEq>;
+  const bool parallel = ctx.ShouldParallelize(left.num_rows()) ||
+                        ctx.ShouldParallelize(right.num_rows());
+
+  if (!parallel) {
+    Index index;
+    index.reserve(right.num_rows());
+    for (size_t i = 0; i < right.num_rows(); ++i) {
+      bool null_key = false;
+      DV_ASSIGN_OR_RETURN(Row key, EvalKey(rkeys, right.row(i), rb, &null_key));
+      if (!null_key) index[std::move(key)].push_back(i);
     }
-    if (!null_key) index[std::move(key)].push_back(i);
+    for (const Row& lrow : left.rows()) {
+      bool null_key = false;
+      DV_ASSIGN_OR_RETURN(Row key, EvalKey(lkeys, lrow, lb, &null_key));
+      if (null_key) continue;
+      auto it = index.find(key);
+      if (it == index.end()) continue;
+      for (size_t ri : it->second) {
+        Row combined = lrow;
+        const Row& rrow = right.row(ri);
+        combined.insert(combined.end(), rrow.begin(), rrow.end());
+        out.AppendRowUnchecked(std::move(combined));
+      }
+    }
+    return out;
   }
-  for (const Row& lrow : left.rows()) {
-    Row key;
-    key.reserve(lkeys.size());
-    bool null_key = false;
-    for (const Expr* k : lkeys) {
-      DV_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*k, lrow, lb));
-      if (v.is_null()) null_key = true;
-      key.push_back(std::move(v));
+
+  // Partitioned build. Phase 1 (morsel-parallel): evaluate every build key.
+  // Phase 2 (shard-parallel): each shard inserts the keys hashing into it,
+  // so every shard map has exactly one writer.
+  RowGroupHash hasher;
+  const size_t num_shards = ctx.pool->num_workers() + 1;
+  const size_t build_rows = right.num_rows();
+  std::vector<Row> build_keys(build_rows);
+  std::vector<size_t> build_hash(build_rows);
+  std::vector<char> build_skip(build_rows, 0);
+  {
+    const size_t m = ctx.MorselSize(build_rows);
+    const size_t n = build_rows == 0 ? 0 : (build_rows + m - 1) / m;
+    std::vector<Status> errors(n, Status::OK());
+    ctx.pool->ParallelFor(n, [&](size_t p) {
+      for (size_t i = p * m, end = std::min(build_rows, (p + 1) * m); i < end;
+           ++i) {
+        bool null_key = false;
+        Result<Row> key = EvalKey(rkeys, right.row(i), rb, &null_key);
+        if (!key.ok()) {
+          errors[p] = key.status();
+          return;
+        }
+        if (null_key) {
+          build_skip[i] = 1;
+          continue;
+        }
+        build_keys[i] = std::move(key).value();
+        build_hash[i] = hasher(build_keys[i]);
+      }
+    });
+    for (const Status& s : errors) DV_RETURN_IF_ERROR(s);
+  }
+  std::vector<Index> shards(num_shards);
+  ctx.pool->ParallelFor(num_shards, [&](size_t s) {
+    Index& shard = shards[s];
+    for (size_t i = 0; i < build_rows; ++i) {
+      if (!build_skip[i] && build_hash[i] % num_shards == s) {
+        shard[std::move(build_keys[i])].push_back(i);
+      }
     }
-    if (null_key) continue;
-    auto it = index.find(key);
-    if (it == index.end()) continue;
-    for (size_t ri : it->second) {
-      Row combined = lrow;
-      const Row& rrow = right.row(ri);
-      combined.insert(combined.end(), rrow.begin(), rrow.end());
-      out.AppendRowUnchecked(std::move(combined));
+  });
+
+  // Morsel probe, merged in morsel order.
+  const size_t probe_rows = left.num_rows();
+  const size_t m = ctx.MorselSize(probe_rows);
+  const size_t n = probe_rows == 0 ? 0 : (probe_rows + m - 1) / m;
+  std::vector<Table> parts(n);
+  std::vector<Status> errors(n, Status::OK());
+  ctx.pool->ParallelFor(n, [&](size_t p) {
+    Table part(out.schema());
+    for (size_t i = p * m, end = std::min(probe_rows, (p + 1) * m); i < end;
+         ++i) {
+      const Row& lrow = left.row(i);
+      bool null_key = false;
+      Result<Row> key = EvalKey(lkeys, lrow, lb, &null_key);
+      if (!key.ok()) {
+        errors[p] = key.status();
+        break;
+      }
+      if (null_key) continue;
+      const Index& shard = shards[hasher(key.value()) % num_shards];
+      auto it = shard.find(key.value());
+      if (it == shard.end()) continue;
+      for (size_t ri : it->second) {
+        Row combined = lrow;
+        const Row& rrow = right.row(ri);
+        combined.insert(combined.end(), rrow.begin(), rrow.end());
+        part.AppendRowUnchecked(std::move(combined));
+      }
     }
+    parts[p] = std::move(part);
+  });
+  for (size_t p = 0; p < n; ++p) {
+    DV_RETURN_IF_ERROR(errors[p]);
+    DV_RETURN_IF_ERROR(out.AppendTable(std::move(parts[p])));
   }
   return out;
 }
@@ -238,7 +329,7 @@ Result<Table> QueryEngine::ExecuteSql(const std::string& sql) {
 }
 
 Result<Table> QueryEngine::Execute(SelectStmt* stmt) {
-  Result<Table> acc = Status::Internal("unset");
+  Table acc;
   bool first = true;
   bool pending_all = false;
   for (SelectStmt* branch = stmt; branch != nullptr;
@@ -249,23 +340,56 @@ Result<Table> QueryEngine::Execute(SelectStmt* stmt) {
       acc = std::move(t);
       first = false;
     } else {
-      DV_ASSIGN_OR_RETURN(Table merged, UnionAll(acc.value(), t));
-      if (!pending_all) merged = merged.Distinct();
-      acc = std::move(merged);
+      // Move-append instead of UnionAll: the accumulator is never recopied.
+      DV_RETURN_IF_ERROR(acc.AppendTable(std::move(t)));
+      if (!pending_all) {
+        Table distinct = acc.Distinct();
+        acc = std::move(distinct);
+      }
     }
     pending_all = branch->union_all;
   }
+  if (first) return Status::Internal("unset");
   return acc;
+}
+
+ThreadPool* QueryEngine::EnsurePool() {
+  if (pool_ == nullptr) {
+    size_t threads = exec_.ResolvedThreads();
+    if (threads <= 1) return nullptr;
+    pool_ = std::make_shared<ThreadPool>(threads - 1);
+  }
+  return pool_.get();
+}
+
+ExecContext QueryEngine::Ctx() const {
+  ExecContext ctx;
+  ctx.pool = pool_.get();
+  ctx.morsel_rows = exec_.morsel_rows;
+  return ctx;
 }
 
 namespace {
 
 Table ApplyLimit(Table t, int64_t limit) {
-  if (limit < 0 || t.num_rows() <= static_cast<size_t>(limit)) return t;
-  Table out(t.schema());
-  out.Reserve(static_cast<size_t>(limit));
-  for (int64_t i = 0; i < limit; ++i) out.AppendRowUnchecked(t.row(i));
-  return out;
+  // In-place truncation: the kept prefix is never copied.
+  if (limit >= 0) t.Truncate(static_cast<size_t>(limit));
+  return t;
+}
+
+/// True if any constant tuple reference of `stmt` scans more rows than the
+/// morsel threshold — the cheap test for whether spinning up workers can pay
+/// off on a branch without a grounding fan-out.
+bool HasLargeScan(const SelectStmt& stmt, const Catalog& catalog,
+                  const std::string& default_db, size_t threshold) {
+  for (const FromItem& f : stmt.from_items) {
+    if (f.kind != FromItemKind::kTupleVar) continue;
+    if (f.db.is_variable || f.rel.is_variable) continue;
+    std::string db = f.db.empty() ? default_db : f.db.text;
+    Result<const Table*> t = catalog.ResolveTable(db, f.rel.text);
+    if (t.ok() && t.value()->num_rows() > threshold) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -275,7 +399,14 @@ Result<Table> QueryEngine::EvaluateBranch(const SelectStmt& stmt,
   if (stmt.limit >= 0 && stmt.union_next != nullptr) {
     return Status::Unsupported("LIMIT on a UNION branch");
   }
-  if (!bq.higher_order) return EvaluateFirstOrder(stmt, bq);
+  if (!bq.higher_order) {
+    // Workers are spun up lazily, and only when a scan is large enough for
+    // the morsel-driven operators to engage.
+    if (HasLargeScan(stmt, *catalog_, default_db_, exec_.morsel_rows)) {
+      EnsurePool();
+    }
+    return EvaluateFirstOrder(stmt, bq);
+  }
 
   // SchemaSQL semantics: grouping, aggregation, DISTINCT and ORDER BY apply
   // over the union of ALL groundings (Ex. 5.2: max(P) ranges across every
@@ -291,19 +422,7 @@ Result<Table> QueryEngine::EvaluateBranch(const SelectStmt& stmt,
 
   DV_ASSIGN_OR_RETURN(std::vector<InstantiatedQuery> ground,
                       InstantiateSchemaVars(stmt, bq, *catalog_, default_db_));
-  Table acc;
-  bool first = true;
-  for (InstantiatedQuery& iq : ground) {
-    DV_ASSIGN_OR_RETURN(BoundQuery ibq, Binder::BindBranch(iq.query.get()));
-    DV_ASSIGN_OR_RETURN(Table t, EvaluateFirstOrder(*iq.query, ibq));
-    if (first) {
-      acc = std::move(t);
-      first = false;
-    } else {
-      DV_ASSIGN_OR_RETURN(acc, UnionAll(acc, t));
-    }
-  }
-  if (first) {
+  if (ground.empty()) {
     // Zero groundings: produce an empty table with the statement's output
     // names (star cannot be expanded without a grounding).
     std::vector<Column> cols;
@@ -315,6 +434,42 @@ Result<Table> QueryEngine::EvaluateBranch(const SelectStmt& stmt,
       cols.emplace_back(OutputName(stmt.select_list[i], i), TypeKind::kNull);
     }
     return Table(Schema(std::move(cols)));
+  }
+
+  // The grounding fan-out is embarrassingly parallel (the paper's Sec. 6
+  // "orchestration around a conventional evaluator"): every grounding is an
+  // independent first-order query over a clone of the already-bound AST.
+  // SubstituteLabels preserves the binder's NameTerm annotations, so no
+  // per-grounding re-parse/re-bind is needed — and EvaluateFirstOrder reads
+  // annotations from the AST only. Results land in per-grounding slots and
+  // merge in declaration order, so the output (rows *and* their order, or
+  // the reported error) is identical to serial evaluation.
+  ThreadPool* pool = nullptr;
+  if (ground.size() > 1 ||
+      HasLargeScan(*ground[0].query, *catalog_, default_db_,
+                   exec_.morsel_rows)) {
+    pool = EnsurePool();
+  }
+  std::vector<Result<Table>> parts(ground.size(),
+                                   Result<Table>(Status::Internal("pending")));
+  auto eval_one = [&](size_t i) {
+    parts[i] = EvaluateFirstOrder(*ground[i].query, bq);
+  };
+  if (pool != nullptr && ground.size() > 1) {
+    pool->ParallelFor(ground.size(), eval_one);
+  } else {
+    for (size_t i = 0; i < ground.size(); ++i) eval_one(i);
+  }
+  Table acc;
+  bool first = true;
+  for (Result<Table>& part : parts) {
+    if (!part.ok()) return part.status();
+    if (first) {
+      acc = std::move(part).value();
+      first = false;
+    } else {
+      DV_RETURN_IF_ERROR(acc.AppendTable(std::move(part).value()));
+    }
   }
   return ApplyLimit(std::move(acc), stmt.limit);
 }
@@ -390,7 +545,8 @@ Result<Table> QueryEngine::EvaluateHigherOrderGlobal(const SelectStmt& stmt,
     no.descending = o.descending;
     outer->order_by.push_back(std::move(no));
   }
-  QueryEngine sub(&scratch, "sc");
+  QueryEngine sub(&scratch, "sc", exec_);
+  sub.pool_ = pool_;  // The outer layer reuses this engine's workers.
   DV_ASSIGN_OR_RETURN(BoundQuery obq, Binder::BindBranch(outer.get()));
   return sub.EvaluateFirstOrder(*outer, obq);
 }
@@ -398,6 +554,9 @@ Result<Table> QueryEngine::EvaluateHigherOrderGlobal(const SelectStmt& stmt,
 Result<Table> QueryEngine::EvaluateFirstOrder(const SelectStmt& stmt,
                                               const BoundQuery& bq) {
   (void)bq;  // Binding annotations live in the AST; kept for symmetry.
+  // May run on a pool worker (one grounding of a parallel fan-out); nested
+  // parallel regions then degrade to inline loops inside ParallelFor.
+  const ExecContext ctx = Ctx();
   std::vector<const Expr*> conjuncts;
   SplitConjuncts(stmt.where.get(), &conjuncts);
   std::vector<bool> applied(conjuncts.size(), false);
@@ -453,17 +612,26 @@ Result<Table> QueryEngine::EvaluateFirstOrder(const SelectStmt& stmt,
       }
       scan.bindings.AddNamed(d.var, idx);
     }
-    if (!infeasible) {
-      scan.table.Reserve(base->num_rows());
-      for (const Row& r : base->rows()) scan.table.AppendRowUnchecked(r);
-    }
-    // Predicate pushdown onto the scan.
+    // Predicate pushdown, fused into the scan: pushed conjuncts apply while
+    // copying base rows (morsel-parallel above the threshold), so rows they
+    // reject are never materialized in the working set.
+    std::vector<const Expr*> pushed;
     for (size_t i = 0; i < conjuncts.size(); ++i) {
       if (applied[i] || conjuncts[i]->ContainsAggregate()) continue;
       if (!CanEvaluate(*conjuncts[i], scan.bindings)) continue;
-      DV_ASSIGN_OR_RETURN(scan.table, FilterTable(scan.table, scan.bindings,
-                                                  *conjuncts[i]));
+      pushed.push_back(conjuncts[i]);
       applied[i] = true;
+    }
+    if (!infeasible) {
+      DV_ASSIGN_OR_RETURN(
+          scan.table, FilterRows(*base, ctx, [&](const Row& r) -> Result<bool> {
+            for (const Expr* c : pushed) {
+              DV_ASSIGN_OR_RETURN(TriBool t,
+                                  EvaluatePredicate(*c, r, scan.bindings));
+              if (t != TriBool::kTrue) return false;
+            }
+            return true;
+          }));
     }
 
     if (first) {
@@ -493,8 +661,9 @@ Result<Table> QueryEngine::EvaluateFirstOrder(const SelectStmt& stmt,
     int old_width = static_cast<int>(w.table.schema().num_columns());
     Table joined;
     if (!lkeys.empty()) {
-      DV_ASSIGN_OR_RETURN(joined, JoinOnExprs(w.table, w.bindings, scan.table,
-                                              scan.bindings, lkeys, rkeys));
+      DV_ASSIGN_OR_RETURN(joined,
+                          JoinOnExprs(w.table, w.bindings, scan.table,
+                                      scan.bindings, lkeys, rkeys, ctx));
     } else {
       joined = CrossProduct(w.table, scan.table);
     }
@@ -506,7 +675,7 @@ Result<Table> QueryEngine::EvaluateFirstOrder(const SelectStmt& stmt,
       if (applied[i] || conjuncts[i]->ContainsAggregate()) continue;
       if (!CanEvaluate(*conjuncts[i], w.bindings)) continue;
       DV_ASSIGN_OR_RETURN(w.table,
-                          FilterTable(w.table, w.bindings, *conjuncts[i]));
+                          FilterTable(w.table, w.bindings, *conjuncts[i], ctx));
       applied[i] = true;
     }
   }

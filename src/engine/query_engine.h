@@ -1,14 +1,19 @@
 #ifndef DYNVIEW_ENGINE_QUERY_ENGINE_H_
 #define DYNVIEW_ENGINE_QUERY_ENGINE_H_
 
+#include <memory>
 #include <string>
 
+#include "common/exec_config.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "relational/catalog.h"
 #include "sql/ast.h"
 #include "sql/binder.h"
 
 namespace dynview {
+
+struct ExecContext;
 
 /// Evaluates SQL and SchemaSQL SELECT statements against a federation
 /// catalog.
@@ -24,12 +29,23 @@ namespace dynview {
 class QueryEngine {
  public:
   /// `catalog` must outlive the engine. `default_db` resolves unqualified
-  /// relation names.
-  QueryEngine(const Catalog* catalog, std::string default_db)
-      : catalog_(catalog), default_db_(std::move(default_db)) {}
+  /// relation names. `exec` sets the parallelism: groundings are evaluated
+  /// concurrently and large operator inputs run morsel-parallel, with
+  /// results always merged in deterministic (declaration/morsel) order —
+  /// `ExecConfig{.num_threads = 1}` forces fully serial evaluation.
+  QueryEngine(const Catalog* catalog, std::string default_db,
+              ExecConfig exec = ExecConfig())
+      : catalog_(catalog), default_db_(std::move(default_db)), exec_(exec) {}
 
   const Catalog& catalog() const { return *catalog_; }
   const std::string& default_db() const { return default_db_; }
+  const ExecConfig& exec_config() const { return exec_; }
+
+  /// The engine's worker pool, created on first use; nullptr in serial mode.
+  /// Must be called from the query's driving thread (it is not safe to race
+  /// with itself), which is how all internal call sites use it. Exposed so
+  /// cooperating components (e.g. ViewMaterializer) can share the pool.
+  ThreadPool* EnsurePool();
 
   /// Parses, binds and evaluates a SELECT statement.
   Result<Table> ExecuteSql(const std::string& sql);
@@ -50,8 +66,16 @@ class QueryEngine {
   Result<Table> EvaluateHigherOrderGlobal(const SelectStmt& stmt,
                                           const BoundQuery& bq);
 
+  /// Operator-level context: the shared pool (read-only here; created by
+  /// EnsurePool on the driving thread) plus the morsel granularity.
+  ExecContext Ctx() const;
+
   const Catalog* catalog_;
   std::string default_db_;
+  ExecConfig exec_;
+  /// Lazily created, shared with sub-engines (the higher-order outer layer)
+  /// so nested evaluation reuses one set of workers.
+  std::shared_ptr<ThreadPool> pool_;
 };
 
 }  // namespace dynview

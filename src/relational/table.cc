@@ -42,6 +42,22 @@ Status Table::AppendRow(Row row) {
   return Status::OK();
 }
 
+Status Table::AppendTable(Table&& other) {
+  if (schema_.num_columns() != other.schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "UNION arity mismatch: " + std::to_string(schema_.num_columns()) +
+        " vs " + std::to_string(other.schema_.num_columns()));
+  }
+  if (rows_.empty()) {
+    rows_ = std::move(other.rows_);
+  } else {
+    rows_.reserve(rows_.size() + other.rows_.size());
+    for (Row& r : other.rows_) rows_.push_back(std::move(r));
+  }
+  other.rows_.clear();
+  return Status::OK();
+}
+
 Table Table::Distinct() const {
   Table out(schema_);
   std::unordered_map<Row, bool, RowGroupHash, RowGroupEq> seen;

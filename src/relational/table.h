@@ -36,6 +36,18 @@ class Table {
   /// the right arity by construction).
   void AppendRowUnchecked(Row row) { rows_.push_back(std::move(row)); }
 
+  /// Moves every row of `other` onto the end of this table, leaving `other`
+  /// empty; fails on arity mismatch. This is the zero-copy bag-union
+  /// accumulator: unioning N grounding results is O(total rows) instead of
+  /// the O(N·total) of repeatedly copying the accumulator through UnionAll.
+  /// This table's schema wins (as in UnionAll).
+  Status AppendTable(Table&& other);
+
+  /// Drops every row past the first `n`, in place (LIMIT).
+  void Truncate(size_t n) {
+    if (n < rows_.size()) rows_.resize(n);
+  }
+
   void Reserve(size_t n) { rows_.reserve(n); }
   void Clear() { rows_.clear(); }
 

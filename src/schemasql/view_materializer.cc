@@ -89,8 +89,12 @@ ViewMaterializer::Materialize(const CreateViewStmt& view, QueryEngine* engine,
     groups[{db_name, rel_name}].push_back(&r);
   }
 
-  std::vector<std::pair<std::string, std::string>> created;
-  for (const auto& [key, group_rows] : groups) {
+  // Each output relation of a dynamic view is built from its own row group,
+  // so partitions materialize independently — in parallel on the engine's
+  // pool when available — and are installed into the target catalog
+  // serially, in the map's deterministic (database, relation) order.
+  auto build_partition = [&](const std::vector<const Row*>& group_rows)
+      -> Result<Table> {
     Table out;
     if (pivot_positions.empty()) {
       std::vector<Column> cols;
@@ -150,7 +154,36 @@ ViewMaterializer::Materialize(const CreateViewStmt& view, QueryEngine* engine,
       }
       DV_ASSIGN_OR_RETURN(out, ProjectColumns(pivoted, order, names));
     }
-    target->GetOrCreateDatabase(key.first)->PutTable(key.second, std::move(out));
+    return out;
+  };
+
+  std::vector<const std::pair<const std::pair<std::string, std::string>,
+                              std::vector<const Row*>>*>
+      ordered;
+  ordered.reserve(groups.size());
+  for (const auto& g : groups) ordered.push_back(&g);
+  std::vector<Result<Table>> outs(ordered.size(),
+                                  Result<Table>(Status::Internal("pending")));
+  ThreadPool* pool =
+      groups.size() > 1 && rows.num_rows() > engine->exec_config().morsel_rows
+          ? engine->EnsurePool()
+          : nullptr;
+  auto build_one = [&](size_t i) {
+    outs[i] = build_partition(ordered[i]->second);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(ordered.size(), build_one);
+  } else {
+    for (size_t i = 0; i < ordered.size(); ++i) build_one(i);
+  }
+
+  std::vector<std::pair<std::string, std::string>> created;
+  created.reserve(ordered.size());
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    if (!outs[i].ok()) return outs[i].status();
+    const auto& key = ordered[i]->first;
+    target->GetOrCreateDatabase(key.first)
+        ->PutTable(key.second, std::move(outs[i]).value());
     created.push_back(key);
   }
   return created;
