@@ -24,10 +24,39 @@ build/bench/bench_parallel_engine \
   --benchmark_out=results/BENCH_parallel.json \
   --benchmark_out_format=json >/dev/null
 
+# Guard overhead (deadline/cancellation/budget checks, armed but idle) on the
+# Fig. 11 / Fig. 13 workloads; the acceptance bar is ≤2% vs unguarded.
+build/bench/bench_query_guards \
+  --benchmark_out=results/BENCH_guards.json \
+  --benchmark_out_format=json >/dev/null
+
+# Fault-injected pass: run the engine/integration-facing suites with a
+# latency failpoint armed on every catalog resolution, proving injection is
+# inert for correctness (latency only) and the env plumbing works end to end.
+DYNVIEW_FAILPOINTS="catalog.resolve=latency(1)" \
+  ctest --test-dir build --output-on-failure \
+  -R 'EngineTest|IntegrationTest|GuardTest' 2>&1 |
+  tee results/tests_failpoints.txt
+
 for e in quickstart stock_integration hotel_publishing ticket_indexing \
          warehouse_cube; do
   echo "=== example: $e ==="
   "./build/examples/$e" 2>&1 | tee "results/example_${e}.txt"
 done
+
+# DYNVIEW_SANITIZE=1: rebuild under ThreadSanitizer and AddressSanitizer and
+# run the concurrency-sensitive suites under each — guard trips and
+# cancellation must be crash-, leak-, and race-free.
+if [[ "${DYNVIEW_SANITIZE:-0}" == "1" ]]; then
+  for san in thread address; do
+    dir="build-${san}san"
+    cmake -B "$dir" -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DDYNVIEW_SANITIZE="$san"
+    cmake --build "$dir"
+    ctest --test-dir "$dir" --output-on-failure \
+      -R 'GuardTest|QueryContextTest|FailPointTest|ThreadPool|Parallel' \
+      2>&1 | tee "results/tests_${san}san.txt"
+  done
+fi
 
 echo "All outputs collected under results/."

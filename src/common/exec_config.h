@@ -20,6 +20,14 @@ struct ExecConfig {
   /// bag-identical either way.
   size_t morsel_rows = 2048;
 
+  /// Backpressure cap on the engine pool's task queue: an adversarial
+  /// grounding fan-out cannot enqueue unbounded work — once the queue holds
+  /// this many pending tasks, further helper submissions are refused and
+  /// the submitting ParallelFor drains its iterations on the threads
+  /// already running (correctness never depends on helpers being queued).
+  /// 0 = unbounded.
+  size_t max_queued_tasks = 1024;
+
   size_t ResolvedThreads() const {
     if (num_threads > 0) return num_threads;
     unsigned hw = std::thread::hardware_concurrency();

@@ -1,0 +1,177 @@
+#include "common/failpoint.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/str_util.h"
+
+namespace dynview {
+
+namespace {
+
+struct ArmedPoint {
+  FailSpec spec;
+  uint64_t hits = 0;  // Matching evaluations so far (guarded by the mutex).
+};
+
+struct Registry {
+  std::atomic<int> armed_count{0};
+  std::once_flag env_once;
+  std::mutex mu;
+  std::unordered_map<std::string, ArmedPoint> points;
+};
+
+Registry& GetRegistry() {
+  static Registry* r = new Registry();  // Leaked: outlives all threads.
+  return *r;
+}
+
+void ParseEnvOnce(Registry& r) {
+  std::call_once(r.env_once, [&r] {
+    const char* env = std::getenv("DYNVIEW_FAILPOINTS");
+    if (env != nullptr && env[0] != '\0') {
+      // Malformed env entries are ignored rather than fatal: fault
+      // injection must never take down a production binary by itself.
+      FailPoints::ArmFromString(env).ok();
+    }
+  });
+}
+
+/// Parses one `mode[(arg)]` chunk into `spec`; false on malformed input.
+bool ParseMode(const std::string& mode_str, FailSpec* spec) {
+  std::string mode = mode_str;
+  std::string arg;
+  size_t open = mode_str.find('(');
+  if (open != std::string::npos) {
+    if (mode_str.back() != ')') return false;
+    mode = mode_str.substr(0, open);
+    arg = mode_str.substr(open + 1, mode_str.size() - open - 2);
+  }
+  if (mode == "error-once") {
+    spec->mode = FailMode::kErrorOnce;
+  } else if (mode == "error-always") {
+    spec->mode = FailMode::kErrorAlways;
+  } else if (mode == "fail-after") {
+    spec->mode = FailMode::kFailAfterN;
+    if (arg.empty()) return false;
+    spec->after_n = std::strtoull(arg.c_str(), nullptr, 10);
+  } else if (mode == "latency") {
+    spec->mode = FailMode::kLatency;
+    if (arg.empty()) return false;
+    spec->latency_ms = static_cast<int>(std::strtol(arg.c_str(), nullptr, 10));
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void FailPoints::Arm(const std::string& name, FailSpec spec) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto [it, inserted] = r.points.insert_or_assign(name, ArmedPoint{spec, 0});
+  (void)it;
+  if (inserted) r.armed_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FailPoints::Disarm(const std::string& name) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (r.points.erase(name) > 0) {
+    r.armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FailPoints::DisarmAll() {
+  Registry& r = GetRegistry();
+  // Mark the env as consumed so a later Check doesn't resurrect points a
+  // test teardown just cleared.
+  std::call_once(r.env_once, [] {});
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.points.clear();
+  r.armed_count.store(0, std::memory_order_relaxed);
+}
+
+bool FailPoints::AnyArmed() {
+  Registry& r = GetRegistry();
+  ParseEnvOnce(r);
+  return r.armed_count.load(std::memory_order_relaxed) > 0;
+}
+
+Status FailPoints::Check(const std::string& name, const std::string& detail) {
+  Registry& r = GetRegistry();
+  ParseEnvOnce(r);
+  if (r.armed_count.load(std::memory_order_relaxed) == 0) return Status::OK();
+
+  int sleep_ms = 0;
+  Status injected = Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.points.find(name);
+    if (it == r.points.end()) return Status::OK();
+    ArmedPoint& point = it->second;
+    const FailSpec& spec = point.spec;
+    if (!spec.match.empty() && detail.find(spec.match) == std::string::npos) {
+      return Status::OK();
+    }
+    uint64_t hit = point.hits++;
+    bool fail = false;
+    switch (spec.mode) {
+      case FailMode::kErrorOnce:
+        fail = hit == 0;
+        break;
+      case FailMode::kErrorAlways:
+        fail = true;
+        break;
+      case FailMode::kFailAfterN:
+        fail = hit >= spec.after_n;
+        break;
+      case FailMode::kLatency:
+        sleep_ms = spec.latency_ms;
+        break;
+    }
+    if (fail) {
+      injected = Status(spec.code, "failpoint '" + name + "' injected " +
+                                       StatusCodeName(spec.code) +
+                                       (detail.empty() ? "" : " at " + detail));
+    }
+  }
+  // Sleep outside the lock so latency injection on one point never stalls
+  // evaluations of other points.
+  if (sleep_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
+  return injected;
+}
+
+Status FailPoints::ArmFromString(const std::string& spec_string) {
+  for (const std::string& raw : Split(spec_string, ';')) {
+    std::string entry(Trim(raw));
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("malformed failpoint entry: " + entry);
+    }
+    std::string name(Trim(entry.substr(0, eq)));
+    std::string rhs(Trim(entry.substr(eq + 1)));
+    FailSpec spec;
+    size_t at = rhs.find('@');
+    if (at != std::string::npos) {
+      spec.match = std::string(Trim(rhs.substr(at + 1)));
+      rhs = std::string(Trim(rhs.substr(0, at)));
+    }
+    if (!ParseMode(rhs, &spec)) {
+      return Status::InvalidArgument("malformed failpoint mode: " + entry);
+    }
+    Arm(name, spec);
+  }
+  return Status::OK();
+}
+
+}  // namespace dynview

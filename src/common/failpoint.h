@@ -1,0 +1,79 @@
+#ifndef DYNVIEW_COMMON_FAILPOINT_H_
+#define DYNVIEW_COMMON_FAILPOINT_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace dynview {
+
+/// Behavior of an armed fail point.
+enum class FailMode {
+  kErrorOnce,    // fail the first matching evaluation, pass afterwards
+  kErrorAlways,  // fail every matching evaluation
+  kFailAfterN,   // pass the first N matching evaluations, fail afterwards
+  kLatency,      // sleep `latency_ms` then pass (slow-source injection)
+};
+
+/// Configuration for one armed fail point.
+struct FailSpec {
+  FailMode mode = FailMode::kErrorAlways;
+
+  /// Status code injected by the error modes. Defaults to kUnavailable so
+  /// injected faults count as transient for SourcePolicy retry/skip.
+  StatusCode code = StatusCode::kUnavailable;
+
+  /// Substring filter on the evaluation's `detail` argument; empty matches
+  /// everything. E.g. match "s2::ibm" to fail only that source relation.
+  std::string match;
+
+  /// kFailAfterN: evaluations that pass before failing starts.
+  uint64_t after_n = 0;
+
+  /// kLatency: injected delay per matching evaluation.
+  int latency_ms = 0;
+};
+
+/// Process-wide registry of deterministic fault-injection points, wired into
+/// catalog/source access ("catalog.resolve") and view grounding
+/// ("engine.grounding"). Production cost when nothing is armed: one relaxed
+/// atomic load per evaluation.
+///
+/// Points can also be armed from the DYNVIEW_FAILPOINTS environment
+/// variable, parsed on first evaluation:
+///
+///   DYNVIEW_FAILPOINTS="catalog.resolve=error-always@s2::ibm;
+///                       engine.grounding=latency(5);
+///                       catalog.resolve=fail-after(3)"
+///
+/// Grammar per entry: `name=mode[(arg)][@match]` with modes error-once,
+/// error-always, fail-after(N), latency(MS). Entries separated by ';'.
+///
+/// All methods are thread-safe (the registry is mutex-guarded; tests run
+/// under TSan with points armed).
+class FailPoints {
+ public:
+  /// Arms (or re-arms, resetting the hit counter) point `name`.
+  static void Arm(const std::string& name, FailSpec spec);
+
+  /// Disarms `name`; no-op when not armed.
+  static void Disarm(const std::string& name);
+
+  /// Disarms everything (test teardown).
+  static void DisarmAll();
+
+  /// Evaluates point `name` against `detail` (e.g. "db::rel" for source
+  /// access). Returns the injected error, or OK after any injected latency.
+  static Status Check(const std::string& name, const std::string& detail = "");
+
+  /// Parses a DYNVIEW_FAILPOINTS-style spec string and arms each entry.
+  /// Returns InvalidArgument naming the first malformed entry.
+  static Status ArmFromString(const std::string& spec);
+
+  /// True when at least one point is armed (after env parsing).
+  static bool AnyArmed();
+};
+
+}  // namespace dynview
+
+#endif  // DYNVIEW_COMMON_FAILPOINT_H_

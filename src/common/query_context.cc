@@ -1,0 +1,76 @@
+#include "common/query_context.h"
+
+namespace dynview {
+
+QueryContext::QueryContext(const QueryGuards& guards)
+    : guards_(guards),
+      has_deadline_(guards.deadline_ms >= 0),
+      deadline_(std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(
+                    has_deadline_ ? guards.deadline_ms : 0)) {}
+
+Status QueryContext::CheckGuards() {
+  if (tripped_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return trip_status_;
+  }
+  if (cancelled_.load(std::memory_order_relaxed)) {
+    return Trip(Status::Cancelled("query cancelled"));
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    return Trip(Status::DeadlineExceeded(
+        "query deadline of " + std::to_string(guards_.deadline_ms) +
+        " ms exceeded"));
+  }
+  return Status::OK();
+}
+
+Status QueryContext::ChargeRows(uint64_t rows, uint64_t columns) {
+  uint64_t total =
+      rows_charged_.fetch_add(rows, std::memory_order_relaxed) + rows;
+  if (guards_.row_budget > 0 && total > guards_.row_budget) {
+    return Trip(Status::ResourceExhausted(
+        "row budget of " + std::to_string(guards_.row_budget) +
+        " exhausted (" + std::to_string(total) + " rows produced)"));
+  }
+  // Approximate cell cost: a Value is a small tagged union (~32 bytes
+  // inline); string payloads make this a floor, which is what a budget
+  // needs. common/ cannot see relational/Value, so the constant lives here.
+  constexpr uint64_t kBytesPerCell = 32;
+  uint64_t bytes = rows * (columns == 0 ? 1 : columns) * kBytesPerCell;
+  uint64_t btotal =
+      bytes_charged_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (guards_.byte_budget > 0 && btotal > guards_.byte_budget) {
+    return Trip(Status::ResourceExhausted(
+        "memory budget of " + std::to_string(guards_.byte_budget) +
+        " bytes exhausted (~" + std::to_string(btotal) + " bytes produced)"));
+  }
+  return Status::OK();
+}
+
+Status QueryContext::Trip(Status s) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!tripped_.load(std::memory_order_relaxed)) {
+      trip_status_ = std::move(s);
+      tripped_.store(true, std::memory_order_release);
+    }
+    s = trip_status_;
+  }
+  // First trip cancels sibling tasks: a parallel fan-out stops claiming
+  // work instead of running every remaining grounding/morsel to completion.
+  cancelled_.store(true, std::memory_order_relaxed);
+  return s;
+}
+
+void QueryContext::AddWarning(SourceWarning w) {
+  std::lock_guard<std::mutex> lock(mu_);
+  warnings_.push_back(std::move(w));
+}
+
+std::vector<SourceWarning> QueryContext::warnings() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return warnings_;
+}
+
+}  // namespace dynview

@@ -1,0 +1,136 @@
+#ifndef DYNVIEW_COMMON_QUERY_CONTEXT_H_
+#define DYNVIEW_COMMON_QUERY_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dynview {
+
+/// What to do when a data source (one grounding of a local-as-view fan-out)
+/// fails with a transient error (kUnavailable):
+///
+///   kFailFast      — propagate the first failure; the query fails whole.
+///   kRetry         — re-evaluate the grounding with exponential backoff up
+///                    to `QueryGuards::max_retries` times, then propagate.
+///   kSkipAndReport — drop the grounding's contribution and record a
+///                    SourceWarning; the query returns a partial result.
+///
+/// Non-transient errors (parse/bind/type/guard trips) always fail fast:
+/// each source contributes an independent view, so only its *availability*
+/// is negotiable — never the query's semantics.
+enum class SourcePolicy { kFailFast, kRetry, kSkipAndReport };
+
+/// One omitted contribution of a partial result: which source/grounding was
+/// skipped and the error that caused it.
+struct SourceWarning {
+  std::string source;
+  Status status;
+};
+
+/// Per-query limits and degradation policy. Zero/negative values mean
+/// "unlimited" so a default-constructed QueryGuards guards nothing.
+struct QueryGuards {
+  /// Wall-clock deadline relative to QueryContext construction; < 0 = none.
+  /// 0 trips at the first guard check.
+  int64_t deadline_ms = -1;
+
+  /// Maximum rows any single operator pipeline may produce (scans, joins,
+  /// cross products, grounding unions all charge against it); 0 = unlimited.
+  uint64_t row_budget = 0;
+
+  /// Approximate memory budget in bytes (charged as rows × columns ×
+  /// sizeof(Value) — a floor, not an exact footprint); 0 = unlimited.
+  uint64_t byte_budget = 0;
+
+  SourcePolicy source_policy = SourcePolicy::kFailFast;
+
+  /// kRetry: additional attempts after the first failure.
+  int max_retries = 2;
+
+  /// kRetry: backoff before attempt k is `retry_backoff_ms << (k-1)`.
+  int retry_backoff_ms = 1;
+};
+
+/// Shared, thread-safe guard state for one query execution: a deadline, a
+/// cooperative cancellation flag, row/byte budgets with atomic accounting,
+/// and the warning list a degraded (partial) result carries.
+///
+/// The engine threads a borrowed `QueryContext*` through ExecContext into
+/// every operator loop; a null pointer is the unguarded fast path (one
+/// branch). Guard checks are designed for morsel granularity: `CheckGuards`
+/// is two relaxed atomic loads when nothing tripped and no deadline is set,
+/// plus one clock read when one is.
+///
+/// The first guard trip wins: `Trip` records the status once and flips the
+/// cancellation flag, so sibling pool tasks observe it within one morsel
+/// (ThreadPool::ParallelFor skips still-unclaimed iterations) instead of
+/// letting the fan-out run dry. Later trips return the original status.
+class QueryContext {
+ public:
+  QueryContext() : QueryContext(QueryGuards{}) {}
+  explicit QueryContext(const QueryGuards& guards);
+
+  QueryContext(const QueryContext&) = delete;
+  QueryContext& operator=(const QueryContext&) = delete;
+
+  const QueryGuards& guards() const { return guards_; }
+
+  /// Requests cooperative cancellation (callable from any thread). Running
+  /// work observes it at its next guard check.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// The raw flag, for ThreadPool::ParallelFor's iteration skipping.
+  const std::atomic<bool>* cancel_flag() const { return &cancelled_; }
+
+  /// Returns OK or the Status the query must fail with: the first trip if
+  /// one happened, else kCancelled if cancellation was requested, else
+  /// kDeadlineExceeded if the deadline passed (tripping it).
+  Status CheckGuards();
+
+  /// Charges `rows` output rows of width `columns` against the row and byte
+  /// budgets; trips kResourceExhausted (and returns it) on exhaustion.
+  /// Call once per morsel/batch, not per row.
+  Status ChargeRows(uint64_t rows, uint64_t columns);
+
+  /// Records `s` as the query's terminal guard status (first writer wins)
+  /// and cancels sibling work. Returns the winning status.
+  Status Trip(Status s);
+
+  uint64_t rows_charged() const {
+    return rows_charged_.load(std::memory_order_relaxed);
+  }
+  uint64_t bytes_charged() const {
+    return bytes_charged_.load(std::memory_order_relaxed);
+  }
+
+  /// Degradation bookkeeping. To keep warnings deterministic across thread
+  /// counts, callers add them from the deterministic (declaration-order)
+  /// merge on the driving thread, never from pool workers directly.
+  void AddWarning(SourceWarning w);
+  std::vector<SourceWarning> warnings() const;
+
+ private:
+  const QueryGuards guards_;
+  const bool has_deadline_;
+  const std::chrono::steady_clock::time_point deadline_;
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> tripped_{false};
+  std::atomic<uint64_t> rows_charged_{0};
+  std::atomic<uint64_t> bytes_charged_{0};
+
+  mutable std::mutex mu_;  // Guards trip_status_ and warnings_ (rare paths).
+  Status trip_status_;
+  std::vector<SourceWarning> warnings_;
+};
+
+}  // namespace dynview
+
+#endif  // DYNVIEW_COMMON_QUERY_CONTEXT_H_

@@ -20,10 +20,22 @@ enum class StatusCode {
   kEvalError,
   kUnsupported,
   kInternal,
+  // Query-guard and fault-tolerance codes (see common/query_context.h):
+  kDeadlineExceeded,   // the query's deadline passed before completion
+  kCancelled,          // cooperative cancellation was requested
+  kResourceExhausted,  // a row/memory budget tripped
+  kUnavailable,        // a source is (possibly transiently) unreachable
 };
 
 /// Returns a human-readable name for `code` (e.g. "ParseError").
 const char* StatusCodeName(StatusCode code);
+
+/// True for codes a retry can plausibly cure (a source that may come back).
+/// Guard trips (deadline/cancel/budget) and semantic errors are permanent
+/// for the current query and never retried or skipped.
+inline bool IsTransient(StatusCode code) {
+  return code == StatusCode::kUnavailable;
+}
 
 /// Lightweight success-or-error result carrier used in place of exceptions
 /// (the project follows the Google C++ guide, which forbids exceptions).
@@ -68,6 +80,18 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

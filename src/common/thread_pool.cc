@@ -10,7 +10,8 @@ namespace {
 thread_local bool t_on_worker_thread = false;
 }  // namespace
 
-ThreadPool::ThreadPool(size_t num_workers) {
+ThreadPool::ThreadPool(size_t num_workers, size_t max_queued)
+    : max_queued_(max_queued) {
   workers_.reserve(num_workers);
   for (size_t i = 0; i < num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -34,6 +35,16 @@ void ThreadPool::Submit(std::function<void()> fn) {
   cv_.notify_one();
 }
 
+bool ThreadPool::TrySubmit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (max_queued_ > 0 && queue_.size() >= max_queued_) return false;
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+  return true;
+}
+
 bool ThreadPool::OnWorkerThread() { return t_on_worker_thread; }
 
 void ThreadPool::WorkerLoop() {
@@ -51,29 +62,43 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                             const std::atomic<bool>* cancel) {
   if (n == 0) return;
   if (n == 1 || workers_.empty() || OnWorkerThread()) {
-    for (size_t i = 0; i < n; ++i) fn(i);
+    for (size_t i = 0; i < n; ++i) {
+      // Inline loops honor cancellation too: skipped iterations mirror the
+      // parallel path (the caller checks its guard before consuming slots).
+      if (cancel == nullptr || !cancel->load(std::memory_order_relaxed)) {
+        fn(i);
+      }
+    }
     return;
   }
   // Shared by the caller and the helper tasks; the helpers may outlive this
   // call (a queued helper that starts after all iterations are claimed finds
   // next >= n and exits without touching anything else).
   struct Batch {
-    explicit Batch(const std::function<void(size_t)>& f) : fn(f) {}
+    Batch(const std::function<void(size_t)>& f, const std::atomic<bool>* c)
+        : fn(f), cancel(c) {}
     std::function<void(size_t)> fn;
+    const std::atomic<bool>* cancel;
     std::atomic<size_t> next{0};
     std::mutex mu;
     std::condition_variable cv;
     size_t done = 0;  // Guarded by mu.
   };
-  auto batch = std::make_shared<Batch>(fn);
+  auto batch = std::make_shared<Batch>(fn, cancel);
   const size_t total = n;
   auto drain = [batch, total] {
     size_t ran = 0;
     for (size_t i; (i = batch->next.fetch_add(1)) < total; ++ran) {
-      batch->fn(i);
+      // Iterations claimed after cancellation complete without running:
+      // the first guard trip stops sibling tasks within one morsel.
+      if (batch->cancel == nullptr ||
+          !batch->cancel->load(std::memory_order_relaxed)) {
+        batch->fn(i);
+      }
     }
     if (ran > 0) {
       std::lock_guard<std::mutex> lock(batch->mu);
@@ -81,8 +106,12 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
       if (batch->done == total) batch->cv.notify_all();
     }
   };
+  // Helpers are pure go-faster stripes: a refused submission (backpressure
+  // cap reached) only means the iteration space drains on fewer threads.
   const size_t helpers = std::min(workers_.size(), n - 1);
-  for (size_t h = 0; h < helpers; ++h) Submit(drain);
+  for (size_t h = 0; h < helpers; ++h) {
+    if (!TrySubmit(drain)) break;
+  }
   drain();  // The caller participates.
   std::unique_lock<std::mutex> lock(batch->mu);
   batch->cv.wait(lock, [&] { return batch->done == total; });

@@ -1,6 +1,7 @@
 #ifndef DYNVIEW_COMMON_THREAD_POOL_H_
 #define DYNVIEW_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -24,7 +25,9 @@ class ThreadPool {
  public:
   /// Spawns `num_workers` worker threads (0 is valid: every ParallelFor then
   /// runs inline, which is the `ExecConfig{num_threads=1}` serial mode).
-  explicit ThreadPool(size_t num_workers);
+  /// `max_queued` bounds the pending-task queue (backpressure; see
+  /// TrySubmit); 0 = unbounded.
+  explicit ThreadPool(size_t num_workers, size_t max_queued = 0);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -32,8 +35,16 @@ class ThreadPool {
 
   size_t num_workers() const { return workers_.size(); }
 
-  /// Enqueues `fn` for execution on some worker thread.
+  /// Enqueues `fn` for execution on some worker thread (unconditionally;
+  /// ignores the queue cap — for work that MUST run).
   void Submit(std::function<void()> fn);
+
+  /// Enqueues `fn` unless the queue already holds `max_queued` pending
+  /// tasks; returns false (dropping `fn`) when full. ParallelFor submits
+  /// its helpers through this, so a fan-out can never enqueue unbounded
+  /// work: refused helpers just mean fewer threads drain the iteration
+  /// space, never lost iterations.
+  bool TrySubmit(std::function<void()> fn);
 
   /// True when the calling thread is a worker of any ThreadPool. Used to run
   /// nested parallel regions inline instead of flooding the queue.
@@ -45,7 +56,14 @@ class ThreadPool {
   /// need deterministic output write into index `i` of a pre-sized buffer
   /// and merge in index order afterwards. Runs inline when the pool has no
   /// workers, `n == 1`, or the caller is itself a pool worker.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  ///
+  /// When `cancel` is non-null and becomes true, iterations claimed
+  /// afterwards are skipped (counted complete without running `fn`), so a
+  /// tripped query guard stops a fan-out within one morsel; the caller must
+  /// check its guard/cancellation state before consuming per-iteration
+  /// results, since skipped slots were never written.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                   const std::atomic<bool>* cancel = nullptr);
 
  private:
   void WorkerLoop();
@@ -54,6 +72,7 @@ class ThreadPool {
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;
+  size_t max_queued_ = 0;
   std::vector<std::thread> workers_;
 };
 

@@ -75,40 +75,57 @@ void MorselFor(const ExecContext& ctx, size_t rows,
   }
   const size_t m = ctx.MorselSize(rows);
   const size_t n = (rows + m - 1) / m;
-  ctx.pool->ParallelFor(n, [&](size_t i) {
-    fn(i, i * m, std::min(rows, (i + 1) * m));
-  });
+  ctx.pool->ParallelFor(
+      n, [&](size_t i) { fn(i, i * m, std::min(rows, (i + 1) * m)); },
+      ctx.CancelFlag());
 }
 
 Result<Table> FilterRows(const Table& in, const ExecContext& ctx,
                          const std::function<Result<bool>(const Row&)>& pred) {
   const size_t rows = in.num_rows();
+  const size_t width = in.schema().num_columns();
   if (!ctx.ShouldParallelize(rows)) {
     Table out(in.schema());
+    size_t since_check = 0;
     for (const Row& r : in.rows()) {
+      if (ctx.guard != nullptr && (since_check++ & 1023) == 0) {
+        DV_RETURN_IF_ERROR(ctx.CheckGuard());
+      }
       DV_ASSIGN_OR_RETURN(bool keep, pred(r));
       if (keep) out.AppendRowUnchecked(r);
     }
+    DV_RETURN_IF_ERROR(ctx.ChargeRows(out.num_rows(), width));
     return out;
   }
   const size_t m = ctx.MorselSize(rows);
   const size_t n = (rows + m - 1) / m;
   std::vector<Table> parts(n);
   std::vector<Status> errors(n, Status::OK());
-  ctx.pool->ParallelFor(n, [&](size_t i) {
-    Table part(in.schema());
-    for (size_t r = i * m, end = std::min(rows, (i + 1) * m); r < end; ++r) {
-      Result<bool> keep = pred(in.row(r));
-      if (!keep.ok()) {
-        errors[i] = keep.status();
-        break;
-      }
-      if (keep.value()) part.AppendRowUnchecked(in.row(r));
-    }
-    parts[i] = std::move(part);
-  });
-  // Merge in morsel order: output row order and the reported error (lowest
-  // erroring row) both match serial execution.
+  ctx.pool->ParallelFor(
+      n,
+      [&](size_t i) {
+        Table part(in.schema());
+        errors[i] = ctx.CheckGuard();
+        if (!errors[i].ok()) return;
+        for (size_t r = i * m, end = std::min(rows, (i + 1) * m); r < end;
+             ++r) {
+          Result<bool> keep = pred(in.row(r));
+          if (!keep.ok()) {
+            errors[i] = keep.status();
+            break;
+          }
+          if (keep.value()) part.AppendRowUnchecked(in.row(r));
+        }
+        if (errors[i].ok()) {
+          errors[i] = ctx.ChargeRows(part.num_rows(), width);
+        }
+        parts[i] = std::move(part);
+      },
+      ctx.CancelFlag());
+  // A tripped guard wins over per-morsel errors (skipped morsels never
+  // wrote their slots); then merge in morsel order: output row order and
+  // the reported error (lowest erroring row) both match serial execution.
+  DV_RETURN_IF_ERROR(ctx.CheckGuard());
   Table out(in.schema());
   for (size_t i = 0; i < n; ++i) {
     DV_RETURN_IF_ERROR(errors[i]);
@@ -127,6 +144,7 @@ Result<Table> HashJoin(const Table& left, const Table& right,
   DV_RETURN_IF_ERROR(CheckKeys(left, left_keys, "left"));
   DV_RETURN_IF_ERROR(CheckKeys(right, right_keys, "right"));
   Table out(ConcatSchemas(left.schema(), right.schema()));
+  const size_t out_width = out.schema().num_columns();
   if (!ctx.ShouldParallelize(left.num_rows()) &&
       !ctx.ShouldParallelize(right.num_rows())) {
     std::unordered_map<Row, std::vector<size_t>, RowGroupHash, RowGroupEq>
@@ -136,7 +154,11 @@ Result<Table> HashJoin(const Table& left, const Table& right,
       if (AnyNull(right.row(i), right_keys)) continue;
       index[KeyOf(right.row(i), right_keys)].push_back(i);
     }
+    size_t since_check = 0;
     for (const Row& lrow : left.rows()) {
+      if (ctx.guard != nullptr && (since_check++ & 1023) == 0) {
+        DV_RETURN_IF_ERROR(ctx.CheckGuard());
+      }
       if (AnyNull(lrow, left_keys)) continue;
       auto it = index.find(KeyOf(lrow, left_keys));
       if (it == index.end()) continue;
@@ -144,6 +166,7 @@ Result<Table> HashJoin(const Table& left, const Table& right,
         out.AppendRowUnchecked(ConcatRows(lrow, right.row(ri)));
       }
     }
+    DV_RETURN_IF_ERROR(ctx.ChargeRows(out.num_rows(), out_width));
     return out;
   }
 
@@ -162,14 +185,19 @@ Result<Table> HashJoin(const Table& left, const Table& right,
     }
   });
   std::vector<Index> shards(num_shards);
-  ctx.pool->ParallelFor(num_shards, [&](size_t s) {
-    Index& shard = shards[s];
-    for (size_t i = 0; i < right.num_rows(); ++i) {
-      if (!build_skip[i] && build_hash[i] % num_shards == s) {
-        shard[KeyOf(right.row(i), right_keys)].push_back(i);
-      }
-    }
-  });
+  // Skipped shard inserts are safe: a skip implies a tripped guard, and the
+  // probe morsels below re-check the guard before any merge.
+  ctx.pool->ParallelFor(
+      num_shards,
+      [&](size_t s) {
+        Index& shard = shards[s];
+        for (size_t i = 0; i < right.num_rows(); ++i) {
+          if (!build_skip[i] && build_hash[i] % num_shards == s) {
+            shard[KeyOf(right.row(i), right_keys)].push_back(i);
+          }
+        }
+      },
+      ctx.CancelFlag());
 
   // Morsel probe into per-morsel outputs, merged in morsel order so the
   // result row order matches the serial join exactly.
@@ -177,30 +205,56 @@ Result<Table> HashJoin(const Table& left, const Table& right,
   const size_t m = ctx.MorselSize(rows);
   const size_t n = rows == 0 ? 0 : (rows + m - 1) / m;
   std::vector<Table> parts(n);
-  ctx.pool->ParallelFor(n, [&](size_t p) {
-    Table part(out.schema());
-    for (size_t i = p * m, end = std::min(rows, (p + 1) * m); i < end; ++i) {
-      const Row& lrow = left.row(i);
-      if (AnyNull(lrow, left_keys)) continue;
-      const Index& shard = shards[KeyHash(lrow, left_keys) % num_shards];
-      auto it = shard.find(KeyOf(lrow, left_keys));
-      if (it == shard.end()) continue;
-      for (size_t ri : it->second) {
-        part.AppendRowUnchecked(ConcatRows(lrow, right.row(ri)));
-      }
-    }
-    parts[p] = std::move(part);
-  });
-  for (Table& part : parts) {
-    DV_RETURN_IF_ERROR(out.AppendTable(std::move(part)));
+  std::vector<Status> errors(n, Status::OK());
+  ctx.pool->ParallelFor(
+      n,
+      [&](size_t p) {
+        Table part(out.schema());
+        errors[p] = ctx.CheckGuard();
+        if (errors[p].ok()) {
+          for (size_t i = p * m, end = std::min(rows, (p + 1) * m); i < end;
+               ++i) {
+            const Row& lrow = left.row(i);
+            if (AnyNull(lrow, left_keys)) continue;
+            const Index& shard = shards[KeyHash(lrow, left_keys) % num_shards];
+            auto it = shard.find(KeyOf(lrow, left_keys));
+            if (it == shard.end()) continue;
+            for (size_t ri : it->second) {
+              part.AppendRowUnchecked(ConcatRows(lrow, right.row(ri)));
+            }
+          }
+          errors[p] = ctx.ChargeRows(part.num_rows(), out_width);
+        }
+        parts[p] = std::move(part);
+      },
+      ctx.CancelFlag());
+  DV_RETURN_IF_ERROR(ctx.CheckGuard());
+  for (size_t p = 0; p < n; ++p) {
+    DV_RETURN_IF_ERROR(errors[p]);
+    DV_RETURN_IF_ERROR(out.AppendTable(std::move(parts[p])));
   }
   return out;
 }
 
-Table CrossProduct(const Table& left, const Table& right) {
+Result<Table> CrossProduct(const Table& left, const Table& right,
+                           const ExecContext& ctx) {
   Table out(ConcatSchemas(left.schema(), right.schema()));
-  out.Reserve(left.num_rows() * right.num_rows());
+  const size_t width = out.schema().num_columns();
+  if (ctx.guard == nullptr) {
+    out.Reserve(left.num_rows() * right.num_rows());
+  } else {
+    // Guarded: no speculative quadratic Reserve — the budget may trip long
+    // before left×right rows exist, and exponential growth costs O(n).
+    DV_RETURN_IF_ERROR(ctx.CheckGuard());
+  }
+  size_t since_check = 0;
   for (const Row& l : left.rows()) {
+    if (ctx.guard != nullptr) {
+      // Charge a full stripe per left row: the product trips its budget
+      // while still small instead of after materializing.
+      DV_RETURN_IF_ERROR(ctx.ChargeRows(right.num_rows(), width));
+      if ((since_check++ & 63) == 0) DV_RETURN_IF_ERROR(ctx.CheckGuard());
+    }
     for (const Row& r : right.rows()) {
       out.AppendRowUnchecked(ConcatRows(l, r));
     }

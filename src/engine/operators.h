@@ -1,10 +1,12 @@
 #ifndef DYNVIEW_ENGINE_OPERATORS_H_
 #define DYNVIEW_ENGINE_OPERATORS_H_
 
+#include <atomic>
 #include <functional>
 #include <vector>
 
 #include "common/exec_config.h"
+#include "common/query_context.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "relational/table.h"
@@ -12,12 +14,14 @@
 namespace dynview {
 
 /// Per-query execution context handed to operators: a borrowed pool (null =
-/// serial) and the morsel granularity. Operators that parallelize always
-/// merge per-morsel outputs in morsel order, so for a given input the output
-/// row order is identical to serial execution.
+/// serial), the morsel granularity, and the query's guard state (null =
+/// unguarded — the fast path costs one pointer test). Operators that
+/// parallelize always merge per-morsel outputs in morsel order, so for a
+/// given input the output row order is identical to serial execution.
 struct ExecContext {
   ThreadPool* pool = nullptr;
   size_t morsel_rows = ExecConfig{}.morsel_rows;
+  QueryContext* guard = nullptr;
 
   /// True when an input of `rows` is worth splitting into morsels.
   bool ShouldParallelize(size_t rows) const {
@@ -27,6 +31,23 @@ struct ExecContext {
   /// Rows per morsel for an input of `rows`: at least `morsel_rows`, and at
   /// most ~4 morsels per participating thread to bound scheduling overhead.
   size_t MorselSize(size_t rows) const;
+
+  /// Deadline/cancellation check; call once per morsel (or every ~1k rows
+  /// in serial loops), not per row.
+  Status CheckGuard() const {
+    return guard == nullptr ? Status::OK() : guard->CheckGuards();
+  }
+
+  /// Charges `rows` output rows of width `columns` against the budgets.
+  Status ChargeRows(size_t rows, size_t columns) const {
+    return guard == nullptr ? Status::OK()
+                            : guard->ChargeRows(rows, columns);
+  }
+
+  /// Cancellation flag for ParallelFor (null when unguarded).
+  const std::atomic<bool>* CancelFlag() const {
+    return guard == nullptr ? nullptr : guard->cancel_flag();
+  }
 };
 
 /// Splits `[0, rows)` into morsels and runs `fn(morsel_index, begin, end)`
@@ -52,8 +73,12 @@ Result<Table> HashJoin(const Table& left, const Table& right,
                        const std::vector<int>& right_keys,
                        const ExecContext& ctx = ExecContext());
 
-/// Cross product (used when no equi-join key is available).
-Table CrossProduct(const Table& left, const Table& right);
+/// Cross product (used when no equi-join key is available). The output can
+/// be quadratic, so this is the canonical row-budget enforcement point: the
+/// guard is charged and checked per left row, stopping a runaway product
+/// long before it materializes.
+Result<Table> CrossProduct(const Table& left, const Table& right,
+                           const ExecContext& ctx = ExecContext());
 
 /// Full outer join on key columns. Matching rows combine (cross product per
 /// key, preserving multiplicities — the paper's Sec. 3.1 pivot semantics);

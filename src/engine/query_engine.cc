@@ -6,6 +6,10 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include <chrono>
+#include <thread>
+
+#include "common/failpoint.h"
 #include "common/str_util.h"
 #include "engine/expr_eval.h"
 #include "engine/operators.h"
@@ -87,6 +91,7 @@ Result<Table> JoinOnExprs(const Table& left, const ColumnBindings& lb,
       std::unordered_map<Row, std::vector<size_t>, RowGroupHash, RowGroupEq>;
   const bool parallel = ctx.ShouldParallelize(left.num_rows()) ||
                         ctx.ShouldParallelize(right.num_rows());
+  const size_t out_width = out.schema().num_columns();
 
   if (!parallel) {
     Index index;
@@ -96,7 +101,11 @@ Result<Table> JoinOnExprs(const Table& left, const ColumnBindings& lb,
       DV_ASSIGN_OR_RETURN(Row key, EvalKey(rkeys, right.row(i), rb, &null_key));
       if (!null_key) index[std::move(key)].push_back(i);
     }
+    size_t since_check = 0;
     for (const Row& lrow : left.rows()) {
+      if (ctx.guard != nullptr && (since_check++ & 1023) == 0) {
+        DV_RETURN_IF_ERROR(ctx.CheckGuard());
+      }
       bool null_key = false;
       DV_ASSIGN_OR_RETURN(Row key, EvalKey(lkeys, lrow, lb, &null_key));
       if (null_key) continue;
@@ -109,6 +118,7 @@ Result<Table> JoinOnExprs(const Table& left, const ColumnBindings& lb,
         out.AppendRowUnchecked(std::move(combined));
       }
     }
+    DV_RETURN_IF_ERROR(ctx.ChargeRows(out.num_rows(), out_width));
     return out;
   }
 
@@ -125,34 +135,43 @@ Result<Table> JoinOnExprs(const Table& left, const ColumnBindings& lb,
     const size_t m = ctx.MorselSize(build_rows);
     const size_t n = build_rows == 0 ? 0 : (build_rows + m - 1) / m;
     std::vector<Status> errors(n, Status::OK());
-    ctx.pool->ParallelFor(n, [&](size_t p) {
-      for (size_t i = p * m, end = std::min(build_rows, (p + 1) * m); i < end;
-           ++i) {
-        bool null_key = false;
-        Result<Row> key = EvalKey(rkeys, right.row(i), rb, &null_key);
-        if (!key.ok()) {
-          errors[p] = key.status();
-          return;
-        }
-        if (null_key) {
-          build_skip[i] = 1;
-          continue;
-        }
-        build_keys[i] = std::move(key).value();
-        build_hash[i] = hasher(build_keys[i]);
-      }
-    });
+    ctx.pool->ParallelFor(
+        n,
+        [&](size_t p) {
+          for (size_t i = p * m, end = std::min(build_rows, (p + 1) * m);
+               i < end; ++i) {
+            bool null_key = false;
+            Result<Row> key = EvalKey(rkeys, right.row(i), rb, &null_key);
+            if (!key.ok()) {
+              errors[p] = key.status();
+              return;
+            }
+            if (null_key) {
+              build_skip[i] = 1;
+              continue;
+            }
+            build_keys[i] = std::move(key).value();
+            build_hash[i] = hasher(build_keys[i]);
+          }
+        },
+        ctx.CancelFlag());
+    DV_RETURN_IF_ERROR(ctx.CheckGuard());
     for (const Status& s : errors) DV_RETURN_IF_ERROR(s);
   }
   std::vector<Index> shards(num_shards);
-  ctx.pool->ParallelFor(num_shards, [&](size_t s) {
-    Index& shard = shards[s];
-    for (size_t i = 0; i < build_rows; ++i) {
-      if (!build_skip[i] && build_hash[i] % num_shards == s) {
-        shard[std::move(build_keys[i])].push_back(i);
-      }
-    }
-  });
+  // Skipped shard inserts are safe: a skip implies a tripped guard, and the
+  // probe morsels below re-check the guard before any merge.
+  ctx.pool->ParallelFor(
+      num_shards,
+      [&](size_t s) {
+        Index& shard = shards[s];
+        for (size_t i = 0; i < build_rows; ++i) {
+          if (!build_skip[i] && build_hash[i] % num_shards == s) {
+            shard[std::move(build_keys[i])].push_back(i);
+          }
+        }
+      },
+      ctx.CancelFlag());
 
   // Morsel probe, merged in morsel order.
   const size_t probe_rows = left.num_rows();
@@ -160,30 +179,40 @@ Result<Table> JoinOnExprs(const Table& left, const ColumnBindings& lb,
   const size_t n = probe_rows == 0 ? 0 : (probe_rows + m - 1) / m;
   std::vector<Table> parts(n);
   std::vector<Status> errors(n, Status::OK());
-  ctx.pool->ParallelFor(n, [&](size_t p) {
-    Table part(out.schema());
-    for (size_t i = p * m, end = std::min(probe_rows, (p + 1) * m); i < end;
-         ++i) {
-      const Row& lrow = left.row(i);
-      bool null_key = false;
-      Result<Row> key = EvalKey(lkeys, lrow, lb, &null_key);
-      if (!key.ok()) {
-        errors[p] = key.status();
-        break;
-      }
-      if (null_key) continue;
-      const Index& shard = shards[hasher(key.value()) % num_shards];
-      auto it = shard.find(key.value());
-      if (it == shard.end()) continue;
-      for (size_t ri : it->second) {
-        Row combined = lrow;
-        const Row& rrow = right.row(ri);
-        combined.insert(combined.end(), rrow.begin(), rrow.end());
-        part.AppendRowUnchecked(std::move(combined));
-      }
-    }
-    parts[p] = std::move(part);
-  });
+  ctx.pool->ParallelFor(
+      n,
+      [&](size_t p) {
+        Table part(out.schema());
+        errors[p] = ctx.CheckGuard();
+        if (errors[p].ok()) {
+          for (size_t i = p * m, end = std::min(probe_rows, (p + 1) * m);
+               i < end; ++i) {
+            const Row& lrow = left.row(i);
+            bool null_key = false;
+            Result<Row> key = EvalKey(lkeys, lrow, lb, &null_key);
+            if (!key.ok()) {
+              errors[p] = key.status();
+              break;
+            }
+            if (null_key) continue;
+            const Index& shard = shards[hasher(key.value()) % num_shards];
+            auto it = shard.find(key.value());
+            if (it == shard.end()) continue;
+            for (size_t ri : it->second) {
+              Row combined = lrow;
+              const Row& rrow = right.row(ri);
+              combined.insert(combined.end(), rrow.begin(), rrow.end());
+              part.AppendRowUnchecked(std::move(combined));
+            }
+          }
+          if (errors[p].ok()) {
+            errors[p] = ctx.ChargeRows(part.num_rows(), out_width);
+          }
+        }
+        parts[p] = std::move(part);
+      },
+      ctx.CancelFlag());
+  DV_RETURN_IF_ERROR(ctx.CheckGuard());
   for (size_t p = 0; p < n; ++p) {
     DV_RETURN_IF_ERROR(errors[p]);
     DV_RETURN_IF_ERROR(out.AppendTable(std::move(parts[p])));
@@ -334,6 +363,11 @@ Result<Table> QueryEngine::Execute(SelectStmt* stmt) {
   bool pending_all = false;
   for (SelectStmt* branch = stmt; branch != nullptr;
        branch = branch->union_next.get()) {
+    // Guard check per UNION branch: a 0 ms deadline or a pre-cancelled
+    // context trips before any evaluation starts.
+    if (query_ctx_ != nullptr) {
+      DV_RETURN_IF_ERROR(query_ctx_->CheckGuards());
+    }
     DV_ASSIGN_OR_RETURN(BoundQuery bq, Binder::BindBranch(branch));
     DV_ASSIGN_OR_RETURN(Table t, EvaluateBranch(*branch, bq));
     if (first) {
@@ -357,7 +391,9 @@ ThreadPool* QueryEngine::EnsurePool() {
   if (pool_ == nullptr) {
     size_t threads = exec_.ResolvedThreads();
     if (threads <= 1) return nullptr;
-    pool_ = std::make_shared<ThreadPool>(threads - 1);
+    // The queue cap backpressures runaway fan-outs (ParallelFor degrades to
+    // fewer helpers instead of enqueueing unbounded work).
+    pool_ = std::make_shared<ThreadPool>(threads - 1, exec_.max_queued_tasks);
   }
   return pool_.get();
 }
@@ -366,6 +402,7 @@ ExecContext QueryEngine::Ctx() const {
   ExecContext ctx;
   ctx.pool = pool_.get();
   ctx.morsel_rows = exec_.morsel_rows;
+  ctx.guard = query_ctx_;
   return ctx;
 }
 
@@ -422,9 +459,10 @@ Result<Table> QueryEngine::EvaluateBranch(const SelectStmt& stmt,
 
   DV_ASSIGN_OR_RETURN(std::vector<InstantiatedQuery> ground,
                       InstantiateSchemaVars(stmt, bq, *catalog_, default_db_));
-  if (ground.empty()) {
-    // Zero groundings: produce an empty table with the statement's output
-    // names (star cannot be expanded without a grounding).
+  // Empty table with the statement's output names — the zero-grounding
+  // result, also produced when every grounding was skipped by policy (star
+  // cannot be expanded without a grounding).
+  auto empty_result = [&stmt]() -> Result<Table> {
     std::vector<Column> cols;
     for (size_t i = 0; i < stmt.select_list.size(); ++i) {
       if (stmt.select_list[i].expr->kind == ExprKind::kStar) {
@@ -434,7 +472,8 @@ Result<Table> QueryEngine::EvaluateBranch(const SelectStmt& stmt,
       cols.emplace_back(OutputName(stmt.select_list[i], i), TypeKind::kNull);
     }
     return Table(Schema(std::move(cols)));
-  }
+  };
+  if (ground.empty()) return empty_result();
 
   // The grounding fan-out is embarrassingly parallel (the paper's Sec. 6
   // "orchestration around a conventional evaluator"): every grounding is an
@@ -450,26 +489,94 @@ Result<Table> QueryEngine::EvaluateBranch(const SelectStmt& stmt,
                    exec_.morsel_rows)) {
     pool = EnsurePool();
   }
+  QueryContext* qc = query_ctx_;
+  const SourcePolicy policy =
+      qc == nullptr ? SourcePolicy::kFailFast : qc->guards().source_policy;
+  // Each grounding is one source's independent contribution (local-as-view:
+  // a source relation per grounding), so source-level fault tolerance —
+  // failpoint injection, retry with backoff, skip-and-report — applies at
+  // exactly this granularity.
+  auto source_label = [](const InstantiatedQuery& g) {
+    std::string label;
+    for (const auto& [var, chosen] : g.labels) {
+      (void)var;
+      if (!label.empty()) label += ",";
+      label += chosen;
+    }
+    return label;
+  };
+  auto eval_attempt = [&](size_t i) -> Result<Table> {
+    if (FailPoints::AnyArmed()) {
+      // Match details are lowercased (like catalog.resolve's `db::rel`) so
+      // failpoint specs don't depend on label casing.
+      DV_RETURN_IF_ERROR(FailPoints::Check(
+          "engine.grounding", ToLower(source_label(ground[i]))));
+    }
+    return EvaluateFirstOrder(*ground[i].query, bq);
+  };
   std::vector<Result<Table>> parts(ground.size(),
                                    Result<Table>(Status::Internal("pending")));
   auto eval_one = [&](size_t i) {
-    parts[i] = EvaluateFirstOrder(*ground[i].query, bq);
+    Result<Table> r = eval_attempt(i);
+    if (policy == SourcePolicy::kRetry && qc != nullptr) {
+      const QueryGuards& g = qc->guards();
+      for (int attempt = 1;
+           attempt <= g.max_retries && !r.ok() &&
+           IsTransient(r.status().code()) && qc->CheckGuards().ok();
+           ++attempt) {
+        int backoff_ms =
+            std::min(100, g.retry_backoff_ms << (attempt - 1));
+        if (backoff_ms > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(backoff_ms));
+        }
+        r = eval_attempt(i);
+      }
+    }
+    parts[i] = std::move(r);
   };
   if (pool != nullptr && ground.size() > 1) {
-    pool->ParallelFor(ground.size(), eval_one);
+    pool->ParallelFor(ground.size(), eval_one,
+                      qc == nullptr ? nullptr : qc->cancel_flag());
   } else {
-    for (size_t i = 0; i < ground.size(); ++i) eval_one(i);
+    for (size_t i = 0; i < ground.size(); ++i) {
+      if (qc != nullptr &&
+          qc->cancel_flag()->load(std::memory_order_relaxed)) {
+        break;  // A tripped guard stops the serial fan-out too.
+      }
+      eval_one(i);
+    }
   }
+  // A guard trip beats per-grounding errors: skipped slots were never
+  // written, and the trip status is the query's real outcome.
+  if (qc != nullptr) DV_RETURN_IF_ERROR(qc->CheckGuards());
   Table acc;
   bool first = true;
-  for (Result<Table>& part : parts) {
-    if (!part.ok()) return part.status();
+  for (size_t i = 0; i < ground.size(); ++i) {
+    Result<Table>& part = parts[i];
+    if (!part.ok()) {
+      // Transient source failures degrade under kSkipAndReport: drop this
+      // grounding's contribution and record which source was omitted.
+      // Warnings are appended here, in declaration order on the driving
+      // thread, so partial results are deterministic across thread counts.
+      if (qc != nullptr && policy == SourcePolicy::kSkipAndReport &&
+          IsTransient(part.status().code())) {
+        qc->AddWarning({source_label(ground[i]), part.status()});
+        continue;
+      }
+      return part.status();
+    }
     if (first) {
       acc = std::move(part).value();
       first = false;
     } else {
       DV_RETURN_IF_ERROR(acc.AppendTable(std::move(part).value()));
     }
+  }
+  if (first) {
+    // Every grounding was skipped: an empty (but well-formed) result whose
+    // warnings name what is missing.
+    DV_ASSIGN_OR_RETURN(acc, empty_result());
   }
   return ApplyLimit(std::move(acc), stmt.limit);
 }
@@ -547,6 +654,7 @@ Result<Table> QueryEngine::EvaluateHigherOrderGlobal(const SelectStmt& stmt,
   }
   QueryEngine sub(&scratch, "sc", exec_);
   sub.pool_ = pool_;  // The outer layer reuses this engine's workers.
+  sub.query_ctx_ = query_ctx_;  // ...and stays under the same guards.
   DV_ASSIGN_OR_RETURN(BoundQuery obq, Binder::BindBranch(outer.get()));
   return sub.EvaluateFirstOrder(*outer, obq);
 }
@@ -581,6 +689,9 @@ Result<Table> QueryEngine::EvaluateFirstOrder(const SelectStmt& stmt,
   bool first = true;
   for (const FromItem& f : stmt.from_items) {
     if (f.kind != FromItemKind::kTupleVar) continue;
+    // One guard check per pipeline step: scans and joins below run whole
+    // operators, each of which re-checks internally at morsel granularity.
+    DV_RETURN_IF_ERROR(ctx.CheckGuard());
     if (f.db.is_variable || f.rel.is_variable) {
       return Status::Internal("schema variable survived grounding: " +
                               f.ToString());
@@ -665,7 +776,7 @@ Result<Table> QueryEngine::EvaluateFirstOrder(const SelectStmt& stmt,
                           JoinOnExprs(w.table, w.bindings, scan.table,
                                       scan.bindings, lkeys, rkeys, ctx));
     } else {
-      joined = CrossProduct(w.table, scan.table);
+      DV_ASSIGN_OR_RETURN(joined, CrossProduct(w.table, scan.table, ctx));
     }
     w.table = std::move(joined);
     w.bindings.MergeShifted(scan.bindings, old_width);
@@ -735,9 +846,11 @@ Result<Table> QueryEngine::EvaluateFirstOrder(const SelectStmt& stmt,
     return static_cast<int>(it->second);
   };
 
+  size_t since_check = 0;
   if (!has_agg) {
     out.Reserve(w.table.num_rows());
     for (const Row& r : w.table.rows()) {
+      if ((since_check++ & 1023) == 0) DV_RETURN_IF_ERROR(ctx.CheckGuard());
       Row orow;
       for (const SelectItem& item : stmt.select_list) {
         if (item.expr->kind == ExprKind::kStar) {
@@ -789,6 +902,7 @@ Result<Table> QueryEngine::EvaluateFirstOrder(const SelectStmt& stmt,
     }
     Row null_rep(w.table.schema().num_columns(), Value::Null());
     for (size_t gi = 0; gi < groups.size(); ++gi) {
+      if ((since_check++ & 1023) == 0) DV_RETURN_IF_ERROR(ctx.CheckGuard());
       const std::vector<const Row*>& rows = groups[gi];
       const Row& rep = rows.empty() ? null_rep : *rows[0];
       if (stmt.having != nullptr) {
@@ -824,6 +938,9 @@ Result<Table> QueryEngine::EvaluateFirstOrder(const SelectStmt& stmt,
       out.AppendRowUnchecked(std::move(orow));
     }
   }
+
+  DV_RETURN_IF_ERROR(
+      ctx.ChargeRows(out.num_rows(), out.schema().num_columns()));
 
   if (stmt.distinct) out = out.Distinct();
 

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/exec_config.h"
+#include "common/query_context.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "relational/catalog.h"
@@ -47,6 +48,15 @@ class QueryEngine {
   /// cooperating components (e.g. ViewMaterializer) can share the pool.
   ThreadPool* EnsurePool();
 
+  /// Attaches (or detaches, with nullptr) the guard state enforced by every
+  /// subsequent execution: deadline, cancellation, row/byte budgets, and
+  /// the SourcePolicy for degraded grounding fan-outs. Borrowed — `qc` must
+  /// outlive the executions it guards. Set from the query's driving thread
+  /// between queries; the same engine serves one guarded query at a time
+  /// (matching the engine's single-driver execution model).
+  void set_query_context(QueryContext* qc) { query_ctx_ = qc; }
+  QueryContext* query_context() const { return query_ctx_; }
+
   /// Parses, binds and evaluates a SELECT statement.
   Result<Table> ExecuteSql(const std::string& sql);
 
@@ -73,6 +83,7 @@ class QueryEngine {
   const Catalog* catalog_;
   std::string default_db_;
   ExecConfig exec_;
+  QueryContext* query_ctx_ = nullptr;  // Borrowed; null = unguarded.
   /// Lazily created, shared with sub-engines (the higher-order outer layer)
   /// so nested evaluation reuses one set of workers.
   std::shared_ptr<ThreadPool> pool_;

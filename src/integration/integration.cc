@@ -114,6 +114,33 @@ Result<Table> IntegrationSystem::Answer(const std::string& sql,
   return rewritten.status();
 }
 
+Result<AnswerResult> IntegrationSystem::AnswerGuarded(
+    const std::string& sql, const AnswerOptions& options, QueryContext* ctx) {
+  QueryContext local(options.guards);
+  QueryContext* qc = ctx != nullptr ? ctx : &local;
+  engine_.set_query_context(qc);
+  // The engine borrows qc only for this call; detach on every exit path.
+  struct Detach {
+    QueryEngine* e;
+    ~Detach() { e->set_query_context(nullptr); }
+  } detach{&engine_};
+
+  Result<Table> answered = [&]() -> Result<Table> {
+    Result<TranslationResult> rewritten = Rewrite(sql, options.multiset);
+    if (rewritten.ok()) {
+      return engine_.Execute(rewritten.value().query.get());
+    }
+    Result<Table> direct = engine_.ExecuteSql(sql);
+    if (direct.ok()) return direct;
+    // Guard trips during the fallback are the real outcome, not a reason to
+    // report "no source answers".
+    if (!qc->CheckGuards().ok()) return direct;
+    return rewritten.status();
+  }();
+  DV_RETURN_IF_ERROR(answered.status());
+  return AnswerResult{std::move(answered).value(), qc->warnings()};
+}
+
 Result<Table> IntegrationSystem::AnswerOptimized(const std::string& sql) {
   return optimizer_.Run(sql);
 }

@@ -16,6 +16,22 @@
 
 namespace dynview {
 
+/// Options for a guarded Answer call. `guards` bounds execution (deadline,
+/// budgets) and selects the SourcePolicy applied when a source relation is
+/// unavailable mid-query.
+struct AnswerOptions {
+  bool multiset = false;
+  QueryGuards guards;
+};
+
+/// A guarded answer: the (possibly partial) result plus one warning per
+/// source contribution that was skipped under SourcePolicy::kSkipAndReport.
+/// An empty warning list means the result is complete.
+struct AnswerResult {
+  Table table;
+  std::vector<SourceWarning> warnings;
+};
+
 /// The Fig. 6 architecture. The integration schema I is a stable,
 /// first-order schema designed for the new application; every data source
 /// (legacy schema, interface schema, or index) is registered as an SQL or
@@ -52,6 +68,18 @@ class IntegrationSystem {
   /// Fails with NotFound if no registered source can answer the query and
   /// I itself holds no data for it.
   Result<Table> Answer(const std::string& sql, bool multiset);
+
+  /// Like Answer, but executes under `options.guards`: the query observes
+  /// the deadline / cancellation / row / byte budgets, and transient source
+  /// failures degrade per `options.guards.source_policy` — kSkipAndReport
+  /// yields a partial result whose `warnings` name each skipped source.
+  /// Guard trips surface as kDeadlineExceeded / kCancelled /
+  /// kResourceExhausted statuses. `ctx`, when given, allows the caller to
+  /// cancel concurrently via ctx->Cancel(); it must outlive the call and
+  /// carry the same guards.
+  Result<AnswerResult> AnswerGuarded(const std::string& sql,
+                                     const AnswerOptions& options,
+                                     QueryContext* ctx = nullptr);
 
   /// Like Answer, but returns the chosen rewriting without executing.
   /// Aggregate queries are additionally offered to aggregate-defined

@@ -219,7 +219,7 @@ Result<Table> PlanNode::Execute(QueryEngine* engine) const {
           }
         }
       } else {
-        joined = CrossProduct(lt, rt);
+        DV_ASSIGN_OR_RETURN(joined, CrossProduct(lt, rt));
       }
       if (residual.empty()) return joined;
       ColumnBindings jb = NamedBindings(joined);

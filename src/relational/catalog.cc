@@ -1,5 +1,6 @@
 #include "relational/catalog.h"
 
+#include "common/failpoint.h"
 #include "common/str_util.h"
 
 namespace dynview {
@@ -99,6 +100,13 @@ Result<Database*> Catalog::GetMutableDatabase(const std::string& db_name) {
 
 Result<const Table*> Catalog::ResolveTable(const std::string& db_name,
                                            const std::string& rel_name) const {
+  // Fault-injection point for source access: every engine scan and view
+  // grounding resolves its base table here, so arming "catalog.resolve"
+  // (match "db::rel") simulates that source being slow or unavailable.
+  if (FailPoints::AnyArmed()) {  // Skip building the detail string when off.
+    DV_RETURN_IF_ERROR(FailPoints::Check(
+        "catalog.resolve", ToLower(db_name) + "::" + ToLower(rel_name)));
+  }
   DV_ASSIGN_OR_RETURN(const Database* db, GetDatabase(db_name));
   return db->GetTable(rel_name);
 }

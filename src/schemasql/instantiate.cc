@@ -200,7 +200,13 @@ Result<std::vector<InstantiatedQuery>> InstantiateSchemaVars(
       if (!f.db.is_variable && !f.rel.is_variable) continue;
       std::string db_name = TupleDbLabel(f, g, default_db);
       std::string rel_name = GroundLabelText(f.rel, g.labels, "");
-      if (!catalog.ResolveTable(db_name, rel_name).ok()) {
+      Result<const Table*> t = catalog.ResolveTable(db_name, rel_name);
+      if (!t.ok() && t.status().code() == StatusCode::kNotFound) {
+        // Only genuinely absent relations shrink the variable's range. Any
+        // other resolution failure (e.g. an injected kUnavailable) means the
+        // relation exists but is failing — keep the grounding so the
+        // evaluation fan-out surfaces the error under the active
+        // SourcePolicy instead of silently narrowing the query.
         feasible = false;
         break;
       }

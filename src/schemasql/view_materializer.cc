@@ -93,8 +93,10 @@ ViewMaterializer::Materialize(const CreateViewStmt& view, QueryEngine* engine,
   // so partitions materialize independently — in parallel on the engine's
   // pool when available — and are installed into the target catalog
   // serially, in the map's deterministic (database, relation) order.
+  QueryContext* qc = engine->query_context();
   auto build_partition = [&](const std::vector<const Row*>& group_rows)
       -> Result<Table> {
+    if (qc != nullptr) DV_RETURN_IF_ERROR(qc->CheckGuards());
     Table out;
     if (pivot_positions.empty()) {
       std::vector<Column> cols;
@@ -172,10 +174,14 @@ ViewMaterializer::Materialize(const CreateViewStmt& view, QueryEngine* engine,
     outs[i] = build_partition(ordered[i]->second);
   };
   if (pool != nullptr) {
-    pool->ParallelFor(ordered.size(), build_one);
+    pool->ParallelFor(ordered.size(), build_one,
+                      qc == nullptr ? nullptr : qc->cancel_flag());
   } else {
     for (size_t i = 0; i < ordered.size(); ++i) build_one(i);
   }
+  // A tripped guard means some partitions were skipped: install nothing
+  // rather than a partially materialized view.
+  if (qc != nullptr) DV_RETURN_IF_ERROR(qc->CheckGuards());
 
   std::vector<std::pair<std::string, std::string>> created;
   created.reserve(ordered.size());

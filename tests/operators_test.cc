@@ -55,7 +55,7 @@ TEST(CrossProductTest, AllPairs) {
   Table l = MakeTable({"a"}, {{Value::Int(1)}, {Value::Int(2)}});
   Table r = MakeTable({"b"}, {{Value::Int(3)}, {Value::Int(4)},
                               {Value::Int(5)}});
-  Table x = CrossProduct(l, r);
+  Table x = CrossProduct(l, r).value();
   EXPECT_EQ(x.num_rows(), 6u);
   EXPECT_EQ(x.schema().num_columns(), 2u);
 }

@@ -1,9 +1,20 @@
 // Failure-injection and robustness tests: malformed inputs and broken
 // catalogs must produce Status errors (never crashes) through every public
-// entry point.
+// entry point; query guards (deadlines, cancellation, budgets) and injected
+// faults must degrade execution exactly as documented.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "common/failpoint.h"
+#include "common/query_context.h"
+#include "common/str_util.h"
+#include "common/thread_pool.h"
 #include "core/translate.h"
 #include "core/view_definition.h"
 #include "engine/query_engine.h"
@@ -267,6 +278,411 @@ TEST_F(RobustnessTest, WideAndEmptyTables) {
       "select A, V from edge::wide -> A, edge::wide T, T.A V");
   ASSERT_TRUE(ho.ok()) << ho.status().ToString();
   EXPECT_EQ(ho.value().num_rows(), 100u);
+}
+
+// ---------------------------------------------------------------------------
+// Query guards: QueryContext, FailPoints, and their enforcement through the
+// engine and the integration layer.
+// ---------------------------------------------------------------------------
+
+TEST(QueryContextTest, UnguardedAndGuardedBasics) {
+  QueryContext unguarded;
+  EXPECT_TRUE(unguarded.CheckGuards().ok());
+  EXPECT_TRUE(unguarded.ChargeRows(1u << 20, 100).ok());
+
+  QueryGuards g;
+  g.row_budget = 10;
+  QueryContext qc(g);
+  EXPECT_TRUE(qc.CheckGuards().ok());
+  EXPECT_TRUE(qc.ChargeRows(10, 2).ok());
+  EXPECT_EQ(qc.ChargeRows(1, 2).code(), StatusCode::kResourceExhausted);
+  // The trip cancelled sibling work and is sticky (first trip wins).
+  EXPECT_TRUE(qc.cancel_flag()->load());
+  EXPECT_EQ(qc.CheckGuards().code(), StatusCode::kResourceExhausted);
+  qc.Cancel();
+  EXPECT_EQ(qc.CheckGuards().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(QueryContextTest, ByteBudgetTrips) {
+  QueryGuards g;
+  g.byte_budget = 64;  // Two cells' worth at 32 bytes/cell.
+  QueryContext qc(g);
+  EXPECT_TRUE(qc.ChargeRows(1, 2).ok());
+  EXPECT_EQ(qc.ChargeRows(1, 1).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(QueryContextTest, ZeroDeadlineTripsAtFirstCheck) {
+  QueryGuards g;
+  g.deadline_ms = 0;
+  QueryContext qc(g);
+  EXPECT_EQ(qc.CheckGuards().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(QueryContextTest, CancelReportsCancelled) {
+  QueryContext qc;
+  qc.Cancel();
+  EXPECT_EQ(qc.CheckGuards().code(), StatusCode::kCancelled);
+}
+
+TEST(FailPointTest, Modes) {
+  FailPoints::DisarmAll();
+  EXPECT_FALSE(FailPoints::AnyArmed());
+  EXPECT_TRUE(FailPoints::Check("unarmed").ok());
+
+  FailSpec once;
+  once.mode = FailMode::kErrorOnce;
+  FailPoints::Arm("p", once);
+  EXPECT_TRUE(FailPoints::AnyArmed());
+  EXPECT_EQ(FailPoints::Check("p").code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(FailPoints::Check("p").ok());
+
+  FailSpec after;
+  after.mode = FailMode::kFailAfterN;
+  after.after_n = 2;
+  FailPoints::Arm("p", after);  // Re-arming resets the hit count.
+  EXPECT_TRUE(FailPoints::Check("p").ok());
+  EXPECT_TRUE(FailPoints::Check("p").ok());
+  EXPECT_FALSE(FailPoints::Check("p").ok());
+  EXPECT_FALSE(FailPoints::Check("p").ok());
+
+  FailSpec matched;
+  matched.mode = FailMode::kErrorAlways;
+  matched.code = StatusCode::kInternal;
+  matched.match = "coa";
+  FailPoints::Arm("p", matched);
+  EXPECT_TRUE(FailPoints::Check("p", "s2::cob").ok());
+  EXPECT_EQ(FailPoints::Check("p", "s2::coa").code(), StatusCode::kInternal);
+
+  FailSpec slow;
+  slow.mode = FailMode::kLatency;
+  slow.latency_ms = 10;
+  FailPoints::Arm("lat", slow);
+  auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(FailPoints::Check("lat").ok());  // Latency injects, not errors.
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_GE(elapsed.count(), 9);
+
+  FailPoints::Disarm("lat");
+  FailPoints::DisarmAll();
+  EXPECT_FALSE(FailPoints::AnyArmed());
+}
+
+TEST(FailPointTest, ArmFromString) {
+  FailPoints::DisarmAll();
+  ASSERT_TRUE(
+      FailPoints::ArmFromString("a=error-once; b=fail-after(1)@det").ok());
+  EXPECT_EQ(FailPoints::Check("a").code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(FailPoints::Check("a").ok());
+  EXPECT_TRUE(FailPoints::Check("b", "nomatch").ok());
+  EXPECT_TRUE(FailPoints::Check("b", "has det").ok());   // Hit 0 passes.
+  EXPECT_FALSE(FailPoints::Check("b", "has det").ok());  // Hit 1 fails.
+
+  EXPECT_FALSE(FailPoints::ArmFromString("nonsense").ok());
+  EXPECT_FALSE(FailPoints::ArmFromString("a=bogus-mode").ok());
+  EXPECT_FALSE(FailPoints::ArmFromString("a=fail-after").ok());
+  FailPoints::DisarmAll();
+}
+
+TEST(ThreadPoolGuardTest, TrySubmitAppliesBackpressure) {
+  ThreadPool pool(1, /*max_queued=*/2);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<bool> started{false};
+  std::atomic<int> ran{0};
+  pool.Submit([&] {
+    started.store(true);
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+    ran.fetch_add(1);
+  });
+  while (!started.load()) std::this_thread::yield();
+  // The worker is pinned; the queue (cap 2) fills, then refuses.
+  EXPECT_TRUE(pool.TrySubmit([&] { ran.fetch_add(1); }));
+  EXPECT_TRUE(pool.TrySubmit([&] { ran.fetch_add(1); }));
+  EXPECT_FALSE(pool.TrySubmit([&] { ran.fetch_add(1); }));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  for (int i = 0; i < 2000 && ran.load() < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(ran.load(), 3);  // Accepted tasks all ran; the refused one never.
+}
+
+TEST(ThreadPoolGuardTest, ParallelForSkipsIterationsAfterCancel) {
+  ThreadPool pool(3);
+  std::atomic<bool> cancel{false};
+  std::atomic<int> executed{0};
+  pool.ParallelFor(
+      10000,
+      [&](size_t) {
+        executed.fetch_add(1);
+        cancel.store(true);
+      },
+      &cancel);
+  // The first iteration cancels; only iterations already claimed by the
+  // participating threads may still run. Everything else is skipped, yet
+  // ParallelFor still returns (all iterations accounted for).
+  EXPECT_GE(executed.load(), 1);
+  EXPECT_LE(executed.load(), 8);
+}
+
+/// Engine + integration guard tests over the paper's stock data: db0 holds
+/// the Fig. 10 federation tables, s2 the one-relation-per-company layout
+/// whose higher-order queries fan out one grounding per source relation.
+class GuardTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FailPoints::DisarmAll();
+    StockGenConfig cfg;
+    ASSERT_TRUE(InstallDb0(&catalog_, "db0", cfg).ok());
+    ASSERT_TRUE(InstallStockS2(&catalog_, "s2", GenerateStockS1(cfg)).ok());
+  }
+  void TearDown() override { FailPoints::DisarmAll(); }
+
+  static ExecConfig Threads(size_t n) {
+    ExecConfig e;
+    e.num_threads = n;
+    e.morsel_rows = 4;  // Tiny morsels so test-sized tables run parallel.
+    return e;
+  }
+
+  // One grounding per company relation; 15 rows (3 companies × 5 dates).
+  static constexpr const char* kFanOut =
+      "select R, D, P from s2 -> R, R T, T.date D, T.price P";
+
+  Catalog catalog_;
+};
+
+TEST_F(GuardTest, ZeroDeadlineCancelsParallelQuery) {
+  QueryGuards g;
+  g.deadline_ms = 0;
+  QueryContext qc(g);
+  QueryEngine engine(&catalog_, "s2", Threads(4));
+  engine.set_query_context(&qc);
+  auto r = engine.ExecuteSql(kFanOut);
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(GuardTest, DeadlineExpiresMidQuery) {
+  // Each grounding sleeps 30ms; the 10ms deadline therefore expires while
+  // the fan-out is in flight and must surface as kDeadlineExceeded.
+  FailSpec slow;
+  slow.mode = FailMode::kLatency;
+  slow.latency_ms = 30;
+  FailPoints::Arm("engine.grounding", slow);
+  QueryGuards g;
+  g.deadline_ms = 10;
+  QueryContext qc(g);
+  QueryEngine engine(&catalog_, "s2", Threads(4));
+  engine.set_query_context(&qc);
+  auto r = engine.ExecuteSql(kFanOut);
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(GuardTest, ConcurrentCancelStopsParallelGrounding) {
+  FailSpec slow;
+  slow.mode = FailMode::kLatency;
+  slow.latency_ms = 50;
+  FailPoints::Arm("engine.grounding", slow);
+  QueryContext qc;
+  QueryEngine engine(&catalog_, "s2", Threads(4));
+  engine.set_query_context(&qc);
+  std::thread canceller([&qc] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    qc.Cancel();
+  });
+  auto r = engine.ExecuteSql(kFanOut);
+  canceller.join();
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+}
+
+TEST_F(GuardTest, RowBudgetStopsCrossProduct) {
+  // 15 × 15 cross product against a 100-row budget: the product must trip
+  // kResourceExhausted instead of materializing all 225 rows.
+  QueryGuards g;
+  g.row_budget = 100;
+  QueryContext qc(g);
+  QueryEngine engine(&catalog_, "db0", Threads(1));
+  engine.set_query_context(&qc);
+  auto r = engine.ExecuteSql("select 1 from db0::stock T, db0::stock S");
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_LE(qc.rows_charged(), 200u);  // Stopped well short of 225 + scans.
+}
+
+TEST_F(GuardTest, RetryPolicySucceedsUnderErrorOnce) {
+  FailSpec once;
+  once.mode = FailMode::kErrorOnce;
+  once.match = "coa";
+  FailPoints::Arm("engine.grounding", once);
+  QueryGuards g;
+  g.source_policy = SourcePolicy::kRetry;
+  QueryContext qc(g);
+  QueryEngine engine(&catalog_, "s2", Threads(4));
+  engine.set_query_context(&qc);
+  auto r = engine.ExecuteSql(kFanOut);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().num_rows(), 15u);  // Retried grounding contributed.
+  EXPECT_TRUE(qc.warnings().empty());
+}
+
+TEST_F(GuardTest, RetryPolicyGivesUpOnPersistentFault) {
+  FailSpec always;
+  always.mode = FailMode::kErrorAlways;
+  always.match = "coa";
+  FailPoints::Arm("engine.grounding", always);
+  QueryGuards g;
+  g.source_policy = SourcePolicy::kRetry;
+  g.max_retries = 1;
+  QueryContext qc(g);
+  QueryEngine engine(&catalog_, "s2", Threads(1));
+  engine.set_query_context(&qc);
+  EXPECT_EQ(engine.ExecuteSql(kFanOut).status().code(),
+            StatusCode::kUnavailable);
+}
+
+TEST_F(GuardTest, SkipAndReportIsDeterministicAcrossThreadCounts) {
+  // An unavailable source relation (injected at catalog resolution) yields
+  // the same partial result and the same warning list no matter how many
+  // threads evaluate the fan-out.
+  FailSpec down;
+  down.mode = FailMode::kErrorAlways;
+  down.match = "s2::coa";
+  FailPoints::Arm("catalog.resolve", down);
+  std::vector<std::string> warning_sources[2];
+  size_t rows[2] = {0, 0};
+  const size_t thread_counts[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    QueryGuards g;
+    g.source_policy = SourcePolicy::kSkipAndReport;
+    QueryContext qc(g);
+    QueryEngine engine(&catalog_, "s2", Threads(thread_counts[i]));
+    engine.set_query_context(&qc);
+    auto r = engine.ExecuteSql(kFanOut);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    rows[i] = r.value().num_rows();
+    for (const SourceWarning& w : qc.warnings()) {
+      warning_sources[i].push_back(w.source);
+      EXPECT_EQ(w.status.code(), StatusCode::kUnavailable);
+    }
+  }
+  EXPECT_EQ(rows[0], 10u);  // coB + coC only.
+  EXPECT_EQ(rows[0], rows[1]);
+  ASSERT_EQ(warning_sources[0].size(), 1u);
+  EXPECT_EQ(warning_sources[0], warning_sources[1]);
+  EXPECT_NE(ToLower(warning_sources[0][0]).find("coa"), std::string::npos);
+}
+
+TEST_F(GuardTest, NonTransientErrorsNeverSkip) {
+  // kSkipAndReport only negotiates *availability*: a semantic error in a
+  // grounding still fails the whole query.
+  FailSpec broken;
+  broken.mode = FailMode::kErrorAlways;
+  broken.code = StatusCode::kInternal;
+  broken.match = "coa";
+  FailPoints::Arm("engine.grounding", broken);
+  QueryGuards g;
+  g.source_policy = SourcePolicy::kSkipAndReport;
+  QueryContext qc(g);
+  QueryEngine engine(&catalog_, "s2", Threads(1));
+  engine.set_query_context(&qc);
+  EXPECT_EQ(engine.ExecuteSql(kFanOut).status().code(), StatusCode::kInternal);
+  EXPECT_TRUE(qc.warnings().empty());
+}
+
+TEST_F(GuardTest, IntegrationPartialResultNamesSkippedSource) {
+  // The Fig. 6 acceptance scenario: I::stock data is integrated through a
+  // per-company dynamic view; one company's source relation goes down; a
+  // guarded query returns the other companies' rows plus a warning naming
+  // the lost source.
+  Catalog cat;
+  StockGenConfig cfg;
+  ASSERT_TRUE(InstallStockS1(&cat, "I", GenerateStockS1(cfg)).ok());
+  IntegrationSystem system(&cat, "I");
+  ASSERT_TRUE(system
+                  .RegisterAndMaterializeSource(
+                      "create view src::C(date, price) as select D, P from "
+                      "I::stock T, T.company C, T.date D, T.price P")
+                  .ok());
+  const std::string sql =
+      "select C, P from I::stock T, T.company C, T.price P where P > 100";
+  auto full = system.Answer(sql, true);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  size_t expect_partial = 0;
+  for (const Row& r : full.value().rows()) {
+    if (!EqualsIgnoreCase(r[0].ToLabel(), "coa")) ++expect_partial;
+  }
+  ASSERT_GT(expect_partial, 0u);
+  ASSERT_LT(expect_partial, full.value().num_rows());  // coA does match P>100.
+
+  FailSpec down;
+  down.mode = FailMode::kErrorAlways;
+  down.match = "src::coa";
+  FailPoints::Arm("catalog.resolve", down);
+  AnswerOptions opts;
+  opts.multiset = true;
+  opts.guards.source_policy = SourcePolicy::kSkipAndReport;
+  auto partial = system.AnswerGuarded(sql, opts);
+  ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+  EXPECT_EQ(partial.value().table.num_rows(), expect_partial);
+  ASSERT_EQ(partial.value().warnings.size(), 1u);
+  EXPECT_NE(ToLower(partial.value().warnings[0].source).find("coa"),
+            std::string::npos);
+  EXPECT_EQ(partial.value().warnings[0].status.code(),
+            StatusCode::kUnavailable);
+
+  // Fail-fast (the default) refuses instead of degrading.
+  AnswerOptions strict;
+  strict.multiset = true;
+  auto refused = system.AnswerGuarded(sql, strict);
+  EXPECT_FALSE(refused.ok());
+}
+
+TEST_F(GuardTest, IntegrationDeadlineSurfaces) {
+  IntegrationSystem system(&catalog_, "db0");
+  AnswerOptions opts;
+  opts.guards.deadline_ms = 0;
+  auto r = system.AnswerGuarded(
+      "select P from db0::stock T, T.price P where P > 100", opts);
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(GuardTest, CallerSuppliedContextAllowsExternalCancel) {
+  FailSpec slow;
+  slow.mode = FailMode::kLatency;
+  slow.latency_ms = 50;
+  FailPoints::Arm("catalog.resolve", slow);
+  IntegrationSystem system(&catalog_, "db0");
+  QueryGuards g;
+  QueryContext qc(g);
+  std::thread canceller([&qc] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    qc.Cancel();
+  });
+  auto r = system.AnswerGuarded(
+      "select P from db0::stock T, T.price P where P > 100", AnswerOptions{},
+      &qc);
+  canceller.join();
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+}
+
+TEST_F(GuardTest, ViewMaterializerObservesGuards) {
+  QueryGuards g;
+  g.deadline_ms = 0;
+  QueryContext qc(g);
+  QueryEngine engine(&catalog_, "db0", Threads(1));
+  engine.set_query_context(&qc);
+  Catalog target;
+  auto r = ViewMaterializer::MaterializeSql(
+      "create view out::C(date, price) as select D, P from db0::stock T, "
+      "T.company C, T.date D, T.price P",
+      &engine, &target, "out");
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(target.num_databases(), 0u);  // Nothing partially installed.
 }
 
 }  // namespace
