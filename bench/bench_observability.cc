@@ -1,0 +1,132 @@
+// Observability overhead: the same fan-out and join queries with (a) no
+// observer attached, (b) tracing enabled with an observer (full spans +
+// counters), and (c) enable_trace=false with an observer attached (the
+// opt-out must cost nothing). The acceptance bar is <2% between (a) and (b)
+// on the fan-out workload. The preamble prints a per-query counter dump —
+// the flat name=value form that lands in BENCH_observe.json notes.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/query_context.h"
+#include "engine/query_engine.h"
+#include "observe/observer.h"
+#include "workload/stock_data.h"
+
+namespace dynview {
+namespace {
+
+constexpr char kFanOutSql[] =
+    "select R, D, P from s2 -> R, R T, T.date D, T.price P";
+constexpr char kJoinSql[] =
+    "select C, Y, P from db0::stock T, T.company C, T.price P, "
+    "db0::cotype U, U.co C2, U.type Y where C = C2 and P > 80";
+
+struct Setup {
+  Catalog catalog;
+
+  Setup(int companies, int dates) {
+    StockGenConfig cfg;
+    cfg.num_companies = companies;
+    cfg.num_dates = dates;
+    Table s1 = GenerateStockS1(cfg);
+    InstallStockS2(&catalog, "s2", s1).ok();
+    InstallDb0(&catalog, "db0", cfg).ok();
+  }
+};
+
+ExecConfig Exec(bool enable_trace) {
+  ExecConfig exec;
+  exec.num_threads = 4;
+  exec.enable_trace = enable_trace;
+  return exec;
+}
+
+void PrintCounterDump() {
+  Setup s(48, 200);
+  QueryEngine engine(&s.catalog, "s2", Exec(true));
+  QueryObserver obs;
+  QueryContext qc;
+  qc.set_observer(&obs);
+  engine.set_query_context(&qc);
+  auto r = engine.ExecuteSql(kFanOutSql);
+  engine.set_query_context(nullptr);
+  std::printf("=== fan-out query counters (48 sources x 200 rows) ===\n%s",
+              obs.metrics.ToFlatText().c_str());
+  std::printf("trace spans: %zu\n\n", obs.trace.size());
+  if (!r.ok()) std::printf("QUERY FAILED: %s\n", r.status().ToString().c_str());
+}
+
+void RunFanOut(benchmark::State& state, bool attach_observer,
+               bool enable_trace) {
+  Setup s(static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  QueryEngine engine(&s.catalog, "s2", Exec(enable_trace));
+  QueryObserver obs;
+  QueryContext qc;
+  if (attach_observer) qc.set_observer(&obs);
+  engine.set_query_context(&qc);
+  size_t rows = 0;
+  for (auto _ : state) {
+    obs.trace.Clear();
+    auto r = engine.ExecuteSql(kFanOutSql);
+    benchmark::DoNotOptimize(r);
+    if (r.ok()) rows = r.value().num_rows();
+  }
+  engine.set_query_context(nullptr);
+  state.counters["rows"] = static_cast<double>(rows);
+  if (attach_observer && enable_trace) {
+    state.counters["groundings"] = static_cast<double>(
+        obs.metrics.Value(counters::kGroundingsEvaluated));
+  }
+}
+
+void BM_FanOutNoObserver(benchmark::State& state) {
+  RunFanOut(state, /*attach_observer=*/false, /*enable_trace=*/true);
+}
+BENCHMARK(BM_FanOutNoObserver)->Args({48, 200})->Args({96, 400});
+
+void BM_FanOutTraced(benchmark::State& state) {
+  RunFanOut(state, /*attach_observer=*/true, /*enable_trace=*/true);
+}
+BENCHMARK(BM_FanOutTraced)->Args({48, 200})->Args({96, 400});
+
+void BM_FanOutTraceDisabled(benchmark::State& state) {
+  RunFanOut(state, /*attach_observer=*/true, /*enable_trace=*/false);
+}
+BENCHMARK(BM_FanOutTraceDisabled)->Args({48, 200})->Args({96, 400});
+
+void RunJoin(benchmark::State& state, bool attach_observer) {
+  Setup s(static_cast<int>(state.range(0)), static_cast<int>(state.range(1)));
+  QueryEngine engine(&s.catalog, "db0", Exec(true));
+  QueryObserver obs;
+  QueryContext qc;
+  if (attach_observer) qc.set_observer(&obs);
+  engine.set_query_context(&qc);
+  for (auto _ : state) {
+    obs.trace.Clear();
+    auto r = engine.ExecuteSql(kJoinSql);
+    benchmark::DoNotOptimize(r);
+  }
+  engine.set_query_context(nullptr);
+}
+
+void BM_JoinNoObserver(benchmark::State& state) {
+  RunJoin(state, /*attach_observer=*/false);
+}
+BENCHMARK(BM_JoinNoObserver)->Args({30, 400});
+
+void BM_JoinTraced(benchmark::State& state) {
+  RunJoin(state, /*attach_observer=*/true);
+}
+BENCHMARK(BM_JoinTraced)->Args({30, 400});
+
+}  // namespace
+}  // namespace dynview
+
+int main(int argc, char** argv) {
+  dynview::PrintCounterDump();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -21,6 +21,7 @@ struct ArmedPoint {
 
 struct Registry {
   std::atomic<int> armed_count{0};
+  std::atomic<uint64_t> trips{0};
   std::once_flag env_once;
   std::mutex mu;
   std::unordered_map<std::string, ArmedPoint> points;
@@ -98,6 +99,10 @@ void FailPoints::DisarmAll() {
   r.armed_count.store(0, std::memory_order_relaxed);
 }
 
+uint64_t FailPoints::TripCount() {
+  return GetRegistry().trips.load(std::memory_order_relaxed);
+}
+
 bool FailPoints::AnyArmed() {
   Registry& r = GetRegistry();
   ParseEnvOnce(r);
@@ -137,6 +142,7 @@ Status FailPoints::Check(const std::string& name, const std::string& detail) {
         break;
     }
     if (fail) {
+      r.trips.fetch_add(1, std::memory_order_relaxed);
       injected = Status(spec.code, "failpoint '" + name + "' injected " +
                                        StatusCodeName(spec.code) +
                                        (detail.empty() ? "" : " at " + detail));

@@ -72,6 +72,11 @@ class FailPoints {
 
   /// True when at least one point is armed (after env parsing).
   static bool AnyArmed();
+
+  /// Process-lifetime count of injected *errors* (latency injections don't
+  /// count). Observability records per-query trips as a delta of this —
+  /// catalog.resolve trips happen below the engine and have no other sink.
+  static uint64_t TripCount();
 };
 
 }  // namespace dynview

@@ -13,6 +13,8 @@
 
 namespace dynview {
 
+struct QueryObserver;  // observe/observer.h — trace + metrics bundle.
+
 /// What to do when a data source (one grounding of a local-as-view fan-out)
 /// fails with a transient error (kUnavailable):
 ///
@@ -116,6 +118,12 @@ class QueryContext {
   void AddWarning(SourceWarning w);
   std::vector<SourceWarning> warnings() const;
 
+  /// Borrowed observability sink (trace + metrics), owned by whoever runs
+  /// the query (integration::AnswerGuarded, a test, a bench). Null means
+  /// "don't observe" — the engine checks once per ExecContext it builds.
+  void set_observer(QueryObserver* observer) { observer_ = observer; }
+  QueryObserver* observer() const { return observer_; }
+
  private:
   const QueryGuards guards_;
   const bool has_deadline_;
@@ -129,6 +137,7 @@ class QueryContext {
   mutable std::mutex mu_;  // Guards trip_status_ and warnings_ (rare paths).
   Status trip_status_;
   std::vector<SourceWarning> warnings_;
+  QueryObserver* observer_ = nullptr;
 };
 
 }  // namespace dynview

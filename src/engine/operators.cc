@@ -70,11 +70,13 @@ void MorselFor(const ExecContext& ctx, size_t rows,
                const std::function<void(size_t, size_t, size_t)>& fn) {
   if (rows == 0) return;
   if (!ctx.ShouldParallelize(rows)) {
+    ctx.Count(counters::kMorselsExecuted, 1);
     fn(0, 0, rows);
     return;
   }
   const size_t m = ctx.MorselSize(rows);
   const size_t n = (rows + m - 1) / m;
+  ctx.Count(counters::kMorselsExecuted, n);
   ctx.pool->ParallelFor(
       n, [&](size_t i) { fn(i, i * m, std::min(rows, (i + 1) * m)); },
       ctx.CancelFlag());
@@ -84,7 +86,12 @@ Result<Table> FilterRows(const Table& in, const ExecContext& ctx,
                          const std::function<Result<bool>(const Row&)>& pred) {
   const size_t rows = in.num_rows();
   const size_t width = in.schema().num_columns();
+  ScopedSpan span(ctx.trace, "op.filter", std::to_string(rows) + " rows");
+  // Scanned rows counted pre-split: the total is independent of how (or
+  // whether) the input is morselized — a stable cross-thread-count oracle.
+  ctx.Count(counters::kRowsScanned, rows);
   if (!ctx.ShouldParallelize(rows)) {
+    ctx.Count(counters::kMorselsExecuted, 1);
     Table out(in.schema());
     size_t since_check = 0;
     for (const Row& r : in.rows()) {
@@ -99,6 +106,7 @@ Result<Table> FilterRows(const Table& in, const ExecContext& ctx,
   }
   const size_t m = ctx.MorselSize(rows);
   const size_t n = (rows + m - 1) / m;
+  ctx.Count(counters::kMorselsExecuted, n);
   std::vector<Table> parts(n);
   std::vector<Status> errors(n, Status::OK());
   ctx.pool->ParallelFor(
@@ -143,6 +151,10 @@ Result<Table> HashJoin(const Table& left, const Table& right,
   }
   DV_RETURN_IF_ERROR(CheckKeys(left, left_keys, "left"));
   DV_RETURN_IF_ERROR(CheckKeys(right, right_keys, "right"));
+  ScopedSpan span(ctx.trace, "op.hash_join",
+                  std::to_string(left.num_rows()) + "x" +
+                      std::to_string(right.num_rows()));
+  ctx.Count(counters::kRowsScanned, left.num_rows() + right.num_rows());
   Table out(ConcatSchemas(left.schema(), right.schema()));
   const size_t out_width = out.schema().num_columns();
   if (!ctx.ShouldParallelize(left.num_rows()) &&
@@ -167,6 +179,7 @@ Result<Table> HashJoin(const Table& left, const Table& right,
       }
     }
     DV_RETURN_IF_ERROR(ctx.ChargeRows(out.num_rows(), out_width));
+    ctx.Count(counters::kRowsJoined, out.num_rows());
     return out;
   }
 
@@ -204,6 +217,7 @@ Result<Table> HashJoin(const Table& left, const Table& right,
   const size_t rows = left.num_rows();
   const size_t m = ctx.MorselSize(rows);
   const size_t n = rows == 0 ? 0 : (rows + m - 1) / m;
+  ctx.Count(counters::kMorselsExecuted, n);
   std::vector<Table> parts(n);
   std::vector<Status> errors(n, Status::OK());
   ctx.pool->ParallelFor(
@@ -233,11 +247,18 @@ Result<Table> HashJoin(const Table& left, const Table& right,
     DV_RETURN_IF_ERROR(errors[p]);
     DV_RETURN_IF_ERROR(out.AppendTable(std::move(parts[p])));
   }
+  // Joined rows counted post-merge on the driving thread: the total equals
+  // the serial join's output size regardless of the morsel split.
+  ctx.Count(counters::kRowsJoined, out.num_rows());
   return out;
 }
 
 Result<Table> CrossProduct(const Table& left, const Table& right,
                            const ExecContext& ctx) {
+  ScopedSpan span(ctx.trace, "op.cross_product",
+                  std::to_string(left.num_rows()) + "x" +
+                      std::to_string(right.num_rows()));
+  ctx.Count(counters::kRowsScanned, left.num_rows() + right.num_rows());
   Table out(ConcatSchemas(left.schema(), right.schema()));
   const size_t width = out.schema().num_columns();
   if (ctx.guard == nullptr) {
@@ -259,6 +280,7 @@ Result<Table> CrossProduct(const Table& left, const Table& right,
       out.AppendRowUnchecked(ConcatRows(l, r));
     }
   }
+  ctx.Count(counters::kRowsJoined, out.num_rows());
   return out;
 }
 

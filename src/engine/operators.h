@@ -9,6 +9,8 @@
 #include "common/query_context.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "observe/metrics.h"
+#include "observe/trace.h"
 #include "relational/table.h"
 
 namespace dynview {
@@ -22,6 +24,18 @@ struct ExecContext {
   ThreadPool* pool = nullptr;
   size_t morsel_rows = ExecConfig{}.morsel_rows;
   QueryContext* guard = nullptr;
+
+  /// Observability sinks (both null when tracing is disabled — the engine
+  /// only fills them from the query's observer when ExecConfig::enable_trace
+  /// is set). Counter increments happen at morsel/operator granularity; see
+  /// observe/metrics.h for which counters are thread-count invariant.
+  QueryTrace* trace = nullptr;
+  MetricsRegistry* metrics = nullptr;
+
+  /// Adds `n` to counter `name` when metrics are attached.
+  void Count(const char* name, uint64_t n) const {
+    if (metrics != nullptr) metrics->Add(name, n);
+  }
 
   /// True when an input of `rows` is worth splitting into morsels.
   bool ShouldParallelize(size_t rows) const {

@@ -13,6 +13,7 @@
 #include "common/str_util.h"
 #include "engine/expr_eval.h"
 #include "engine/operators.h"
+#include "observe/observer.h"
 #include "schemasql/instantiate.h"
 #include "sql/parser.h"
 
@@ -357,7 +358,29 @@ Result<Table> QueryEngine::ExecuteSql(const std::string& sql) {
   return Execute(stmt.get());
 }
 
+namespace {
+
+/// Records the failpoint trips injected while alive as a counter delta on
+/// destruction. Uses Add (not Set) so several Execute calls under one
+/// observer accumulate; the underlying count is process-global, so the delta
+/// attributes trips of *concurrent* queries to whichever observer is live —
+/// fine for the single-driver execution model this engine assumes.
+struct TripDelta {
+  MetricsRegistry* metrics;
+  uint64_t base = metrics == nullptr ? 0 : FailPoints::TripCount();
+  ~TripDelta() {
+    if (metrics != nullptr) {
+      metrics->Add(counters::kFailpointTrips, FailPoints::TripCount() - base);
+    }
+  }
+};
+
+}  // namespace
+
 Result<Table> QueryEngine::Execute(SelectStmt* stmt) {
+  const ExecContext octx = Ctx();
+  ScopedSpan query_span(octx.trace, "query.execute");
+  TripDelta trips{octx.metrics};
   Table acc;
   bool first = true;
   bool pending_all = false;
@@ -374,6 +397,9 @@ Result<Table> QueryEngine::Execute(SelectStmt* stmt) {
       acc = std::move(t);
       first = false;
     } else {
+      // Union contributions counted on the driving thread, pre-Distinct:
+      // the value equals the bag-union size independent of thread count.
+      octx.Count(counters::kRowsUnioned, t.num_rows());
       // Move-append instead of UnionAll: the accumulator is never recopied.
       DV_RETURN_IF_ERROR(acc.AppendTable(std::move(t)));
       if (!pending_all) {
@@ -403,6 +429,11 @@ ExecContext QueryEngine::Ctx() const {
   ctx.pool = pool_.get();
   ctx.morsel_rows = exec_.morsel_rows;
   ctx.guard = query_ctx_;
+  if (exec_.enable_trace && query_ctx_ != nullptr &&
+      query_ctx_->observer() != nullptr) {
+    ctx.trace = &query_ctx_->observer()->trace;
+    ctx.metrics = &query_ctx_->observer()->metrics;
+  }
   return ctx;
 }
 
@@ -457,8 +488,12 @@ Result<Table> QueryEngine::EvaluateBranch(const SelectStmt& stmt,
   }
   if (needs_global) return EvaluateHigherOrderGlobal(stmt, bq);
 
-  DV_ASSIGN_OR_RETURN(std::vector<InstantiatedQuery> ground,
-                      InstantiateSchemaVars(stmt, bq, *catalog_, default_db_));
+  // Observability context for the fan-out (pool intentionally not ensured
+  // yet — only the trace/metrics sinks are used before evaluation starts).
+  const ExecContext fctx = Ctx();
+  DV_ASSIGN_OR_RETURN(
+      std::vector<InstantiatedQuery> ground,
+      InstantiateSchemaVars(stmt, bq, *catalog_, default_db_, fctx.metrics));
   // Empty table with the statement's output names — the zero-grounding
   // result, also produced when every grounding was skipped by policy (star
   // cannot be expanded without a grounding).
@@ -489,6 +524,9 @@ Result<Table> QueryEngine::EvaluateBranch(const SelectStmt& stmt,
                    exec_.morsel_rows)) {
     pool = EnsurePool();
   }
+  fctx.Count(counters::kGroundingsEvaluated, ground.size());
+  ScopedSpan fanout_span(fctx.trace, "grounding.fanout",
+                         std::to_string(ground.size()) + " groundings");
   QueryContext* qc = query_ctx_;
   const SourcePolicy policy =
       qc == nullptr ? SourcePolicy::kFailFast : qc->guards().source_policy;
@@ -517,6 +555,10 @@ Result<Table> QueryEngine::EvaluateBranch(const SelectStmt& stmt,
   std::vector<Result<Table>> parts(ground.size(),
                                    Result<Table>(Status::Internal("pending")));
   auto eval_one = [&](size_t i) {
+    // May run on a pool worker: the explicit parent stitches the span under
+    // the fan-out even though the thread-local nesting stack is empty here.
+    ScopedSpan gspan(fctx.trace, "grounding", source_label(ground[i]),
+                     fanout_span.id());
     Result<Table> r = eval_attempt(i);
     if (policy == SourcePolicy::kRetry && qc != nullptr) {
       const QueryGuards& g = qc->guards();
@@ -524,6 +566,7 @@ Result<Table> QueryEngine::EvaluateBranch(const SelectStmt& stmt,
            attempt <= g.max_retries && !r.ok() &&
            IsTransient(r.status().code()) && qc->CheckGuards().ok();
            ++attempt) {
+        fctx.Count(counters::kSourceRetries, 1);
         int backoff_ms =
             std::min(100, g.retry_backoff_ms << (attempt - 1));
         if (backoff_ms > 0) {
@@ -561,11 +604,15 @@ Result<Table> QueryEngine::EvaluateBranch(const SelectStmt& stmt,
       // thread, so partial results are deterministic across thread counts.
       if (qc != nullptr && policy == SourcePolicy::kSkipAndReport &&
           IsTransient(part.status().code())) {
+        fctx.Count(counters::kSourcesSkipped, 1);
         qc->AddWarning({source_label(ground[i]), part.status()});
         continue;
       }
       return part.status();
     }
+    // Grounding contributions counted in declaration order on the driving
+    // thread: the bag-union size is identical across thread counts.
+    fctx.Count(counters::kRowsUnioned, part.value().num_rows());
     if (first) {
       acc = std::move(part).value();
       first = false;

@@ -118,12 +118,26 @@ Result<AnswerResult> IntegrationSystem::AnswerGuarded(
     const std::string& sql, const AnswerOptions& options, QueryContext* ctx) {
   QueryContext local(options.guards);
   QueryContext* qc = ctx != nullptr ? ctx : &local;
+  // Attach an observer unless tracing is off or the caller brought their
+  // own (a caller-attached observer also receives this query's data and is
+  // simply not re-exported on the result).
+  std::shared_ptr<QueryObserver> observer;
+  if (engine_.exec_config().enable_trace && qc->observer() == nullptr) {
+    observer = std::make_shared<QueryObserver>();
+    qc->set_observer(observer.get());
+  }
   engine_.set_query_context(qc);
-  // The engine borrows qc only for this call; detach on every exit path.
+  // The engine borrows qc (and qc borrows our observer) only for this call;
+  // detach on every exit path.
   struct Detach {
     QueryEngine* e;
-    ~Detach() { e->set_query_context(nullptr); }
-  } detach{&engine_};
+    QueryContext* qc;
+    bool owns_observer;
+    ~Detach() {
+      if (owns_observer) qc->set_observer(nullptr);
+      e->set_query_context(nullptr);
+    }
+  } detach{&engine_, qc, observer != nullptr};
 
   Result<Table> answered = [&]() -> Result<Table> {
     Result<TranslationResult> rewritten = Rewrite(sql, options.multiset);
@@ -138,11 +152,23 @@ Result<AnswerResult> IntegrationSystem::AnswerGuarded(
     return rewritten.status();
   }();
   DV_RETURN_IF_ERROR(answered.status());
-  return AnswerResult{std::move(answered).value(), qc->warnings()};
+  if (observer != nullptr) {
+    // Budget gauges come from the guard's accounting, set once at query end
+    // on the driving thread.
+    observer->metrics.Set(counters::kBudgetRowsCharged, qc->rows_charged());
+    observer->metrics.Set(counters::kBudgetBytesCharged, qc->bytes_charged());
+  }
+  return AnswerResult{std::move(answered).value(), qc->warnings(),
+                      std::move(observer)};
 }
 
 Result<Table> IntegrationSystem::AnswerOptimized(const std::string& sql) {
   return optimizer_.Run(sql);
+}
+
+Result<std::string> IntegrationSystem::ExplainOptimized(
+    const std::string& sql) {
+  return optimizer_.Explain(sql);
 }
 
 Result<Table> IntegrationSystem::KeywordSearch(

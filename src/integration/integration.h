@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "core/translate.h"
+#include "observe/observer.h"
 #include "core/usability.h"
 #include "core/view_definition.h"
 #include "engine/query_engine.h"
@@ -27,9 +28,15 @@ struct AnswerOptions {
 /// A guarded answer: the (possibly partial) result plus one warning per
 /// source contribution that was skipped under SourcePolicy::kSkipAndReport.
 /// An empty warning list means the result is complete.
+///
+/// `observer` carries the query's trace and merged counters when tracing was
+/// enabled (ExecConfig::enable_trace and no caller-attached observer on
+/// `ctx`); null otherwise. Shared ownership lets callers keep the trace past
+/// the next Answer call.
 struct AnswerResult {
   Table table;
   std::vector<SourceWarning> warnings;
+  std::shared_ptr<const QueryObserver> observer;
 };
 
 /// The Fig. 6 architecture. The integration schema I is a stable,
@@ -89,6 +96,11 @@ class IntegrationSystem {
   /// Answers `sql` through the Sec. 6 optimizer (all registered sources and
   /// indexes offered as access paths).
   Result<Table> AnswerOptimized(const std::string& sql);
+
+  /// EXPLAIN for AnswerOptimized: the chosen plan, the view/index access
+  /// paths it uses, and the cost comparison against the baseline plan —
+  /// without executing anything.
+  Result<std::string> ExplainOptimized(const std::string& sql);
 
   /// Keyword search over I (Sec. 1.1.2): rows of `interface_table` (an
   /// unpivoted (id, attribute, value) interface schema) whose value contains

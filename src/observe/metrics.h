@@ -1,0 +1,106 @@
+#ifndef DYNVIEW_OBSERVE_METRICS_H_
+#define DYNVIEW_OBSERVE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dynview {
+
+/// Canonical counter and gauge names. Scheme: `<subsystem>.<what>`, all
+/// lowercase, dot-separated — counters count events/rows cumulatively over
+/// one query, gauges are point-in-time values set once at query end by the
+/// driving thread (see docs/ARCHITECTURE.md "Observability").
+///
+/// Counters whose value is independent of `ExecConfig::num_threads` (the
+/// stable cross-thread-count oracles used by the determinism suite) are
+/// marked [invariant]; `morsels.executed` is the deliberate exception — the
+/// morsel split depends on the worker count by design.
+namespace counters {
+inline constexpr char kRowsScanned[] = "rows.scanned";    // [invariant]
+inline constexpr char kRowsJoined[] = "rows.joined";      // [invariant]
+inline constexpr char kRowsUnioned[] = "rows.unioned";    // [invariant]
+inline constexpr char kMorselsExecuted[] = "morsels.executed";
+inline constexpr char kGroundingsEnumerated[] =
+    "groundings.enumerated";                              // [invariant]
+inline constexpr char kGroundingsPruned[] =
+    "groundings.pruned_notfound";                         // [invariant]
+inline constexpr char kGroundingsEvaluated[] =
+    "groundings.evaluated";                               // [invariant]
+inline constexpr char kSourceRetries[] = "source.retries";   // [invariant]
+inline constexpr char kSourcesSkipped[] = "sources.skipped"; // [invariant]
+inline constexpr char kFailpointTrips[] = "failpoint.trips"; // [invariant]
+inline constexpr char kPivotMultiplicityDropped[] =
+    "pivot.multiplicity_dropped";                         // [invariant]
+// Gauges (set at query end from QueryContext accounting).
+inline constexpr char kBudgetRowsCharged[] = "budget.rows_charged";
+inline constexpr char kBudgetBytesCharged[] = "budget.bytes_charged";
+}  // namespace counters
+
+/// A per-query registry of named counters and gauges.
+///
+/// Counter increments go to per-thread shards (no cross-thread contention on
+/// the hot path: one thread-local generation check plus one hash-map bump);
+/// `Merged()` sums the shards into a sorted map at query end. Because
+/// addition commutes, the merged value of every counter is a deterministic
+/// function of the *set* of increments — independent of thread scheduling —
+/// which is what makes counters usable as test oracles.
+///
+/// Thread-safety contract: `Add` may race with other `Add`s from any thread;
+/// `Merged`/`Set`/`Reset`/`ToFlatText` must be called from the driving
+/// thread while no worker is mid-increment (i.e. between queries or after a
+/// ParallelFor join — the same points the engine merges result tables).
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Adds `delta` to counter `name` in the calling thread's shard. Call at
+  /// morsel/batch granularity, never per row.
+  void Add(const char* name, uint64_t delta);
+
+  /// Sets gauge `name` to `value` (last write wins; driving thread only).
+  void Set(const char* name, uint64_t value);
+
+  /// Deterministic merge: counters summed across all shards, then gauges,
+  /// in lexicographic name order.
+  std::map<std::string, uint64_t> Merged() const;
+
+  /// Merged value of one counter/gauge (0 when never touched).
+  uint64_t Value(const std::string& name) const;
+
+  /// One `name=value` line per merged entry, sorted by name — the flat
+  /// export format the benches attach to their BENCH_*.json counters.
+  std::string ToFlatText() const;
+
+  /// Forgets every counter, gauge and shard. Driving thread only.
+  void Reset();
+
+ private:
+  struct Shard {
+    std::unordered_map<std::string, uint64_t> counts;
+  };
+
+  Shard* LocalShard();
+
+  /// Process-unique generation for (registry instance, reset epoch): lets
+  /// the thread-local shard cache detect both Reset() and registry reuse at
+  /// the same address without ever dereferencing a stale pointer.
+  std::atomic<uint64_t> gen_;
+
+  mutable std::mutex mu_;  // Guards shards_ layout and gauges_, not counts.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::map<std::string, uint64_t> gauges_;
+};
+
+}  // namespace dynview
+
+#endif  // DYNVIEW_OBSERVE_METRICS_H_

@@ -1,0 +1,13 @@
+#include "observe/observer.h"
+
+namespace dynview {
+
+std::string QueryObserver::Report() const {
+  std::string out = "== metrics ==\n";
+  out += metrics.ToFlatText();
+  out += "== trace ==\n";
+  out += trace.ToText();
+  return out;
+}
+
+}  // namespace dynview

@@ -1,0 +1,27 @@
+#ifndef DYNVIEW_OBSERVE_OBSERVER_H_
+#define DYNVIEW_OBSERVE_OBSERVER_H_
+
+#include <string>
+
+#include "observe/metrics.h"
+#include "observe/trace.h"
+
+namespace dynview {
+
+/// Bundle of the two observability channels a query carries: the span trace
+/// and the counter registry. QueryContext holds a borrowed pointer to one of
+/// these (owned by the caller — integration::AnswerGuarded allocates one per
+/// query and hands it out on AnswerResult); the engine threads it down into
+/// every ExecContext it builds.
+struct QueryObserver {
+  QueryTrace trace;
+  MetricsRegistry metrics;
+
+  /// Human-readable combined report: flat counters followed by the span
+  /// tree. Intended for logs and debugging, not machine parsing.
+  std::string Report() const;
+};
+
+}  // namespace dynview
+
+#endif  // DYNVIEW_OBSERVE_OBSERVER_H_

@@ -1,0 +1,201 @@
+#include "observe/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+#include <utility>
+
+namespace dynview {
+
+namespace {
+
+// Per-thread stack of open span ids for automatic parenting. Keyed by trace
+// pointer so interleaved traces on one thread (e.g. a sub-engine query inside
+// a higher-order grounding) do not adopt each other's spans.
+struct SpanStack {
+  std::vector<std::pair<const QueryTrace*, uint64_t>> open;
+};
+
+SpanStack& LocalStack() {
+  thread_local SpanStack stack;
+  return stack;
+}
+
+uint64_t TopFor(const QueryTrace* trace) {
+  const auto& open = LocalStack().open;
+  for (auto it = open.rbegin(); it != open.rend(); ++it) {
+    if (it->first == trace) return it->second;
+  }
+  return 0;
+}
+
+void PushFor(const QueryTrace* trace, uint64_t id) {
+  LocalStack().open.emplace_back(trace, id);
+}
+
+void PopFor(const QueryTrace* trace, uint64_t id) {
+  auto& open = LocalStack().open;
+  for (auto it = open.rbegin(); it != open.rend(); ++it) {
+    if (it->first == trace && it->second == id) {
+      open.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+void AppendJsonEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+uint64_t QueryTrace::Begin(const char* name, std::string detail,
+                           uint64_t parent) {
+  const int64_t now = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  Span span;
+  span.id = spans_.size() + 1;
+  span.parent = parent;
+  span.name = name;
+  span.detail = std::move(detail);
+  auto [it, inserted] =
+      tids_.emplace(std::this_thread::get_id(),
+                    static_cast<uint32_t>(tids_.size()));
+  (void)inserted;
+  span.tid = it->second;
+  span.start_ns = now;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void QueryTrace::End(uint64_t id) {
+  if (id == 0) return;
+  const int64_t now = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id > spans_.size()) return;
+  spans_[id - 1].end_ns = now;
+}
+
+size_t QueryTrace::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::vector<QueryTrace::Span> QueryTrace::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::string QueryTrace::ToText() const {
+  std::vector<Span> spans = Snapshot();
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const Span& a, const Span& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  // Depth by walking parent links (ids are stable across the sort).
+  std::unordered_map<uint64_t, const Span*> by_id;
+  for (const Span& s : spans) by_id[s.id] = &s;
+  std::string out;
+  for (const Span& s : spans) {
+    int depth = 0;
+    for (uint64_t p = s.parent; p != 0; ++depth) {
+      auto it = by_id.find(p);
+      if (it == by_id.end() || depth > 32) break;
+      p = it->second->parent;
+    }
+    out.append(static_cast<size_t>(depth) * 2, ' ');
+    out += s.name;
+    if (!s.detail.empty()) {
+      out += '(';
+      out += s.detail;
+      out += ')';
+    }
+    const int64_t dur =
+        s.end_ns > s.start_ns ? (s.end_ns - s.start_ns) : 0;
+    out += " dur=";
+    out += std::to_string(dur / 1000);
+    out += "us tid=";
+    out += std::to_string(s.tid);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string QueryTrace::ToChromeTraceJson() const {
+  std::vector<Span> spans = Snapshot();
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const Span& a, const Span& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const Span& s : spans) {
+    if (!first) out += ',';
+    first = false;
+    const int64_t dur =
+        s.end_ns > s.start_ns ? (s.end_ns - s.start_ns) : 0;
+    out += "{\"name\":\"";
+    AppendJsonEscaped(out, s.name);
+    out += "\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += std::to_string(s.tid);
+    out += ",\"ts\":";
+    out += std::to_string(s.start_ns / 1000);
+    out += ",\"dur\":";
+    out += std::to_string(dur / 1000);
+    out += ",\"args\":{\"detail\":\"";
+    AppendJsonEscaped(out, s.detail);
+    out += "\",\"span\":";
+    out += std::to_string(s.id);
+    out += ",\"parent\":";
+    out += std::to_string(s.parent);
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+void QueryTrace::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  tids_.clear();
+}
+
+ScopedSpan::ScopedSpan(QueryTrace* trace, const char* name,
+                       std::string detail)
+    : trace_(trace) {
+  if (trace_ == nullptr) return;
+  id_ = trace_->Begin(name, std::move(detail), TopFor(trace_));
+  PushFor(trace_, id_);
+}
+
+ScopedSpan::ScopedSpan(QueryTrace* trace, const char* name,
+                       std::string detail, uint64_t explicit_parent)
+    : trace_(trace) {
+  if (trace_ == nullptr) return;
+  id_ = trace_->Begin(name, std::move(detail), explicit_parent);
+  PushFor(trace_, id_);
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (trace_ == nullptr || id_ == 0) return;
+  PopFor(trace_, id_);
+  trace_->End(id_);
+}
+
+}  // namespace dynview

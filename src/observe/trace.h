@@ -1,0 +1,100 @@
+#ifndef DYNVIEW_OBSERVE_TRACE_H_
+#define DYNVIEW_OBSERVE_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace dynview {
+
+/// Per-query trace of operator-level spans. Spans are coarse — one per
+/// query, per UNION branch, per grounding, per operator — never per row, so
+/// a mutex-guarded append is cheap relative to the work each span covers.
+///
+/// Span ordering in the buffer follows completion of `Begin` calls and is
+/// nondeterministic under parallel execution; exporters sort by start
+/// timestamp. Use MetricsRegistry counters, not span counts, as
+/// deterministic test oracles.
+class QueryTrace {
+ public:
+  struct Span {
+    uint64_t id = 0;      // 1-based; 0 means "no span / no parent".
+    uint64_t parent = 0;  // Enclosing span on the same thread, or explicit.
+    std::string name;     // e.g. "op.scan", "grounding", "query.execute".
+    std::string detail;   // Operator-specific: table name, source label, …
+    uint32_t tid = 0;     // Dense per-trace thread index (0 = first seen).
+    int64_t start_ns = 0; // Relative to trace construction (steady clock).
+    int64_t end_ns = 0;   // 0 while the span is open.
+  };
+
+  QueryTrace() : origin_(std::chrono::steady_clock::now()) {}
+
+  QueryTrace(const QueryTrace&) = delete;
+  QueryTrace& operator=(const QueryTrace&) = delete;
+
+  /// Opens a span; returns its id. `parent` 0 means "root".
+  uint64_t Begin(const char* name, std::string detail = "",
+                 uint64_t parent = 0);
+
+  /// Closes span `id` (no-op for 0 or unknown ids).
+  void End(uint64_t id);
+
+  size_t size() const;
+
+  /// Copy of all spans recorded so far.
+  std::vector<Span> Snapshot() const;
+
+  /// Human-readable rendering: one line per span, sorted by start time,
+  /// indented by parent depth, with duration and thread index.
+  std::string ToText() const;
+
+  /// Chrome trace_event JSON ("X" complete events, microsecond timestamps):
+  /// load the output in about://tracing or https://ui.perfetto.dev.
+  std::string ToChromeTraceJson() const;
+
+  void Clear();
+
+ private:
+  int64_t NowNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - origin_)
+        .count();
+  }
+
+  const std::chrono::steady_clock::time_point origin_;
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+  std::unordered_map<std::thread::id, uint32_t> tids_;
+};
+
+/// RAII span: begins on construction, ends on destruction; all operations
+/// no-op when `trace` is null (the disabled fast path costs one branch).
+/// Spans opened on the same thread nest automatically (a thread-local stack
+/// supplies the parent); cross-thread children — e.g. one grounding of a
+/// parallel fan-out — pass the driving thread's span id explicitly.
+class ScopedSpan {
+ public:
+  ScopedSpan(QueryTrace* trace, const char* name, std::string detail = "");
+  ScopedSpan(QueryTrace* trace, const char* name, std::string detail,
+             uint64_t explicit_parent);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// The span's id (0 when tracing is disabled) — pass as explicit_parent to
+  /// spans opened on worker threads.
+  uint64_t id() const { return id_; }
+
+ private:
+  QueryTrace* trace_;
+  uint64_t id_ = 0;
+};
+
+}  // namespace dynview
+
+#endif  // DYNVIEW_OBSERVE_TRACE_H_

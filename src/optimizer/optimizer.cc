@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <functional>
 #include <map>
 #include <set>
@@ -108,6 +109,69 @@ Result<OptimizedPlan> Optimizer::Plan(const std::string& sql) const {
 
 Result<OptimizedPlan> Optimizer::PlanBaseline(const std::string& sql) const {
   return PlanInternal(sql, /*allow_resources=*/false);
+}
+
+namespace {
+
+/// Collects the Sec. 6 access-path lines of a physical tree: one line per
+/// ViewScan / IndexProbe, in left-to-right plan order.
+void CollectAccessPaths(const PlanNode& node, std::vector<std::string>* out) {
+  switch (node.kind) {
+    case PlanNode::Kind::kViewScan: {
+      std::string line = "view " + node.view_name + " answers {";
+      for (size_t i = 0; i < node.covered_vars.size(); ++i) {
+        if (i > 0) line += ", ";
+        line += node.covered_vars[i];
+      }
+      line += "}, absorbed " + std::to_string(node.absorbed_conjuncts) +
+              " predicate(s)";
+      out->push_back(std::move(line));
+      break;
+    }
+    case PlanNode::Kind::kIndexProbe:
+      out->push_back(
+          "index " + (node.index != nullptr ? node.index->name() : "?") +
+          (node.probe_keyword.empty()
+               ? " probed with key " + node.probe_key.ToString()
+               : " probed with keyword '" + node.probe_keyword + "'"));
+      break;
+    case PlanNode::Kind::kJoin:
+      if (node.left != nullptr) CollectAccessPaths(*node.left, out);
+      if (node.right != nullptr) CollectAccessPaths(*node.right, out);
+      break;
+    case PlanNode::Kind::kTableScan:
+      break;
+  }
+}
+
+}  // namespace
+
+Result<std::string> Optimizer::Explain(const std::string& sql) const {
+  DV_ASSIGN_OR_RETURN(OptimizedPlan chosen, Plan(sql));
+  DV_ASSIGN_OR_RETURN(OptimizedPlan baseline, PlanBaseline(sql));
+  std::string out = "== chosen plan ==\n";
+  out += chosen.Describe();
+  out += "== access paths ==\n";
+  std::vector<std::string> paths;
+  if (chosen.root != nullptr) CollectAccessPaths(*chosen.root, &paths);
+  if (paths.empty()) {
+    out += "base tables only\n";
+  } else {
+    for (const std::string& p : paths) {
+      out += p;
+      out += '\n';
+    }
+  }
+  out += "== baseline (no view/index access paths) ==\n";
+  out += baseline.Describe();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f",
+                chosen.est_cost > 0 ? baseline.est_cost / chosen.est_cost
+                                    : 1.0);
+  out += "est_cost ratio baseline/chosen: ";
+  out += buf;
+  out += '\n';
+  return out;
 }
 
 Result<OptimizedPlan> Optimizer::PlanInternal(const std::string& sql,

@@ -73,6 +73,13 @@ class Optimizer {
   /// Convenience: Plan + Execute.
   Result<Table> Run(const std::string& sql) const;
 
+  /// EXPLAIN: plans `sql` twice — with and without view/index access paths —
+  /// and renders the chosen physical tree, the Sec. 6 access paths it uses
+  /// (which view/index answers which tuple variables, how many predicates
+  /// each absorbed), and the estimated cost vs the baseline plan. Pure
+  /// planning: nothing is executed.
+  Result<std::string> Explain(const std::string& sql) const;
+
  private:
   struct IndexEntry {
     std::shared_ptr<ViewIndex> index;

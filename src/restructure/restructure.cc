@@ -80,8 +80,8 @@ Result<Table> Unite(const std::vector<std::pair<std::string, Table>>& parts,
 }
 
 Result<Table> Pivot(const Table& in, const std::vector<std::string>& group_cols,
-                    const std::string& label_col,
-                    const std::string& value_col) {
+                    const std::string& label_col, const std::string& value_col,
+                    MetricsRegistry* metrics) {
   DV_ASSIGN_OR_RETURN(int label_idx, RequireColumn(in, label_col));
   DV_ASSIGN_OR_RETURN(int value_idx, RequireColumn(in, value_col));
   std::vector<int> group_idx;
@@ -92,6 +92,26 @@ Result<Table> Pivot(const Table& in, const std::vector<std::string>& group_cols,
           "group column overlaps label/value column");
     }
     group_idx.push_back(gi);
+  }
+
+  if (metrics != nullptr) {
+    // The documented Sec. 4.3 information loss: exact duplicate
+    // (group, label, value) triples collapse to one under pivot⁻¹∘pivot.
+    // Computed only when a registry is attached — the extra pass is pure
+    // observability cost.
+    std::unordered_map<Row, uint64_t, RowGroupHash, RowGroupEq> seen;
+    uint64_t dropped = 0;
+    for (const Row& r : in.rows()) {
+      Row triple;
+      triple.reserve(group_idx.size() + 2);
+      for (int gi : group_idx) triple.push_back(r[gi]);
+      triple.push_back(r[label_idx]);
+      triple.push_back(r[value_idx]);
+      if (++seen[std::move(triple)] > 1) ++dropped;
+    }
+    if (dropped > 0) {
+      metrics->Add(counters::kPivotMultiplicityDropped, dropped);
+    }
   }
 
   // Per-label projections (sorted labels).
@@ -249,9 +269,10 @@ Result<Table> Unpivot(const Table& in,
 Result<Table> PivotRoundTrip(const Table& in,
                              const std::vector<std::string>& group_cols,
                              const std::string& label_col,
-                             const std::string& value_col) {
+                             const std::string& value_col,
+                             MetricsRegistry* metrics) {
   DV_ASSIGN_OR_RETURN(Table pivoted,
-                      Pivot(in, group_cols, label_col, value_col));
+                      Pivot(in, group_cols, label_col, value_col, metrics));
   return Unpivot(pivoted, group_cols, label_col, value_col);
 }
 

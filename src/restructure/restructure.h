@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "observe/metrics.h"
 #include "relational/table.h"
 
 namespace dynview {
@@ -40,9 +41,13 @@ Result<Table> Unite(
 /// multiple rows for several labels produces their cross product, and labels
 /// absent for a group yield NULL. This is the s1 → s3 transformation (view
 /// v5 of Fig. 5). Column order: group_cols..., then labels sorted.
+///
+/// When `metrics` is non-null, records `pivot.multiplicity_dropped`: the
+/// number of exact duplicate (group, label, value) triples beyond the first —
+/// the multiplicities the round trip cannot recover (Fig. 12's collapse).
 Result<Table> Pivot(const Table& in, const std::vector<std::string>& group_cols,
-                    const std::string& label_col,
-                    const std::string& value_col);
+                    const std::string& label_col, const std::string& value_col,
+                    MetricsRegistry* metrics = nullptr);
 
 /// Unpivots: every column not in `group_cols` becomes a (label, value) pair;
 /// NULL values are dropped (they are outer-join padding under the paper's
@@ -58,7 +63,8 @@ Result<Table> Unpivot(const Table& in,
 Result<Table> PivotRoundTrip(const Table& in,
                              const std::vector<std::string>& group_cols,
                              const std::string& label_col,
-                             const std::string& value_col);
+                             const std::string& value_col,
+                             MetricsRegistry* metrics = nullptr);
 
 /// True if Pivot is information-preserving *for this instance*: the round
 /// trip returns the original bag. (Statically, attribute-variable

@@ -136,7 +136,7 @@ std::unique_ptr<SelectStmt> SubstituteLabels(const SelectStmt& stmt,
 
 Result<std::vector<InstantiatedQuery>> InstantiateSchemaVars(
     const SelectStmt& stmt, const BoundQuery& bq, const Catalog& catalog,
-    const std::string& default_db) {
+    const std::string& default_db, MetricsRegistry* metrics) {
   std::vector<Grounding> groundings;
   groundings.emplace_back();
   for (const FromItem& f : stmt.from_items) {
@@ -188,9 +188,14 @@ Result<std::vector<InstantiatedQuery>> InstantiateSchemaVars(
     groundings = std::move(next);
   }
 
+  if (metrics != nullptr) {
+    metrics->Add(counters::kGroundingsEnumerated, groundings.size());
+  }
+
   // Discard groundings under which a *variable-derived* tuple reference does
   // not exist (the variable "ranges over" valid labels only). Constant
   // references are left to the evaluator, which reports NotFound.
+  uint64_t pruned = 0;
   std::vector<InstantiatedQuery> out;
   out.reserve(groundings.size());
   for (Grounding& g : groundings) {
@@ -211,11 +216,17 @@ Result<std::vector<InstantiatedQuery>> InstantiateSchemaVars(
         break;
       }
     }
-    if (!feasible) continue;
+    if (!feasible) {
+      ++pruned;
+      continue;
+    }
     InstantiatedQuery iq;
     iq.query = SubstituteLabels(stmt, bq, g);
     iq.labels = std::move(g.labels);
     out.push_back(std::move(iq));
+  }
+  if (metrics != nullptr && pruned > 0) {
+    metrics->Add(counters::kGroundingsPruned, pruned);
   }
   return out;
 }

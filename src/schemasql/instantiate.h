@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "observe/metrics.h"
 #include "relational/catalog.h"
 #include "sql/ast.h"
 #include "sql/binder.h"
@@ -41,9 +42,15 @@ struct Grounding {
 ///
 /// A grounding whose database/relation does not exist contributes an empty
 /// range (not an error), matching "ranges over all X in Y" semantics.
+///
+/// When `metrics` is non-null, records `groundings.enumerated` (the full
+/// cross product of variable ranges, before the feasibility filter) and
+/// `groundings.pruned_notfound` (groundings discarded because a
+/// variable-derived relation resolved kNotFound) — enumerated minus pruned
+/// equals the number of queries returned.
 Result<std::vector<InstantiatedQuery>> InstantiateSchemaVars(
     const SelectStmt& stmt, const BoundQuery& bq, const Catalog& catalog,
-    const std::string& default_db);
+    const std::string& default_db, MetricsRegistry* metrics = nullptr);
 
 /// Substitutes one grounding into a clone of `stmt` (exposed for testing and
 /// for the translation machinery): removes schema-variable declarations,

@@ -1,0 +1,190 @@
+// Failpoint coverage for the observability counters: arm catalog.resolve /
+// engine.grounding with @match filters and assert that source.retries,
+// sources.skipped, and failpoint.trips line up with the query's outcome and
+// the warnings reported on AnswerResult.
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "common/query_context.h"
+#include "engine/query_engine.h"
+#include "integration/integration.h"
+#include "observe/observer.h"
+#include "workload/stock_data.h"
+
+namespace dynview {
+namespace {
+
+class FailpointCoverageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FailPoints::DisarmAll();
+    StockGenConfig cfg;
+    ASSERT_TRUE(InstallStockS2(&catalog_, "s2", GenerateStockS1(cfg)).ok());
+  }
+  void TearDown() override { FailPoints::DisarmAll(); }
+
+  // One grounding per company relation: coA, coB, coC; 5 rows each.
+  static constexpr const char* kFanOut =
+      "select R, D, P from s2 -> R, R T, T.date D, T.price P";
+
+  // Runs kFanOut under `guards` with an observer attached; returns the
+  // engine result and fills `obs` / `qc_out`.
+  Result<Table> Run(const QueryGuards& guards, QueryObserver* obs,
+                    QueryContext* qc, size_t threads = 4) {
+    ExecConfig exec;
+    exec.num_threads = threads;
+    exec.morsel_rows = 4;
+    QueryEngine engine(&catalog_, "s2", exec);
+    qc->set_observer(obs);
+    engine.set_query_context(qc);
+    auto r = engine.ExecuteSql(kFanOut);
+    engine.set_query_context(nullptr);
+    qc->set_observer(nullptr);
+    return r;
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(FailpointCoverageTest, RetryCounterMatchesInjectedTransientFault) {
+  FailSpec once;
+  once.mode = FailMode::kErrorOnce;
+  once.match = "coa";  // @match filter: only the coA grounding trips.
+  FailPoints::Arm("engine.grounding", once);
+  QueryGuards g;
+  g.source_policy = SourcePolicy::kRetry;
+  QueryContext qc(g);
+  QueryObserver obs;
+  auto r = Run(g, &obs, &qc);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().num_rows(), 15u);  // Retry recovered the grounding.
+  EXPECT_EQ(obs.metrics.Value(counters::kSourceRetries), 1u);
+  EXPECT_EQ(obs.metrics.Value(counters::kSourcesSkipped), 0u);
+  EXPECT_EQ(obs.metrics.Value(counters::kFailpointTrips), 1u);
+  EXPECT_TRUE(qc.warnings().empty());
+}
+
+TEST_F(FailpointCoverageTest, SkipCounterMatchesWarningsUnderCatalogFault) {
+  FailSpec down;
+  down.mode = FailMode::kErrorAlways;
+  down.match = "s2::coa";  // Catalog-level detail is "db::rel", lowercased.
+  FailPoints::Arm("catalog.resolve", down);
+  QueryGuards g;
+  g.source_policy = SourcePolicy::kSkipAndReport;
+  QueryContext qc(g);
+  QueryObserver obs;
+  auto r = Run(g, &obs, &qc);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().num_rows(), 10u);  // coB + coC only.
+  EXPECT_EQ(obs.metrics.Value(counters::kSourcesSkipped), qc.warnings().size());
+  EXPECT_EQ(obs.metrics.Value(counters::kSourcesSkipped), 1u);
+  EXPECT_EQ(obs.metrics.Value(counters::kSourceRetries), 0u);
+  // catalog.resolve trips below the engine still land in failpoint.trips
+  // (retry attempts may re-trip; at least the initial failure is counted).
+  EXPECT_GE(obs.metrics.Value(counters::kFailpointTrips), 1u);
+}
+
+TEST_F(FailpointCoverageTest, SkipCountersInvariantAcrossThreadCounts) {
+  FailSpec down;
+  down.mode = FailMode::kErrorAlways;
+  down.match = "s2::cob";
+  FailPoints::Arm("catalog.resolve", down);
+  uint64_t skipped[2];
+  uint64_t trips[2];
+  const size_t threads[2] = {1, 8};
+  for (int i = 0; i < 2; ++i) {
+    QueryGuards g;
+    g.source_policy = SourcePolicy::kSkipAndReport;
+    QueryContext qc(g);
+    QueryObserver obs;
+    auto r = Run(g, &obs, &qc, threads[i]);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    skipped[i] = obs.metrics.Value(counters::kSourcesSkipped);
+    trips[i] = obs.metrics.Value(counters::kFailpointTrips);
+    ASSERT_EQ(qc.warnings().size(), 1u);
+  }
+  EXPECT_EQ(skipped[0], skipped[1]);
+  EXPECT_EQ(skipped[0], 1u);
+  EXPECT_EQ(trips[0], trips[1]);  // Same retry schedule → same trip count.
+}
+
+TEST_F(FailpointCoverageTest, PersistentFaultSkipsWithoutRetries) {
+  FailSpec always;
+  always.mode = FailMode::kErrorAlways;
+  always.match = "coc";
+  FailPoints::Arm("engine.grounding", always);
+  QueryGuards g;
+  g.source_policy = SourcePolicy::kSkipAndReport;
+  QueryContext qc(g);
+  QueryObserver obs;
+  auto r = Run(g, &obs, &qc, 1);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().num_rows(), 10u);
+  // kSkipAndReport drops the grounding on the first transient failure (only
+  // kRetry re-attempts): one trip, one skip, zero retries.
+  EXPECT_EQ(obs.metrics.Value(counters::kSourceRetries), 0u);
+  EXPECT_EQ(obs.metrics.Value(counters::kSourcesSkipped), 1u);
+  EXPECT_EQ(obs.metrics.Value(counters::kFailpointTrips), 1u);
+  ASSERT_EQ(qc.warnings().size(), 1u);
+  EXPECT_NE(qc.warnings()[0].source.find("co"), std::string::npos);
+}
+
+TEST_F(FailpointCoverageTest, RetryExhaustionCountsEveryAttempt) {
+  FailSpec always;
+  always.mode = FailMode::kErrorAlways;
+  always.match = "coc";
+  FailPoints::Arm("engine.grounding", always);
+  QueryGuards g;
+  g.source_policy = SourcePolicy::kRetry;
+  g.max_retries = 2;
+  QueryContext qc(g);
+  QueryObserver obs;
+  auto r = Run(g, &obs, &qc, 1);
+  // Persistent fault under kRetry: the query fails after exhausting
+  // retries, and the counters record every attempt.
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(obs.metrics.Value(counters::kSourceRetries),
+            static_cast<uint64_t>(g.max_retries));
+  EXPECT_EQ(obs.metrics.Value(counters::kFailpointTrips),
+            static_cast<uint64_t>(g.max_retries) + 1);
+}
+
+TEST_F(FailpointCoverageTest, AnswerGuardedSurfacesCountersNextToWarnings) {
+  FailSpec down;
+  down.mode = FailMode::kErrorAlways;
+  down.match = "s2::coa";
+  FailPoints::Arm("catalog.resolve", down);
+  Catalog catalog;
+  StockGenConfig cfg;
+  ASSERT_TRUE(InstallStockS2(&catalog, "s2", GenerateStockS1(cfg)).ok());
+  IntegrationSystem system(&catalog, "s2");
+  AnswerOptions options;
+  options.guards.source_policy = SourcePolicy::kSkipAndReport;
+  auto r = system.AnswerGuarded(kFanOut, options);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_NE(r.value().observer, nullptr);
+  const QueryObserver& obs = *r.value().observer;
+  EXPECT_EQ(obs.metrics.Value(counters::kSourcesSkipped),
+            r.value().warnings.size());
+  EXPECT_EQ(obs.metrics.Value(counters::kSourcesSkipped), 1u);
+  EXPECT_GE(obs.metrics.Value(counters::kFailpointTrips), 1u);
+  EXPECT_EQ(r.value().table.num_rows(), 10u);
+}
+
+TEST_F(FailpointCoverageTest, LatencyInjectionDoesNotCountAsTrip) {
+  FailSpec slow;
+  slow.mode = FailMode::kLatency;
+  slow.latency_ms = 1;
+  FailPoints::Arm("engine.grounding", slow);
+  QueryGuards g;
+  QueryContext qc(g);
+  QueryObserver obs;
+  auto r = Run(g, &obs, &qc);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(obs.metrics.Value(counters::kFailpointTrips), 0u);
+  EXPECT_EQ(obs.metrics.Value(counters::kSourceRetries), 0u);
+}
+
+}  // namespace
+}  // namespace dynview
