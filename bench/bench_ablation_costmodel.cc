@@ -5,6 +5,7 @@
 // (b) planning-time overhead of statistics, (c) whether better estimates
 // change plan choice on a join where the naive model misorders.
 
+#include <memory>
 #include <benchmark/benchmark.h>
 
 #include <cmath>
@@ -18,18 +19,18 @@
 namespace dynview {
 namespace {
 
-Catalog MakeCatalog(int companies, int dates) {
-  Catalog catalog;
+std::unique_ptr<Catalog> MakeCatalog(int companies, int dates) {
+  auto catalog = std::make_unique<Catalog>();
   StockGenConfig cfg;
   cfg.num_companies = companies;
   cfg.num_dates = dates;
-  InstallDb0(&catalog, "db0", cfg);
+  InstallDb0(catalog.get(), "db0", cfg);
   return catalog;
 }
 
 void PrintReproduction() {
   std::printf("=== Ablation: System-R constants vs. exact statistics ===\n");
-  Catalog catalog = MakeCatalog(100, 20);
+  auto catalog = MakeCatalog(100, 20);
   const char* queries[] = {
       "select D, P from db0::stock T, T.company C, T.date D, T.price P "
       "where C = 'coF'",
@@ -39,9 +40,9 @@ void PrintReproduction() {
       "T2.co C2, T2.type Y where C = C2",
   };
   const double actual[] = {20, -1, 2000};  // -1: measure below.
-  QueryEngine engine(&catalog, "db0");
-  Optimizer naive(&catalog, "db0");
-  Optimizer informed(&catalog, "db0");
+  QueryEngine engine(catalog.get(), "db0");
+  Optimizer naive(catalog.get(), "db0");
+  Optimizer informed(catalog.get(), "db0");
   informed.EnableStatistics();
   std::printf("%-12s %10s %10s %10s\n", "query", "actual", "naive-est",
               "stats-est");
@@ -58,8 +59,8 @@ void PrintReproduction() {
 }
 
 void BM_PlanNaive(benchmark::State& state) {
-  Catalog catalog = MakeCatalog(static_cast<int>(state.range(0)), 20);
-  Optimizer opt(&catalog, "db0");
+  auto catalog = MakeCatalog(static_cast<int>(state.range(0)), 20);
+  Optimizer opt(catalog.get(), "db0");
   const std::string q =
       "select C, Y from db0::stock T1, T1.company C, T1.price P, "
       "db0::cotype T2, T2.co C2, T2.type Y where C = C2 and P > 200";
@@ -71,8 +72,8 @@ void BM_PlanNaive(benchmark::State& state) {
 BENCHMARK(BM_PlanNaive)->Arg(20)->Arg(100);
 
 void BM_PlanWithStats(benchmark::State& state) {
-  Catalog catalog = MakeCatalog(static_cast<int>(state.range(0)), 20);
-  Optimizer opt(&catalog, "db0");
+  auto catalog = MakeCatalog(static_cast<int>(state.range(0)), 20);
+  Optimizer opt(catalog.get(), "db0");
   opt.EnableStatistics();
   const std::string q =
       "select C, Y from db0::stock T1, T1.company C, T1.price P, "
@@ -87,9 +88,9 @@ void BM_PlanWithStats(benchmark::State& state) {
 BENCHMARK(BM_PlanWithStats)->Arg(20)->Arg(100);
 
 void BM_StatsComputation(benchmark::State& state) {
-  Catalog catalog = MakeCatalog(static_cast<int>(state.range(0)),
+  auto catalog = MakeCatalog(static_cast<int>(state.range(0)),
                                 static_cast<int>(state.range(1)));
-  const Table* stock = catalog.ResolveTable("db0", "stock").value();
+  const Table* stock = catalog->ResolveTable("db0", "stock").value();
   for (auto _ : state) {
     TableStats s = TableStats::Compute(*stock);
     benchmark::DoNotOptimize(s);

@@ -3,6 +3,7 @@
 // grounding overhead, B+-tree probes). These pin the baseline the
 // paper-level comparisons are measured against.
 
+#include <memory>
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -14,21 +15,21 @@
 namespace dynview {
 namespace {
 
-Catalog MakeCatalog(int companies, int dates) {
-  Catalog catalog;
+std::unique_ptr<Catalog> MakeCatalog(int companies, int dates) {
+  auto catalog = std::make_unique<Catalog>();
   StockGenConfig cfg;
   cfg.num_companies = companies;
   cfg.num_dates = dates;
-  InstallDb0(&catalog, "db0", cfg);
+  InstallDb0(catalog.get(), "db0", cfg);
   Table s1 = GenerateStockS1(cfg);
-  InstallStockS2(&catalog, "s2", s1);
+  InstallStockS2(catalog.get(), "s2", s1);
   return catalog;
 }
 
 void PrintReproduction() {
   std::printf("=== Engine substrate baseline ===\n");
-  Catalog catalog = MakeCatalog(10, 100);
-  QueryEngine engine(&catalog, "db0");
+  auto catalog = MakeCatalog(10, 100);
+  QueryEngine engine(catalog.get(), "db0");
   auto r = engine.ExecuteSql(
       "select count(*) from db0::stock T, T.price P where P > 200");
   std::printf("sanity: %s rows over 200 out of 1000\n\n",
@@ -36,8 +37,8 @@ void PrintReproduction() {
 }
 
 void BM_ScanFilter(benchmark::State& state) {
-  Catalog catalog = MakeCatalog(10, static_cast<int>(state.range(0)) / 10);
-  QueryEngine engine(&catalog, "db0");
+  auto catalog = MakeCatalog(10, static_cast<int>(state.range(0)) / 10);
+  QueryEngine engine(catalog.get(), "db0");
   const std::string q =
       "select P from db0::stock T, T.price P where P > 200";
   for (auto _ : state) {
@@ -49,9 +50,9 @@ void BM_ScanFilter(benchmark::State& state) {
 BENCHMARK(BM_ScanFilter)->Arg(1000)->Arg(10000)->Arg(100000);
 
 void BM_HashJoin(benchmark::State& state) {
-  Catalog catalog = MakeCatalog(static_cast<int>(state.range(0)),
+  auto catalog = MakeCatalog(static_cast<int>(state.range(0)),
                                 static_cast<int>(state.range(1)));
-  QueryEngine engine(&catalog, "db0");
+  QueryEngine engine(catalog.get(), "db0");
   const std::string q =
       "select C, Y from db0::stock T1, T1.company C, db0::cotype T2, "
       "T2.co C2, T2.type Y where C = C2";
@@ -65,9 +66,9 @@ void BM_HashJoin(benchmark::State& state) {
 BENCHMARK(BM_HashJoin)->Args({100, 100})->Args({1000, 100});
 
 void BM_GroupAggregate(benchmark::State& state) {
-  Catalog catalog = MakeCatalog(static_cast<int>(state.range(0)),
+  auto catalog = MakeCatalog(static_cast<int>(state.range(0)),
                                 static_cast<int>(state.range(1)));
-  QueryEngine engine(&catalog, "db0");
+  QueryEngine engine(catalog.get(), "db0");
   const std::string q =
       "select C, count(*), min(P), max(P), avg(P) "
       "from db0::stock T, T.company C, T.price P group by C";
@@ -83,8 +84,8 @@ BENCHMARK(BM_GroupAggregate)->Args({100, 100})->Args({100, 1000});
 // The grounding overhead of higher-order evaluation: the same rows read
 // through N per-company relations instead of one table.
 void BM_FirstOrderScan(benchmark::State& state) {
-  Catalog catalog = MakeCatalog(static_cast<int>(state.range(0)), 100);
-  QueryEngine engine(&catalog, "db0");
+  auto catalog = MakeCatalog(static_cast<int>(state.range(0)), 100);
+  QueryEngine engine(catalog.get(), "db0");
   for (auto _ : state) {
     auto r = engine.ExecuteSql(
         "select C, P from db0::stock T, T.company C, T.price P");
@@ -95,8 +96,8 @@ void BM_FirstOrderScan(benchmark::State& state) {
 BENCHMARK(BM_FirstOrderScan)->Arg(10)->Arg(100);
 
 void BM_HigherOrderScan(benchmark::State& state) {
-  Catalog catalog = MakeCatalog(static_cast<int>(state.range(0)), 100);
-  QueryEngine engine(&catalog, "db0");
+  auto catalog = MakeCatalog(static_cast<int>(state.range(0)), 100);
+  QueryEngine engine(catalog.get(), "db0");
   for (auto _ : state) {
     auto r = engine.ExecuteSql(
         "select R, P from s2 -> R, R T, T.price P");

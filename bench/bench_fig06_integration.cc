@@ -32,10 +32,12 @@ struct Setup {
     Table s1 = GenerateStockS1(cfg);
     if (virtual_integration) {
       // I is empty; data lives only under the source.
-      catalog.GetOrCreateDatabase("I")->PutTable(
-          "stock", Table(Schema({{"company", TypeKind::kString},
-                                 {"date", TypeKind::kDate},
-                                 {"price", TypeKind::kInt}})));
+      (void)!catalog
+          .PutTable("I", "stock",
+                    Table(Schema({{"company", TypeKind::kString},
+                                  {"date", TypeKind::kDate},
+                                  {"price", TypeKind::kInt}})))
+          .ok();
     } else {
       InstallStockS1(&catalog, "I", s1);
     }

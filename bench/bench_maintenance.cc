@@ -5,6 +5,7 @@
 // views and O(affected groups) for pivots, while rematerialization is
 // O(|base|) — the gap widens linearly with base size.
 
+#include <memory>
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -24,14 +25,14 @@ constexpr char kPivotView[] =
     "create view mat::stock(date, C) as "
     "select D, P from I::stock T, T.company C, T.date D, T.price P";
 
-Catalog MakeCatalog(int companies, int dates, const char* view_sql) {
-  Catalog catalog;
+std::unique_ptr<Catalog> MakeCatalog(int companies, int dates, const char* view_sql) {
+  auto catalog = std::make_unique<Catalog>();
   StockGenConfig cfg;
   cfg.num_companies = companies;
   cfg.num_dates = dates;
-  InstallStockS1(&catalog, "I", GenerateStockS1(cfg));
-  QueryEngine engine(&catalog, "I");
-  ViewMaterializer::MaterializeSql(view_sql, &engine, &catalog, "mat")
+  InstallStockS1(catalog.get(), "I", GenerateStockS1(cfg));
+  QueryEngine engine(catalog.get(), "I");
+  ViewMaterializer::MaterializeSql(view_sql, &engine, catalog.get(), "mat")
       .value();
   return catalog;
 }
@@ -44,22 +45,22 @@ Row NewRow(int i) {
 
 void PrintReproduction() {
   std::printf("=== Incremental maintenance vs. rematerialization ===\n");
-  Catalog catalog = MakeCatalog(10, 50, kPartitionView);
-  auto m = ViewMaintainer::CreateFromSql(kPartitionView, &catalog, "I", "mat");
+  auto catalog = MakeCatalog(10, 50, kPartitionView);
+  auto m = ViewMaintainer::CreateFromSql(kPartitionView, catalog.get(), "I", "mat");
   if (!m.ok()) {
     std::printf("maintainer unavailable: %s\n", m.status().ToString().c_str());
     return;
   }
   m.value().ApplyInserts({NewRow(0), NewRow(1)}).ToString();
   std::printf("2 inserts propagated; mat now has %zu relations\n\n",
-              catalog.GetDatabase("mat").value()->num_tables());
+              catalog->GetDatabase("mat").value()->num_tables());
 }
 
 void BM_IncrementalInsertPartition(benchmark::State& state) {
-  Catalog catalog = MakeCatalog(static_cast<int>(state.range(0)),
+  auto catalog = MakeCatalog(static_cast<int>(state.range(0)),
                                 static_cast<int>(state.range(1)),
                                 kPartitionView);
-  auto m = ViewMaintainer::CreateFromSql(kPartitionView, &catalog, "I", "mat")
+  auto m = ViewMaintainer::CreateFromSql(kPartitionView, catalog.get(), "I", "mat")
                .value();
   int i = 0;
   for (auto _ : state) {
@@ -73,10 +74,10 @@ BENCHMARK(BM_IncrementalInsertPartition)
     ->Args({50, 1000});
 
 void BM_RematerializePartition(benchmark::State& state) {
-  Catalog catalog = MakeCatalog(static_cast<int>(state.range(0)),
+  auto catalog = MakeCatalog(static_cast<int>(state.range(0)),
                                 static_cast<int>(state.range(1)),
                                 kPartitionView);
-  QueryEngine engine(&catalog, "I");
+  QueryEngine engine(catalog.get(), "I");
   for (auto _ : state) {
     Catalog target;
     auto r = ViewMaterializer::MaterializeSql(kPartitionView, &engine,
@@ -90,10 +91,10 @@ BENCHMARK(BM_RematerializePartition)
     ->Args({50, 1000});
 
 void BM_IncrementalInsertPivot(benchmark::State& state) {
-  Catalog catalog = MakeCatalog(static_cast<int>(state.range(0)),
+  auto catalog = MakeCatalog(static_cast<int>(state.range(0)),
                                 static_cast<int>(state.range(1)), kPivotView);
   auto m =
-      ViewMaintainer::CreateFromSql(kPivotView, &catalog, "I", "mat").value();
+      ViewMaintainer::CreateFromSql(kPivotView, catalog.get(), "I", "mat").value();
   int i = 0;
   for (auto _ : state) {
     auto st = m.ApplyInserts({NewRow(i++)});
@@ -103,9 +104,9 @@ void BM_IncrementalInsertPivot(benchmark::State& state) {
 BENCHMARK(BM_IncrementalInsertPivot)->Args({10, 100})->Args({10, 1000});
 
 void BM_RematerializePivot(benchmark::State& state) {
-  Catalog catalog = MakeCatalog(static_cast<int>(state.range(0)),
+  auto catalog = MakeCatalog(static_cast<int>(state.range(0)),
                                 static_cast<int>(state.range(1)), kPivotView);
-  QueryEngine engine(&catalog, "I");
+  QueryEngine engine(catalog.get(), "I");
   for (auto _ : state) {
     Catalog target;
     auto r =

@@ -126,13 +126,22 @@ int main() {
       continue;
     }
     if (buffer.empty() && trimmed.rfind("\\load ", 0) == 0) {
-      auto loaded = LoadCatalog(std::string(Trim(trimmed.substr(6))));
-      if (loaded.ok()) {
-        catalog = std::move(loaded).value();
+      // Replace semantics: clear the current federation, then load (the
+      // load itself is one atomic commit).
+      (void)!catalog
+          .Mutate([](CatalogTxn& txn) -> Status {
+            for (const std::string& db : txn.DatabaseNames()) {
+              DV_RETURN_IF_ERROR(txn.DropDatabase(db));
+            }
+            return Status::OK();
+          })
+          .ok();
+      Status st = LoadCatalog(std::string(Trim(trimmed.substr(6))), &catalog);
+      if (st.ok()) {
         SchemaBrowser::InstallMetaTables(catalog, &catalog, "meta").ToString();
         std::printf("loaded\n> ");
       } else {
-        std::printf("%s\n> ", loaded.status().ToString().c_str());
+        std::printf("%s\n> ", st.ToString().c_str());
       }
       std::fflush(stdout);
       continue;

@@ -85,10 +85,53 @@ for on_path, off_path in (
         print(f"WARN: {worst[1]} above the 2% target (noise on small hosts)")
 EOF
 
+# Versioned-catalog reader overhead: queries while a writer thread commits
+# continuously vs. a quiescent catalog. Mutations never block readers, so
+# the two must track: warn above 2%, hard-fail above 10%.
+build/bench/bench_concurrent_catalog \
+  --benchmark_out=results/BENCH_concurrency.json \
+  --benchmark_out_format=json >/dev/null
+python3 - <<'EOF'
+import json
+with open("results/BENCH_concurrency.json") as f:
+    runs = {b["name"]: b for b in json.load(f)["benchmarks"]}
+# Gate on cpu_time: on few-core hosts the writer thread shares the wall
+# clock with the reader, inflating real_time without any blocking. The
+# reader's own CPU cost is the scheduling-independent regression signal;
+# real_time is printed for the multi-core case where it is meaningful.
+base = runs["BM_FanOutQuiescent"]["cpu_time"]
+churn = runs["BM_FanOutUnderMutation"]["cpu_time"]
+pct = 100.0 * (churn - base) / base
+wall = 100.0 * (runs["BM_FanOutUnderMutation"]["real_time"] -
+                runs["BM_FanOutQuiescent"]["real_time"]) \
+             / runs["BM_FanOutQuiescent"]["real_time"]
+print(f"catalog reader overhead under mutation: {pct:+.2f}% cpu "
+      f"({wall:+.2f}% wall)")
+if pct > 10.0:
+    raise SystemExit(f"FAIL: reader cpu overhead {pct:.2f}% > 10% — the "
+                     "read path regressed under concurrent commits")
+if pct > 2.0:
+    print(f"WARN: reader cpu overhead {pct:.2f}% above the 2% target")
+EOF
+
 # The observability test suite proper (ctest -L observe): determinism
 # oracle, metamorphic pivot, golden rewritings, failpoint coverage.
 ctest --test-dir build --output-on-failure -L observe 2>&1 |
   tee results/tests_observe.txt
+
+# Chaos pass (ctest -L chaos): 8 worker threads' worth of query/mutator
+# races with latency failpoints armed from the environment, first in the
+# release build, then under ThreadSanitizer — the snapshot-consistency
+# oracles must hold race-free in both.
+DYNVIEW_FAILPOINTS="catalog.resolve=latency(1)" \
+  ctest --test-dir build --output-on-failure -L chaos 2>&1 |
+  tee results/tests_chaos.txt
+cmake -B build-tsan-chaos -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDYNVIEW_SANITIZE=thread
+cmake --build build-tsan-chaos
+DYNVIEW_FAILPOINTS="catalog.resolve=latency(1)" \
+  ctest --test-dir build-tsan-chaos --output-on-failure -L chaos 2>&1 |
+  tee results/tests_chaos_tsan.txt
 
 # Fault-injected pass: run the engine/integration-facing suites with a
 # latency failpoint armed on every catalog resolution, proving injection is
@@ -114,7 +157,7 @@ if [[ "${DYNVIEW_SANITIZE:-0}" == "1" ]]; then
       -DDYNVIEW_SANITIZE="$san"
     cmake --build "$dir"
     ctest --test-dir "$dir" --output-on-failure \
-      -R 'GuardTest|QueryContextTest|FailPointTest|ThreadPool|Parallel|MetricsRegistryTest|QueryTraceTest|ObserveEngineTest|DeterminismTest|FailpointCoverageTest' \
+      -R 'GuardTest|QueryContextTest|FailPointTest|ThreadPool|Parallel|MetricsRegistryTest|QueryTraceTest|ObserveEngineTest|DeterminismTest|FailpointCoverageTest|ChaosTest' \
       2>&1 | tee "results/tests_${san}san.txt"
   done
 fi

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -13,7 +15,8 @@
 
 namespace dynview {
 
-struct QueryObserver;  // observe/observer.h — trace + metrics bundle.
+struct QueryObserver;   // observe/observer.h — trace + metrics bundle.
+class CatalogSnapshot;  // relational/catalog.h — one pinned catalog version.
 
 /// What to do when a data source (one grounding of a local-as-view fan-out)
 /// fails with a transient error (kUnavailable):
@@ -58,6 +61,13 @@ struct QueryGuards {
 
   /// kRetry: backoff before attempt k is `retry_backoff_ms << (k-1)`.
   int retry_backoff_ms = 1;
+
+  /// kRetry: how to spend the backoff. Null means a real
+  /// std::this_thread::sleep_for; tests and the chaos harness inject a
+  /// recording hook so retry schedules are asserted deterministically
+  /// without wall-clock sleeps. Called with the backoff in milliseconds,
+  /// possibly concurrently from pool workers (one call per retry).
+  std::function<void(int)> retry_sleep;
 };
 
 /// Shared, thread-safe guard state for one query execution: a deadline, a
@@ -118,6 +128,19 @@ class QueryContext {
   void AddWarning(SourceWarning w);
   std::vector<SourceWarning> warnings() const;
 
+  /// Pins the catalog version every read of this query must observe. Set by
+  /// the driving thread before execution starts (AnswerGuarded, or the
+  /// engine itself when unset); the engine threads it into ExecContext so
+  /// grounding enumeration, operator scans, the optimizer and the
+  /// materializer all read this one version. The pin also keeps the
+  /// snapshot's refcount alive for the query's duration.
+  void PinSnapshot(std::shared_ptr<const CatalogSnapshot> snapshot) {
+    snapshot_ = std::move(snapshot);
+  }
+  const std::shared_ptr<const CatalogSnapshot>& snapshot() const {
+    return snapshot_;
+  }
+
   /// Borrowed observability sink (trace + metrics), owned by whoever runs
   /// the query (integration::AnswerGuarded, a test, a bench). Null means
   /// "don't observe" — the engine checks once per ExecContext it builds.
@@ -138,6 +161,7 @@ class QueryContext {
   Status trip_status_;
   std::vector<SourceWarning> warnings_;
   QueryObserver* observer_ = nullptr;
+  std::shared_ptr<const CatalogSnapshot> snapshot_;
 };
 
 }  // namespace dynview

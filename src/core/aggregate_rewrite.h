@@ -33,7 +33,7 @@ namespace dynview {
 ///     enabled via `allow_avg_reaggregation`.
 class AggregateViewRewriter {
  public:
-  AggregateViewRewriter(const Catalog* catalog, std::string default_db)
+  AggregateViewRewriter(const CatalogReader* catalog, std::string default_db)
       : catalog_(catalog), default_db_(std::move(default_db)) {}
 
   /// Rewrites aggregate `query_sql` onto aggregate `view`. On success the
@@ -44,7 +44,7 @@ class AggregateViewRewriter {
                                     bool allow_avg_reaggregation) const;
 
  private:
-  const Catalog* catalog_;
+  const CatalogReader* catalog_;
   std::string default_db_;
 };
 

@@ -18,7 +18,7 @@ struct Prepared {
   QueryInfo info;
 };
 
-Result<Prepared> Prepare(const std::string& sql, const Catalog& catalog,
+Result<Prepared> Prepare(const std::string& sql, const CatalogReader& catalog,
                          const std::string& default_db) {
   Prepared p;
   DV_ASSIGN_OR_RETURN(p.stmt, Parser::ParseSelect(sql));

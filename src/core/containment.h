@@ -23,7 +23,7 @@ namespace dynview {
 /// homomorphism check.
 class ContainmentChecker {
  public:
-  ContainmentChecker(const Catalog* catalog, std::string default_db)
+  ContainmentChecker(const CatalogReader* catalog, std::string default_db)
       : catalog_(catalog), default_db_(std::move(default_db)) {}
 
   /// True if q1 ⊆ q2 (set semantics) is proved.
@@ -35,7 +35,7 @@ class ContainmentChecker {
                           const std::string& q2_sql) const;
 
  private:
-  const Catalog* catalog_;
+  const CatalogReader* catalog_;
   std::string default_db_;
 };
 

@@ -81,7 +81,7 @@ Status WalkExprSlots(SelectStmt* stmt, const ExprVisitor& visit) {
 }  // namespace
 
 Status ResolveBareColumns(SelectStmt* stmt, const BoundQuery& bq,
-                          const Catalog& catalog,
+                          const CatalogReader& catalog,
                           const std::string& default_db) {
   return WalkExprSlots(stmt, [&](std::unique_ptr<Expr>* slot) -> Status {
     Expr* e = slot->get();
@@ -153,7 +153,7 @@ Status ReplaceColumnRefsWithDomainVars(SelectStmt* stmt,
 }
 
 Status DeclareAllDomainVars(SelectStmt* stmt, const BoundQuery& bq,
-                            const Catalog& catalog,
+                            const CatalogReader& catalog,
                             const std::string& default_db) {
   (void)bq;
   std::map<std::string, std::string> index = DomainVarIndex(*stmt);
@@ -183,7 +183,7 @@ Status DeclareAllDomainVars(SelectStmt* stmt, const BoundQuery& bq,
   return Status::OK();
 }
 
-Result<BoundQuery> NormalizeQuery(SelectStmt* stmt, const Catalog& catalog,
+Result<BoundQuery> NormalizeQuery(SelectStmt* stmt, const CatalogReader& catalog,
                                   const std::string& default_db) {
   DV_ASSIGN_OR_RETURN(BoundQuery bq, Binder::BindBranch(stmt));
   DV_RETURN_IF_ERROR(ResolveBareColumns(stmt, bq, catalog, default_db));

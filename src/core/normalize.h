@@ -20,7 +20,7 @@ namespace dynview {
 /// relation carries the attribute (consults `catalog`). The statement must
 /// already be bound.
 Status ResolveBareColumns(SelectStmt* stmt, const BoundQuery& bq,
-                          const Catalog& catalog,
+                          const CatalogReader& catalog,
                           const std::string& default_db);
 
 /// Replaces every `T.attr` column reference in expressions with a domain
@@ -34,12 +34,12 @@ Status ReplaceColumnRefsWithDomainVars(SelectStmt* stmt, const BoundQuery& bq);
 /// each view variable to a query variable (Def. 5.1 requires images for all
 /// of Var(V)).
 Status DeclareAllDomainVars(SelectStmt* stmt, const BoundQuery& bq,
-                            const Catalog& catalog,
+                            const CatalogReader& catalog,
                             const std::string& default_db);
 
 /// Runs all passes in order and rebinds. After this, every data access in
 /// the statement goes through an explicitly declared domain variable.
-Result<BoundQuery> NormalizeQuery(SelectStmt* stmt, const Catalog& catalog,
+Result<BoundQuery> NormalizeQuery(SelectStmt* stmt, const CatalogReader& catalog,
                                   const std::string& default_db);
 
 }  // namespace dynview

@@ -32,7 +32,7 @@ struct TranslationResult {
 /// schema I into an SQL/SchemaSQL query on a materialized view.
 class QueryTranslator {
  public:
-  QueryTranslator(const Catalog* catalog, std::string default_db)
+  QueryTranslator(const CatalogReader* catalog, std::string default_db)
       : catalog_(catalog), default_db_(std::move(default_db)) {}
 
   /// Translates bound, normalized `query` through `view` using the mapping
@@ -58,7 +58,7 @@ class QueryTranslator {
                                             bool multiset) const;
 
  private:
-  const Catalog* catalog_;
+  const CatalogReader* catalog_;
   std::string default_db_;
 };
 

@@ -29,7 +29,7 @@ class ViewUnfolder {
   /// `catalog` provides the source tables' schemas for normalization; the
   /// unfolded query is expressed over `view`'s base tables (typically the
   /// integration database).
-  ViewUnfolder(const Catalog* catalog, std::string source_default_db)
+  ViewUnfolder(const CatalogReader* catalog, std::string source_default_db)
       : catalog_(catalog), source_default_db_(std::move(source_default_db)) {}
 
   /// Unfolds every FROM reference of `query_sql` that matches `view`'s
@@ -44,7 +44,7 @@ class ViewUnfolder {
                                              const SelectStmt& query) const;
 
  private:
-  const Catalog* catalog_;
+  const CatalogReader* catalog_;
   std::string source_default_db_;
 };
 

@@ -78,7 +78,7 @@ Result<QueryInfo> AnalyzeQuery(const SelectStmt& stmt, const BoundQuery& bq,
 /// conditions hold.
 class UsabilityChecker {
  public:
-  UsabilityChecker(const Catalog* catalog, std::string default_db)
+  UsabilityChecker(const CatalogReader* catalog, std::string default_db)
       : catalog_(catalog), default_db_(std::move(default_db)) {}
 
   /// Thm. 5.1/5.2. `query` must be normalized and bound.
@@ -101,7 +101,7 @@ class UsabilityChecker {
                                 const SelectStmt& query, const BoundQuery& bq,
                                 bool require_one_to_one) const;
 
-  const Catalog* catalog_;
+  const CatalogReader* catalog_;
   std::string default_db_;
 };
 

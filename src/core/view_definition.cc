@@ -19,7 +19,7 @@ void CollectConjuncts(const Expr* e, std::vector<const Expr*>* out) {
 }
 
 Result<ViewDefinition> ViewDefinition::FromSql(
-    const std::string& create_view_sql, const Catalog& catalog,
+    const std::string& create_view_sql, const CatalogReader& catalog,
     const std::string& default_db) {
   DV_ASSIGN_OR_RETURN(std::unique_ptr<CreateViewStmt> stmt,
                       Parser::ParseCreateView(create_view_sql));
@@ -27,7 +27,7 @@ Result<ViewDefinition> ViewDefinition::FromSql(
 }
 
 Result<ViewDefinition> ViewDefinition::Create(const CreateViewStmt& stmt,
-                                              const Catalog& catalog,
+                                              const CatalogReader& catalog,
                                               const std::string& default_db) {
   ViewDefinition v;
   v.stmt_ = stmt.Clone();
@@ -120,6 +120,15 @@ bool ViewDefinition::IsAggregateView() const {
   if (!stmt_->query->group_by.empty()) return true;
   for (const SelectItem& item : stmt_->query->select_list) {
     if (item.expr->ContainsAggregate()) return true;
+  }
+  return false;
+}
+
+bool ViewDefinition::IsStaleAgainst(const CatalogSnapshot& snapshot) const {
+  if (!fenced_) return false;
+  uint64_t built = materialized_version_.load();
+  for (const TableRef& t : tables_) {
+    if (snapshot.DatabaseVersion(t.db) > built) return true;
   }
   return false;
 }

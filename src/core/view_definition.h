@@ -1,6 +1,8 @@
 #ifndef DYNVIEW_CORE_VIEW_DEFINITION_H_
 #define DYNVIEW_CORE_VIEW_DEFINITION_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -27,6 +29,42 @@ struct TableRef {
   std::string ToString() const { return db + "::" + rel; }
 };
 
+/// A copyable/movable atomic version counter. Used to stamp derived state
+/// (materialized views, indexes) with the catalog version it was built from,
+/// so readers can detect staleness without locking. Copy/move take a plain
+/// load — version cells are only copied while their owner is quiescent.
+class VersionCell {
+ public:
+  VersionCell() = default;
+  explicit VersionCell(uint64_t v) : v_(v) {}
+  VersionCell(const VersionCell& o) : v_(o.load()) {}
+  VersionCell(VersionCell&& o) noexcept : v_(o.load()) {}
+  VersionCell& operator=(const VersionCell& o) {
+    store(o.load());
+    return *this;
+  }
+  VersionCell& operator=(VersionCell&& o) noexcept {
+    store(o.load());
+    return *this;
+  }
+
+  uint64_t load() const { return v_.load(std::memory_order_acquire); }
+  void store(uint64_t v) { v_.store(v, std::memory_order_release); }
+
+  /// Monotonic bump: keeps the maximum of the current and new value, so
+  /// concurrent maintainer commits can't move a fence backwards.
+  void Advance(uint64_t v) {
+    uint64_t cur = v_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_release,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
 /// The Sec. 5 notation for a view V, computed from a bound and normalized
 /// CREATE VIEW statement:
 ///
@@ -50,12 +88,12 @@ class ViewDefinition {
   /// is not expressible in the Sec. 5 fragment (each select item must be a
   /// single variable after normalization; no UNION).
   static Result<ViewDefinition> Create(const CreateViewStmt& stmt,
-                                       const Catalog& catalog,
+                                       const CatalogReader& catalog,
                                        const std::string& default_db);
 
   /// Parses then builds (convenience).
   static Result<ViewDefinition> FromSql(const std::string& create_view_sql,
-                                        const Catalog& catalog,
+                                        const CatalogReader& catalog,
                                         const std::string& default_db);
 
   const CreateViewStmt& stmt() const { return *stmt_; }
@@ -110,6 +148,23 @@ class ViewDefinition {
   /// routes usability through the Sec. 5.2 machinery.
   bool IsAggregateView() const;
 
+  /// Stale fencing for *derived* state. A fenced view carries the catalog
+  /// version its materialization (or index) was built from; it is stale —
+  /// and must not serve answers — once any database in Tables(V) has
+  /// committed past that version (CatalogSnapshot::DatabaseVersion). Views
+  /// that are pure definitions (never materialized) stay unfenced: they are
+  /// recomputed per query and can't be stale.
+  bool fenced() const { return fenced_; }
+  void set_fenced(bool fenced) { fenced_ = fenced; }
+  uint64_t materialized_version() const { return materialized_version_.load(); }
+  void AdvanceMaterializedVersion(uint64_t v) {
+    materialized_version_.Advance(v);
+  }
+
+  /// True iff the view is fenced and some body table's database has a
+  /// last-modified version in `snapshot` newer than the materialization.
+  bool IsStaleAgainst(const CatalogSnapshot& snapshot) const;
+
   ViewDefinition(ViewDefinition&&) = default;
   ViewDefinition& operator=(ViewDefinition&&) = default;
 
@@ -125,6 +180,8 @@ class ViewDefinition {
   std::vector<std::string> tuple_vars_;
   std::vector<const Expr*> conds_;
   std::map<std::string, DomainDecl> domain_decls_;  // Lowercased var name.
+  bool fenced_ = false;
+  VersionCell materialized_version_;
 };
 
 /// Splits a WHERE tree into conjuncts (exposed for reuse by the usability

@@ -15,6 +15,8 @@
 
 namespace dynview {
 
+class CatalogSnapshot;  // relational/catalog.h — one pinned catalog version.
+
 /// Per-query execution context handed to operators: a borrowed pool (null =
 /// serial), the morsel granularity, and the query's guard state (null =
 /// unguarded — the fast path costs one pointer test). Operators that
@@ -24,6 +26,13 @@ struct ExecContext {
   ThreadPool* pool = nullptr;
   size_t morsel_rows = ExecConfig{}.morsel_rows;
   QueryContext* guard = nullptr;
+
+  /// The catalog version this execution reads (null when the engine runs
+  /// unpinned, e.g. over a scratch catalog). Operators themselves never
+  /// resolve tables, but cooperating components handed an ExecContext (the
+  /// materializer's partition build, plan execution) must read through this
+  /// snapshot so the whole query observes one consistent version.
+  const CatalogSnapshot* snapshot = nullptr;
 
   /// Observability sinks (both null when tracing is disabled — the engine
   /// only fills them from the query's observer when ExecConfig::enable_trace

@@ -353,9 +353,27 @@ std::unique_ptr<Expr> RewriteToInner(
 }  // namespace
 
 Result<Table> QueryEngine::ExecuteSql(const std::string& sql) {
+  return ExecuteSql(sql, query_ctx_);
+}
+
+Result<Table> QueryEngine::ExecuteSql(const std::string& sql,
+                                      QueryContext* qc) {
   DV_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> stmt,
                       Parser::ParseSelect(sql));
-  return Execute(stmt.get());
+  return Execute(stmt.get(), qc);
+}
+
+std::shared_ptr<const CatalogSnapshot> QueryEngine::PinnedSnapshot(
+    QueryContext* qc) const {
+  // A pinned snapshot only applies when it was taken from this engine's own
+  // catalog: sub-engines over scratch catalogs (the higher-order outer
+  // layer, plan execution scratch) must read their own catalog, not the
+  // query's pin.
+  if (qc != nullptr && qc->snapshot() != nullptr &&
+      qc->snapshot()->origin() == catalog_) {
+    return qc->snapshot();
+  }
+  return catalog_->Snapshot();
 }
 
 namespace {
@@ -378,7 +396,18 @@ struct TripDelta {
 }  // namespace
 
 Result<Table> QueryEngine::Execute(SelectStmt* stmt) {
-  const ExecContext octx = Ctx();
+  return Execute(stmt, query_ctx_);
+}
+
+Result<Table> QueryEngine::Execute(SelectStmt* stmt, QueryContext* qc) {
+  // The snapshot is pinned once here; every branch, grounding and operator
+  // below reads this one version.
+  return ExecuteImpl(stmt, qc, PinnedSnapshot(qc));
+}
+
+Result<Table> QueryEngine::ExecuteImpl(SelectStmt* stmt, QueryContext* qc,
+                                       const SnapshotRef& snap) {
+  const ExecContext octx = Ctx(qc, snap);
   ScopedSpan query_span(octx.trace, "query.execute");
   TripDelta trips{octx.metrics};
   Table acc;
@@ -388,11 +417,11 @@ Result<Table> QueryEngine::Execute(SelectStmt* stmt) {
        branch = branch->union_next.get()) {
     // Guard check per UNION branch: a 0 ms deadline or a pre-cancelled
     // context trips before any evaluation starts.
-    if (query_ctx_ != nullptr) {
-      DV_RETURN_IF_ERROR(query_ctx_->CheckGuards());
+    if (qc != nullptr) {
+      DV_RETURN_IF_ERROR(qc->CheckGuards());
     }
     DV_ASSIGN_OR_RETURN(BoundQuery bq, Binder::BindBranch(branch));
-    DV_ASSIGN_OR_RETURN(Table t, EvaluateBranch(*branch, bq));
+    DV_ASSIGN_OR_RETURN(Table t, EvaluateBranchImpl(*branch, bq, qc, snap));
     if (first) {
       acc = std::move(t);
       first = false;
@@ -414,25 +443,38 @@ Result<Table> QueryEngine::Execute(SelectStmt* stmt) {
 }
 
 ThreadPool* QueryEngine::EnsurePool() {
-  if (pool_ == nullptr) {
-    size_t threads = exec_.ResolvedThreads();
-    if (threads <= 1) return nullptr;
+  ThreadPool* existing = CurrentPool();
+  if (existing != nullptr) return existing;
+  size_t threads = exec_.ResolvedThreads();
+  if (threads <= 1) return nullptr;
+  // First caller in wins; concurrent guarded queries sharing one engine all
+  // reach the same pool.
+  std::lock_guard<std::mutex> lock(pool_mu_);
+  std::shared_ptr<ThreadPool> pool = pool_.load(std::memory_order_acquire);
+  if (pool == nullptr) {
     // The queue cap backpressures runaway fan-outs (ParallelFor degrades to
     // fewer helpers instead of enqueueing unbounded work).
-    pool_ = std::make_shared<ThreadPool>(threads - 1, exec_.max_queued_tasks);
+    pool = std::make_shared<ThreadPool>(threads - 1, exec_.max_queued_tasks);
+    pool_.store(pool, std::memory_order_release);
   }
-  return pool_.get();
+  return pool.get();
 }
 
-ExecContext QueryEngine::Ctx() const {
+ThreadPool* QueryEngine::CurrentPool() const {
+  // The pool is created once and never replaced, so the raw pointer from a
+  // dropped shared_ptr load stays valid for the engine's lifetime.
+  return pool_.load(std::memory_order_acquire).get();
+}
+
+ExecContext QueryEngine::Ctx(QueryContext* qc, const SnapshotRef& snap) const {
   ExecContext ctx;
-  ctx.pool = pool_.get();
+  ctx.pool = CurrentPool();
   ctx.morsel_rows = exec_.morsel_rows;
-  ctx.guard = query_ctx_;
-  if (exec_.enable_trace && query_ctx_ != nullptr &&
-      query_ctx_->observer() != nullptr) {
-    ctx.trace = &query_ctx_->observer()->trace;
-    ctx.metrics = &query_ctx_->observer()->metrics;
+  ctx.guard = qc;
+  ctx.snapshot = snap.get();
+  if (exec_.enable_trace && qc != nullptr && qc->observer() != nullptr) {
+    ctx.trace = &qc->observer()->trace;
+    ctx.metrics = &qc->observer()->metrics;
   }
   return ctx;
 }
@@ -448,7 +490,7 @@ Table ApplyLimit(Table t, int64_t limit) {
 /// True if any constant tuple reference of `stmt` scans more rows than the
 /// morsel threshold — the cheap test for whether spinning up workers can pay
 /// off on a branch without a grounding fan-out.
-bool HasLargeScan(const SelectStmt& stmt, const Catalog& catalog,
+bool HasLargeScan(const SelectStmt& stmt, const CatalogReader& catalog,
                   const std::string& default_db, size_t threshold) {
   for (const FromItem& f : stmt.from_items) {
     if (f.kind != FromItemKind::kTupleVar) continue;
@@ -464,16 +506,29 @@ bool HasLargeScan(const SelectStmt& stmt, const Catalog& catalog,
 
 Result<Table> QueryEngine::EvaluateBranch(const SelectStmt& stmt,
                                           const BoundQuery& bq) {
+  return EvaluateBranch(stmt, bq, query_ctx_);
+}
+
+Result<Table> QueryEngine::EvaluateBranch(const SelectStmt& stmt,
+                                          const BoundQuery& bq,
+                                          QueryContext* qc) {
+  return EvaluateBranchImpl(stmt, bq, qc, PinnedSnapshot(qc));
+}
+
+Result<Table> QueryEngine::EvaluateBranchImpl(const SelectStmt& stmt,
+                                              const BoundQuery& bq,
+                                              QueryContext* qc,
+                                              const SnapshotRef& snap) {
   if (stmt.limit >= 0 && stmt.union_next != nullptr) {
     return Status::Unsupported("LIMIT on a UNION branch");
   }
   if (!bq.higher_order) {
     // Workers are spun up lazily, and only when a scan is large enough for
     // the morsel-driven operators to engage.
-    if (HasLargeScan(stmt, *catalog_, default_db_, exec_.morsel_rows)) {
+    if (HasLargeScan(stmt, *snap, default_db_, exec_.morsel_rows)) {
       EnsurePool();
     }
-    return EvaluateFirstOrder(stmt, bq);
+    return EvaluateFirstOrder(stmt, bq, qc, snap);
   }
 
   // SchemaSQL semantics: grouping, aggregation, DISTINCT and ORDER BY apply
@@ -486,14 +541,14 @@ Result<Table> QueryEngine::EvaluateBranch(const SelectStmt& stmt,
   for (const SelectItem& item : stmt.select_list) {
     if (item.expr->ContainsAggregate()) needs_global = true;
   }
-  if (needs_global) return EvaluateHigherOrderGlobal(stmt, bq);
+  if (needs_global) return EvaluateHigherOrderGlobal(stmt, bq, qc, snap);
 
   // Observability context for the fan-out (pool intentionally not ensured
   // yet — only the trace/metrics sinks are used before evaluation starts).
-  const ExecContext fctx = Ctx();
+  const ExecContext fctx = Ctx(qc, snap);
   DV_ASSIGN_OR_RETURN(
       std::vector<InstantiatedQuery> ground,
-      InstantiateSchemaVars(stmt, bq, *catalog_, default_db_, fctx.metrics));
+      InstantiateSchemaVars(stmt, bq, *snap, default_db_, fctx.metrics));
   // Empty table with the statement's output names — the zero-grounding
   // result, also produced when every grounding was skipped by policy (star
   // cannot be expanded without a grounding).
@@ -520,14 +575,13 @@ Result<Table> QueryEngine::EvaluateBranch(const SelectStmt& stmt,
   // the reported error) is identical to serial evaluation.
   ThreadPool* pool = nullptr;
   if (ground.size() > 1 ||
-      HasLargeScan(*ground[0].query, *catalog_, default_db_,
+      HasLargeScan(*ground[0].query, *snap, default_db_,
                    exec_.morsel_rows)) {
     pool = EnsurePool();
   }
   fctx.Count(counters::kGroundingsEvaluated, ground.size());
   ScopedSpan fanout_span(fctx.trace, "grounding.fanout",
                          std::to_string(ground.size()) + " groundings");
-  QueryContext* qc = query_ctx_;
   const SourcePolicy policy =
       qc == nullptr ? SourcePolicy::kFailFast : qc->guards().source_policy;
   // Each grounding is one source's independent contribution (local-as-view:
@@ -550,7 +604,7 @@ Result<Table> QueryEngine::EvaluateBranch(const SelectStmt& stmt,
       DV_RETURN_IF_ERROR(FailPoints::Check(
           "engine.grounding", ToLower(source_label(ground[i]))));
     }
-    return EvaluateFirstOrder(*ground[i].query, bq);
+    return EvaluateFirstOrder(*ground[i].query, bq, qc, snap);
   };
   std::vector<Result<Table>> parts(ground.size(),
                                    Result<Table>(Status::Internal("pending")));
@@ -570,8 +624,15 @@ Result<Table> QueryEngine::EvaluateBranch(const SelectStmt& stmt,
         int backoff_ms =
             std::min(100, g.retry_backoff_ms << (attempt - 1));
         if (backoff_ms > 0) {
-          std::this_thread::sleep_for(
-              std::chrono::milliseconds(backoff_ms));
+          // Injectable backoff: tests and the chaos harness replace the real
+          // sleep with a recording hook, keeping retry schedules
+          // deterministic and fast.
+          if (g.retry_sleep) {
+            g.retry_sleep(backoff_ms);
+          } else {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(backoff_ms));
+          }
         }
         r = eval_attempt(i);
       }
@@ -628,8 +689,9 @@ Result<Table> QueryEngine::EvaluateBranch(const SelectStmt& stmt,
   return ApplyLimit(std::move(acc), stmt.limit);
 }
 
-Result<Table> QueryEngine::EvaluateHigherOrderGlobal(const SelectStmt& stmt,
-                                                     const BoundQuery& bq) {
+Result<Table> QueryEngine::EvaluateHigherOrderGlobal(
+    const SelectStmt& stmt, const BoundQuery& bq, QueryContext* qc,
+    const SnapshotRef& snap) {
   (void)bq;  // Binding annotations live in the AST; kept for symmetry.
   // 1. Collect the base expressions (group keys, aggregate arguments,
   //    aggregate-free select/having/order subtrees).
@@ -671,11 +733,11 @@ Result<Table> QueryEngine::EvaluateHigherOrderGlobal(const SelectStmt& stmt,
     inner->select_list.emplace_back(Expr::MakeLiteral(Value::Int(1)), "bc0");
   }
   DV_ASSIGN_OR_RETURN(BoundQuery ibq, Binder::BindBranch(inner.get()));
-  DV_ASSIGN_OR_RETURN(Table rows, EvaluateBranch(*inner, ibq));
+  DV_ASSIGN_OR_RETURN(Table rows, EvaluateBranchImpl(*inner, ibq, qc, snap));
 
   // 3. Outer query over the unioned rows in a scratch catalog.
   Catalog scratch;
-  scratch.GetOrCreateDatabase("sc")->PutTable("inner_rows", std::move(rows));
+  DV_RETURN_IF_ERROR(scratch.PutTable("sc", "inner_rows", std::move(rows)));
   auto outer = std::make_unique<SelectStmt>();
   outer->distinct = stmt.distinct;
   outer->limit = stmt.limit;
@@ -700,18 +762,23 @@ Result<Table> QueryEngine::EvaluateHigherOrderGlobal(const SelectStmt& stmt,
     outer->order_by.push_back(std::move(no));
   }
   QueryEngine sub(&scratch, "sc", exec_);
-  sub.pool_ = pool_;  // The outer layer reuses this engine's workers.
-  sub.query_ctx_ = query_ctx_;  // ...and stays under the same guards.
+  // The outer layer reuses this engine's workers and stays under the same
+  // guards; it reads the scratch catalog's own (freshly built) snapshot,
+  // never the query's pin, which belongs to the main catalog.
+  sub.pool_.store(pool_.load(std::memory_order_acquire),
+                  std::memory_order_release);
   DV_ASSIGN_OR_RETURN(BoundQuery obq, Binder::BindBranch(outer.get()));
-  return sub.EvaluateFirstOrder(*outer, obq);
+  return sub.EvaluateFirstOrder(*outer, obq, qc, scratch.Snapshot());
 }
 
 Result<Table> QueryEngine::EvaluateFirstOrder(const SelectStmt& stmt,
-                                              const BoundQuery& bq) {
+                                              const BoundQuery& bq,
+                                              QueryContext* qc,
+                                              const SnapshotRef& snap) {
   (void)bq;  // Binding annotations live in the AST; kept for symmetry.
   // May run on a pool worker (one grounding of a parallel fan-out); nested
   // parallel regions then degrade to inline loops inside ParallelFor.
-  const ExecContext ctx = Ctx();
+  const ExecContext ctx = Ctx(qc, snap);
   std::vector<const Expr*> conjuncts;
   SplitConjuncts(stmt.where.get(), &conjuncts);
   std::vector<bool> applied(conjuncts.size(), false);
@@ -745,7 +812,7 @@ Result<Table> QueryEngine::EvaluateFirstOrder(const SelectStmt& stmt,
     }
     std::string db_name = f.db.empty() ? default_db_ : f.db.text;
     DV_ASSIGN_OR_RETURN(const Table* base,
-                        catalog_->ResolveTable(db_name, f.rel.text));
+                        snap->ResolveTable(db_name, f.rel.text));
 
     // Scan with bindings for this tuple variable.
     WorkingSet scan;

@@ -2,6 +2,7 @@
 #define DYNVIEW_ENGINE_QUERY_ENGINE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/exec_config.h"
@@ -27,6 +28,18 @@ struct ExecContext;
 /// "minimal extension to existing query engines" execution model the paper
 /// proposes: the higher-order machinery reduces to orchestration around a
 /// conventional evaluator.
+///
+/// Snapshot isolation: every execution resolves its tables through one
+/// CatalogSnapshot pinned at entry — the one carried by the QueryContext
+/// when it pins this engine's catalog, else the catalog's current version —
+/// so a query's answer always equals its serial answer against a single
+/// catalog version, even with writers committing concurrently.
+///
+/// Concurrency: the explicit-QueryContext overloads are safe to call from
+/// several threads on one engine (each call carries its own guard state and
+/// pin; the worker pool is created thread-safely and shared). The legacy
+/// `set_query_context` member remains for single-driver callers and must not
+/// be raced.
 class QueryEngine {
  public:
   /// `catalog` must outlive the engine. `default_db` resolves unqualified
@@ -43,50 +56,74 @@ class QueryEngine {
   const ExecConfig& exec_config() const { return exec_; }
 
   /// The engine's worker pool, created on first use; nullptr in serial mode.
-  /// Must be called from the query's driving thread (it is not safe to race
-  /// with itself), which is how all internal call sites use it. Exposed so
+  /// Thread-safe (first caller creates, everyone shares). Exposed so
   /// cooperating components (e.g. ViewMaterializer) can share the pool.
   ThreadPool* EnsurePool();
 
   /// Attaches (or detaches, with nullptr) the guard state enforced by every
-  /// subsequent execution: deadline, cancellation, row/byte budgets, and
-  /// the SourcePolicy for degraded grounding fan-outs. Borrowed — `qc` must
-  /// outlive the executions it guards. Set from the query's driving thread
-  /// between queries; the same engine serves one guarded query at a time
-  /// (matching the engine's single-driver execution model).
+  /// subsequent *legacy* (no-QueryContext) execution. Borrowed — `qc` must
+  /// outlive the executions it guards. Single-driver only: concurrent
+  /// callers use the explicit-QueryContext overloads instead.
   void set_query_context(QueryContext* qc) { query_ctx_ = qc; }
   QueryContext* query_context() const { return query_ctx_; }
 
+  /// The snapshot an execution under `qc` reads: the pin `qc` carries when
+  /// it belongs to this engine's catalog, else the catalog's current
+  /// version. Components wrapping the engine (materializer, plan execution)
+  /// use this to read the same version the engine will.
+  std::shared_ptr<const CatalogSnapshot> PinnedSnapshot(
+      QueryContext* qc) const;
+
   /// Parses, binds and evaluates a SELECT statement.
   Result<Table> ExecuteSql(const std::string& sql);
+  Result<Table> ExecuteSql(const std::string& sql, QueryContext* qc);
 
   /// Binds and evaluates a parsed statement (all UNION branches).
   Result<Table> Execute(SelectStmt* stmt);
+  Result<Table> Execute(SelectStmt* stmt, QueryContext* qc);
 
   /// Evaluates an already-bound single branch (no UNION chain following).
   Result<Table> EvaluateBranch(const SelectStmt& stmt, const BoundQuery& bq);
+  Result<Table> EvaluateBranch(const SelectStmt& stmt, const BoundQuery& bq,
+                               QueryContext* qc);
 
  private:
+  using SnapshotRef = std::shared_ptr<const CatalogSnapshot>;
+
+  Result<Table> ExecuteImpl(SelectStmt* stmt, QueryContext* qc,
+                            const SnapshotRef& snap);
+  Result<Table> EvaluateBranchImpl(const SelectStmt& stmt,
+                                   const BoundQuery& bq, QueryContext* qc,
+                                   const SnapshotRef& snap);
   Result<Table> EvaluateFirstOrder(const SelectStmt& stmt,
-                                   const BoundQuery& bq);
+                                   const BoundQuery& bq, QueryContext* qc,
+                                   const SnapshotRef& snap);
 
   /// Evaluates a higher-order branch whose aggregation / DISTINCT / ORDER BY
   /// must apply across all groundings: evaluates an aggregate-free inner
   /// projection per grounding, unions, then applies the outer layer.
   Result<Table> EvaluateHigherOrderGlobal(const SelectStmt& stmt,
-                                          const BoundQuery& bq);
+                                          const BoundQuery& bq,
+                                          QueryContext* qc,
+                                          const SnapshotRef& snap);
 
-  /// Operator-level context: the shared pool (read-only here; created by
-  /// EnsurePool on the driving thread) plus the morsel granularity.
-  ExecContext Ctx() const;
+  /// Operator-level context for one execution under `qc` reading `snap`:
+  /// the shared pool, morsel granularity, guard, pinned snapshot, and
+  /// observability sinks.
+  ExecContext Ctx(QueryContext* qc, const SnapshotRef& snap) const;
+
+  /// The pool pointer without creating it (thread-safe load).
+  ThreadPool* CurrentPool() const;
 
   const Catalog* catalog_;
   std::string default_db_;
   ExecConfig exec_;
-  QueryContext* query_ctx_ = nullptr;  // Borrowed; null = unguarded.
-  /// Lazily created, shared with sub-engines (the higher-order outer layer)
-  /// so nested evaluation reuses one set of workers.
-  std::shared_ptr<ThreadPool> pool_;
+  QueryContext* query_ctx_ = nullptr;  // Borrowed; null = unguarded (legacy).
+  /// Lazily created (guarded by pool_mu_, read via atomic load), shared with
+  /// sub-engines (the higher-order outer layer) so nested evaluation reuses
+  /// one set of workers.
+  mutable std::mutex pool_mu_;
+  std::atomic<std::shared_ptr<ThreadPool>> pool_;
 };
 
 }  // namespace dynview

@@ -22,6 +22,9 @@ Result<ViewIndex> ViewIndex::Build(const CreateIndexStmt& stmt,
   index.name_ = stmt.name;
   index.method_ = stmt.method;
   index.definition_ = stmt.ToString();
+  // Captured before evaluating: a racing commit can only make the index
+  // look conservatively stale, never newer than the data it indexed.
+  index.build_version_ = engine->catalog().version();
 
   // Evaluate the defining query with the key expression prepended, so the
   // key is column 0 of the materialized contents.

@@ -58,6 +58,13 @@ class ViewIndex {
   /// The SchemaSQL definition text (for catalogs and EXPLAIN output).
   std::string definition() const { return definition_; }
 
+  /// The catalog version the defining query was evaluated against, captured
+  /// before the build's evaluation — so a commit racing the build can only
+  /// make the index look *older* (conservatively stale), never newer than
+  /// its data. The optimizer fences probes once any source database has
+  /// committed past this version.
+  uint64_t build_version() const { return build_version_; }
+
  private:
   ViewIndex() = default;
 
@@ -66,6 +73,7 @@ class ViewIndex {
   std::string name_;
   IndexMethod method_ = IndexMethod::kBtree;
   std::string definition_;
+  uint64_t build_version_ = 0;
   Table contents_;
   std::unique_ptr<BTreeIndex> btree_;
   std::unique_ptr<InvertedIndex> inverted_;

@@ -16,10 +16,20 @@ IntegrationSystem::IntegrationSystem(Catalog* catalog,
 
 Result<const ViewDefinition*> IntegrationSystem::RegisterAndMaterializeSource(
     const std::string& create_view_sql) {
+  uint64_t commit_version = 0;
   DV_RETURN_IF_ERROR(ViewMaterializer::MaterializeSql(
-                         create_view_sql, &engine_, catalog_, integration_db_)
+                         create_view_sql, &engine_, catalog_, integration_db_,
+                         /*qc=*/nullptr, &commit_version)
                          .status());
-  return RegisterSource(create_view_sql);
+  DV_ASSIGN_OR_RETURN(const ViewDefinition* view,
+                      RegisterSource(create_view_sql));
+  // The materialization is derived state: fence it at the version its
+  // install committed so queries pinned to a later snapshot can detect
+  // whether I has moved underneath it (ViewDefinition::IsStaleAgainst).
+  ViewDefinition* fenced = sources_.back().get();
+  fenced->AdvanceMaterializedVersion(commit_version);
+  fenced->set_fenced(true);
+  return view;
 }
 
 Result<const ViewDefinition*> IntegrationSystem::RegisterSource(
@@ -77,10 +87,38 @@ Result<const ViewIndex*> IntegrationSystem::RegisterIndex(
 
 Result<TranslationResult> IntegrationSystem::Rewrite(const std::string& sql,
                                                      bool multiset) {
-  QueryTranslator translator(catalog_, integration_db_);
-  AggregateViewRewriter agg_rewriter(catalog_, integration_db_);
+  // One consistent version for the whole rewrite (the translators read view
+  // bodies and I's schema through it). Held alive for the call.
+  std::shared_ptr<const CatalogSnapshot> snap = catalog_->Snapshot();
+  return RewriteOver(sql, multiset, *snap, /*stale=*/nullptr);
+}
+
+Result<TranslationResult> IntegrationSystem::RewriteOver(
+    const std::string& sql, bool multiset, const CatalogSnapshot& snap,
+    std::vector<SourceWarning>* stale) {
+  QueryTranslator translator(&snap, integration_db_);
+  AggregateViewRewriter agg_rewriter(&snap, integration_db_);
   std::string last_reason;
   for (const auto& source : sources_) {
+    if (source->IsStaleAgainst(snap)) {
+      // The materialization predates a commit that touched a base database
+      // the view reads: answering from it would not match any single catalog
+      // version. Fall back past it (stale fencing).
+      const NameTerm& db = source->db_term();
+      const NameTerm& rel = source->rel_term();
+      std::string name =
+          (db.empty() ? std::string() : db.text + "::") + rel.text;
+      last_reason = "source " + name + " is stale";
+      if (stale != nullptr) {
+        stale->push_back(SourceWarning{
+            name, Status::Unavailable(
+                      "stale materialization: built at catalog version " +
+                      std::to_string(source->materialized_version()) +
+                      ", snapshot is version " +
+                      std::to_string(snap.version()))});
+      }
+      continue;
+    }
     if (source->IsAggregateView()) {
       // Sec. 5.2 / Ex. 5.3: aggregate-defined sources answer aggregate
       // queries by re-aggregation. AVG re-aggregation requires the
@@ -118,6 +156,14 @@ Result<AnswerResult> IntegrationSystem::AnswerGuarded(
     const std::string& sql, const AnswerOptions& options, QueryContext* ctx) {
   QueryContext local(options.guards);
   QueryContext* qc = ctx != nullptr ? ctx : &local;
+  // Pin the one catalog version the whole call reads. A snapshot the caller
+  // already pinned is honored when it belongs to our catalog (the chaos
+  // oracle replays queries against a recorded version this way); a foreign
+  // snapshot is replaced rather than misapplied.
+  if (qc->snapshot() == nullptr || qc->snapshot()->origin() != catalog_) {
+    qc->PinSnapshot(catalog_->Snapshot());
+  }
+  std::shared_ptr<const CatalogSnapshot> snap = qc->snapshot();
   // Attach an observer unless tracing is off or the caller brought their
   // own (a caller-attached observer also receives this query's data and is
   // simply not re-exported on the result).
@@ -126,40 +172,49 @@ Result<AnswerResult> IntegrationSystem::AnswerGuarded(
     observer = std::make_shared<QueryObserver>();
     qc->set_observer(observer.get());
   }
-  engine_.set_query_context(qc);
-  // The engine borrows qc (and qc borrows our observer) only for this call;
-  // detach on every exit path.
+  // qc borrows our observer only for this call; detach on every exit path.
+  // The engine itself takes qc per call (explicit overloads), so concurrent
+  // AnswerGuarded calls on one system never share mutable engine state.
   struct Detach {
-    QueryEngine* e;
     QueryContext* qc;
     bool owns_observer;
     ~Detach() {
       if (owns_observer) qc->set_observer(nullptr);
-      e->set_query_context(nullptr);
     }
-  } detach{&engine_, qc, observer != nullptr};
+  } detach{qc, observer != nullptr};
 
+  // Stale-source fences surface in registration order, before any
+  // degradation warnings execution adds — a deterministic prefix.
+  std::vector<SourceWarning> stale;
   Result<Table> answered = [&]() -> Result<Table> {
-    Result<TranslationResult> rewritten = Rewrite(sql, options.multiset);
+    Result<TranslationResult> rewritten =
+        RewriteOver(sql, options.multiset, *snap, &stale);
     if (rewritten.ok()) {
-      return engine_.Execute(rewritten.value().query.get());
+      return engine_.Execute(rewritten.value().query.get(), qc);
     }
-    Result<Table> direct = engine_.ExecuteSql(sql);
+    Result<Table> direct = engine_.ExecuteSql(sql, qc);
     if (direct.ok()) return direct;
     // Guard trips during the fallback are the real outcome, not a reason to
     // report "no source answers".
     if (!qc->CheckGuards().ok()) return direct;
     return rewritten.status();
   }();
+  QueryObserver* sink = qc->observer();
+  if (sink != nullptr && !stale.empty()) {
+    sink->metrics.Add(counters::kCatalogStalePath,
+                      static_cast<uint64_t>(stale.size()));
+  }
   DV_RETURN_IF_ERROR(answered.status());
-  if (observer != nullptr) {
+  if (sink != nullptr) {
     // Budget gauges come from the guard's accounting, set once at query end
     // on the driving thread.
-    observer->metrics.Set(counters::kBudgetRowsCharged, qc->rows_charged());
-    observer->metrics.Set(counters::kBudgetBytesCharged, qc->bytes_charged());
+    sink->metrics.Set(counters::kBudgetRowsCharged, qc->rows_charged());
+    sink->metrics.Set(counters::kBudgetBytesCharged, qc->bytes_charged());
   }
-  return AnswerResult{std::move(answered).value(), qc->warnings(),
-                      std::move(observer)};
+  std::vector<SourceWarning> warnings = std::move(stale);
+  for (SourceWarning& w : qc->warnings()) warnings.push_back(std::move(w));
+  return AnswerResult{std::move(answered).value(), std::move(warnings),
+                      std::move(observer), snap->version(), std::move(snap)};
 }
 
 Result<Table> IntegrationSystem::AnswerOptimized(const std::string& sql) {

@@ -26,17 +26,25 @@ struct AnswerOptions {
 };
 
 /// A guarded answer: the (possibly partial) result plus one warning per
-/// source contribution that was skipped under SourcePolicy::kSkipAndReport.
-/// An empty warning list means the result is complete.
+/// source contribution that was skipped under SourcePolicy::kSkipAndReport
+/// or fenced off as stale. An empty warning list means the result is
+/// complete.
 ///
 /// `observer` carries the query's trace and merged counters when tracing was
 /// enabled (ExecConfig::enable_trace and no caller-attached observer on
 /// `ctx`); null otherwise. Shared ownership lets callers keep the trace past
 /// the next Answer call.
+///
+/// `snapshot` / `snapshot_version` record the one catalog version every read
+/// of this query observed. Re-executing the same query serially against
+/// `snapshot` must reproduce `table` byte-for-byte — the consistency oracle
+/// the chaos suite asserts under concurrent catalog mutation.
 struct AnswerResult {
   Table table;
   std::vector<SourceWarning> warnings;
   std::shared_ptr<const QueryObserver> observer;
+  uint64_t snapshot_version = 0;
+  std::shared_ptr<const CatalogSnapshot> snapshot;
 };
 
 /// The Fig. 6 architecture. The integration schema I is a stable,
@@ -84,6 +92,15 @@ class IntegrationSystem {
   /// kResourceExhausted statuses. `ctx`, when given, allows the caller to
   /// cancel concurrently via ctx->Cancel(); it must outlive the call and
   /// carry the same guards.
+  ///
+  /// The whole call runs against ONE catalog snapshot, pinned on the query
+  /// context up front (a caller-pinned snapshot of this catalog is honored —
+  /// the chaos oracle uses that to re-execute against a recorded version).
+  /// Registered sources whose materialization is stale against that snapshot
+  /// are fenced off: the rewrite falls back past them (ultimately to the
+  /// baseline direct plan on I), each fenced source adds a deterministic
+  /// warning, and the `catalog.stale_path` counter is bumped once per fence.
+  /// Safe to call from several threads on one IntegrationSystem.
   Result<AnswerResult> AnswerGuarded(const std::string& sql,
                                      const AnswerOptions& options,
                                      QueryContext* ctx = nullptr);
@@ -117,6 +134,14 @@ class IntegrationSystem {
   Optimizer* optimizer() { return &optimizer_; }
 
  private:
+  /// Rewrite against one pinned catalog version: translators resolve view
+  /// bodies and I's schema through `snap`, and fenced sources whose
+  /// materialization is stale against `snap` are skipped. Each skip appends
+  /// a deterministic (registration-order) warning to `stale`, when given.
+  Result<TranslationResult> RewriteOver(const std::string& sql, bool multiset,
+                                        const CatalogSnapshot& snap,
+                                        std::vector<SourceWarning>* stale);
+
   Catalog* catalog_;
   std::string integration_db_;
   QueryEngine engine_;

@@ -4,7 +4,7 @@
 
 namespace dynview {
 
-Status SchemaBrowser::InstallMetaTables(const Catalog& catalog,
+Status SchemaBrowser::InstallMetaTables(const CatalogReader& catalog,
                                         Catalog* target,
                                         const std::string& meta_db) {
   Table databases(Schema({{"db", TypeKind::kString}}));
@@ -36,15 +36,20 @@ Status SchemaBrowser::InstallMetaTables(const Catalog& catalog,
       }
     }
   }
-  Database* meta = target->GetOrCreateDatabase(meta_db);
-  meta->PutTable("databases", std::move(databases));
-  meta->PutTable("relations", std::move(relations));
-  meta->PutTable("attributes", std::move(attributes));
-  return Status::OK();
+  // One commit: readers see all three meta tables together or none.
+  return target
+      ->Mutate([&](CatalogTxn& txn) {
+        Database* meta = txn.GetOrCreateDatabase(meta_db);
+        meta->PutTable("databases", std::move(databases));
+        meta->PutTable("relations", std::move(relations));
+        meta->PutTable("attributes", std::move(attributes));
+        return Status::OK();
+      })
+      .status();
 }
 
 Result<Table> SchemaBrowser::RelationsWithAttribute(
-    const Catalog& catalog, const std::string& attr,
+    const CatalogReader& catalog, const std::string& attr,
     const std::string& exclude_db) {
   Table out(Schema({{"db", TypeKind::kString}, {"rel", TypeKind::kString}}));
   for (const std::string& db_name : catalog.DatabaseNames()) {

@@ -25,12 +25,12 @@ class SchemaBrowser {
   /// (typically the same catalog — self-description). Pre-existing meta
   /// tables are replaced. `meta_db` itself is excluded from the snapshot
   /// when self-describing, so the fixpoint is stable.
-  static Status InstallMetaTables(const Catalog& catalog, Catalog* target,
+  static Status InstallMetaTables(const CatalogReader& catalog, Catalog* target,
                                   const std::string& meta_db);
 
   /// Convenience: relations of `catalog` (excluding `exclude_db`) that have
   /// an attribute named `attr`.
-  static Result<Table> RelationsWithAttribute(const Catalog& catalog,
+  static Result<Table> RelationsWithAttribute(const CatalogReader& catalog,
                                               const std::string& attr,
                                               const std::string& exclude_db);
 };

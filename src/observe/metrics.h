@@ -35,6 +35,8 @@ inline constexpr char kGroundingsEvaluated[] =
 inline constexpr char kSourceRetries[] = "source.retries";   // [invariant]
 inline constexpr char kSourcesSkipped[] = "sources.skipped"; // [invariant]
 inline constexpr char kFailpointTrips[] = "failpoint.trips"; // [invariant]
+inline constexpr char kCatalogStalePath[] =
+    "catalog.stale_path";                                 // [invariant]
 inline constexpr char kPivotMultiplicityDropped[] =
     "pivot.multiplicity_dropped";                         // [invariant]
 // Gauges (set at query end from QueryContext accounting).

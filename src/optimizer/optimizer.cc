@@ -82,6 +82,9 @@ std::string OptimizedPlan::Describe() const {
   std::string out = "Plan (est_cost=" + std::to_string(est_cost) +
                     ", est_rows=" + std::to_string(est_rows) + ")\n";
   if (root) out += root->Describe(1);
+  for (const std::string& p : stale_paths) {
+    out += "  stale (excluded): " + p + "\n";
+  }
   return out;
 }
 
@@ -181,8 +184,13 @@ Result<OptimizedPlan> Optimizer::PlanInternal(const std::string& sql,
   if (stmt->union_next != nullptr) {
     return Status::Unsupported("optimizer handles single-block queries");
   }
+  // One catalog version for the whole planning pass: normalization, costing,
+  // usability and translation all read `snap`, and the finished plan records
+  // it so Execute sees the same data even with concurrent writers.
+  std::shared_ptr<const CatalogSnapshot> snap = catalog_->Snapshot();
+  std::vector<std::string> stale_paths;
   DV_ASSIGN_OR_RETURN(BoundQuery bq,
-                      NormalizeQuery(stmt.get(), *catalog_, default_db_));
+                      NormalizeQuery(stmt.get(), *snap, default_db_));
   if (bq.higher_order) {
     return Status::Unsupported(
         "optimizer input must be first order (a query on the integration)");
@@ -209,14 +217,14 @@ Result<OptimizedPlan> Optimizer::PlanInternal(const std::string& sql,
   std::vector<double> base_rows(n, 1.0);
   for (size_t i = 0; i < n; ++i) {
     Result<const Table*> t =
-        catalog_->ResolveTable(info.tables[i].db, info.tables[i].rel);
+        snap->ResolveTable(info.tables[i].db, info.tables[i].rel);
     DV_RETURN_IF_ERROR(t.status());
     base_rows[i] = std::max<double>(1.0, t.value()->num_rows());
   }
 
   // Statistics-aware selectivity (Sec. 6 cost model ablation: compare with
   // the System-R constants via EnableStatistics).
-  StatsCache stats(catalog_);
+  StatsCache stats(snap.get());
   std::map<std::string, std::string> attr_of_var;  // var → attr (lowercased).
   for (const auto& [tuple, attrs] : info.domain_of) {
     for (const auto& [attr, var] : attrs) attr_of_var[ToLower(var)] = attr;
@@ -370,6 +378,14 @@ Result<OptimizedPlan> Optimizer::PlanInternal(const std::string& sql,
   // ---- Seeds: index probes. ------------------------------------------------
   if (allow_resources) {
     for (const IndexEntry& entry : indexes_) {
+      // Stale fence: the index was built before the source database's last
+      // commit — probing it could answer from vanished rows. Fall back to
+      // base-table paths and report the exclusion.
+      if (snap->DatabaseVersion(entry.source.db) >
+          entry.index->build_version()) {
+        stale_paths.push_back("index " + entry.index->name());
+        continue;
+      }
       for (size_t i = 0; i < n; ++i) {
         if (!(info.tables[i] == entry.source)) continue;
         uint32_t mask = 1u << i;
@@ -472,9 +488,21 @@ Result<OptimizedPlan> Optimizer::PlanInternal(const std::string& sql,
 
   // ---- Seeds: materialized views. -------------------------------------------
   if (allow_resources) {
-    UsabilityChecker checker(catalog_, default_db_);
-    QueryTranslator translator(catalog_, default_db_);
+    UsabilityChecker checker(snap.get(), default_db_);
+    QueryTranslator translator(snap.get(), default_db_);
     for (const auto& view : views_) {
+      // Stale fence: the materialization predates a commit to one of the
+      // view's source databases. Answering from it would be answering
+      // against no single catalog version, so the plan falls back to base
+      // tables until the maintainer (or a re-materialization) catches up.
+      if (view->IsStaleAgainst(*snap)) {
+        stale_paths.push_back(
+            "view " +
+            (view->db_term().empty() ? std::string()
+                                     : view->db_term().text + "::") +
+            view->rel_term().text);
+        continue;
+      }
       // Enumerate cover sets: choose a query table for each view table.
       const auto& vtables = view->tables();
       std::vector<std::vector<size_t>> candidates(vtables.size());
@@ -591,15 +619,15 @@ Result<OptimizedPlan> Optimizer::PlanInternal(const std::string& sql,
                                    : view->db_term().text;
           double total = 0;
           if (view->db_term().is_variable) {
-            for (const std::string& db : catalog_->DatabaseNames()) {
-              Result<const Database*> d = catalog_->GetDatabase(db);
+            for (const std::string& db : snap->DatabaseNames()) {
+              Result<const Database*> d = snap->GetDatabase(db);
               if (!d.ok()) continue;
               for (const std::string& rel : d.value()->TableNames()) {
                 total += d.value()->GetTable(rel).value()->num_rows();
               }
             }
           } else {
-            Result<const Database*> d = catalog_->GetDatabase(dbname);
+            Result<const Database*> d = snap->GetDatabase(dbname);
             if (d.ok()) {
               if (view->rel_term().is_variable) {
                 for (const std::string& rel : d.value()->TableNames()) {
@@ -693,6 +721,8 @@ Result<OptimizedPlan> Optimizer::PlanInternal(const std::string& sql,
   plan.est_rows = dp[full].rows;
   plan.uses_views = dp[full].uses_views;
   plan.uses_indexes = dp[full].uses_indexes;
+  plan.snapshot = snap;
+  plan.stale_paths = std::move(stale_paths);
 
   // The final statement: original answer shape over the plan's output, plus
   // any conjuncts the plan could not place (constant-only or unplaceable).
@@ -722,9 +752,12 @@ Result<OptimizedPlan> Optimizer::PlanInternal(const std::string& sql,
 
 Result<Table> Optimizer::Execute(const OptimizedPlan& plan) const {
   QueryEngine engine(catalog_, default_db_);
-  DV_ASSIGN_OR_RETURN(Table rows, plan.root->Execute(&engine));
+  // Execution reads the version the plan was costed against.
+  QueryContext qc;
+  qc.PinSnapshot(plan.snapshot);
+  DV_ASSIGN_OR_RETURN(Table rows, plan.root->Execute(&engine, &qc));
   Catalog scratch;
-  scratch.GetOrCreateDatabase("sc")->PutTable("plan_rows", std::move(rows));
+  DV_RETURN_IF_ERROR(scratch.PutTable("sc", "plan_rows", std::move(rows)));
   QueryEngine top(&scratch, "sc");
   std::unique_ptr<SelectStmt> stmt = plan.stmt->Clone();
   return top.Execute(stmt.get());

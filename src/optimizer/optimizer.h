@@ -25,6 +25,16 @@ struct OptimizedPlan {
   bool uses_views = false;
   bool uses_indexes = false;
 
+  /// The catalog version the plan was costed against; Execute reads it, so
+  /// plan-time and run-time see the same data even with concurrent writers.
+  std::shared_ptr<const CatalogSnapshot> snapshot;
+
+  /// View/index access paths that were *candidates* but excluded because
+  /// their derived state predates a commit to a source database (stale
+  /// fence). Non-empty means the plan fell back to base-table paths for
+  /// those resources; callers surface this as a deterministic warning.
+  std::vector<std::string> stale_paths;
+
   std::string Describe() const;
 };
 

@@ -112,11 +112,14 @@ std::string PlanNode::Describe(int indent) const {
   return out;
 }
 
-Result<Table> PlanNode::Execute(QueryEngine* engine) const {
+Result<Table> PlanNode::Execute(QueryEngine* engine, QueryContext* qc) const {
   switch (kind) {
     case Kind::kTableScan: {
+      // Held across the projection: the rows borrowed from the snapshot
+      // must outlive their copy, even when no caller pins one.
+      std::shared_ptr<const CatalogSnapshot> snap = engine->PinnedSnapshot(qc);
       DV_ASSIGN_OR_RETURN(const Table* base,
-                          engine->catalog().ResolveTable(table.db, table.rel));
+                          snap->ResolveTable(table.db, table.rel));
       // Project to named outputs, then filter.
       std::vector<int> cols;
       std::vector<std::string> names;
@@ -156,11 +159,11 @@ Result<Table> PlanNode::Execute(QueryEngine* engine) const {
     }
     case Kind::kViewScan: {
       std::unique_ptr<SelectStmt> copy = rewritten->Clone();
-      return engine->Execute(copy.get());
+      return engine->Execute(copy.get(), qc);
     }
     case Kind::kJoin: {
-      DV_ASSIGN_OR_RETURN(Table lt, left->Execute(engine));
-      DV_ASSIGN_OR_RETURN(Table rt, right->Execute(engine));
+      DV_ASSIGN_OR_RETURN(Table lt, left->Execute(engine, qc));
+      DV_ASSIGN_OR_RETURN(Table rt, right->Execute(engine, qc));
       ColumnBindings lb = NamedBindings(lt);
       ColumnBindings rb = NamedBindings(rt);
       // Split join_conds into hash keys and residual filters.

@@ -65,8 +65,10 @@ struct PlanNode {
   /// Multi-line plan rendering with cost/cardinality annotations.
   std::string Describe(int indent = 0) const;
 
-  /// Executes the plan against `engine`'s catalog.
-  Result<Table> Execute(QueryEngine* engine) const;
+  /// Executes the plan against `engine`'s catalog. When `qc` carries a
+  /// pinned snapshot of that catalog, every scan and shipped subquery reads
+  /// that one version (the version the plan was costed against).
+  Result<Table> Execute(QueryEngine* engine, QueryContext* qc = nullptr) const;
 };
 
 }  // namespace dynview

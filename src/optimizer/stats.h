@@ -39,14 +39,14 @@ struct TableStats {
 /// constructing a new cache after bulk updates.
 class StatsCache {
  public:
-  explicit StatsCache(const Catalog* catalog) : catalog_(catalog) {}
+  explicit StatsCache(const CatalogReader* catalog) : catalog_(catalog) {}
 
   /// Statistics for `table`, computing on first use; nullptr if the table
   /// does not exist.
   const TableStats* Get(const TableRef& table);
 
  private:
-  const Catalog* catalog_;
+  const CatalogReader* catalog_;
   std::map<std::pair<std::string, std::string>, TableStats> cache_;
 };
 

@@ -1,5 +1,7 @@
 #include "relational/catalog.h"
 
+#include <utility>
+
 #include "common/failpoint.h"
 #include "common/str_util.h"
 
@@ -57,49 +59,28 @@ std::vector<std::string> Database::TableNames() const {
   return names;
 }
 
-Result<Database*> Catalog::CreateDatabase(const std::string& db_name) {
-  std::string key = ToLower(db_name);
-  if (databases_.count(key) > 0) {
-    return Status::AlreadyExists("database '" + db_name + "' already exists");
-  }
-  auto [it, ok] =
-      databases_.emplace(key, std::make_pair(db_name, Database(db_name)));
-  (void)ok;
-  return &it->second.second;
+// ---------------------------------------------------------------- Snapshot
+
+uint64_t CatalogSnapshot::DatabaseVersion(const std::string& db_name) const {
+  auto it = entries_.find(ToLower(db_name));
+  return it == entries_.end() ? 0 : it->second.version;
 }
 
-Database* Catalog::GetOrCreateDatabase(const std::string& db_name) {
-  std::string key = ToLower(db_name);
-  auto it = databases_.find(key);
-  if (it == databases_.end()) {
-    it = databases_.emplace(key, std::make_pair(db_name, Database(db_name)))
-             .first;
-  }
-  return &it->second.second;
+bool CatalogSnapshot::HasDatabase(const std::string& db_name) const {
+  return entries_.count(ToLower(db_name)) > 0;
 }
 
-bool Catalog::HasDatabase(const std::string& db_name) const {
-  return databases_.count(ToLower(db_name)) > 0;
-}
-
-Result<const Database*> Catalog::GetDatabase(const std::string& db_name) const {
-  auto it = databases_.find(ToLower(db_name));
-  if (it == databases_.end()) {
+Result<const Database*> CatalogSnapshot::GetDatabase(
+    const std::string& db_name) const {
+  auto it = entries_.find(ToLower(db_name));
+  if (it == entries_.end()) {
     return Status::NotFound("database '" + db_name + "' not found");
   }
-  return &it->second.second;
+  return it->second.db.get();
 }
 
-Result<Database*> Catalog::GetMutableDatabase(const std::string& db_name) {
-  auto it = databases_.find(ToLower(db_name));
-  if (it == databases_.end()) {
-    return Status::NotFound("database '" + db_name + "' not found");
-  }
-  return &it->second.second;
-}
-
-Result<const Table*> Catalog::ResolveTable(const std::string& db_name,
-                                           const std::string& rel_name) const {
+Result<const Table*> CatalogSnapshot::ResolveTable(
+    const std::string& db_name, const std::string& rel_name) const {
   // Fault-injection point for source access: every engine scan and view
   // grounding resolves its base table here, so arming "catalog.resolve"
   // (match "db::rel") simulates that source being slow or unavailable.
@@ -111,11 +92,215 @@ Result<const Table*> Catalog::ResolveTable(const std::string& db_name,
   return db->GetTable(rel_name);
 }
 
-std::vector<std::string> Catalog::DatabaseNames() const {
+std::vector<std::string> CatalogSnapshot::DatabaseNames() const {
   std::vector<std::string> names;
-  names.reserve(databases_.size());
-  for (const auto& [key, entry] : databases_) names.push_back(entry.first);
+  names.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) names.push_back(entry.name);
   return names;
 }
+
+// --------------------------------------------------------------------- Txn
+
+CatalogTxn::CatalogTxn(const CatalogSnapshot& base)
+    : entries_(base.entries_) {}
+
+bool CatalogTxn::HasDatabase(const std::string& db_name) const {
+  return entries_.count(ToLower(db_name)) > 0;
+}
+
+Result<const Database*> CatalogTxn::GetDatabase(
+    const std::string& db_name) const {
+  auto it = entries_.find(ToLower(db_name));
+  if (it == entries_.end()) {
+    return Status::NotFound("database '" + db_name + "' not found");
+  }
+  return it->second.db.get();
+}
+
+Result<const Table*> CatalogTxn::ResolveTable(
+    const std::string& db_name, const std::string& rel_name) const {
+  // No failpoint here: transaction-internal reads (read-your-writes) are
+  // part of the mutation, whose injection point is `catalog.commit`.
+  DV_ASSIGN_OR_RETURN(const Database* db, GetDatabase(db_name));
+  return db->GetTable(rel_name);
+}
+
+std::vector<std::string> CatalogTxn::DatabaseNames() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) names.push_back(entry.name);
+  return names;
+}
+
+Database* CatalogTxn::Own(const std::string& key) {
+  auto owned = owned_.find(key);
+  if (owned != owned_.end()) return owned->second.get();
+  auto it = entries_.find(key);
+  auto clone = std::make_shared<Database>(*it->second.db);
+  it->second.db = clone;
+  owned_[key] = clone;
+  touched_.insert(key);
+  return clone.get();
+}
+
+Result<Database*> CatalogTxn::CreateDatabase(const std::string& db_name) {
+  std::string key = ToLower(db_name);
+  if (entries_.count(key) > 0) {
+    return Status::AlreadyExists("database '" + db_name + "' already exists");
+  }
+  auto db = std::make_shared<Database>(db_name);
+  entries_[key] = CatalogSnapshot::Entry{db_name, db, 0};
+  owned_[key] = db;
+  touched_.insert(key);
+  return db.get();
+}
+
+Database* CatalogTxn::GetOrCreateDatabase(const std::string& db_name) {
+  std::string key = ToLower(db_name);
+  if (entries_.count(key) == 0) {
+    return CreateDatabase(db_name).value();
+  }
+  return Own(key);
+}
+
+Result<Database*> CatalogTxn::GetMutableDatabase(const std::string& db_name) {
+  std::string key = ToLower(db_name);
+  if (entries_.count(key) == 0) {
+    return Status::NotFound("database '" + db_name + "' not found");
+  }
+  return Own(key);
+}
+
+Status CatalogTxn::DropDatabase(const std::string& db_name) {
+  std::string key = ToLower(db_name);
+  if (entries_.erase(key) == 0) {
+    return Status::NotFound("database '" + db_name + "' not found");
+  }
+  owned_.erase(key);
+  touched_.insert(key);
+  return Status::OK();
+}
+
+std::string CatalogTxn::TouchedDetail() const {
+  std::string detail;
+  for (const std::string& key : touched_) {
+    if (!detail.empty()) detail += ",";
+    detail += key;
+  }
+  return detail;
+}
+
+std::shared_ptr<const CatalogSnapshot> CatalogTxn::Build(
+    uint64_t version, const Catalog* origin) const {
+  auto snap = std::make_shared<CatalogSnapshot>();
+  snap->entries_ = entries_;
+  for (const std::string& key : touched_) {
+    auto it = snap->entries_.find(key);
+    if (it != snap->entries_.end()) it->second.version = version;
+  }
+  snap->version_ = version;
+  snap->origin_ = origin;
+  return snap;
+}
+
+// ----------------------------------------------------------------- Catalog
+
+Catalog::Catalog() {
+  auto empty = std::make_shared<CatalogSnapshot>();
+  empty->origin_ = this;
+  Publish(std::move(empty));
+}
+
+Result<uint64_t> Catalog::Mutate(
+    const std::function<Status(CatalogTxn&)>& fn) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  std::shared_ptr<const CatalogSnapshot> base = Snapshot();
+  CatalogTxn txn(*base);
+  DV_RETURN_IF_ERROR(fn(txn));
+  if (txn.touched_.empty()) return base->version();  // Read-only transaction.
+  uint64_t next = base->version() + 1;
+  // Fault-injection point for the commit itself: an injected error aborts
+  // the publish, so a chaos run exercises "mutation failed, readers keep the
+  // old version" — commit-or-nothing must hold under injection too.
+  if (FailPoints::AnyArmed()) {
+    DV_RETURN_IF_ERROR(
+        FailPoints::Check("catalog.commit", txn.TouchedDetail()));
+  }
+  // Assemble the new version before taking the head lock: readers are only
+  // ever excluded for the duration of one pointer swap.
+  std::shared_ptr<const CatalogSnapshot> built = txn.Build(next, this);
+  Publish(std::move(built));
+  return next;
+}
+
+Status Catalog::CreateDatabase(const std::string& db_name) {
+  return Mutate([&](CatalogTxn& txn) {
+           return txn.CreateDatabase(db_name).status();
+         })
+      .status();
+}
+
+Status Catalog::EnsureDatabase(const std::string& db_name) {
+  return Mutate([&](CatalogTxn& txn) {
+           txn.GetOrCreateDatabase(db_name);
+           return Status::OK();
+         })
+      .status();
+}
+
+Status Catalog::AddTable(const std::string& db_name,
+                         const std::string& rel_name, Table table) {
+  return Mutate([&](CatalogTxn& txn) {
+           return txn.GetOrCreateDatabase(db_name)->AddTable(
+               rel_name, std::move(table));
+         })
+      .status();
+}
+
+Status Catalog::PutTable(const std::string& db_name,
+                         const std::string& rel_name, Table table) {
+  return Mutate([&](CatalogTxn& txn) {
+           txn.GetOrCreateDatabase(db_name)->PutTable(rel_name,
+                                                      std::move(table));
+           return Status::OK();
+         })
+      .status();
+}
+
+Status Catalog::DropTable(const std::string& db_name,
+                          const std::string& rel_name) {
+  return Mutate([&](CatalogTxn& txn) -> Status {
+           DV_ASSIGN_OR_RETURN(Database * db, txn.GetMutableDatabase(db_name));
+           return db->DropTable(rel_name);
+         })
+      .status();
+}
+
+Status Catalog::DropDatabase(const std::string& db_name) {
+  return Mutate([&](CatalogTxn& txn) { return txn.DropDatabase(db_name); })
+      .status();
+}
+
+bool Catalog::HasDatabase(const std::string& db_name) const {
+  return Snapshot()->HasDatabase(db_name);
+}
+
+Result<const Database*> Catalog::GetDatabase(const std::string& db_name) const {
+  // The returned pointer refers into the current version; it stays valid
+  // until a later commit touches this database (databases are shared across
+  // versions, not copied per commit). Concurrent readers pin Snapshot().
+  return Snapshot()->GetDatabase(db_name);
+}
+
+Result<const Table*> Catalog::ResolveTable(const std::string& db_name,
+                                           const std::string& rel_name) const {
+  return Snapshot()->ResolveTable(db_name, rel_name);
+}
+
+std::vector<std::string> Catalog::DatabaseNames() const {
+  return Snapshot()->DatabaseNames();
+}
+
+size_t Catalog::num_databases() const { return Snapshot()->num_databases(); }
 
 }  // namespace dynview

@@ -1,7 +1,12 @@
 #ifndef DYNVIEW_RELATIONAL_CATALOG_H_
 #define DYNVIEW_RELATIONAL_CATALOG_H_
 
+#include <atomic>
+#include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -10,9 +15,15 @@
 
 namespace dynview {
 
+class Catalog;
+
 /// A named database: an ordered map of relation name → table. Relation names
 /// are schema labels that SchemaSQL relation variables (`db -> R`) range
 /// over, so enumeration order must be deterministic (we keep names sorted).
+///
+/// A Database object is only ever mutated inside a CatalogTxn (where the
+/// transaction owns a private clone); everywhere else it is reached through
+/// a `const Database*` and is immutable.
 class Database {
  public:
   Database() = default;
@@ -44,33 +55,214 @@ class Database {
   std::map<std::string, std::pair<std::string, Table>> tables_;
 };
 
-/// A federation of databases (Fig. 6 of the paper): the range of SchemaSQL
-/// database variables (`-> D`).
-class Catalog {
+/// Read-only view of a federation of databases. Both the live `Catalog`
+/// (which always reads its current version) and an immutable
+/// `CatalogSnapshot` (one pinned version) implement it, so every component
+/// that only *reads* schema/data — binding, normalization, usability,
+/// grounding enumeration, statistics — works identically against either.
+class CatalogReader {
  public:
-  Catalog() = default;
+  virtual ~CatalogReader() = default;
+
+  virtual bool HasDatabase(const std::string& db_name) const = 0;
+  virtual Result<const Database*> GetDatabase(
+      const std::string& db_name) const = 0;
+
+  /// Resolves `db.rel`; fails with NotFound naming the missing piece.
+  virtual Result<const Table*> ResolveTable(
+      const std::string& db_name, const std::string& rel_name) const = 0;
+
+  /// Database names in sorted order — the range of a database variable.
+  virtual std::vector<std::string> DatabaseNames() const = 0;
+
+  virtual size_t num_databases() const = 0;
+};
+
+/// One immutable, refcounted version of the catalog (MVCC-lite). A snapshot
+/// is obtained from `Catalog::Snapshot()` (a head-pointer copy) and pinned
+/// for the duration of a query, so every read the query performs — grounding
+/// enumeration, operator scans, optimizer statistics, view materialization
+/// input — observes one consistent version even while writers commit new
+/// ones concurrently. Databases are shared (refcounted) across versions;
+/// a commit clones only the databases it touched.
+class CatalogSnapshot final : public CatalogReader {
+ public:
+  /// Monotonic catalog version this snapshot represents (0 = empty seed).
+  uint64_t version() const { return version_; }
+
+  /// The Catalog this snapshot was taken from. Components holding several
+  /// catalogs (sub-engines over scratch catalogs) use it to decide whether a
+  /// pinned snapshot applies to them.
+  const Catalog* origin() const { return origin_; }
+
+  /// The catalog version that last modified `db_name` (0 when the database
+  /// does not exist in this snapshot). This is the fence derived state is
+  /// checked against: a materialization built at version v is stale iff some
+  /// database it reads from has DatabaseVersion > v.
+  uint64_t DatabaseVersion(const std::string& db_name) const;
+
+  bool HasDatabase(const std::string& db_name) const override;
+  Result<const Database*> GetDatabase(
+      const std::string& db_name) const override;
+  Result<const Table*> ResolveTable(const std::string& db_name,
+                                    const std::string& rel_name) const override;
+  std::vector<std::string> DatabaseNames() const override;
+  size_t num_databases() const override { return entries_.size(); }
+
+ private:
+  friend class Catalog;
+  friend class CatalogTxn;
+
+  struct Entry {
+    std::string name;                    // Original-case database name.
+    std::shared_ptr<const Database> db;  // Shared across versions until touched.
+    uint64_t version = 0;                // Catalog version of last modification.
+  };
+
+  // Keyed by lowercase database name.
+  std::map<std::string, Entry> entries_;
+  uint64_t version_ = 0;
+  const Catalog* origin_ = nullptr;
+};
+
+/// A pending catalog mutation: a copy-on-write overlay over the version the
+/// writer observed at `Catalog::Mutate` entry. Reads see this transaction's
+/// own writes (read-your-writes); a database is deep-cloned the first time
+/// the transaction asks for mutable access to it. Nothing is visible to
+/// concurrent readers until `Mutate` publishes the commit atomically —
+/// a failed transaction publishes nothing.
+class CatalogTxn {
+ public:
+  CatalogTxn(const CatalogTxn&) = delete;
+  CatalogTxn& operator=(const CatalogTxn&) = delete;
+
+  bool HasDatabase(const std::string& db_name) const;
+  Result<const Database*> GetDatabase(const std::string& db_name) const;
+  Result<const Table*> ResolveTable(const std::string& db_name,
+                                    const std::string& rel_name) const;
+  std::vector<std::string> DatabaseNames() const;
 
   /// Creates an empty database; fails if the name is taken.
   Result<Database*> CreateDatabase(const std::string& db_name);
 
-  /// Returns the database, creating it if needed.
+  /// Returns a mutable database, creating it if needed.
   Database* GetOrCreateDatabase(const std::string& db_name);
 
-  bool HasDatabase(const std::string& db_name) const;
-  Result<const Database*> GetDatabase(const std::string& db_name) const;
   Result<Database*> GetMutableDatabase(const std::string& db_name);
 
-  /// Resolves `db.rel`; fails with NotFound naming the missing piece.
-  Result<const Table*> ResolveTable(const std::string& db_name,
-                                    const std::string& rel_name) const;
-
-  /// Database names in sorted order — the range of a database variable.
-  std::vector<std::string> DatabaseNames() const;
-
-  size_t num_databases() const { return databases_.size(); }
+  /// Removes the database; fails with NotFound if absent.
+  Status DropDatabase(const std::string& db_name);
 
  private:
-  std::map<std::string, std::pair<std::string, Database>> databases_;
+  friend class Catalog;
+
+  explicit CatalogTxn(const CatalogSnapshot& base);
+
+  /// Lowercase keys of every database this transaction created, cloned for
+  /// write, or dropped — comma-joined, for the `catalog.commit` failpoint
+  /// detail and per-database version bumps.
+  std::string TouchedDetail() const;
+
+  std::shared_ptr<const CatalogSnapshot> Build(uint64_t version,
+                                               const Catalog* origin) const;
+
+  /// Clones the base database under `key` for write (no-op when already
+  /// owned by this transaction).
+  Database* Own(const std::string& key);
+
+  std::map<std::string, CatalogSnapshot::Entry> entries_;
+  // Private clones this transaction may mutate, aliased by entries_.
+  std::map<std::string, std::shared_ptr<Database>> owned_;
+  std::set<std::string> touched_;
+};
+
+/// A federation of databases (Fig. 6 of the paper): the range of SchemaSQL
+/// database variables (`-> D`).
+///
+/// Concurrency model (MVCC-lite): the catalog's contents live in an
+/// immutable CatalogSnapshot published through a head pointer whose only
+/// critical section is the pointer copy/swap itself (a few instructions; a
+/// plain mutex rather than std::atomic<shared_ptr>, whose libstdc++
+/// implementation reads its payload after a relaxed spinlock release and is
+/// flagged by TSan). Readers call `Snapshot()` and read that version for as
+/// long as they hold the refcount; writers serialize on a single writer
+/// mutex, build the next version copy-on-write inside a CatalogTxn OUTSIDE
+/// the head lock, and publish with one pointer swap — so mutations never
+/// block readers behind transaction work and readers never observe a torn
+/// mix of versions. The inherited CatalogReader methods read the *current*
+/// version; the `const Database*`/`const Table*` they return stay valid
+/// until a later commit touches that database, which is always safe
+/// single-threaded, while concurrent readers must pin a snapshot.
+class Catalog final : public CatalogReader {
+ public:
+  Catalog();
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// The current version — a refcount bump under the head lock, whose
+  /// writer-side hold time is one pointer swap (never transaction work).
+  std::shared_ptr<const CatalogSnapshot> Snapshot() const {
+    std::lock_guard<std::mutex> lock(head_mu_);
+    return head_;
+  }
+
+  /// Current catalog version number.
+  uint64_t version() const { return Snapshot()->version(); }
+
+  /// Runs `fn` on a copy-on-write transaction over the current version and,
+  /// if it returns OK, publishes the result as the next version, returning
+  /// its number. On error nothing is published (commit-or-nothing). Writers
+  /// serialize; readers are never blocked. A transaction that touched
+  /// nothing publishes nothing and returns the current version.
+  ///
+  /// Failpoint: `catalog.commit` fires between `fn` succeeding and the
+  /// publish, with the comma-joined lowercase names of the touched databases
+  /// as the match detail — an injected error aborts the whole commit.
+  Result<uint64_t> Mutate(const std::function<Status(CatalogTxn&)>& fn);
+
+  // Convenience single-op mutations (each is one Mutate transaction).
+
+  /// Creates an empty database; fails if the name is taken.
+  Status CreateDatabase(const std::string& db_name);
+
+  /// Ensures the database exists.
+  Status EnsureDatabase(const std::string& db_name);
+
+  /// Adds `table` under `db_name.rel_name` (creating the database if
+  /// needed); fails if the table already exists.
+  Status AddTable(const std::string& db_name, const std::string& rel_name,
+                  Table table);
+
+  /// Replaces or creates `db_name.rel_name` (creating the database if
+  /// needed).
+  Status PutTable(const std::string& db_name, const std::string& rel_name,
+                  Table table);
+
+  /// Removes `db_name.rel_name`; fails if absent.
+  Status DropTable(const std::string& db_name, const std::string& rel_name);
+
+  /// Removes the database; fails if absent.
+  Status DropDatabase(const std::string& db_name);
+
+  // CatalogReader over the current version.
+  bool HasDatabase(const std::string& db_name) const override;
+  Result<const Database*> GetDatabase(
+      const std::string& db_name) const override;
+  Result<const Table*> ResolveTable(const std::string& db_name,
+                                    const std::string& rel_name) const override;
+  std::vector<std::string> DatabaseNames() const override;
+  size_t num_databases() const override;
+
+ private:
+  /// Publishes `next` as the new head (one pointer swap under head_mu_).
+  void Publish(std::shared_ptr<const CatalogSnapshot> next) {
+    std::lock_guard<std::mutex> lock(head_mu_);
+    head_ = std::move(next);
+  }
+
+  mutable std::mutex writer_mu_;  // Serializes Mutate; readers never take it.
+  mutable std::mutex head_mu_;    // Guards head_ for the copy/swap only.
+  std::shared_ptr<const CatalogSnapshot> head_;
 };
 
 }  // namespace dynview

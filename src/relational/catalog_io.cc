@@ -44,7 +44,7 @@ Status EnsureDirectory(const std::string& path) {
 
 }  // namespace
 
-Status SaveCatalog(const Catalog& catalog, const std::string& directory) {
+Status SaveCatalog(const CatalogReader& catalog, const std::string& directory) {
   DV_RETURN_IF_ERROR(EnsureDirectory(directory));
   std::string manifest;
   for (const std::string& db_name : catalog.DatabaseNames()) {
@@ -75,26 +75,31 @@ Status SaveCatalog(const Catalog& catalog, const std::string& directory) {
   return Status::OK();
 }
 
-Result<Catalog> LoadCatalog(const std::string& directory) {
+Status LoadCatalog(const std::string& directory, Catalog* catalog) {
   DV_ASSIGN_OR_RETURN(Table manifest,
                       ReadCsvFile(directory + "/manifest",
                                   /*infer_types=*/false));
   if (manifest.schema().num_columns() != 3) {
     return Status::ParseError("malformed manifest (expected 3 columns)");
   }
-  Catalog catalog;
-  for (const Row& r : manifest.rows()) {
-    if (r[0].is_null() || r[1].is_null() || r[2].is_null()) {
-      return Status::ParseError("manifest row with missing fields");
-    }
-    std::string db = r[0].as_string();
-    std::string rel = r[1].as_string();
-    std::string file = r[2].as_string();
-    DV_ASSIGN_OR_RETURN(Table t, ReadCsvFile(directory + "/" + file,
-                                             /*infer_types=*/true));
-    catalog.GetOrCreateDatabase(db)->PutTable(rel, std::move(t));
-  }
-  return catalog;
+  // One transaction for the whole manifest: a failed file load publishes
+  // nothing, and concurrent readers never observe a half-loaded federation.
+  return catalog
+      ->Mutate([&](CatalogTxn& txn) -> Status {
+        for (const Row& r : manifest.rows()) {
+          if (r[0].is_null() || r[1].is_null() || r[2].is_null()) {
+            return Status::ParseError("manifest row with missing fields");
+          }
+          std::string db = r[0].as_string();
+          std::string rel = r[1].as_string();
+          std::string file = r[2].as_string();
+          DV_ASSIGN_OR_RETURN(Table t, ReadCsvFile(directory + "/" + file,
+                                                   /*infer_types=*/true));
+          txn.GetOrCreateDatabase(db)->PutTable(rel, std::move(t));
+        }
+        return Status::OK();
+      })
+      .status();
 }
 
 }  // namespace dynview

@@ -16,10 +16,12 @@ namespace dynview {
 
 /// Writes every table of `catalog` under `directory` (created if needed).
 /// Existing files are overwritten; stale files are not removed.
-Status SaveCatalog(const Catalog& catalog, const std::string& directory);
+Status SaveCatalog(const CatalogReader& catalog, const std::string& directory);
 
-/// Loads a federation previously written by SaveCatalog.
-Result<Catalog> LoadCatalog(const std::string& directory);
+/// Loads a federation previously written by SaveCatalog into `catalog`
+/// (which must be given; loaded tables land in one atomic commit — a
+/// concurrent reader sees either none or all of the manifest).
+Status LoadCatalog(const std::string& directory, Catalog* catalog);
 
 }  // namespace dynview
 

@@ -135,7 +135,7 @@ std::unique_ptr<SelectStmt> SubstituteLabels(const SelectStmt& stmt,
 }
 
 Result<std::vector<InstantiatedQuery>> InstantiateSchemaVars(
-    const SelectStmt& stmt, const BoundQuery& bq, const Catalog& catalog,
+    const SelectStmt& stmt, const BoundQuery& bq, const CatalogReader& catalog,
     const std::string& default_db, MetricsRegistry* metrics) {
   std::vector<Grounding> groundings;
   groundings.emplace_back();

@@ -49,7 +49,7 @@ struct Grounding {
 /// variable-derived relation resolved kNotFound) — enumerated minus pruned
 /// equals the number of queries returned.
 Result<std::vector<InstantiatedQuery>> InstantiateSchemaVars(
-    const SelectStmt& stmt, const BoundQuery& bq, const Catalog& catalog,
+    const SelectStmt& stmt, const BoundQuery& bq, const CatalogReader& catalog,
     const std::string& default_db, MetricsRegistry* metrics = nullptr);
 
 /// Substitutes one grounding into a clone of `stmt` (exposed for testing and

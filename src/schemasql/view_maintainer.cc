@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/failpoint.h"
 #include "common/str_util.h"
 #include "engine/operators.h"
 #include "engine/query_engine.h"
@@ -128,7 +129,7 @@ Result<Table> ViewMaintainer::EvaluateBodyOver(
     }
     t.AppendRowUnchecked(r);
   }
-  shadow.GetOrCreateDatabase(base_.db)->PutTable(base_.rel, std::move(t));
+  DV_RETURN_IF_ERROR(shadow.PutTable(base_.db, base_.rel, std::move(t)));
   QueryEngine engine(&shadow, integration_db_);
   // Augment with label variables exactly like the materializer.
   std::unique_ptr<SelectStmt> body = view_->query->Clone();
@@ -147,50 +148,72 @@ Result<Table> ViewMaintainer::EvaluateBodyOver(
 }
 
 Status ViewMaintainer::ApplyInserts(const std::vector<Row>& rows) {
-  // Base first (pivot recomputation reads the new state).
-  DV_ASSIGN_OR_RETURN(Table * base,
-                      catalog_->GetMutableDatabase(base_.db)
-                          .value()
-                          ->GetMutableTable(base_.rel));
-  for (const Row& r : rows) {
-    DV_RETURN_IF_ERROR(base->AppendRow(r));
-  }
-  if (pivot_position_ >= 0) return RecomputeAffectedGroups(rows);
-  return PropagateAppend(rows);
+  // One transaction: the base append and the propagated view updates
+  // publish together or not at all.
+  Result<uint64_t> committed =
+      catalog_->Mutate([&](CatalogTxn& txn) -> Status {
+        if (FailPoints::AnyArmed()) {
+          DV_RETURN_IF_ERROR(FailPoints::Check("maintainer.delta",
+                                               base_.db + "::" + base_.rel));
+        }
+        // Base first (pivot recomputation reads the new state through the
+        // transaction's read-your-writes view).
+        DV_ASSIGN_OR_RETURN(Database * db, txn.GetMutableDatabase(base_.db));
+        DV_ASSIGN_OR_RETURN(Table * base, db->GetMutableTable(base_.rel));
+        for (const Row& r : rows) {
+          DV_RETURN_IF_ERROR(base->AppendRow(r));
+        }
+        if (pivot_position_ >= 0) return RecomputeAffectedGroups(txn, rows);
+        return PropagateAppend(txn, rows);
+      });
+  if (!committed.ok()) return committed.status();
+  if (fence_ != nullptr) fence_->AdvanceMaterializedVersion(committed.value());
+  return Status::OK();
 }
 
 Status ViewMaintainer::ApplyDeletes(const std::vector<Row>& rows) {
-  DV_ASSIGN_OR_RETURN(Table * base,
-                      catalog_->GetMutableDatabase(base_.db)
-                          .value()
-                          ->GetMutableTable(base_.rel));
-  // Bag-subtract from the base.
-  std::unordered_map<Row, int64_t, RowGroupHash, RowGroupEq> to_remove;
-  for (const Row& r : rows) ++to_remove[r];
-  Table kept(base->schema());
-  std::vector<Row> actually_removed;
-  for (const Row& r : base->rows()) {
-    auto it = to_remove.find(r);
-    if (it != to_remove.end() && it->second > 0) {
-      --it->second;
-      actually_removed.push_back(r);
-      continue;
-    }
-    kept.AppendRowUnchecked(r);
-  }
-  *base = std::move(kept);
-  if (pivot_position_ >= 0) return RecomputeAffectedGroups(actually_removed);
-  return PropagateRemove(actually_removed);
+  Result<uint64_t> committed =
+      catalog_->Mutate([&](CatalogTxn& txn) -> Status {
+        if (FailPoints::AnyArmed()) {
+          DV_RETURN_IF_ERROR(FailPoints::Check("maintainer.delta",
+                                               base_.db + "::" + base_.rel));
+        }
+        DV_ASSIGN_OR_RETURN(Database * db, txn.GetMutableDatabase(base_.db));
+        DV_ASSIGN_OR_RETURN(Table * base, db->GetMutableTable(base_.rel));
+        // Bag-subtract from the base.
+        std::unordered_map<Row, int64_t, RowGroupHash, RowGroupEq> to_remove;
+        for (const Row& r : rows) ++to_remove[r];
+        Table kept(base->schema());
+        std::vector<Row> actually_removed;
+        for (const Row& r : base->rows()) {
+          auto it = to_remove.find(r);
+          if (it != to_remove.end() && it->second > 0) {
+            --it->second;
+            actually_removed.push_back(r);
+            continue;
+          }
+          kept.AppendRowUnchecked(r);
+        }
+        *base = std::move(kept);
+        if (pivot_position_ >= 0) {
+          return RecomputeAffectedGroups(txn, actually_removed);
+        }
+        return PropagateRemove(txn, actually_removed);
+      });
+  if (!committed.ok()) return committed.status();
+  if (fence_ != nullptr) fence_->AdvanceMaterializedVersion(committed.value());
+  return Status::OK();
 }
 
-Status ViewMaintainer::PropagateAppend(const std::vector<Row>& delta) {
+Status ViewMaintainer::PropagateAppend(CatalogTxn& txn,
+                                       const std::vector<Row>& delta) {
   DV_ASSIGN_OR_RETURN(Table out, EvaluateBodyOver(delta));
   const size_t n = view_->attrs.size();
   std::string fixed_db =
       view_->db.empty() ? default_target_db_ : view_->db.text;
   for (const Row& r : out.rows()) {
     auto [db, rel] = RouteOf(r, db_col_, rel_col_, fixed_db, view_->name.text);
-    Database* d = catalog_->GetOrCreateDatabase(db);
+    Database* d = txn.GetOrCreateDatabase(db);
     if (!d->HasTable(rel)) {
       std::vector<Column> cols;
       for (size_t i = 0; i < n; ++i) {
@@ -204,7 +227,8 @@ Status ViewMaintainer::PropagateAppend(const std::vector<Row>& delta) {
   return Status::OK();
 }
 
-Status ViewMaintainer::PropagateRemove(const std::vector<Row>& delta) {
+Status ViewMaintainer::PropagateRemove(CatalogTxn& txn,
+                                       const std::vector<Row>& delta) {
   DV_ASSIGN_OR_RETURN(Table out, EvaluateBodyOver(delta));
   const size_t n = view_->attrs.size();
   std::string fixed_db =
@@ -218,7 +242,7 @@ Status ViewMaintainer::PropagateRemove(const std::vector<Row>& delta) {
     ++removals[route][Row(r.begin(), r.begin() + n)];
   }
   for (auto& [route, bag] : removals) {
-    Result<Database*> d = catalog_->GetMutableDatabase(route.first);
+    Result<Database*> d = txn.GetMutableDatabase(route.first);
     if (!d.ok()) continue;
     Result<Table*> t = d.value()->GetMutableTable(route.second);
     if (!t.ok()) continue;
@@ -242,7 +266,8 @@ Status ViewMaintainer::PropagateRemove(const std::vector<Row>& delta) {
   return Status::OK();
 }
 
-Status ViewMaintainer::RecomputeAffectedGroups(const std::vector<Row>& delta) {
+Status ViewMaintainer::RecomputeAffectedGroups(CatalogTxn& txn,
+                                               const std::vector<Row>& delta) {
   // 1. Affected (target, group-key) sets from the delta image. Keys are
   // value rows under GroupEquals semantics (no rendering in hot paths).
   using KeySet = std::unordered_set<Row, RowGroupHash, RowGroupEq>;
@@ -263,9 +288,10 @@ Status ViewMaintainer::RecomputeAffectedGroups(const std::vector<Row>& delta) {
 
   // 2. Image of the (already updated) base through the body, restricted —
   // when every group column is a direct base projection — to rows that can
-  // possibly land in an affected group.
+  // possibly land in an affected group. Read through the transaction: the
+  // base update of this delta is visible, the committed head is not yet.
   DV_ASSIGN_OR_RETURN(const Table* base,
-                      catalog_->ResolveTable(base_.db, base_.rel));
+                      txn.ResolveTable(base_.db, base_.rel));
   bool can_prefilter = true;
   for (int c : const_base_columns_) {
     if (c < 0) can_prefilter = false;
@@ -315,7 +341,7 @@ Status ViewMaintainer::RecomputeAffectedGroups(const std::vector<Row>& delta) {
 
     // 3. Splice: drop old rows of affected groups, merge schemas by name,
     // append the recomputed rows.
-    Database* d = catalog_->GetOrCreateDatabase(route.first);
+    Database* d = txn.GetOrCreateDatabase(route.first);
     if (!d->HasTable(route.second)) {
       d->PutTable(route.second, Table(repivoted.schema()));
     }

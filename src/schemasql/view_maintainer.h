@@ -31,6 +31,14 @@ namespace dynview {
 ///    rows of their group, so pure delta propagation is impossible —
 ///    Sec. 3.1 cross-product semantics), with the column set widened as new
 ///    labels appear.
+///
+/// Atomicity: each ApplyInserts/ApplyDeletes call is ONE catalog
+/// transaction — the base-table update and every propagated change to the
+/// materialization commit together, so a concurrent reader's snapshot always
+/// shows base and materialization in lock-step (never a base with a stale
+/// view or vice versa). The `maintainer.delta` failpoint fires inside the
+/// transaction (detail: `db::rel` of the base, lowercased); an injected
+/// failure aborts the whole delta with nothing published.
 class ViewMaintainer {
  public:
   /// `catalog` must hold both the base relation and the materialization and
@@ -59,6 +67,13 @@ class ViewMaintainer {
   /// The base relation the view ranges over.
   const TableRef& base() const { return base_; }
 
+  /// Binds the fence of the view definition this maintainer repairs:
+  /// after every successful delta commit, the definition's materialized
+  /// version advances to the commit version, un-fencing access paths that
+  /// the base change would otherwise have staled. Borrowed — must outlive
+  /// the maintainer (or be rebound/cleared).
+  void BindFence(ViewDefinition* fence) { fence_ = fence; }
+
   ViewMaintainer(ViewMaintainer&&) = default;
   ViewMaintainer& operator=(ViewMaintainer&&) = default;
 
@@ -67,15 +82,18 @@ class ViewMaintainer {
 
   /// Pushes `delta` (rows of the base schema) through the view body and
   /// appends the results to the materialization (insert direction for
-  /// non-pivot views).
-  Status PropagateAppend(const std::vector<Row>& delta);
+  /// non-pivot views). Runs inside the delta transaction.
+  Status PropagateAppend(CatalogTxn& txn, const std::vector<Row>& delta);
 
   /// Bag-subtracts the view image of `delta` from the materialization
-  /// (delete direction for non-pivot views).
-  Status PropagateRemove(const std::vector<Row>& delta);
+  /// (delete direction for non-pivot views). Runs inside the delta
+  /// transaction.
+  Status PropagateRemove(CatalogTxn& txn, const std::vector<Row>& delta);
 
-  /// Recomputes the pivot groups touched by `delta` from the full base.
-  Status RecomputeAffectedGroups(const std::vector<Row>& delta);
+  /// Recomputes the pivot groups touched by `delta` from the full base
+  /// (read through `txn` — the base row already updated this transaction).
+  Status RecomputeAffectedGroups(CatalogTxn& txn,
+                                 const std::vector<Row>& delta);
 
   /// Evaluates the view body against a catalog holding `delta` as the base
   /// relation; returns rows shaped like the materializer's augmented output
@@ -83,6 +101,7 @@ class ViewMaintainer {
   Result<Table> EvaluateBodyOver(const std::vector<Row>& delta) const;
 
   Catalog* catalog_ = nullptr;
+  ViewDefinition* fence_ = nullptr;  // Borrowed; null = no fence to advance.
   std::string integration_db_;
   std::string default_target_db_;
   std::unique_ptr<CreateViewStmt> view_;  // Bound.

@@ -2,6 +2,8 @@
 
 #include <map>
 
+#include "common/failpoint.h"
+#include "common/str_util.h"
 #include "engine/operators.h"
 #include "restructure/restructure.h"
 #include "sql/binder.h"
@@ -12,16 +14,20 @@ namespace dynview {
 Result<std::vector<std::pair<std::string, std::string>>>
 ViewMaterializer::MaterializeSql(const std::string& create_view_sql,
                                  QueryEngine* engine, Catalog* target,
-                                 const std::string& default_target_db) {
+                                 const std::string& default_target_db,
+                                 QueryContext* qc, uint64_t* commit_version) {
   DV_ASSIGN_OR_RETURN(std::unique_ptr<CreateViewStmt> view,
                       Parser::ParseCreateView(create_view_sql));
-  return Materialize(*view, engine, target, default_target_db);
+  return Materialize(*view, engine, target, default_target_db, qc,
+                     commit_version);
 }
 
 Result<std::vector<std::pair<std::string, std::string>>>
 ViewMaterializer::Materialize(const CreateViewStmt& view, QueryEngine* engine,
                               Catalog* target,
-                              const std::string& default_target_db) {
+                              const std::string& default_target_db,
+                              QueryContext* qc, uint64_t* commit_version) {
+  if (qc == nullptr) qc = engine->query_context();
   // Bind a private copy (annotates NameTerms and classifies labels).
   std::unique_ptr<CreateViewStmt> v = view.Clone();
   DV_ASSIGN_OR_RETURN(BoundView bv, Binder::BindView(v.get()));
@@ -65,7 +71,7 @@ ViewMaterializer::Materialize(const CreateViewStmt& view, QueryEngine* engine,
         Expr::MakeVarRef(v->attrs[pivot_positions[0]].text), "xx_attr");
     attr_col = next++;
   }
-  DV_ASSIGN_OR_RETURN(Table rows, engine->Execute(body.get()));
+  DV_ASSIGN_OR_RETURN(Table rows, engine->Execute(body.get(), qc));
 
   // Group rows by target (database, relation).
   std::string fixed_db = v->db.empty() ? default_target_db : v->db.text;
@@ -93,7 +99,6 @@ ViewMaterializer::Materialize(const CreateViewStmt& view, QueryEngine* engine,
   // so partitions materialize independently — in parallel on the engine's
   // pool when available — and are installed into the target catalog
   // serially, in the map's deterministic (database, relation) order.
-  QueryContext* qc = engine->query_context();
   auto build_partition = [&](const std::vector<const Row*>& group_rows)
       -> Result<Table> {
     if (qc != nullptr) DV_RETURN_IF_ERROR(qc->CheckGuards());
@@ -183,15 +188,31 @@ ViewMaterializer::Materialize(const CreateViewStmt& view, QueryEngine* engine,
   // rather than a partially materialized view.
   if (qc != nullptr) DV_RETURN_IF_ERROR(qc->CheckGuards());
 
-  std::vector<std::pair<std::string, std::string>> created;
-  created.reserve(ordered.size());
   for (size_t i = 0; i < ordered.size(); ++i) {
     if (!outs[i].ok()) return outs[i].status();
-    const auto& key = ordered[i]->first;
-    target->GetOrCreateDatabase(key.first)
-        ->PutTable(key.second, std::move(outs[i]).value());
-    created.push_back(key);
   }
+  // Fault-injection point for the install: an injected error materializes
+  // nothing (the partitions above are discarded, the catalog is untouched).
+  if (FailPoints::AnyArmed()) {
+    DV_RETURN_IF_ERROR(
+        FailPoints::Check("engine.materialize", ToLower(v->name.text)));
+  }
+  // Install every partition in ONE commit, in the map's deterministic
+  // (database, relation) order — a reader either sees the whole
+  // materialization or none of it.
+  std::vector<std::pair<std::string, std::string>> created;
+  created.reserve(ordered.size());
+  DV_ASSIGN_OR_RETURN(
+      uint64_t version, target->Mutate([&](CatalogTxn& txn) {
+        for (size_t i = 0; i < ordered.size(); ++i) {
+          const auto& key = ordered[i]->first;
+          txn.GetOrCreateDatabase(key.first)
+              ->PutTable(key.second, std::move(outs[i]).value());
+          created.push_back(key);
+        }
+        return Status::OK();
+      }));
+  if (commit_version != nullptr) *commit_version = version;
   return created;
 }
 

@@ -31,14 +31,28 @@ class ViewMaterializer {
   /// resulting table(s) into `target`. A view without a database qualifier
   /// lands in `default_target_db`. Returns the (database, relation) pairs
   /// created, in deterministic order.
+  ///
+  /// The body is evaluated against the snapshot pinned on `qc` (when it
+  /// belongs to the engine's catalog; `qc` defaults to the engine's legacy
+  /// query context), and all partitions install in ONE catalog commit —
+  /// concurrent readers see the whole materialization or none of it. On a
+  /// guard trip or injected failure nothing installs.
+  ///
+  /// Failpoint: `engine.materialize` fires before the install commit with
+  /// the lowercased view name as the match detail.
+  ///
+  /// `commit_version`, when given, receives the catalog version that the
+  /// install committed (the view's build version for stale fencing).
   static Result<std::vector<std::pair<std::string, std::string>>> Materialize(
       const CreateViewStmt& view, QueryEngine* engine, Catalog* target,
-      const std::string& default_target_db);
+      const std::string& default_target_db, QueryContext* qc = nullptr,
+      uint64_t* commit_version = nullptr);
 
   /// Parses `create_view_sql` and materializes it (convenience).
   static Result<std::vector<std::pair<std::string, std::string>>>
   MaterializeSql(const std::string& create_view_sql, QueryEngine* engine,
-                 Catalog* target, const std::string& default_target_db);
+                 Catalog* target, const std::string& default_target_db,
+                 QueryContext* qc = nullptr, uint64_t* commit_version = nullptr);
 };
 
 }  // namespace dynview

@@ -28,7 +28,6 @@ std::string HotelCountryName(int i) { return kCountries[i % 7]; }
 
 Status InstallHotelDatabase(Catalog* catalog, const std::string& db,
                             const HotelGenConfig& config) {
-  Database* d = catalog->GetOrCreateDatabase(db);
   uint64_t state = config.seed;
 
   Table hotel(Schema({{"hid", TypeKind::kInt},
@@ -80,33 +79,48 @@ Status InstallHotelDatabase(Catalog* catalog, const std::string& db,
            Value::Int(100 + static_cast<int64_t>(NextRandom(&state) % 400))});
     }
   }
-  d->PutTable("hotel", std::move(hotel));
-  d->PutTable("hotelpricing", std::move(pricing));
-  d->PutTable("resort", std::move(resort));
-  d->PutTable("confctr", std::move(confctr));
-  return Status::OK();
+  // One commit: concurrent readers see the whole hotel schema or none of it.
+  return catalog
+      ->Mutate([&](CatalogTxn& txn) {
+        Database* d = txn.GetOrCreateDatabase(db);
+        d->PutTable("hotel", std::move(hotel));
+        d->PutTable("hotelpricing", std::move(pricing));
+        d->PutTable("resort", std::move(resort));
+        d->PutTable("confctr", std::move(confctr));
+        return Status::OK();
+      })
+      .status();
 }
 
 Status InstallHprice(Catalog* catalog, const std::string& db) {
-  DV_ASSIGN_OR_RETURN(Database* d, catalog->GetMutableDatabase(db));
-  DV_ASSIGN_OR_RETURN(const Table* pricing, d->GetTable("hotelpricing"));
-  // Unpivot hotelpricing(hid, <rmtype columns>) → hprice(hid, rmtype, price):
-  // the interface schema representing pricing attribute names as data.
-  DV_ASSIGN_OR_RETURN(Table hprice,
-                      Unpivot(*pricing, {"hid"}, "rmtype", "price"));
-  d->PutTable("hprice", std::move(hprice));
-  return Status::OK();
+  return catalog
+      ->Mutate([&](CatalogTxn& txn) -> Status {
+        DV_ASSIGN_OR_RETURN(Database * d, txn.GetMutableDatabase(db));
+        DV_ASSIGN_OR_RETURN(const Table* pricing, d->GetTable("hotelpricing"));
+        // Unpivot hotelpricing(hid, <rmtype columns>) → hprice(hid, rmtype,
+        // price): the interface schema representing pricing attribute names
+        // as data.
+        DV_ASSIGN_OR_RETURN(Table hprice,
+                            Unpivot(*pricing, {"hid"}, "rmtype", "price"));
+        d->PutTable("hprice", std::move(hprice));
+        return Status::OK();
+      })
+      .status();
 }
 
 Status InstallHotelwords(Catalog* catalog, const std::string& db) {
-  DV_ASSIGN_OR_RETURN(Database* d, catalog->GetMutableDatabase(db));
-  DV_ASSIGN_OR_RETURN(const Table* hotel, d->GetTable("hotel"));
-  // Unpivot hotel(hid, attrs...) → hotelwords(hid, attribute, value): one
-  // row per attribute value of each hotel (Fig. 9).
-  DV_ASSIGN_OR_RETURN(Table words,
-                      Unpivot(*hotel, {"hid"}, "attribute", "value"));
-  d->PutTable("hotelwords", std::move(words));
-  return Status::OK();
+  return catalog
+      ->Mutate([&](CatalogTxn& txn) -> Status {
+        DV_ASSIGN_OR_RETURN(Database * d, txn.GetMutableDatabase(db));
+        DV_ASSIGN_OR_RETURN(const Table* hotel, d->GetTable("hotel"));
+        // Unpivot hotel(hid, attrs...) → hotelwords(hid, attribute, value):
+        // one row per attribute value of each hotel (Fig. 9).
+        DV_ASSIGN_OR_RETURN(Table words,
+                            Unpivot(*hotel, {"hid"}, "attribute", "value"));
+        d->PutTable("hotelwords", std::move(words));
+        return Status::OK();
+      })
+      .status();
 }
 
 }  // namespace dynview

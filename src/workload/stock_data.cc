@@ -87,33 +87,40 @@ Table GenerateCoType(const StockGenConfig& config) {
 
 Status InstallStockS1(Catalog* catalog, const std::string& db,
                       const Table& s1) {
-  catalog->GetOrCreateDatabase(db)->PutTable("stock", s1);
-  return Status::OK();
+  return catalog->PutTable(db, "stock", s1);
 }
 
 Status InstallStockS2(Catalog* catalog, const std::string& db,
                       const Table& s1) {
   DV_ASSIGN_OR_RETURN(auto parts, PartitionByColumn(s1, "company"));
-  Database* d = catalog->GetOrCreateDatabase(db);
-  for (auto& [name, table] : parts) {
-    d->PutTable(name, std::move(table));
-  }
-  return Status::OK();
+  // One commit: readers see every per-company partition or none.
+  return catalog
+      ->Mutate([&](CatalogTxn& txn) {
+        Database* d = txn.GetOrCreateDatabase(db);
+        for (auto& [name, table] : parts) {
+          d->PutTable(name, std::move(table));
+        }
+        return Status::OK();
+      })
+      .status();
 }
 
 Status InstallStockS3(Catalog* catalog, const std::string& db,
                       const Table& s1) {
   DV_ASSIGN_OR_RETURN(Table pivoted, Pivot(s1, {"date"}, "company", "price"));
-  catalog->GetOrCreateDatabase(db)->PutTable("stock", std::move(pivoted));
-  return Status::OK();
+  return catalog->PutTable(db, "stock", std::move(pivoted));
 }
 
 Status InstallDb0(Catalog* catalog, const std::string& db,
                   const StockGenConfig& config) {
-  Database* d = catalog->GetOrCreateDatabase(db);
-  d->PutTable("stock", GenerateStockDb0(config));
-  d->PutTable("cotype", GenerateCoType(config));
-  return Status::OK();
+  return catalog
+      ->Mutate([&](CatalogTxn& txn) {
+        Database* d = txn.GetOrCreateDatabase(db);
+        d->PutTable("stock", GenerateStockDb0(config));
+        d->PutTable("cotype", GenerateCoType(config));
+        return Status::OK();
+      })
+      .status();
 }
 
 }  // namespace dynview

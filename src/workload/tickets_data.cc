@@ -66,16 +66,19 @@ Status InstallTicketJurisdictions(Catalog* catalog, const std::string& db,
                                   const TicketsGenConfig& config) {
   Table integration = GenerateIntegration(config);
   DV_ASSIGN_OR_RETURN(auto parts, PartitionByColumn(integration, "state"));
-  Database* d = catalog->GetOrCreateDatabase(db);
-  for (auto& [name, table] : parts) d->PutTable(name, std::move(table));
-  return Status::OK();
+  // One commit: readers see every jurisdiction table or none.
+  return catalog
+      ->Mutate([&](CatalogTxn& txn) {
+        Database* d = txn.GetOrCreateDatabase(db);
+        for (auto& [name, table] : parts) d->PutTable(name, std::move(table));
+        return Status::OK();
+      })
+      .status();
 }
 
 Status InstallTicketsIntegration(Catalog* catalog, const std::string& db,
                                  const TicketsGenConfig& config) {
-  catalog->GetOrCreateDatabase(db)->PutTable("tickets",
-                                             GenerateIntegration(config));
-  return Status::OK();
+  return catalog->PutTable(db, "tickets", GenerateIntegration(config));
 }
 
 }  // namespace dynview

@@ -42,15 +42,16 @@ TEST_F(CatalogIoTest, RoundTripsFederation) {
   ASSERT_TRUE(InstallStockS3(&catalog, "s3", s1).ok());
 
   ASSERT_TRUE(SaveCatalog(catalog, dir_).ok());
-  auto loaded = LoadCatalog(dir_);
-  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  Catalog loaded;
+  Status st = LoadCatalog(dir_, &loaded);
+  ASSERT_TRUE(st.ok()) << st.ToString();
 
-  EXPECT_EQ(loaded.value().DatabaseNames(), catalog.DatabaseNames());
+  EXPECT_EQ(loaded.DatabaseNames(), catalog.DatabaseNames());
   for (const std::string& db : catalog.DatabaseNames()) {
     for (const std::string& rel :
          catalog.GetDatabase(db).value()->TableNames()) {
       const Table* orig = catalog.ResolveTable(db, rel).value();
-      auto got = loaded.value().ResolveTable(db, rel);
+      auto got = loaded.ResolveTable(db, rel);
       ASSERT_TRUE(got.ok()) << db << "::" << rel;
       EXPECT_TRUE(got.value()->BagEquals(*orig)) << db << "::" << rel;
       EXPECT_TRUE(got.value()->schema().SameNames(orig->schema()));
@@ -64,11 +65,11 @@ TEST_F(CatalogIoTest, LoadedFederationIsQueryable) {
   Table s1 = GenerateStockS1(cfg);
   ASSERT_TRUE(InstallStockS2(&catalog, "s2", s1).ok());
   ASSERT_TRUE(SaveCatalog(catalog, dir_).ok());
-  auto loaded = LoadCatalog(dir_);
-  ASSERT_TRUE(loaded.ok());
+  Catalog loaded;
+  ASSERT_TRUE(LoadCatalog(dir_, &loaded).ok());
   // A higher-order query works against the reloaded federation (types —
   // dates in particular — survived the round trip).
-  QueryEngine engine(&loaded.value(), "s2");
+  QueryEngine engine(&loaded, "s2");
   auto r = engine.ExecuteSql(
       "select R, D, P from s2 -> R, R T, T.date D, T.price P "
       "where D >= DATE '1998-01-01'");
@@ -77,29 +78,32 @@ TEST_F(CatalogIoTest, LoadedFederationIsQueryable) {
 }
 
 TEST_F(CatalogIoTest, MissingDirectoryFails) {
-  EXPECT_FALSE(LoadCatalog("/tmp/definitely_missing_dynview_dir").ok());
+  Catalog loaded;
+  EXPECT_FALSE(LoadCatalog("/tmp/definitely_missing_dynview_dir", &loaded).ok());
+  // A failed load publishes nothing (commit-or-nothing transaction).
+  EXPECT_EQ(loaded.num_databases(), 0u);
 }
 
 TEST_F(CatalogIoTest, EmptyCatalogRoundTrips) {
   Catalog catalog;
   ASSERT_TRUE(SaveCatalog(catalog, dir_).ok());
-  auto loaded = LoadCatalog(dir_);
-  ASSERT_TRUE(loaded.ok());
-  EXPECT_EQ(loaded.value().num_databases(), 0u);
+  Catalog loaded;
+  ASSERT_TRUE(LoadCatalog(dir_, &loaded).ok());
+  EXPECT_EQ(loaded.num_databases(), 0u);
 }
 
 TEST_F(CatalogIoTest, OverwriteIsClean) {
   Catalog a;
-  a.GetOrCreateDatabase("x")->PutTable("t", Table(Schema::FromNames({"c"})));
+  ASSERT_TRUE(a.PutTable("x", "t", Table(Schema::FromNames({"c"}))).ok());
   ASSERT_TRUE(SaveCatalog(a, dir_).ok());
   Catalog b;
   Table t(Schema::FromNames({"c"}));
   t.AppendRowUnchecked({Value::Int(1)});
-  b.GetOrCreateDatabase("x")->PutTable("t", std::move(t));
+  ASSERT_TRUE(b.PutTable("x", "t", std::move(t)).ok());
   ASSERT_TRUE(SaveCatalog(b, dir_).ok());
-  auto loaded = LoadCatalog(dir_);
-  ASSERT_TRUE(loaded.ok());
-  EXPECT_EQ(loaded.value().ResolveTable("x", "t").value()->num_rows(), 1u);
+  Catalog loaded;
+  ASSERT_TRUE(LoadCatalog(dir_, &loaded).ok());
+  EXPECT_EQ(loaded.ResolveTable("x", "t").value()->num_rows(), 1u);
 }
 
 }  // namespace

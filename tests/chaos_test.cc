@@ -1,0 +1,393 @@
+// Chaos suite (ctest -L chaos): N query threads race M catalog mutators on
+// one federation, with latency/error failpoints armed, and every answer is
+// checked against the versioned-snapshot contract:
+//
+//   * each AnswerResult records the snapshot it read; re-executing the same
+//     query serially against that snapshot reproduces the answer
+//     byte-for-byte (the MVCC consistency oracle);
+//   * tables mutated together in one transaction are never observed out of
+//     lock-step by any reader (commit-or-nothing, even under injection);
+//   * published catalog versions are unique and monotonic.
+//
+// scripts/run_experiments.sh additionally runs this binary under
+// ThreadSanitizer with DYNVIEW_FAILPOINTS armed.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/query_context.h"
+#include "engine/query_engine.h"
+#include "integration/integration.h"
+#include "observe/observer.h"
+#include "workload/stock_data.h"
+
+namespace dynview {
+namespace {
+
+// Schema-variable fan-out over the mutating database: the grounding set
+// (which relations exist) is itself snapshot-dependent, so a query that
+// mixed versions would join relations from different worlds.
+constexpr char kFanOut[] =
+    "select R, D, P from s2 -> R, R T, T.date D, T.price P";
+
+Schema StockLeafSchema() {
+  return Schema({{"date", TypeKind::kDate}, {"price", TypeKind::kInt}});
+}
+
+Row LeafRow(int i) {
+  return {Value::MakeDate(Date::Parse("1999-01-01").value().AddDays(i)),
+          Value::Int(100 + i % 250)};
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FailPoints::DisarmAll();
+    StockGenConfig cfg;
+    Table s1 = GenerateStockS1(cfg);
+    ASSERT_TRUE(InstallStockS1(&catalog_, "I", s1).ok());
+    ASSERT_TRUE(InstallStockS2(&catalog_, "s2", s1).ok());
+  }
+  void TearDown() override { FailPoints::DisarmAll(); }
+
+  Catalog catalog_;
+};
+
+// One recorded concurrent answer: what the query saw, for later replay.
+struct Recorded {
+  std::string bytes;  // Full table rendering, no truncation.
+  uint64_t version = 0;
+  std::shared_ptr<const CatalogSnapshot> snapshot;
+};
+
+TEST_F(ChaosTest, AnswersMatchSerialReplayAgainstTheirSnapshot) {
+  // Latency injection widens the read window so commits land mid-query;
+  // error modes stay off in this phase so replays are byte-comparable.
+  FailSpec slow;
+  slow.mode = FailMode::kLatency;
+  slow.latency_ms = 1;
+  FailPoints::Arm("engine.grounding", slow);
+
+  IntegrationSystem system(&catalog_, "s2");
+  constexpr int kQueryThreads = 4;
+  constexpr int kMutatorThreads = 2;
+  constexpr int kQueriesPerThread = 12;
+  constexpr int kMutationsPerThread = 30;
+
+  std::mutex mu;
+  std::vector<Recorded> recorded;
+  std::vector<uint64_t> committed;
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kQueryThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int q = 0; q < kQueriesPerThread; ++q) {
+        AnswerOptions options;
+        options.multiset = true;
+        auto r = system.AnswerGuarded(kFanOut, options);
+        if (!r.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        Recorded rec{r.value().table.ToString(0), r.value().snapshot_version,
+                     r.value().snapshot};
+        std::lock_guard<std::mutex> lock(mu);
+        recorded.push_back(std::move(rec));
+      }
+    });
+  }
+  for (int m = 0; m < kMutatorThreads; ++m) {
+    threads.emplace_back([&, m] {
+      for (int i = 0; i < kMutationsPerThread; ++i) {
+        std::string extra = "cox" + std::to_string(m) + std::to_string(i % 4);
+        Result<uint64_t> v = catalog_.Mutate([&](CatalogTxn& txn) -> Status {
+          DV_ASSIGN_OR_RETURN(Database * db, txn.GetMutableDatabase("s2"));
+          if (db->HasTable(extra)) {
+            DV_RETURN_IF_ERROR(db->DropTable(extra));
+          } else {
+            Table t(StockLeafSchema());
+            t.AppendRowUnchecked(LeafRow(i));
+            t.AppendRowUnchecked(LeafRow(i + 1));
+            db->PutTable(extra, std::move(t));
+          }
+          // Same transaction also grows an always-present relation, so a
+          // mixed-version read would show a row count no single version has.
+          DV_ASSIGN_OR_RETURN(Table * coa, db->GetMutableTable("coa"));
+          coa->AppendRowUnchecked(LeafRow(100 + i));
+          return Status::OK();
+        });
+        ASSERT_TRUE(v.ok()) << v.status().ToString();
+        std::lock_guard<std::mutex> lock(mu);
+        committed.push_back(v.value());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  ASSERT_EQ(recorded.size(),
+            static_cast<size_t>(kQueryThreads * kQueriesPerThread));
+
+  // Published versions are unique (every commit is its own version).
+  std::set<uint64_t> unique(committed.begin(), committed.end());
+  EXPECT_EQ(unique.size(), committed.size());
+
+  // The oracle: serial replay pinned to the recorded snapshot reproduces
+  // every concurrent answer byte-for-byte.
+  FailPoints::DisarmAll();
+  for (const Recorded& rec : recorded) {
+    ASSERT_NE(rec.snapshot, nullptr);
+    AnswerOptions options;
+    options.multiset = true;
+    QueryContext qc(options.guards);
+    qc.PinSnapshot(rec.snapshot);
+    auto replay = system.AnswerGuarded(kFanOut, options, &qc);
+    ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+    EXPECT_EQ(replay.value().snapshot_version, rec.version);
+    EXPECT_EQ(replay.value().table.ToString(0), rec.bytes)
+        << "answer diverged from serial replay at version " << rec.version;
+  }
+}
+
+TEST_F(ChaosTest, PairedTablesAreNeverObservedOutOfLockStep) {
+  // inv::pair_a and inv::pair_b only ever change in the same transaction, so
+  // no snapshot may show them with different row counts.
+  ASSERT_TRUE(catalog_
+                  .Mutate([&](CatalogTxn& txn) -> Status {
+                    Database* db = txn.GetOrCreateDatabase("inv");
+                    db->PutTable("pair_a", Table(StockLeafSchema()));
+                    db->PutTable("pair_b", Table(StockLeafSchema()));
+                    return Status::OK();
+                  })
+                  .ok());
+  constexpr int kReaders = 4;
+  constexpr int kWriters = 2;
+  constexpr int kWrites = 50;
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&] {
+      uint64_t last_version = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::shared_ptr<const CatalogSnapshot> snap = catalog_.Snapshot();
+        if (snap->version() < last_version) violations.fetch_add(1);
+        last_version = snap->version();
+        auto a = snap->ResolveTable("inv", "pair_a");
+        auto b = snap->ResolveTable("inv", "pair_b");
+        if (!a.ok() || !b.ok() ||
+            a.value()->num_rows() != b.value()->num_rows()) {
+          violations.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < kWrites; ++i) {
+        auto v = catalog_.Mutate([&](CatalogTxn& txn) -> Status {
+          DV_ASSIGN_OR_RETURN(Database * db, txn.GetMutableDatabase("inv"));
+          DV_ASSIGN_OR_RETURN(Table * a, db->GetMutableTable("pair_a"));
+          DV_ASSIGN_OR_RETURN(Table * b, db->GetMutableTable("pair_b"));
+          a->AppendRowUnchecked(LeafRow(w * kWrites + i));
+          b->AppendRowUnchecked(LeafRow(w * kWrites + i));
+          return Status::OK();
+        });
+        ASSERT_TRUE(v.ok());
+      }
+    });
+  }
+  for (size_t i = kReaders; i < threads.size(); ++i) threads[i].join();
+  stop.store(true, std::memory_order_relaxed);
+  for (int i = 0; i < kReaders; ++i) threads[i].join();
+  EXPECT_EQ(violations.load(), 0);
+  const Table* a = catalog_.ResolveTable("inv", "pair_a").value();
+  EXPECT_EQ(a->num_rows(), static_cast<size_t>(kWriters * kWrites));
+}
+
+TEST_F(ChaosTest, InjectedCommitFailuresPublishNothing) {
+  ASSERT_TRUE(catalog_
+                  .Mutate([&](CatalogTxn& txn) -> Status {
+                    Database* db = txn.GetOrCreateDatabase("inv");
+                    db->PutTable("pair_a", Table(StockLeafSchema()));
+                    db->PutTable("pair_b", Table(StockLeafSchema()));
+                    return Status::OK();
+                  })
+                  .ok());
+  // Every third commit touching inv aborts at the publish fence. Readers
+  // must keep seeing committed versions only.
+  FailSpec flaky;
+  flaky.mode = FailMode::kFailAfterN;
+  flaky.after_n = 3;
+  flaky.match = "inv";
+  FailPoints::Arm("catalog.commit", flaky);
+
+  constexpr int kWriters = 2;
+  constexpr int kWrites = 40;
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::atomic<int> successes{0};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < 3; ++r) {
+    threads.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::shared_ptr<const CatalogSnapshot> snap = catalog_.Snapshot();
+        auto a = snap->ResolveTable("inv", "pair_a");
+        auto b = snap->ResolveTable("inv", "pair_b");
+        if (!a.ok() || !b.ok() ||
+            a.value()->num_rows() != b.value()->num_rows()) {
+          violations.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < kWrites; ++i) {
+        auto v = catalog_.Mutate([&](CatalogTxn& txn) -> Status {
+          DV_ASSIGN_OR_RETURN(Database * db, txn.GetMutableDatabase("inv"));
+          DV_ASSIGN_OR_RETURN(Table * a, db->GetMutableTable("pair_a"));
+          DV_ASSIGN_OR_RETURN(Table * b, db->GetMutableTable("pair_b"));
+          a->AppendRowUnchecked(LeafRow(w * kWrites + i));
+          b->AppendRowUnchecked(LeafRow(w * kWrites + i));
+          return Status::OK();
+        });
+        if (v.ok()) {
+          successes.fetch_add(1);
+        } else {
+          EXPECT_EQ(v.status().code(), StatusCode::kUnavailable);
+        }
+      }
+    });
+  }
+  for (size_t i = 3; i < threads.size(); ++i) threads[i].join();
+  stop.store(true, std::memory_order_relaxed);
+  for (int i = 0; i < 3; ++i) threads[i].join();
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_GT(successes.load(), 0);
+  EXPECT_LT(successes.load(), kWriters * kWrites);  // Injection did abort.
+  // Aborted commits left no trace: the final count equals the successes.
+  const Table* a = catalog_.ResolveTable("inv", "pair_a").value();
+  const Table* b = catalog_.ResolveTable("inv", "pair_b").value();
+  EXPECT_EQ(a->num_rows(), static_cast<size_t>(successes.load()));
+  EXPECT_EQ(b->num_rows(), static_cast<size_t>(successes.load()));
+}
+
+TEST_F(ChaosTest, ConcurrentAnswerGuardedIsDeterministicPerThread) {
+  // Satellite: T threads share ONE IntegrationSystem (one engine, one worker
+  // pool). Every thread must get the single-threaded reference answer with
+  // the same warnings in the same order and the same invariant counters —
+  // per-query state (context, observer, snapshot) never bleeds across calls.
+  FailSpec down;
+  down.mode = FailMode::kErrorAlways;
+  down.match = "s2::coa";
+  FailPoints::Arm("catalog.resolve", down);
+
+  IntegrationSystem system(&catalog_, "s2");
+  AnswerOptions options;
+  options.multiset = true;
+  options.guards.source_policy = SourcePolicy::kSkipAndReport;
+
+  auto reference = system.AnswerGuarded(kFanOut, options);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  ASSERT_NE(reference.value().observer, nullptr);
+  const std::string ref_bytes = reference.value().table.ToString(0);
+  ASSERT_EQ(reference.value().warnings.size(), 1u);
+  const std::string ref_warning = reference.value().warnings[0].source;
+  const uint64_t ref_scanned =
+      reference.value().observer->metrics.Value(counters::kRowsScanned);
+  const uint64_t ref_skipped =
+      reference.value().observer->metrics.Value(counters::kSourcesSkipped);
+
+  constexpr int kThreads = 8;
+  std::vector<Result<AnswerResult>> results(kThreads, Status::OK());
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back(
+        [&, t] { results[t] = system.AnswerGuarded(kFanOut, options); });
+  }
+  for (auto& th : threads) th.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(results[t].ok()) << results[t].status().ToString();
+    const AnswerResult& r = results[t].value();
+    EXPECT_EQ(r.table.ToString(0), ref_bytes);
+    ASSERT_EQ(r.warnings.size(), 1u);
+    EXPECT_EQ(r.warnings[0].source, ref_warning);
+    ASSERT_NE(r.observer, nullptr);
+    // Deterministic sharded-counter merge: invariant counters match the
+    // single-threaded reference exactly, every thread.
+    EXPECT_EQ(r.observer->metrics.Value(counters::kRowsScanned), ref_scanned);
+    EXPECT_EQ(r.observer->metrics.Value(counters::kSourcesSkipped),
+              ref_skipped);
+  }
+}
+
+TEST_F(ChaosTest, StaleSourceIsFencedWithWarningAndCounter) {
+  // Warehouse direction: I holds the data, the source materialization is
+  // derived — so it carries a fence at its build version.
+  IntegrationSystem system(&catalog_, "I");
+  ASSERT_TRUE(system
+                  .RegisterAndMaterializeSource(
+                      "create view s2x::C(date, price) as select D, P from "
+                      "I::stock T, T.company C, T.date D, T.price P")
+                  .ok());
+  const char* query =
+      "select C, P from I::stock T, T.company C, T.price P where P >= 0";
+  AnswerOptions options;
+  options.multiset = true;
+
+  auto fresh = system.AnswerGuarded(query, options);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  EXPECT_TRUE(fresh.value().warnings.empty());  // Source is current.
+  size_t fresh_rows = fresh.value().table.num_rows();
+  std::shared_ptr<const CatalogSnapshot> old_snap = fresh.value().snapshot;
+
+  // I moves on; the materialized source now lags behind the head version.
+  ASSERT_TRUE(catalog_
+                  .Mutate([&](CatalogTxn& txn) -> Status {
+                    DV_ASSIGN_OR_RETURN(Database * db,
+                                        txn.GetMutableDatabase("I"));
+                    DV_ASSIGN_OR_RETURN(Table * stock,
+                                        db->GetMutableTable("stock"));
+                    stock->AppendRowUnchecked(
+                        {Value::String("newco"),
+                         Value::MakeDate(Date::Parse("1999-06-01").value()),
+                         Value::Int(7)});
+                    return Status::OK();
+                  })
+                  .ok());
+
+  auto stale = system.AnswerGuarded(query, options);
+  ASSERT_TRUE(stale.ok()) << stale.status().ToString();
+  // Fenced: deterministic warning, counter bump, and the baseline plan on I
+  // answered — including the row the stale materialization lacks.
+  ASSERT_EQ(stale.value().warnings.size(), 1u);
+  EXPECT_EQ(stale.value().warnings[0].source, "s2x::C");
+  EXPECT_EQ(stale.value().warnings[0].status.code(), StatusCode::kUnavailable);
+  ASSERT_NE(stale.value().observer, nullptr);
+  EXPECT_EQ(
+      stale.value().observer->metrics.Value(counters::kCatalogStalePath), 1u);
+  EXPECT_EQ(stale.value().table.num_rows(), fresh_rows + 1);
+
+  // Replaying against the pre-mutation snapshot sees no staleness and the
+  // original answer: staleness is a property of the pinned version.
+  QueryContext qc(options.guards);
+  qc.PinSnapshot(old_snap);
+  auto replay = system.AnswerGuarded(query, options, &qc);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_TRUE(replay.value().warnings.empty());
+  EXPECT_EQ(replay.value().table.ToString(0), fresh.value().table.ToString(0));
+}
+
+}  // namespace
+}  // namespace dynview

@@ -130,9 +130,7 @@ TEST(DeterminismTest, RandomCatalogFanOutIdenticalAcrossThreadCounts) {
       }
       std::ostringstream name;
       name << "rel" << static_cast<char>('a' + r);
-      ASSERT_TRUE(catalog.GetOrCreateDatabase("rnd")
-                      ->AddTable(name.str(), std::move(t))
-                      .ok());
+      ASSERT_TRUE(catalog.AddTable("rnd", name.str(), std::move(t)).ok());
     }
     ExpectIdenticalAcrossThreadCounts(
         &catalog, "rnd",

@@ -77,7 +77,7 @@ TEST_F(DynamicViewTest, V5CrossProductOnDuplicates) {
     t.AppendRowUnchecked(
         {Value::String("coB"), Value::String("1/1/98"), Value::Int(p)});
   }
-  cat.GetOrCreateDatabase("src")->PutTable("stock", std::move(t));
+  ASSERT_TRUE(cat.PutTable("src", "stock", std::move(t)).ok());
   QueryEngine engine(&cat, "src");
   Catalog target;
   auto created = ViewMaterializer::MaterializeSql(

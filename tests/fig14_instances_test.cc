@@ -32,17 +32,20 @@ Schema StockSchema() {
 }
 
 /// Installs an instance of db0 (stock + cotype marking both firms hitech).
-Catalog MakeDb0(const std::vector<Row>& stock_rows) {
-  Catalog catalog;
+void MakeDb0(Catalog* catalog, const std::vector<Row>& stock_rows) {
   Table stock(StockSchema());
   for (const Row& r : stock_rows) stock.AppendRowUnchecked(r);
   Table cotype(Schema({{"co", TypeKind::kString}, {"type", TypeKind::kString}}));
   cotype.AppendRowUnchecked({Value::String("ibm"), Value::String("hitech")});
   cotype.AppendRowUnchecked({Value::String("ge"), Value::String("hitech")});
-  Database* db = catalog.GetOrCreateDatabase("db0");
-  db->PutTable("stock", std::move(stock));
-  db->PutTable("cotype", std::move(cotype));
-  return catalog;
+  ASSERT_TRUE(catalog
+                  ->Mutate([&](CatalogTxn& txn) {
+                    Database* db = txn.GetOrCreateDatabase("db0");
+                    db->PutTable("stock", std::move(stock));
+                    db->PutTable("cotype", std::move(cotype));
+                    return Status::OK();
+                  })
+                  .ok());
 }
 
 const char kQ2[] =
@@ -52,11 +55,13 @@ const char kQ2[] =
 
 TEST(Fig14Test, InstancesCollapseToTheSameViewImage) {
   // I1: two ibm prices, one ge price on the same date.
-  Catalog i1 = MakeDb0({StockRow("ibm", 100), StockRow("ibm", 102),
-                        StockRow("ge", 120)});
+  Catalog i1;
+  MakeDb0(&i1, {StockRow("ibm", 100), StockRow("ibm", 102),
+                StockRow("ge", 120)});
   // I2: the saturated instance — ge's tuple duplicated.
-  Catalog i2 = MakeDb0({StockRow("ibm", 100), StockRow("ibm", 102),
-                        StockRow("ge", 120), StockRow("ge", 120)});
+  Catalog i2;
+  MakeDb0(&i2, {StockRow("ibm", 100), StockRow("ibm", 102),
+                StockRow("ge", 120), StockRow("ge", 120)});
   QueryEngine e1(&i1, "db0");
   QueryEngine e2(&i2, "db0");
   Catalog m1, m2;
@@ -75,8 +80,9 @@ TEST(Fig14Test, InstancesCollapseToTheSameViewImage) {
 }
 
 TEST(Fig14Test, Q2ReturnsI1ButQ2PrimeReturnsFourTuples) {
-  Catalog catalog = MakeDb0({StockRow("ibm", 100), StockRow("ibm", 102),
-                             StockRow("ge", 120)});
+  Catalog catalog;
+  MakeDb0(&catalog, {StockRow("ibm", 100), StockRow("ibm", 102),
+                     StockRow("ge", 120)});
   QueryEngine engine(&catalog, "db0");
   ASSERT_TRUE(
       ViewMaterializer::MaterializeSql(kViewSql, &engine, &catalog, "db2")
@@ -101,10 +107,12 @@ TEST(Fig14Test, Q2ReturnsI1ButQ2PrimeReturnsFourTuples) {
 }
 
 TEST(Fig14Test, Q2DistinguishesI1FromI2ButTheViewCannot) {
-  Catalog i1 = MakeDb0({StockRow("ibm", 100), StockRow("ibm", 102),
-                        StockRow("ge", 120)});
-  Catalog i2 = MakeDb0({StockRow("ibm", 100), StockRow("ibm", 102),
-                        StockRow("ge", 120), StockRow("ge", 120)});
+  Catalog i1;
+  MakeDb0(&i1, {StockRow("ibm", 100), StockRow("ibm", 102),
+                StockRow("ge", 120)});
+  Catalog i2;
+  MakeDb0(&i2, {StockRow("ibm", 100), StockRow("ibm", 102),
+                StockRow("ge", 120), StockRow("ge", 120)});
   QueryEngine e1(&i1, "db0");
   QueryEngine e2(&i2, "db0");
   Table r1 = e1.ExecuteSql(kQ2).value();

@@ -99,13 +99,21 @@ TEST_F(StockIntegrationTest, DataIndependenceUnderSourceEvolution) {
   Table newco(Schema({{"date", TypeKind::kDate}, {"price", TypeKind::kInt}}));
   newco.AppendRowUnchecked(
       {Value::MakeDate(Date::Parse("1998-02-01").value()), Value::Int(500)});
-  catalog_.GetMutableDatabase("s2").value()->PutTable("coNEW", newco);
-  Table* istock =
-      catalog_.GetMutableDatabase("I").value()->GetMutableTable("stock").value();
-  ASSERT_TRUE(istock
-                  ->AppendRow({Value::String("coNEW"),
-                               Value::MakeDate(Date::Parse("1998-02-01").value()),
-                               Value::Int(500)})
+  // One commit: the new company lands in s2 and I together.
+  ASSERT_TRUE(catalog_
+                  .Mutate([&](CatalogTxn& txn) -> Status {
+                    DV_ASSIGN_OR_RETURN(Database * s2,
+                                        txn.GetMutableDatabase("s2"));
+                    s2->PutTable("coNEW", newco);
+                    DV_ASSIGN_OR_RETURN(Database * i,
+                                        txn.GetMutableDatabase("I"));
+                    DV_ASSIGN_OR_RETURN(Table * istock,
+                                        i->GetMutableTable("stock"));
+                    return istock->AppendRow(
+                        {Value::String("coNEW"),
+                         Value::MakeDate(Date::Parse("1998-02-01").value()),
+                         Value::Int(500)});
+                  })
                   .ok());
   auto answer = system_->Answer(
       "select C, P from I::stock T, T.company C, T.price P where P > 400",
@@ -125,10 +133,11 @@ TEST_F(StockIntegrationTest, VirtualIntegrationWithNoLocalData) {
   // rewriting.
   Catalog virt;
   // Empty I::stock with the right schema.
-  virt.GetOrCreateDatabase("I")->PutTable(
-      "stock", Table(Schema({{"company", TypeKind::kString},
-                             {"date", TypeKind::kDate},
-                             {"price", TypeKind::kInt}})));
+  ASSERT_TRUE(virt.PutTable("I", "stock",
+                            Table(Schema({{"company", TypeKind::kString},
+                                          {"date", TypeKind::kDate},
+                                          {"price", TypeKind::kInt}})))
+                  .ok());
   ASSERT_TRUE(InstallStockS2(&virt, "s2", s1_).ok());
   IntegrationSystem system(&virt, "I");
   ASSERT_TRUE(system

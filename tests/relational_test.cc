@@ -170,32 +170,35 @@ TEST(TableTest, ToStringTruncates) {
 
 TEST(CatalogTest, DatabaseTableLifecycle) {
   Catalog cat;
-  auto db = cat.CreateDatabase("s2");
-  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(cat.CreateDatabase("s2").ok());
   EXPECT_FALSE(cat.CreateDatabase("S2").ok());  // Case-insensitive clash.
   Table t(Schema::FromNames({"date", "price"}));
-  EXPECT_TRUE(db.value()->AddTable("coA", std::move(t)).ok());
-  EXPECT_TRUE(db.value()->HasTable("COA"));
-  EXPECT_FALSE(db.value()->AddTable("coa", Table()).ok());
+  EXPECT_TRUE(cat.AddTable("s2", "coA", std::move(t)).ok());
+  EXPECT_TRUE(cat.GetDatabase("s2").value()->HasTable("COA"));
+  EXPECT_FALSE(cat.AddTable("s2", "coa", Table()).ok());
   auto got = cat.ResolveTable("s2", "coA");
   ASSERT_TRUE(got.ok());
   EXPECT_EQ(got.value()->schema().num_columns(), 2u);
-  EXPECT_TRUE(db.value()->DropTable("coA").ok());
-  EXPECT_FALSE(db.value()->DropTable("coA").ok());
+  EXPECT_TRUE(cat.DropTable("s2", "coA").ok());
+  EXPECT_FALSE(cat.DropTable("s2", "coA").ok());
 }
 
 TEST(CatalogTest, NamesAreSortedForVariableRanges) {
   Catalog cat;
-  Database* db = cat.GetOrCreateDatabase("s2");
-  db->PutTable("coC", Table());
-  db->PutTable("coA", Table());
-  db->PutTable("coB", Table());
-  auto names = db->TableNames();
+  ASSERT_TRUE(cat.Mutate([](CatalogTxn& txn) {
+                    Database* db = txn.GetOrCreateDatabase("s2");
+                    db->PutTable("coC", Table());
+                    db->PutTable("coA", Table());
+                    db->PutTable("coB", Table());
+                    txn.GetOrCreateDatabase("db1");
+                    return Status::OK();
+                  })
+                  .ok());
+  auto names = cat.GetDatabase("s2").value()->TableNames();
   ASSERT_EQ(names.size(), 3u);
   EXPECT_EQ(names[0], "coA");
   EXPECT_EQ(names[1], "coB");
   EXPECT_EQ(names[2], "coC");
-  cat.GetOrCreateDatabase("db1");
   auto dbs = cat.DatabaseNames();
   ASSERT_EQ(dbs.size(), 2u);
   EXPECT_EQ(dbs[0], "db1");
@@ -205,9 +208,65 @@ TEST(CatalogTest, NamesAreSortedForVariableRanges) {
 TEST(CatalogTest, MissingLookupsReportNotFound) {
   Catalog cat;
   EXPECT_EQ(cat.GetDatabase("nope").status().code(), StatusCode::kNotFound);
-  cat.GetOrCreateDatabase("db");
+  ASSERT_TRUE(cat.EnsureDatabase("db").ok());
   EXPECT_EQ(cat.ResolveTable("db", "nope").status().code(),
             StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, SnapshotsAreImmutableAndVersioned) {
+  Catalog cat;
+  auto v0 = cat.Snapshot();
+  EXPECT_EQ(v0->version(), 0u);
+  EXPECT_EQ(v0->num_databases(), 0u);
+
+  Table t(Schema::FromNames({"a"}));
+  t.AppendRowUnchecked({Value::Int(1)});
+  ASSERT_TRUE(cat.PutTable("db", "t", std::move(t)).ok());
+  auto v1 = cat.Snapshot();
+  EXPECT_EQ(v1->version(), 1u);
+
+  // The old snapshot still reads the old state.
+  EXPECT_FALSE(v0->HasDatabase("db"));
+  EXPECT_EQ(v1->ResolveTable("db", "t").value()->num_rows(), 1u);
+
+  // Per-database last-modified versions drive stale fencing.
+  EXPECT_EQ(v1->DatabaseVersion("db"), 1u);
+  ASSERT_TRUE(cat.PutTable("other", "u", Table()).ok());
+  auto v2 = cat.Snapshot();
+  EXPECT_EQ(v2->DatabaseVersion("db"), 1u);
+  EXPECT_EQ(v2->DatabaseVersion("other"), 2u);
+  EXPECT_EQ(v2->DatabaseVersion("missing"), 0u);
+}
+
+TEST(CatalogTest, FailedTransactionPublishesNothing) {
+  Catalog cat;
+  ASSERT_TRUE(cat.PutTable("db", "t", Table()).ok());
+  uint64_t before = cat.version();
+  auto r = cat.Mutate([](CatalogTxn& txn) -> Status {
+    txn.GetOrCreateDatabase("half")->PutTable("way", Table());
+    return Status::Internal("abort");
+  });
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(cat.version(), before);
+  EXPECT_FALSE(cat.HasDatabase("half"));
+}
+
+TEST(CatalogTest, TransactionReadsItsOwnWrites) {
+  Catalog cat;
+  Table t(Schema::FromNames({"a"}));
+  t.AppendRowUnchecked({Value::Int(7)});
+  ASSERT_TRUE(cat.PutTable("db", "t", std::move(t)).ok());
+  auto r = cat.Mutate([](CatalogTxn& txn) -> Status {
+    DV_ASSIGN_OR_RETURN(Database * db, txn.GetMutableDatabase("db"));
+    DV_ASSIGN_OR_RETURN(Table * mt, db->GetMutableTable("t"));
+    DV_RETURN_IF_ERROR(mt->AppendRow({Value::Int(8)}));
+    // The txn's read view includes the append; the committed head not yet.
+    DV_ASSIGN_OR_RETURN(const Table* seen, txn.ResolveTable("db", "t"));
+    if (seen->num_rows() != 2) return Status::Internal("lost own write");
+    return Status::OK();
+  });
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(cat.ResolveTable("db", "t").value()->num_rows(), 2u);
 }
 
 }  // namespace

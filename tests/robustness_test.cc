@@ -151,10 +151,9 @@ TEST_F(RobustnessTest, MaterializerErrorPaths) {
                    &engine, &target, "out")
                    .ok());
   // NULL labels cannot become relation names.
-  Database* db = catalog_.GetOrCreateDatabase("nulldb");
   Table t(Schema::FromNames({"label", "v"}));
   t.AppendRowUnchecked({Value::Null(), Value::Int(1)});
-  db->PutTable("t", std::move(t));
+  ASSERT_TRUE(catalog_.PutTable("nulldb", "t", std::move(t)).ok());
   EXPECT_FALSE(ViewMaterializer::MaterializeSql(
                    "create view out::L(v) as select V from nulldb::t T, "
                    "T.label L, T.v V",
@@ -257,8 +256,9 @@ TEST_F(RobustnessTest, DeepExpressionNesting) {
 
 TEST_F(RobustnessTest, WideAndEmptyTables) {
   // Zero-row table: all queries well-formed, empty results.
-  Database* db = catalog_.GetOrCreateDatabase("edge");
-  db->PutTable("empty", Table(Schema::FromNames({"a", "b"})));
+  ASSERT_TRUE(
+      catalog_.PutTable("edge", "empty", Table(Schema::FromNames({"a", "b"})))
+          .ok());
   QueryEngine engine(&catalog_, "edge");
   auto r = engine.ExecuteSql("select A from edge::empty T, T.a A");
   ASSERT_TRUE(r.ok());
@@ -273,7 +273,7 @@ TEST_F(RobustnessTest, WideAndEmptyTables) {
   Row row;
   for (int i = 0; i < 100; ++i) row.push_back(Value::Int(i));
   wide.AppendRowUnchecked(std::move(row));
-  db->PutTable("wide", std::move(wide));
+  ASSERT_TRUE(catalog_.PutTable("edge", "wide", std::move(wide)).ok());
   auto ho = engine.ExecuteSql(
       "select A, V from edge::wide -> A, edge::wide T, T.A V");
   ASSERT_TRUE(ho.ok()) << ho.status().ToString();

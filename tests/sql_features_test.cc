@@ -149,7 +149,7 @@ TEST_F(SqlFeaturesTest, HasWordSemantics) {
   t.AppendRowUnchecked({Value::String("Sofitel Athens")});
   t.AppendRowUnchecked({Value::String("SofitelGrand Paris")});
   t.AppendRowUnchecked({Value::String("Hilton")});
-  cat.GetOrCreateDatabase("d")->PutTable("h", std::move(t));
+  ASSERT_TRUE(cat.PutTable("d", "h", std::move(t)).ok());
   QueryEngine engine(&cat, "d");
   // HASWORD matches whole words only; CONTAINS matches substrings.
   auto words = engine.ExecuteSql(

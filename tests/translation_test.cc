@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "core/translate.h"
 #include "engine/query_engine.h"
 #include "schemasql/view_materializer.h"
@@ -27,49 +29,49 @@ constexpr char kAttrViewSql[] =
 class TranslationTest : public ::testing::Test {
  protected:
   void Install(int prices_per_day) {
-    catalog_ = Catalog();
+    catalog_ = std::make_unique<Catalog>();
     StockGenConfig cfg;
     cfg.num_companies = 5;
     cfg.num_dates = 6;
     cfg.prices_per_day = prices_per_day;
-    ASSERT_TRUE(InstallDb0(&catalog_, "db0", cfg).ok());
-    QueryEngine engine(&catalog_, "db0");
+    ASSERT_TRUE(InstallDb0(catalog_.get(), "db0", cfg).ok());
+    QueryEngine engine(catalog_.get(), "db0");
     ASSERT_TRUE(ViewMaterializer::MaterializeSql(kRelViewSql, &engine,
-                                                 &catalog_, "db1")
+                                                 catalog_.get(), "db1")
                     .ok());
     ASSERT_TRUE(ViewMaterializer::MaterializeSql(kAttrViewSql, &engine,
-                                                 &catalog_, "db2")
+                                                 catalog_.get(), "db2")
                     .ok());
   }
 
   ViewDefinition MakeView(const std::string& sql) {
-    auto v = ViewDefinition::FromSql(sql, catalog_, "db0");
+    auto v = ViewDefinition::FromSql(sql, *catalog_, "db0");
     EXPECT_TRUE(v.ok()) << v.status().ToString();
     return std::move(v).value();
   }
 
   Table Run(const std::string& sql) {
-    QueryEngine engine(&catalog_, "db0");
+    QueryEngine engine(catalog_.get(), "db0");
     auto r = engine.ExecuteSql(sql);
     EXPECT_TRUE(r.ok()) << sql << "\n  -> " << r.status().ToString();
     return r.ok() ? std::move(r).value() : Table();
   }
 
   Table RunStmt(SelectStmt* stmt) {
-    QueryEngine engine(&catalog_, "db0");
+    QueryEngine engine(catalog_.get(), "db0");
     auto r = engine.Execute(stmt);
     EXPECT_TRUE(r.ok()) << stmt->ToString() << "\n  -> "
                         << r.status().ToString();
     return r.ok() ? std::move(r).value() : Table();
   }
 
-  Catalog catalog_;
+  std::unique_ptr<Catalog> catalog_;
 };
 
 TEST_F(TranslationTest, Fig11RelationVariableRewriting) {
   Install(/*prices_per_day=*/1);
   ViewDefinition view = MakeView(kRelViewSql);
-  QueryTranslator translator(&catalog_, "db0");
+  QueryTranslator translator(catalog_.get(), "db0");
   // Q1: companies that closed over 200 on two consecutive days since 1/1/98.
   const std::string q1 =
       "select C1 from db0::stock T1, db0::stock T2, "
@@ -95,7 +97,7 @@ TEST_F(TranslationTest, Fig11RewritingPreservesBagsUnderDuplicates) {
   // duplicate rows.
   Install(/*prices_per_day=*/2);
   ViewDefinition view = MakeView(kRelViewSql);
-  QueryTranslator translator(&catalog_, "db0");
+  QueryTranslator translator(catalog_.get(), "db0");
   const std::string q =
       "select C1, P1 from db0::stock T1, T1.company C1, T1.price P1 "
       "where P1 > 100";
@@ -109,7 +111,7 @@ TEST_F(TranslationTest, Fig11RewritingPreservesBagsUnderDuplicates) {
 TEST_F(TranslationTest, Fig13AttributeVariableRewriting) {
   Install(/*prices_per_day=*/1);
   ViewDefinition view = MakeView(kAttrViewSql);
-  QueryTranslator translator(&catalog_, "db0");
+  QueryTranslator translator(catalog_.get(), "db0");
   // Q2: nyse prices of hitech companies.
   const std::string q2 =
       "select C1, D1, P1 from db0::stock T1, T1.date D1, T1.company C1, "
@@ -134,7 +136,7 @@ TEST_F(TranslationTest, Example42MultiplicityDivergence) {
   // loses multiplicities — Q2′ is set-equivalent but NOT bag-equivalent.
   Install(/*prices_per_day=*/2);
   ViewDefinition view = MakeView(kAttrViewSql);
-  QueryTranslator translator(&catalog_, "db0");
+  QueryTranslator translator(catalog_.get(), "db0");
   const std::string q =
       "select C1, D1, P1 from db0::stock T1, T1.date D1, T1.company C1, "
       "T1.price P1, T1.exch E1 where E1 = 'nyse'";
@@ -153,7 +155,7 @@ TEST_F(TranslationTest, Example42MultiplicityDivergence) {
 TEST_F(TranslationTest, Example52AggregateThroughPivot) {
   Install(/*prices_per_day=*/2);  // Duplicates present, MIN/MAX immune.
   ViewDefinition view = MakeView(kAttrViewSql);
-  QueryTranslator translator(&catalog_, "db0");
+  QueryTranslator translator(catalog_.get(), "db0");
   const std::string q =
       "select D, max(P) from db0::stock T, T.date D, T.price P, T.exch E "
       "where E = 'nyse' group by D having min(P) > 60";
@@ -169,7 +171,7 @@ TEST_F(TranslationTest, Example52AggregateThroughPivot) {
 TEST_F(TranslationTest, Example52AverageRejected) {
   Install(/*prices_per_day=*/2);
   ViewDefinition view = MakeView(kAttrViewSql);
-  QueryTranslator translator(&catalog_, "db0");
+  QueryTranslator translator(catalog_.get(), "db0");
   auto t = translator.TranslateSql(
       view,
       "select D, avg(P) from db0::stock T, T.date D, T.price P, T.exch E "
@@ -181,16 +183,16 @@ TEST_F(TranslationTest, Example52AverageRejected) {
 TEST_F(TranslationTest, SqlViewRewritingIsPlainSql) {
   Install(/*prices_per_day=*/1);
   // Materialize a plain SQL view and rewrite onto it.
-  QueryEngine engine(&catalog_, "db0");
+  QueryEngine engine(catalog_.get(), "db0");
   const std::string view_sql =
       "create view db3::high(co, dt, pr) as "
       "select C, D, P from db0::stock T, T.company C, T.date D, T.price P "
       "where P > 100";
   ASSERT_TRUE(
-      ViewMaterializer::MaterializeSql(view_sql, &engine, &catalog_, "db3")
+      ViewMaterializer::MaterializeSql(view_sql, &engine, catalog_.get(), "db3")
           .ok());
   ViewDefinition view = MakeView(view_sql);
-  QueryTranslator translator(&catalog_, "db0");
+  QueryTranslator translator(catalog_.get(), "db0");
   const std::string q =
       "select C, P from db0::stock T, T.company C, T.price P where P > 200";
   auto t = translator.TranslateSql(view, q, /*multiset=*/true);
@@ -204,7 +206,7 @@ TEST_F(TranslationTest, SqlViewRewritingIsPlainSql) {
 TEST_F(TranslationTest, RewrittenQueryTextRoundTrips) {
   Install(/*prices_per_day=*/1);
   ViewDefinition view = MakeView(kAttrViewSql);
-  QueryTranslator translator(&catalog_, "db0");
+  QueryTranslator translator(catalog_.get(), "db0");
   auto t = translator.TranslateSql(
       view,
       "select C1, P1 from db0::stock T1, T1.company C1, T1.price P1, "
@@ -222,7 +224,7 @@ TEST_F(TranslationTest, RewrittenQueryTextRoundTrips) {
 TEST_F(TranslationTest, PartialCoverageKeepsOtherTables) {
   Install(/*prices_per_day=*/1);
   ViewDefinition view = MakeView(kAttrViewSql);
-  QueryTranslator translator(&catalog_, "db0");
+  QueryTranslator translator(catalog_.get(), "db0");
   // cotype is not covered by the view and must survive in Q′.
   auto t = translator.TranslateSql(
       view,

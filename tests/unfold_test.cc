@@ -89,12 +89,17 @@ TEST_F(UnfoldTest, SelfJoinAcrossTwoLegacyTables) {
 TEST_F(UnfoldTest, WorksWithoutMaterialization) {
   // The point of unfolding: answer a legacy query for a table that does NOT
   // exist physically (a brand-new company exists only under I).
-  Table* istock =
-      catalog_.GetMutableDatabase("I").value()->GetMutableTable("stock").value();
-  ASSERT_TRUE(istock
-                  ->AppendRow({Value::String("coGHOST"),
-                               Value::MakeDate(Date::Parse("1998-03-01").value()),
-                               Value::Int(777)})
+  ASSERT_TRUE(catalog_
+                  .Mutate([](CatalogTxn& txn) -> Status {
+                    DV_ASSIGN_OR_RETURN(Database * db,
+                                        txn.GetMutableDatabase("I"));
+                    DV_ASSIGN_OR_RETURN(Table * istock,
+                                        db->GetMutableTable("stock"));
+                    return istock->AppendRow(
+                        {Value::String("coGHOST"),
+                         Value::MakeDate(Date::Parse("1998-03-01").value()),
+                         Value::Int(777)});
+                  })
                   .ok());
   ViewDefinition view = ViewDefinition::FromSql(kS2View, catalog_, "I").value();
   ViewUnfolder unfolder(&catalog_, "s2");
