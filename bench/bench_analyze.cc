@@ -1,0 +1,93 @@
+// Static-analyzer cost on the Fig. 6 integration catalog: the CI gate
+// (scripts/run_experiments.sh) requires every BM_AnalyzeView case to stay
+// under 5 ms per view — definition-time linting must be invisible next to
+// materialization. Also measures the full LintSources sweep and the
+// DefineView path (analysis + registration, no materialization).
+
+#include <benchmark/benchmark.h>
+
+#include "analyze/analyzer.h"
+#include "integration/integration.h"
+#include "relational/catalog.h"
+#include "workload/stock_data.h"
+
+namespace dynview {
+namespace {
+
+constexpr char kRelViewSql[] =
+    "create view db1::C(date, price) as "
+    "select D, P from db0::stock T, T.company C, T.date D, T.price P";
+
+constexpr char kPivotViewSql[] =
+    "create view db2::nyse(date, C) as "
+    "select D, P from db0::stock T, T.exch E, T.company C, "
+    "T.date D, T.price P where E = 'nyse'";
+
+constexpr char kAggViewSql[] =
+    "create view E::daily(date, C) as "
+    "select D, avg(P) from db0::stock T, T.exch E, T.date D, T.price P, "
+    "T.company C group by E, D, C";
+
+struct Setup {
+  Catalog catalog;
+  std::shared_ptr<const CatalogSnapshot> snap;
+
+  Setup() {
+    StockGenConfig cfg;
+    cfg.num_companies = 24;
+    cfg.num_dates = 50;
+    (void)InstallDb0(&catalog, "db0", cfg).ok();
+    snap = catalog.Snapshot();
+  }
+};
+
+void BM_AnalyzeView(benchmark::State& state, const char* sql) {
+  Setup s;
+  Analyzer analyzer(s.snap.get(), "db0");
+  for (auto _ : state) {
+    auto diags = analyzer.AnalyzeCreateView(sql);
+    benchmark::DoNotOptimize(diags);
+  }
+}
+BENCHMARK_CAPTURE(BM_AnalyzeView, relation_var, kRelViewSql);
+BENCHMARK_CAPTURE(BM_AnalyzeView, attribute_pivot, kPivotViewSql);
+BENCHMARK_CAPTURE(BM_AnalyzeView, aggregate, kAggViewSql);
+
+void BM_AnalyzeQuery(benchmark::State& state) {
+  Setup s;
+  Analyzer analyzer(s.snap.get(), "db0");
+  for (auto _ : state) {
+    auto diags = analyzer.AnalyzeSelect(
+        "select T.date, T.price from db0::stock T where T.company = 'co0'");
+    benchmark::DoNotOptimize(diags);
+  }
+}
+BENCHMARK(BM_AnalyzeQuery);
+
+void BM_DefineView(benchmark::State& state) {
+  Setup s;
+  for (auto _ : state) {
+    IntegrationSystem system(&s.catalog, "db0");
+    auto defined = system.DefineView(kPivotViewSql);
+    benchmark::DoNotOptimize(defined);
+  }
+}
+BENCHMARK(BM_DefineView);
+
+void BM_LintSources(benchmark::State& state) {
+  Setup s;
+  IntegrationSystem system(&s.catalog, "db0");
+  (void)system.DefineView(kRelViewSql);
+  (void)system.DefineView(kPivotViewSql);
+  (void)system.DefineView(kAggViewSql);
+  for (auto _ : state) {
+    auto diags = system.LintSources();
+    benchmark::DoNotOptimize(diags);
+  }
+}
+BENCHMARK(BM_LintSources);
+
+}  // namespace
+}  // namespace dynview
+
+BENCHMARK_MAIN();

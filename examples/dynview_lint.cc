@@ -1,0 +1,211 @@
+// dynview-lint: standalone static diagnostics over SchemaSQL files.
+//
+//   dynview-lint FILE.ssql [--format=text|json] [--workload=stock|hotel|tickets|none]
+//                [--db=NAME] [--multiset] [--threads=N] [--list-checks]
+//
+// Lints every statement in FILE.ssql (';'-separated, `--` comments) against
+// a catalog seeded with the selected workload schema. CREATE VIEW statements
+// that lint clean are registered as sources, so later SELECT statements get
+// the DV004 query-side usability precheck against them. Exit status is 1
+// iff any error-severity diagnostic fired — warnings and notes exit 0, so a
+// CI gate can require "zero errors" while still printing hazards.
+//
+// Analysis is purely static (nothing is executed), so output is
+// byte-identical for any --threads value; the flag exists so CI can sweep
+// thread counts and diff the outputs.
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/analyzer.h"
+#include "core/view_definition.h"
+#include "relational/catalog.h"
+#include "workload/hotel_data.h"
+#include "workload/stock_data.h"
+#include "workload/tickets_data.h"
+
+using namespace dynview;
+
+namespace {
+
+// Splits on ';' outside single-quoted strings; strips `--` comments.
+std::vector<std::string> SplitStatements(const std::string& text) {
+  std::vector<std::string> stmts;
+  std::string cur;
+  bool in_string = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (!in_string && c == '-' && i + 1 < text.size() && text[i + 1] == '-') {
+      while (i < text.size() && text[i] != '\n') ++i;
+      cur += ' ';
+      continue;
+    }
+    if (c == '\'') in_string = !in_string;
+    if (c == ';' && !in_string) {
+      stmts.push_back(cur);
+      cur.clear();
+      continue;
+    }
+    cur += c;
+  }
+  stmts.push_back(cur);
+  // Trim and drop empty statements.
+  std::vector<std::string> out;
+  for (std::string& s : stmts) {
+    size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos) continue;
+    size_t e = s.find_last_not_of(" \t\r\n");
+    out.push_back(s.substr(b, e - b + 1));
+  }
+  return out;
+}
+
+bool StartsWithWord(const std::string& s, const char* w0, const char* w1) {
+  std::istringstream in(s);
+  std::string a, b;
+  in >> a >> b;
+  for (char& c : a) c = static_cast<char>(std::tolower(c));
+  for (char& c : b) c = static_cast<char>(std::tolower(c));
+  return a == w0 && b == w1;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: dynview-lint FILE.ssql [--format=text|json]\n"
+      "       [--workload=stock|hotel|tickets|none] [--db=NAME] [--multiset]\n"
+      "       [--threads=N] [--list-checks]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string file, format = "text", workload = "none", default_db = "I";
+  bool multiset = false, list_checks = false, db_set = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+    } else if (arg.rfind("--workload=", 0) == 0) {
+      workload = arg.substr(11);
+    } else if (arg.rfind("--db=", 0) == 0) {
+      default_db = arg.substr(5);
+      db_set = true;
+    } else if (arg == "--multiset") {
+      multiset = true;
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      // Accepted for CI thread sweeps; analysis is static and
+      // thread-independent, so the value changes nothing.
+    } else if (arg == "--list-checks") {
+      list_checks = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else {
+      file = arg;
+    }
+  }
+
+  if (list_checks) {
+    for (const CheckInfo& c : CheckCatalog()) {
+      std::printf("%s  %-28s [%s] %s: %s\n", c.code, c.name, c.anchor,
+                  SeverityName(c.severity), c.summary);
+    }
+    return 0;
+  }
+  if (file.empty() || (format != "text" && format != "json")) return Usage();
+
+  std::ifstream in(file);
+  if (!in) {
+    std::fprintf(stderr, "dynview-lint: cannot open %s\n", file.c_str());
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  // Seed the catalog the analysis runs against.
+  Catalog catalog;
+  if (workload == "stock") {
+    StockGenConfig cfg;
+    if (auto s = InstallDb0(&catalog, "db0", cfg); !s.ok()) {
+      std::fprintf(stderr, "dynview-lint: %s\n", s.message().c_str());
+      return 2;
+    }
+    if (!db_set) default_db = "db0";
+  } else if (workload == "hotel") {
+    HotelGenConfig cfg;
+    Status s = InstallHotelDatabase(&catalog, "hoteldb", cfg);
+    if (s.ok()) s = InstallHprice(&catalog, "hoteldb");
+    if (s.ok()) s = InstallHotelwords(&catalog, "hoteldb");
+    if (!s.ok()) {
+      std::fprintf(stderr, "dynview-lint: %s\n", s.message().c_str());
+      return 2;
+    }
+    if (!db_set) default_db = "hoteldb";
+  } else if (workload == "tickets") {
+    TicketsGenConfig cfg;
+    Status s = InstallTicketJurisdictions(&catalog, "srcdb", cfg);
+    if (s.ok()) s = InstallTicketsIntegration(&catalog, "I", cfg);
+    if (!s.ok()) {
+      std::fprintf(stderr, "dynview-lint: %s\n", s.message().c_str());
+      return 2;
+    }
+    if (!db_set) default_db = "I";
+  } else if (workload != "none") {
+    return Usage();
+  }
+
+  std::shared_ptr<const CatalogSnapshot> snap = catalog.Snapshot();
+  Analyzer analyzer(snap.get(), default_db);
+
+  // Views that lint clean become sources for later statements' DV004
+  // query-side precheck — the file is linted as one integration setup.
+  std::vector<std::shared_ptr<ViewDefinition>> sources;
+  std::vector<Diagnostic> all;
+  std::vector<std::string> stmts = SplitStatements(buf.str());
+  for (size_t i = 0; i < stmts.size(); ++i) {
+    AnalyzeOptions opts;
+    opts.multiset = multiset;
+    opts.sources = &sources;
+    std::vector<Diagnostic> diags = analyzer.AnalyzeStatement(stmts[i], opts);
+    bool clean = !HasErrors(diags);
+    for (Diagnostic& d : diags) {
+      d.statement = static_cast<int>(i);
+      all.push_back(std::move(d));
+    }
+    if (clean && StartsWithWord(stmts[i], "create", "view")) {
+      Result<ViewDefinition> vd =
+          ViewDefinition::FromSql(stmts[i], *snap, default_db);
+      if (vd.ok()) {
+        sources.push_back(
+            std::make_shared<ViewDefinition>(std::move(vd).value()));
+      }
+    }
+  }
+  SortDiagnostics(&all);
+
+  const size_t errors = CountSeverity(all, Severity::kError);
+  const size_t warnings = CountSeverity(all, Severity::kWarning);
+  const size_t notes = CountSeverity(all, Severity::kNote);
+  if (format == "json") {
+    std::string body = RenderDiagnosticsJson(all);
+    if (!body.empty() && body.back() == '\n') body.pop_back();
+    std::printf(
+        "{\"file\": \"%s\", \"statements\": %zu, \"errors\": %zu, "
+        "\"warnings\": %zu, \"notes\": %zu, \"diagnostics\": %s}\n",
+        JsonEscape(file).c_str(), stmts.size(), errors, warnings, notes,
+        body.c_str());
+  } else {
+    std::fputs(RenderDiagnosticsText(all).c_str(), stdout);
+    std::printf("%s: %zu statement(s), %zu error(s), %zu warning(s), "
+                "%zu note(s)\n",
+                file.c_str(), stmts.size(), errors, warnings, notes);
+  }
+  return errors > 0 ? 1 : 0;
+}

@@ -114,6 +114,62 @@ if pct > 2.0:
     print(f"WARN: reader cpu overhead {pct:.2f}% above the 2% target")
 EOF
 
+# Lint gate: dynview-lint over the workload catalogs must report ZERO error
+# diagnostics (warnings like DV003 pivot-multiplicity are expected and
+# allowed), and JSON output must be byte-stable across runs and thread
+# counts. Then the C++ lint (clang-tidy when installed).
+for wl in stock hotel tickets; do
+  echo "=== dynview-lint: ${wl} ==="
+  build/examples/dynview_lint "examples/lint/${wl}.ssql" \
+    --workload="${wl}" --format=json --threads=1 \
+    | tee "results/lint_${wl}.json"
+  build/examples/dynview_lint "examples/lint/${wl}.ssql" \
+    --workload="${wl}" --format=json --threads=8 \
+    > "results/lint_${wl}_t8.json"
+  cmp "results/lint_${wl}.json" "results/lint_${wl}_t8.json" || {
+    echo "FAIL: dynview-lint output differs across thread counts (${wl})"
+    exit 1
+  }
+  rm -f "results/lint_${wl}_t8.json"
+  python3 - "results/lint_${wl}.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+if report["errors"] != 0:
+    raise SystemExit(f"FAIL: {sys.argv[1]}: {report['errors']} lint error(s)")
+print(f"{sys.argv[1]}: 0 errors, {report['warnings']} warning(s), "
+      f"{report['notes']} note(s)")
+EOF
+done
+scripts/run_lint.sh build 2>&1 | tee results/lint_cxx.txt
+
+# Analyzer cost on the Fig. 6 catalog: every per-view analysis must stay
+# under 5 ms — definition-time linting is invisible next to materialization.
+build/bench/bench_analyze \
+  --benchmark_out=results/BENCH_analyze.json \
+  --benchmark_out_format=json >/dev/null
+python3 - <<'EOF'
+import json
+with open("results/BENCH_analyze.json") as f:
+    doc = json.load(f)
+unit = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+worst = (0.0, "")
+for b in doc["benchmarks"]:
+    if not b["name"].startswith("BM_AnalyzeView"):
+        continue
+    ms = b["real_time"] * unit[b["time_unit"]]
+    if ms > worst[0]:
+        worst = (ms, b["name"])
+print(f"analyzer cost: worst per-view case {worst[1]} = {worst[0]:.3f} ms")
+if worst[0] > 5.0:
+    raise SystemExit(f"FAIL: {worst[1]} takes {worst[0]:.3f} ms > 5 ms per view")
+EOF
+
+# The static-analysis suite proper (ctest -L analyze): check registry,
+# DefineView gating, golden text/JSON diagnostics, thread determinism.
+ctest --test-dir build --output-on-failure -L analyze 2>&1 |
+  tee results/tests_analyze.txt
+
 # The observability test suite proper (ctest -L observe): determinism
 # oracle, metamorphic pivot, golden rewritings, failpoint coverage.
 ctest --test-dir build --output-on-failure -L observe 2>&1 |

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy) over src/ via the build tree's
+# compile_commands.json. Usage:
+#
+#   scripts/run_lint.sh [BUILD_DIR]     # default: build
+#
+# Exits non-zero on any clang-tidy diagnostic. When clang-tidy is not
+# installed (e.g. the minimal CI container), prints a notice and exits 0 so
+# the gate degrades gracefully instead of failing on a missing tool.
+set -u
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+
+TIDY="$(command -v clang-tidy || true)"
+if [ -z "${TIDY}" ]; then
+  echo "run_lint.sh: clang-tidy not installed; skipping C++ lint (install clang-tidy to enable)"
+  exit 0
+fi
+
+if [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
+  echo "run_lint.sh: ${BUILD_DIR}/compile_commands.json missing; configure with cmake first" >&2
+  exit 2
+fi
+
+FILES=$(find src -name '*.cc' | sort)
+STATUS=0
+for f in ${FILES}; do
+  # -quiet keeps output to actual findings; the config file supplies checks.
+  if ! "${TIDY}" -quiet -p "${BUILD_DIR}" "$f"; then
+    STATUS=1
+  fi
+done
+
+if [ "${STATUS}" -eq 0 ]; then
+  echo "run_lint.sh: clang-tidy clean over $(echo "${FILES}" | wc -l) files"
+fi
+exit "${STATUS}"

@@ -1,0 +1,148 @@
+#include "analyze/diagnostic.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace dynview {
+
+const char* SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+}  // namespace
+
+SourceSpan SpanOfWord(const std::string& sql, const std::string& word) {
+  if (word.empty()) return {};
+  for (size_t i = 0; i + word.size() <= sql.size(); ++i) {
+    bool match = true;
+    for (size_t j = 0; j < word.size(); ++j) {
+      if (std::tolower(static_cast<unsigned char>(sql[i + j])) !=
+          std::tolower(static_cast<unsigned char>(word[j]))) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    bool left_ok = i == 0 || !IsIdentChar(sql[i - 1]);
+    size_t end = i + word.size();
+    bool right_ok = end == sql.size() || !IsIdentChar(sql[end]);
+    if (left_ok && right_ok) return {i, word.size()};
+  }
+  return {};
+}
+
+bool DiagnosticLess(const Diagnostic& a, const Diagnostic& b) {
+  if (a.statement != b.statement) return a.statement < b.statement;
+  if (a.code != b.code) return a.code < b.code;
+  if (a.span.offset != b.span.offset) return a.span.offset < b.span.offset;
+  return a.message < b.message;
+}
+
+void SortDiagnostics(std::vector<Diagnostic>* diags) {
+  std::stable_sort(diags->begin(), diags->end(), DiagnosticLess);
+}
+
+bool HasErrors(const std::vector<Diagnostic>& diags) {
+  return std::any_of(diags.begin(), diags.end(), [](const Diagnostic& d) {
+    return d.severity == Severity::kError;
+  });
+}
+
+size_t CountSeverity(const std::vector<Diagnostic>& diags, Severity s) {
+  return static_cast<size_t>(
+      std::count_if(diags.begin(), diags.end(),
+                    [s](const Diagnostic& d) { return d.severity == s; }));
+}
+
+std::string RenderDiagnosticsText(const std::vector<Diagnostic>& diags) {
+  std::string out;
+  for (const Diagnostic& d : diags) {
+    out += SeverityName(d.severity);
+    out += ' ';
+    out += d.code;
+    if (!d.anchor.empty()) {
+      out += " [";
+      out += d.anchor;
+      out += ']';
+    }
+    if (d.span.length > 0) {
+      out += " @";
+      out += std::to_string(d.span.offset);
+      out += '+';
+      out += std::to_string(d.span.length);
+    }
+    out += ": ";
+    out += d.message;
+    out += '\n';
+    if (!d.fix_hint.empty()) {
+      out += "    fix: ";
+      out += d.fix_hint;
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string RenderDiagnosticsJson(const std::vector<Diagnostic>& diags) {
+  std::string out = "[";
+  for (size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    if (i > 0) out += ',';
+    out += "\n  {\"code\": \"";
+    out += JsonEscape(d.code);
+    out += "\", \"severity\": \"";
+    out += SeverityName(d.severity);
+    out += "\", \"statement\": ";
+    out += std::to_string(d.statement);
+    out += ", \"offset\": ";
+    out += std::to_string(d.span.offset);
+    out += ", \"length\": ";
+    out += std::to_string(d.span.length);
+    out += ", \"message\": \"";
+    out += JsonEscape(d.message);
+    out += "\", \"fix_hint\": \"";
+    out += JsonEscape(d.fix_hint);
+    out += "\", \"anchor\": \"";
+    out += JsonEscape(d.anchor);
+    out += "\"}";
+  }
+  out += diags.empty() ? "]\n" : "\n]\n";
+  return out;
+}
+
+}  // namespace dynview

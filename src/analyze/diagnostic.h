@@ -1,0 +1,73 @@
+#ifndef DYNVIEW_ANALYZE_DIAGNOSTIC_H_
+#define DYNVIEW_ANALYZE_DIAGNOSTIC_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dynview {
+
+/// Severity policy (docs/ARCHITECTURE.md "Static analysis"):
+///   kError   — the definition violates a contract the system enforces
+///              (Def. 3.1, binder rules); DefineView rejects it outright.
+///   kWarning — the definition is admitted but carries a semantic hazard the
+///              paper names (multiplicity loss, unsatisfiable body, dead
+///              branch); surfaced on AnswerResult::warnings and by the CLI.
+///   kNote    — advisory facts (e.g. set-only usability) that explain later
+///              rewriter/optimizer decisions without signalling a hazard.
+enum class Severity { kNote, kWarning, kError };
+
+const char* SeverityName(Severity s);
+
+/// Byte span inside the analyzed statement text. Length 0 means "the whole
+/// statement" (used when no narrower anchor exists).
+struct SourceSpan {
+  size_t offset = 0;
+  size_t length = 0;
+};
+
+/// First case-insensitive whole-word occurrence of `word` in `sql`; a
+/// zero-length span at offset 0 when absent. Identifier characters are
+/// [A-Za-z0-9_], so `P` does not match inside `price`.
+SourceSpan SpanOfWord(const std::string& sql, const std::string& word);
+
+/// One finding of the static analysis pass. `code` identifies the check
+/// (DV001..DV007; DV000 is reserved for syntax errors), `anchor` cites the
+/// paper result the check implements, and `fix_hint` (optional) names the
+/// smallest change that silences the finding.
+struct Diagnostic {
+  std::string code;
+  Severity severity = Severity::kWarning;
+  SourceSpan span;
+  std::string message;
+  std::string fix_hint;
+  std::string anchor;
+  /// Statement index within a multi-statement input (the lint CLI); 0 for
+  /// single-statement analysis.
+  int statement = 0;
+};
+
+/// Deterministic order: statement, then code, then span offset, then
+/// message. Emitters require sorted input so text and JSON renderings are
+/// byte-stable across runs and thread counts.
+bool DiagnosticLess(const Diagnostic& a, const Diagnostic& b);
+void SortDiagnostics(std::vector<Diagnostic>* diags);
+
+bool HasErrors(const std::vector<Diagnostic>& diags);
+size_t CountSeverity(const std::vector<Diagnostic>& diags, Severity s);
+
+/// Text emitter: one `severity code [anchor] @offset+len: message` line per
+/// diagnostic, `fix:` continuation lines for hints. Sorted input expected.
+std::string RenderDiagnosticsText(const std::vector<Diagnostic>& diags);
+
+/// JSON emitter: a stable array of objects (sorted input expected), suitable
+/// for CI consumption. No trailing newline inside the array; the result ends
+/// with '\n'.
+std::string RenderDiagnosticsJson(const std::vector<Diagnostic>& diags);
+
+/// JSON string escaping (exposed for the lint CLI's envelope).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace dynview
+
+#endif  // DYNVIEW_ANALYZE_DIAGNOSTIC_H_

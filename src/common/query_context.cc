@@ -73,4 +73,22 @@ std::vector<SourceWarning> QueryContext::warnings() const {
   return warnings_;
 }
 
+void DedupSourceWarnings(std::vector<SourceWarning>* warnings) {
+  std::vector<SourceWarning> out;
+  out.reserve(warnings->size());
+  for (SourceWarning& w : *warnings) {
+    bool merged = false;
+    for (SourceWarning& kept : out) {
+      if (kept.source == w.source && kept.status.code() == w.status.code() &&
+          kept.status.message() == w.status.message()) {
+        kept.count += w.count;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) out.push_back(std::move(w));
+  }
+  *warnings = std::move(out);
+}
+
 }  // namespace dynview

@@ -33,11 +33,21 @@ class CatalogSnapshot;  // relational/catalog.h — one pinned catalog version.
 enum class SourcePolicy { kFailFast, kRetry, kSkipAndReport };
 
 /// One omitted contribution of a partial result: which source/grounding was
-/// skipped and the error that caused it.
+/// skipped and the error that caused it. Warnings with the same (source,
+/// status code, status message) are deduplicated at the AnswerResult
+/// boundary — `count` records how many occurrences the entry stands for, so
+/// grounding fan-out width does not change warning output.
 struct SourceWarning {
   std::string source;
   Status status;
+  uint64_t count = 1;
 };
+
+/// In-place dedup: collapses adjacent-or-not entries with identical
+/// (source, status code, status message) into the first occurrence,
+/// summing counts. Preserves first-occurrence order, so a deterministic
+/// input order stays deterministic.
+void DedupSourceWarnings(std::vector<SourceWarning>* warnings);
 
 /// Per-query limits and degradation policy. Zero/negative values mean
 /// "unlimited" so a default-constructed QueryGuards guards nothing.

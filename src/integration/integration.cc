@@ -14,6 +14,46 @@ IntegrationSystem::IntegrationSystem(Catalog* catalog,
       engine_(catalog, integration_db_),
       optimizer_(catalog, integration_db_) {}
 
+Result<DefinedView> IntegrationSystem::DefineView(
+    const std::string& create_view_sql, const DefineViewOptions& options) {
+  // Analysis and registration see the same catalog version.
+  std::shared_ptr<const CatalogSnapshot> snap = catalog_->Snapshot();
+  Analyzer analyzer(snap.get(), integration_db_);
+  AnalyzeOptions opts;
+  opts.multiset = options.multiset;
+  std::vector<Diagnostic> diags =
+      analyzer.AnalyzeCreateView(create_view_sql, opts);
+  RecordAnalyzeMetrics(diags, &analyze_metrics_);
+  if (HasErrors(diags)) {
+    return Status::InvalidArgument("view definition rejected:\n" +
+                                   RenderDiagnosticsText(diags));
+  }
+  Result<const ViewDefinition*> registered =
+      options.materialize ? RegisterAndMaterializeSource(create_view_sql)
+                          : RegisterSource(create_view_sql);
+  DV_RETURN_IF_ERROR(registered.status());
+  const ViewDefinition* view = registered.value();
+  if (!diags.empty()) source_diags_[view] = diags;
+  return DefinedView{view, std::move(diags)};
+}
+
+std::vector<Diagnostic> IntegrationSystem::LintSources() const {
+  std::shared_ptr<const CatalogSnapshot> snap = catalog_->Snapshot();
+  Analyzer analyzer(snap.get(), integration_db_);
+  std::vector<Diagnostic> all;
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    std::vector<Diagnostic> diags =
+        analyzer.AnalyzeRegisteredView(*sources_[i], *snap);
+    for (Diagnostic& d : diags) {
+      d.statement = static_cast<int>(i);
+      all.push_back(std::move(d));
+    }
+  }
+  RecordAnalyzeMetrics(all, &analyze_metrics_);
+  SortDiagnostics(&all);
+  return all;
+}
+
 Result<const ViewDefinition*> IntegrationSystem::RegisterAndMaterializeSource(
     const std::string& create_view_sql) {
   uint64_t commit_version = 0;
@@ -95,7 +135,7 @@ Result<TranslationResult> IntegrationSystem::Rewrite(const std::string& sql,
 
 Result<TranslationResult> IntegrationSystem::RewriteOver(
     const std::string& sql, bool multiset, const CatalogSnapshot& snap,
-    std::vector<SourceWarning>* stale) {
+    std::vector<SourceWarning>* stale, const ViewDefinition** chosen) {
   QueryTranslator translator(&snap, integration_db_);
   AggregateViewRewriter agg_rewriter(&snap, integration_db_);
   std::string last_reason;
@@ -125,13 +165,19 @@ Result<TranslationResult> IntegrationSystem::RewriteOver(
       // uniform-group assumption, so it is only offered for set semantics.
       Result<TranslationResult> t = agg_rewriter.Rewrite(
           *source, sql, /*allow_avg_reaggregation=*/!multiset);
-      if (t.ok()) return t;
+      if (t.ok()) {
+        if (chosen != nullptr) *chosen = source.get();
+        return t;
+      }
       last_reason = t.status().message();
       continue;
     }
     Result<TranslationResult> t =
         translator.TranslateSqlAll(*source, sql, multiset);
-    if (t.ok()) return t;
+    if (t.ok()) {
+      if (chosen != nullptr) *chosen = source.get();
+      return t;
+    }
     last_reason = t.status().message();
   }
   return Status::NotFound("no registered source can answer the query" +
@@ -186,9 +232,10 @@ Result<AnswerResult> IntegrationSystem::AnswerGuarded(
   // Stale-source fences surface in registration order, before any
   // degradation warnings execution adds — a deterministic prefix.
   std::vector<SourceWarning> stale;
+  const ViewDefinition* chosen = nullptr;
   Result<Table> answered = [&]() -> Result<Table> {
     Result<TranslationResult> rewritten =
-        RewriteOver(sql, options.multiset, *snap, &stale);
+        RewriteOver(sql, options.multiset, *snap, &stale, &chosen);
     if (rewritten.ok()) {
       return engine_.Execute(rewritten.value().query.get(), qc);
     }
@@ -212,7 +259,26 @@ Result<AnswerResult> IntegrationSystem::AnswerGuarded(
     sink->metrics.Set(counters::kBudgetBytesCharged, qc->bytes_charged());
   }
   std::vector<SourceWarning> warnings = std::move(stale);
+  // Analysis warnings DefineView attached to the chosen source travel with
+  // every answer it serves (the Sec. 4.3 hazards are per-result facts).
+  if (chosen != nullptr) {
+    auto it = source_diags_.find(chosen);
+    if (it != source_diags_.end()) {
+      const NameTerm& db = chosen->db_term();
+      std::string name =
+          (db.empty() ? std::string() : db.text + "::") + chosen->rel_term().text;
+      for (const Diagnostic& d : it->second) {
+        if (d.severity != Severity::kWarning) continue;
+        warnings.push_back(SourceWarning{
+            name, Status::InvalidArgument(d.code + " [" + d.anchor +
+                                          "]: " + d.message)});
+      }
+    }
+  }
   for (SourceWarning& w : qc->warnings()) warnings.push_back(std::move(w));
+  // Same (source, code, detail) emitted once, with an occurrence count —
+  // grounding fan-out width does not change warning output.
+  DedupSourceWarnings(&warnings);
   return AnswerResult{std::move(answered).value(), std::move(warnings),
                       std::move(observer), snap->version(), std::move(snap)};
 }

@@ -1,11 +1,14 @@
 #ifndef DYNVIEW_INTEGRATION_INTEGRATION_H_
 #define DYNVIEW_INTEGRATION_INTEGRATION_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "analyze/analyzer.h"
 #include "common/result.h"
+#include "observe/metrics.h"
 #include "core/translate.h"
 #include "observe/observer.h"
 #include "core/usability.h"
@@ -47,6 +50,24 @@ struct AnswerResult {
   std::shared_ptr<const CatalogSnapshot> snapshot;
 };
 
+/// Options for IntegrationSystem::DefineView. `materialize` selects the
+/// RegisterAndMaterializeSource path (I holds the data) over plain
+/// RegisterSource; `multiset` is the semantics the analyzer hardens its
+/// DV003/DV004 checks for.
+struct DefineViewOptions {
+  bool materialize = false;
+  bool multiset = false;
+};
+
+/// A successfully defined source plus the (non-error) diagnostics the
+/// analyzer attached to it. Warning diagnostics are also remembered: every
+/// later AnswerGuarded call that rewrites onto this source re-surfaces them
+/// on AnswerResult::warnings.
+struct DefinedView {
+  const ViewDefinition* view = nullptr;
+  std::vector<Diagnostic> diagnostics;
+};
+
 /// The Fig. 6 architecture. The integration schema I is a stable,
 /// first-order schema designed for the new application; every data source
 /// (legacy schema, interface schema, or index) is registered as an SQL or
@@ -62,9 +83,32 @@ class IntegrationSystem {
   /// under the sources.
   IntegrationSystem(Catalog* catalog, std::string integration_db);
 
+  /// The analyzed registration path (CREATE VIEW through the lint pass):
+  /// runs the static analyzer (DV001..DV006) against a pinned catalog
+  /// snapshot and *rejects* the definition with InvalidArgument when any
+  /// error-severity diagnostic fires — a Def. 3.1-violating body (DV002)
+  /// never becomes a source. Warnings and notes admit the view; they come
+  /// back on DefinedView::diagnostics, tally into the `analyze.*` metrics
+  /// family (analyze_metrics()), and warnings re-surface on
+  /// AnswerResult::warnings whenever the source answers a query.
+  Result<DefinedView> DefineView(const std::string& create_view_sql,
+                                 const DefineViewOptions& options = {});
+
+  /// Re-runs the analyzer over every registered source against the current
+  /// catalog snapshot — the definition-time checks plus DV007 (stale
+  /// materialization fence). Diagnostics carry the registration index in
+  /// Diagnostic::statement. Deterministic for a fixed catalog version.
+  std::vector<Diagnostic> LintSources() const;
+
+  /// The cumulative `analyze.*` counters across DefineView/LintSources
+  /// calls on this system.
+  const MetricsRegistry& analyze_metrics() const { return analyze_metrics_; }
+
   /// Registers a source described by `create_view_sql` (a view over I) and
   /// materializes it from I's current contents into `catalog`. Use when I
   /// holds the data and sources are derived (warehouse loading direction).
+  /// Unlike DefineView, this path does NOT run the analyzer (seed workloads
+  /// and tests register known-good definitions directly).
   Result<const ViewDefinition*> RegisterAndMaterializeSource(
       const std::string& create_view_sql);
 
@@ -138,9 +182,11 @@ class IntegrationSystem {
   /// bodies and I's schema through `snap`, and fenced sources whose
   /// materialization is stale against `snap` are skipped. Each skip appends
   /// a deterministic (registration-order) warning to `stale`, when given.
+  /// On success `*chosen` (when given) names the source the rewriting uses.
   Result<TranslationResult> RewriteOver(const std::string& sql, bool multiset,
                                         const CatalogSnapshot& snap,
-                                        std::vector<SourceWarning>* stale);
+                                        std::vector<SourceWarning>* stale,
+                                        const ViewDefinition** chosen = nullptr);
 
   Catalog* catalog_;
   std::string integration_db_;
@@ -148,6 +194,11 @@ class IntegrationSystem {
   Optimizer optimizer_;
   std::vector<std::shared_ptr<ViewDefinition>> sources_;
   std::vector<std::shared_ptr<ViewIndex>> indexes_;
+  /// Warning/note diagnostics DefineView attached to each admitted source,
+  /// re-surfaced on AnswerResult::warnings when the source answers a query.
+  std::map<const ViewDefinition*, std::vector<Diagnostic>> source_diags_;
+  /// Cumulative analyze.* tallies (DefineView and LintSources record here).
+  mutable MetricsRegistry analyze_metrics_;
 };
 
 }  // namespace dynview

@@ -42,6 +42,12 @@ inline constexpr char kPivotMultiplicityDropped[] =
 // Gauges (set at query end from QueryContext accounting).
 inline constexpr char kBudgetRowsCharged[] = "budget.rows_charged";
 inline constexpr char kBudgetBytesCharged[] = "budget.bytes_charged";
+// Static analysis (DefineView / dynview-lint) tallies.
+inline constexpr char kAnalyzeChecksRun[] = "analyze.checks_run";
+inline constexpr char kAnalyzeDiagnostics[] = "analyze.diagnostics";
+inline constexpr char kAnalyzeErrors[] = "analyze.errors";
+inline constexpr char kAnalyzeWarnings[] = "analyze.warnings";
+inline constexpr char kAnalyzeNotes[] = "analyze.notes";
 }  // namespace counters
 
 /// A per-query registry of named counters and gauges.

@@ -7,6 +7,7 @@
 #include <map>
 #include <set>
 
+#include "analyze/analyzer.h"
 #include "common/str_util.h"
 #include "core/normalize.h"
 #include "optimizer/stats.h"
@@ -162,6 +163,58 @@ Result<std::string> Optimizer::Explain(const std::string& sql) const {
   } else {
     for (const std::string& p : paths) {
       out += p;
+      out += '\n';
+    }
+  }
+  // Static-analysis facts: why each registered view is NOT an access path
+  // of the chosen plan. Stale fences (DV007) come from planning itself;
+  // usability verdicts (DV004) re-run the analyzer's probe against the same
+  // snapshot the plan was costed on.
+  out += "== analysis ==\n";
+  std::vector<std::string> facts;
+  for (const std::string& p : chosen.stale_paths) {
+    facts.push_back("warning DV007 [Sec. 6]: " + p +
+                    " fenced off: stale materialization predates the pinned "
+                    "snapshot");
+  }
+  if (chosen.snapshot != nullptr) {
+    Analyzer analyzer(chosen.snapshot.get(), default_db_);
+    for (const auto& view : views_) {
+      const std::string name =
+          (view->db_term().empty() ? std::string()
+                                   : view->db_term().text + "::") +
+          view->rel_term().text;
+      bool reported_stale = false;
+      for (const std::string& p : chosen.stale_paths) {
+        if (p == "view " + name) reported_stale = true;
+      }
+      if (reported_stale) continue;
+      bool used = false;
+      for (const std::string& p : paths) {
+        if (p.rfind("view " + name + " ", 0) == 0) used = true;
+      }
+      if (used) continue;
+      if (view->IsAggregateView()) {
+        facts.push_back("note: view " + name +
+                        " is aggregate-defined; offered via Sec. 5.2 "
+                        "re-aggregation, not as a scan path");
+        continue;
+      }
+      Analyzer::UsabilityFact fact = analyzer.ProbeUsability(*view, sql);
+      if (!fact.set_usable) {
+        facts.push_back("note DV004 [Thm. 5.2/5.4]: view " + name +
+                        " not usable for this query: " + fact.set_reason);
+      } else {
+        facts.push_back("note: view " + name +
+                        " is usable but not chosen (cost-based decision)");
+      }
+    }
+  }
+  if (facts.empty()) {
+    out += "no analysis facts\n";
+  } else {
+    for (const std::string& f : facts) {
+      out += f;
       out += '\n';
     }
   }

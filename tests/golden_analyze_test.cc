@@ -1,0 +1,192 @@
+// Golden-file tests for the static diagnostics pass: every DV00x code's
+// text AND json rendering is pinned under tests/golden/analyze/, plus a
+// determinism test asserting the analyzer's bytes are identical whether the
+// surrounding engine runs at 1 or 8 threads.
+//
+// Regenerate after an intentional change with:
+//   DYNVIEW_REGOLD=1 ctest -R golden_analyze
+// then review the golden diff like any other code change.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/analyzer.h"
+#include "common/exec_config.h"
+#include "core/view_definition.h"
+#include "engine/query_engine.h"
+#include "relational/catalog.h"
+#include "schemasql/view_materializer.h"
+#include "workload/stock_data.h"
+
+#ifndef DYNVIEW_TESTDATA_DIR
+#error "DYNVIEW_TESTDATA_DIR must point at tests/golden/analyze"
+#endif
+
+namespace dynview {
+namespace {
+
+constexpr char kRelViewSql[] =
+    "create view db1::C(date, price) as "
+    "select D, P from db0::stock T, T.company C, T.date D, T.price P";
+
+constexpr char kPivotViewSql[] =
+    "create view db2::nyse(date, C) as "
+    "select D, P from db0::stock T, T.exch E, T.company C, "
+    "T.date D, T.price P where E = 'nyse'";
+
+constexpr char kHigherOrderBodySql[] =
+    "create view out::folded(company, date, price) as "
+    "select R, D, P from db0 -> R, R T, T.date D, T.price P";
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(DYNVIEW_TESTDATA_DIR) + "/" + name + ".txt";
+}
+
+void CompareAgainstGolden(const std::string& name, const std::string& got) {
+  const std::string path = GoldenPath(name);
+  if (std::getenv("DYNVIEW_REGOLD") != nullptr) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << got;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (run with DYNVIEW_REGOLD=1 to create)";
+  std::stringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(want.str(), got)
+      << "diagnostics drifted from " << path
+      << "; if intentional, regenerate with DYNVIEW_REGOLD=1";
+}
+
+/// Renders one analyzed statement in both emitter formats — the golden
+/// pins text and JSON output together.
+std::string RenderBoth(const std::string& sql,
+                       const std::vector<Diagnostic>& diags) {
+  std::string out = "-- input: " + sql + "\n";
+  out += "== text ==\n";
+  out += RenderDiagnosticsText(diags);
+  out += "== json ==\n";
+  out += RenderDiagnosticsJson(diags);
+  return out;
+}
+
+class GoldenAnalyzeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StockGenConfig cfg;
+    cfg.num_companies = 4;
+    cfg.num_dates = 6;
+    ASSERT_TRUE(InstallDb0(&catalog_, "db0", cfg).ok());
+    snap_ = catalog_.Snapshot();
+  }
+
+  std::string Analyze(const std::string& sql, AnalyzeOptions opts = {}) {
+    Analyzer analyzer(snap_.get(), "db0");
+    return RenderBoth(sql, analyzer.AnalyzeStatement(sql, opts));
+  }
+
+  Catalog catalog_;
+  std::shared_ptr<const CatalogSnapshot> snap_;
+};
+
+TEST_F(GoldenAnalyzeTest, Dv000SyntaxError) {
+  CompareAgainstGolden("dv000", Analyze("selectt nonsense"));
+}
+
+TEST_F(GoldenAnalyzeTest, Dv001UnboundAndUnused) {
+  std::string got =
+      Analyze("select D from db0::stock T, T.date D, T.price P");
+  got += Analyze("select X from db0::stock T");
+  CompareAgainstGolden("dv001", got);
+}
+
+TEST_F(GoldenAnalyzeTest, Dv002HigherOrderViewBody) {
+  CompareAgainstGolden("dv002", Analyze(kHigherOrderBodySql));
+}
+
+TEST_F(GoldenAnalyzeTest, Dv003PivotMultiplicityLoss) {
+  CompareAgainstGolden("dv003", Analyze(kPivotViewSql));
+}
+
+TEST_F(GoldenAnalyzeTest, Dv004NoUsableSource) {
+  std::vector<std::shared_ptr<ViewDefinition>> sources;
+  auto vd = ViewDefinition::FromSql(kRelViewSql, *snap_, "db0");
+  ASSERT_TRUE(vd.ok());
+  sources.push_back(std::make_shared<ViewDefinition>(std::move(vd).value()));
+  AnalyzeOptions opts;
+  opts.sources = &sources;
+  CompareAgainstGolden(
+      "dv004",
+      Analyze("select T.type from db0::cotype T where T.company = 'co0'",
+              opts));
+}
+
+TEST_F(GoldenAnalyzeTest, Dv005UnsatisfiablePredicate) {
+  CompareAgainstGolden(
+      "dv005",
+      Analyze("select T.date from db0::stock T "
+              "where T.price > 10 and T.price < 5"));
+}
+
+TEST_F(GoldenAnalyzeTest, Dv006MissingTableAndDeadBranch) {
+  std::string got = Analyze("select T.date from db0::nosuch T");
+  got += Analyze(
+      "select T.date from db0::stock T union "
+      "select T.date from db0::stock T where T.price > 3");
+  CompareAgainstGolden("dv006", got);
+}
+
+/// Builds the DV007 scenario from scratch at a given engine parallelism:
+/// materialize the Fig. 11 view, fence it, advance the base database, then
+/// analyze the registered view. Returns the rendered diagnostics.
+std::string RenderDv007AtThreads(int num_threads) {
+  Catalog catalog;
+  StockGenConfig cfg;
+  cfg.num_companies = 4;
+  cfg.num_dates = 6;
+  if (!InstallDb0(&catalog, "db0", cfg).ok()) return "install failed";
+  ExecConfig exec;
+  exec.num_threads = num_threads;
+  QueryEngine engine(&catalog, "db0", exec);
+  uint64_t commit_version = 0;
+  auto mat = ViewMaterializer::MaterializeSql(kRelViewSql, &engine, &catalog,
+                                              "db0", nullptr, &commit_version);
+  if (!mat.ok()) return "materialize failed: " + mat.status().message();
+  auto vd = ViewDefinition::FromSql(kRelViewSql, catalog, "db0");
+  if (!vd.ok()) return "view failed";
+  ViewDefinition view = std::move(vd).value();
+  view.AdvanceMaterializedVersion(commit_version);
+  view.set_fenced(true);
+  // A base commit moves db0 past the fence.
+  StockGenConfig small;
+  small.num_companies = 2;
+  small.num_dates = 2;
+  if (!catalog.PutTable("db0", "stock", GenerateStockDb0(small)).ok()) {
+    return "put failed";
+  }
+  std::shared_ptr<const CatalogSnapshot> snap = catalog.Snapshot();
+  Analyzer analyzer(snap.get(), "db0");
+  std::vector<Diagnostic> diags = analyzer.AnalyzeRegisteredView(view, *snap);
+  return RenderBoth(kRelViewSql, diags);
+}
+
+TEST_F(GoldenAnalyzeTest, Dv007StaleMaterializationFence) {
+  CompareAgainstGolden("dv007", RenderDv007AtThreads(1));
+}
+
+TEST_F(GoldenAnalyzeTest, OutputByteIdenticalAcrossThreadCounts) {
+  // The analyzer is static: its bytes must not depend on the parallelism of
+  // the engine that built the catalog state it inspects.
+  EXPECT_EQ(RenderDv007AtThreads(1), RenderDv007AtThreads(8));
+}
+
+}  // namespace
+}  // namespace dynview
