@@ -2,6 +2,7 @@
 //
 //   dynview-lint FILE.ssql [--format=text|json] [--workload=stock|hotel|tickets|none]
 //                [--db=NAME] [--multiset] [--threads=N] [--list-checks]
+//                [--show-fingerprint]
 //
 // Lints every statement in FILE.ssql (';'-separated, `--` comments) against
 // a catalog seeded with the selected workload schema. CREATE VIEW statements
@@ -13,6 +14,12 @@
 // Analysis is purely static (nothing is executed), so output is
 // byte-identical for any --threads value; the flag exists so CI can sweep
 // thread counts and diff the outputs.
+//
+// --show-fingerprint prints, instead of diagnostics, the plan-cache
+// fingerprints of every SELECT statement: the exact hash (the cache key —
+// literals included) and the parameterized shape hash (literals stripped),
+// plus the normalized text the exact hash covers. Two spellings answer from
+// one cached plan iff their exact fingerprints match.
 
 #include <cctype>
 #include <cstdio>
@@ -25,6 +32,7 @@
 
 #include "analyze/analyzer.h"
 #include "core/view_definition.h"
+#include "plan_cache/fingerprint.h"
 #include "relational/catalog.h"
 #include "workload/hotel_data.h"
 #include "workload/stock_data.h"
@@ -80,8 +88,54 @@ int Usage() {
       stderr,
       "usage: dynview-lint FILE.ssql [--format=text|json]\n"
       "       [--workload=stock|hotel|tickets|none] [--db=NAME] [--multiset]\n"
-      "       [--threads=N] [--list-checks]\n");
+      "       [--threads=N] [--list-checks] [--show-fingerprint]\n");
   return 2;
+}
+
+/// --show-fingerprint: plan-cache fingerprints of every SELECT statement.
+int ShowFingerprints(const std::vector<std::string>& stmts,
+                     const std::string& file, const std::string& format) {
+  bool json = format == "json";
+  if (json) std::printf("{\"file\": \"%s\", \"fingerprints\": [",
+                        JsonEscape(file).c_str());
+  bool first = true;
+  for (size_t i = 0; i < stmts.size(); ++i) {
+    std::istringstream head(stmts[i]);
+    std::string word;
+    head >> word;
+    for (char& c : word) c = static_cast<char>(std::tolower(c));
+    if (word != "select") continue;  // Queries only, not DDL.
+    Result<QueryFingerprint> exact =
+        FingerprintSql(stmts[i], FingerprintMode::kExact);
+    if (!exact.ok()) {
+      if (!json) {
+        std::printf("stmt %zu: parse error: %s\n", i,
+                    exact.status().message().c_str());
+      }
+      continue;
+    }
+    Result<QueryFingerprint> shape =
+        FingerprintSql(stmts[i], FingerprintMode::kParameterized);
+    if (json) {
+      std::printf("%s{\"statement\": %zu, \"exact\": \"%s\", "
+                  "\"shape\": \"%s\", \"literals\": %zu, "
+                  "\"normalized\": \"%s\"}",
+                  first ? "" : ", ", i, exact.value().Hex().c_str(),
+                  shape.ok() ? shape.value().Hex().c_str() : "",
+                  shape.ok() ? shape.value().literals.size() : 0,
+                  JsonEscape(exact.value().normalized).c_str());
+    } else {
+      std::printf("stmt %zu: exact=%s shape=%s literals=%zu\n"
+                  "  normalized: %s\n",
+                  i, exact.value().Hex().c_str(),
+                  shape.ok() ? shape.value().Hex().c_str() : "?",
+                  shape.ok() ? shape.value().literals.size() : 0,
+                  exact.value().normalized.c_str());
+    }
+    first = false;
+  }
+  if (json) std::printf("]}\n");
+  return 0;
 }
 
 }  // namespace
@@ -89,6 +143,7 @@ int Usage() {
 int main(int argc, char** argv) {
   std::string file, format = "text", workload = "none", default_db = "I";
   bool multiset = false, list_checks = false, db_set = false;
+  bool show_fingerprint = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--format=", 0) == 0) {
@@ -105,6 +160,8 @@ int main(int argc, char** argv) {
       // thread-independent, so the value changes nothing.
     } else if (arg == "--list-checks") {
       list_checks = true;
+    } else if (arg == "--show-fingerprint") {
+      show_fingerprint = true;
     } else if (arg.rfind("--", 0) == 0) {
       return Usage();
     } else {
@@ -128,6 +185,11 @@ int main(int argc, char** argv) {
   }
   std::stringstream buf;
   buf << in.rdbuf();
+
+  if (show_fingerprint) {
+    // Fingerprinting is a pure function of the text: no catalog needed.
+    return ShowFingerprints(SplitStatements(buf.str()), file, format);
+  }
 
   // Seed the catalog the analysis runs against.
   Catalog catalog;

@@ -143,6 +143,40 @@ EOF
 done
 scripts/run_lint.sh build 2>&1 | tee results/lint_cxx.txt
 
+# Compiled query path: cold vs warm-cache vs prepared per-query cost at
+# repeat rates {1,10,100} on the Fig. 6 workload. Acceptance bar: at repeat
+# rate 100 the amortized per-query cost must be ≥3× cheaper than at repeat
+# rate 1 (the cold path) — the plan cache has to actually pay for itself.
+build/bench/bench_compiled \
+  --benchmark_out=results/BENCH_compiled.json \
+  --benchmark_out_format=json >/dev/null
+python3 - <<'EOF'
+import json
+with open("results/BENCH_compiled.json") as f:
+    runs = {b["name"]: b for b in json.load(f)["benchmarks"]}
+
+def per_query(name, repeat):
+    return runs[name]["real_time"] / repeat
+
+for family in ("BM_AnswerRepeatRate", "BM_PreparedRepeatRate"):
+    series = {r: per_query(f"{family}/{r}", r) for r in (1, 10, 100)}
+    print(f"{family}: per-query "
+          + ", ".join(f"r={r}: {t:.1f} {runs[family + '/1']['time_unit']}"
+                      for r, t in series.items()))
+    speedup = series[1] / series[100]
+    print(f"{family}: warm-vs-cold speedup at repeat 100 = {speedup:.2f}x")
+    if speedup < 3.0:
+        raise SystemExit(
+            f"FAIL: {family} repeat-100 speedup {speedup:.2f}x < 3x — the "
+            "plan cache is not paying for itself")
+EOF
+
+# The compiled-path differential suite (ctest -L compiled): interpreted vs
+# compiled byte-identity at 1/8 threads, plan-cache semantics, prepared
+# queries, the plan_cache.lookup failpoint.
+ctest --test-dir build --output-on-failure -L compiled 2>&1 |
+  tee results/tests_compiled.txt
+
 # Analyzer cost on the Fig. 6 catalog: every per-view analysis must stay
 # under 5 ms — definition-time linting is invisible next to materialization.
 build/bench/bench_analyze \
@@ -188,6 +222,10 @@ cmake --build build-tsan-chaos
 DYNVIEW_FAILPOINTS="catalog.resolve=latency(1)" \
   ctest --test-dir build-tsan-chaos --output-on-failure -L chaos 2>&1 |
   tee results/tests_chaos_tsan.txt
+# The compiled differential suite must also hold race-free: cache hits
+# share immutable plans and compiled programs across threads.
+ctest --test-dir build-tsan-chaos --output-on-failure -L compiled 2>&1 |
+  tee results/tests_compiled_tsan.txt
 
 # Fault-injected pass: run the engine/integration-facing suites with a
 # latency failpoint armed on every catalog resolution, proving injection is
@@ -213,7 +251,7 @@ if [[ "${DYNVIEW_SANITIZE:-0}" == "1" ]]; then
       -DDYNVIEW_SANITIZE="$san"
     cmake --build "$dir"
     ctest --test-dir "$dir" --output-on-failure \
-      -R 'GuardTest|QueryContextTest|FailPointTest|ThreadPool|Parallel|MetricsRegistryTest|QueryTraceTest|ObserveEngineTest|DeterminismTest|FailpointCoverageTest|ChaosTest' \
+      -R 'GuardTest|QueryContextTest|FailPointTest|ThreadPool|Parallel|MetricsRegistryTest|QueryTraceTest|ObserveEngineTest|DeterminismTest|FailpointCoverageTest|ChaosTest|CompiledEngineTest|CompiledRandomTest|PlanCacheTest|GoldenCachedTest' \
       2>&1 | tee "results/tests_${san}san.txt"
   done
 fi

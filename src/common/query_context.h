@@ -15,8 +15,9 @@
 
 namespace dynview {
 
-struct QueryObserver;   // observe/observer.h — trace + metrics bundle.
-class CatalogSnapshot;  // relational/catalog.h — one pinned catalog version.
+struct QueryObserver;    // observe/observer.h — trace + metrics bundle.
+class CatalogSnapshot;   // relational/catalog.h — one pinned catalog version.
+class ExprProgramCache;  // engine/expr_compile.h — compiled-program memo.
 
 /// What to do when a data source (one grounding of a local-as-view fan-out)
 /// fails with a transient error (kUnavailable):
@@ -157,6 +158,18 @@ class QueryContext {
   void set_observer(QueryObserver* observer) { observer_ = observer; }
   QueryObserver* observer() const { return observer_; }
 
+  /// The compiled-program memo this query's plan carries. Set by the plan
+  /// cache on a hit so every execution of the cached plan — including every
+  /// grounding of its higher-order fan-out — reuses the programs compiled
+  /// the first time. Null means the engine falls back to its own
+  /// per-engine cache.
+  void set_expr_programs(std::shared_ptr<ExprProgramCache> programs) {
+    expr_programs_ = std::move(programs);
+  }
+  const std::shared_ptr<ExprProgramCache>& expr_programs() const {
+    return expr_programs_;
+  }
+
  private:
   const QueryGuards guards_;
   const bool has_deadline_;
@@ -172,6 +185,7 @@ class QueryContext {
   std::vector<SourceWarning> warnings_;
   QueryObserver* observer_ = nullptr;
   std::shared_ptr<const CatalogSnapshot> snapshot_;
+  std::shared_ptr<ExprProgramCache> expr_programs_;
 };
 
 }  // namespace dynview

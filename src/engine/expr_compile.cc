@@ -1,0 +1,366 @@
+#include "engine/expr_compile.h"
+
+#include <memory_resource>
+#include <utility>
+
+#include "observe/metrics.h"
+
+namespace dynview {
+
+namespace {
+
+/// Accumulates ops while tracking the evaluation stack's high-water mark.
+struct ProgramBuilder {
+  std::vector<ExprOp> ops;
+  std::vector<Value> literals;
+  int depth = 0;
+  int max_depth = 0;
+
+  void Emit(ExprOpCode code, BinaryOp bop, int32_t arg, int stack_delta) {
+    ops.push_back(ExprOp{code, bop, arg});
+    depth += stack_delta;
+    if (depth > max_depth) max_depth = depth;
+  }
+};
+
+bool CompilePred(const Expr& e, const ColumnBindings& b, ProgramBuilder* out);
+
+bool CompileValue(const Expr& e, const ColumnBindings& b,
+                  ProgramBuilder* out) {
+  switch (e.kind) {
+    case ExprKind::kLiteral: {
+      if (e.param_index >= 0) return false;  // Unbound prepared parameter.
+      out->literals.push_back(e.literal);
+      out->Emit(ExprOpCode::kPushLiteral, BinaryOp::kEq,
+                static_cast<int32_t>(out->literals.size() - 1), +1);
+      return true;
+    }
+    case ExprKind::kVarRef: {
+      int idx = b.LookupBare(e.var_name);
+      if (idx < 0) return false;  // Absent or ambiguous: interpreter errors.
+      out->Emit(ExprOpCode::kPushSlot, BinaryOp::kEq, idx, +1);
+      return true;
+    }
+    case ExprKind::kColumnRef: {
+      if (e.column.is_variable) return false;
+      int idx = b.LookupQualified(e.qualifier, e.column.text);
+      if (idx < 0) return false;
+      out->Emit(ExprOpCode::kPushSlot, BinaryOp::kEq, idx, +1);
+      return true;
+    }
+    case ExprKind::kArith:
+      if (!CompileValue(*e.left, b, out)) return false;
+      if (!CompileValue(*e.right, b, out)) return false;
+      out->Emit(ExprOpCode::kArith, e.op, 0, -1);
+      return true;
+    case ExprKind::kCompare:
+    case ExprKind::kLogic:
+    case ExprKind::kNot:
+    case ExprKind::kLike:
+    case ExprKind::kContains:
+    case ExprKind::kHasWord:
+    case ExprKind::kIsNull:
+      // Predicate in value context: the interpreter evaluates it as a
+      // predicate and embeds the TriBool (TriBoolToValue); the compiled
+      // predicate ops push exactly that encoding.
+      return CompilePred(e, b, out);
+    case ExprKind::kAgg:
+    case ExprKind::kStar:
+      return false;
+  }
+  return false;
+}
+
+bool CompilePred(const Expr& e, const ColumnBindings& b, ProgramBuilder* out) {
+  switch (e.kind) {
+    case ExprKind::kCompare:
+      if (!CompileValue(*e.left, b, out)) return false;
+      if (!CompileValue(*e.right, b, out)) return false;
+      out->Emit(ExprOpCode::kCompare, e.op, 0, -1);
+      return true;
+    case ExprKind::kLogic: {
+      if (!CompilePred(*e.left, b, out)) return false;
+      // Short-circuit exactly like the interpreter: AND stops on False, OR
+      // on True — the left value stays on the stack as the result, and the
+      // right operand's ops (errors included) are skipped.
+      const bool is_and = e.op == BinaryOp::kAnd;
+      const size_t jump_at = out->ops.size();
+      out->Emit(is_and ? ExprOpCode::kJumpIfFalse : ExprOpCode::kJumpIfTrue,
+                BinaryOp::kEq, 0, 0);
+      if (!CompilePred(*e.right, b, out)) return false;
+      out->Emit(is_and ? ExprOpCode::kAnd : ExprOpCode::kOr, e.op, 0, -1);
+      out->ops[jump_at].arg = static_cast<int32_t>(out->ops.size());
+      return true;
+    }
+    case ExprKind::kNot:
+      if (!CompilePred(*e.left, b, out)) return false;
+      out->Emit(ExprOpCode::kNot, BinaryOp::kEq, 0, 0);
+      return true;
+    case ExprKind::kLike:
+      if (!CompileValue(*e.left, b, out)) return false;
+      if (!CompileValue(*e.right, b, out)) return false;
+      out->Emit(ExprOpCode::kLike, BinaryOp::kEq, 0, -1);
+      return true;
+    case ExprKind::kContains:
+      if (!CompileValue(*e.left, b, out)) return false;
+      if (!CompileValue(*e.right, b, out)) return false;
+      out->Emit(ExprOpCode::kContains, BinaryOp::kEq, 0, -1);
+      return true;
+    case ExprKind::kHasWord:
+      if (!CompileValue(*e.left, b, out)) return false;
+      if (!CompileValue(*e.right, b, out)) return false;
+      out->Emit(ExprOpCode::kHasWord, BinaryOp::kEq, 0, -1);
+      return true;
+    case ExprKind::kIsNull:
+      if (!CompileValue(*e.left, b, out)) return false;
+      out->Emit(ExprOpCode::kIsNull, BinaryOp::kEq, e.negated ? 1 : 0, 0);
+      return true;
+    default:
+      // Value expression in predicate position: evaluate, then apply the
+      // interpreter's NULL/BOOL coercion rule.
+      if (!CompileValue(e, b, out)) return false;
+      out->Emit(ExprOpCode::kCoerceBool, BinaryOp::kEq, 0, 0);
+      return true;
+  }
+}
+
+/// Decodes the tri-valued encoding (NULL = Unknown, BOOL = True/False).
+/// Only called on values produced by predicate ops, which guarantee the
+/// shape by construction.
+inline TriBool TriOf(const Value& v) {
+  if (v.is_null()) return TriBool::kUnknown;
+  return v.as_bool() ? TriBool::kTrue : TriBool::kFalse;
+}
+
+/// Per-thread evaluation scratch, allocated from a thread-local std::pmr
+/// monotonic arena so the per-row hot path (possibly on many morsel workers
+/// at once) never touches the global allocator and shares nothing across
+/// threads. The operand stack holds *pointers* — leaf pushes alias the row
+/// slot or the program's literal pool instead of copying the Value (a
+/// string copy per row, otherwise); only operator results materialize, into
+/// `temps`, which is reserved to the program's op count up front so the
+/// pointers stay stable (each op materializes at most once, and jumps only
+/// move forward, so ops.size() bounds live temporaries).
+struct EvalScratch {
+  std::pmr::monotonic_buffer_resource arena{1024};
+  std::pmr::vector<const Value*> stack{&arena};
+  std::pmr::vector<Value> temps{&arena};
+};
+
+EvalScratch& LocalScratch() {
+  thread_local EvalScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
+std::shared_ptr<const CompiledExpr> CompiledExpr::Compile(
+    const Expr& e, const ColumnBindings& bindings, bool as_predicate) {
+  ProgramBuilder builder;
+  const bool ok = as_predicate ? CompilePred(e, bindings, &builder)
+                               : CompileValue(e, bindings, &builder);
+  if (!ok) return nullptr;
+  auto prog = std::shared_ptr<CompiledExpr>(new CompiledExpr());
+  prog->ops_ = std::move(builder.ops);
+  prog->literals_ = std::move(builder.literals);
+  prog->max_stack_ = static_cast<size_t>(builder.max_depth);
+  return prog;
+}
+
+Result<Value> CompiledExpr::Run(const Row& row) const {
+  EvalScratch& scratch = LocalScratch();
+  std::pmr::vector<const Value*>& st = scratch.stack;
+  std::pmr::vector<Value>& temps = scratch.temps;
+  st.clear();
+  temps.clear();
+  if (st.capacity() < max_stack_) st.reserve(max_stack_);
+  if (temps.capacity() < ops_.size()) temps.reserve(ops_.size());
+  for (size_t ip = 0; ip < ops_.size(); ++ip) {
+    const ExprOp& op = ops_[ip];
+    switch (op.code) {
+      case ExprOpCode::kPushLiteral:
+        st.push_back(&literals_[op.arg]);
+        break;
+      case ExprOpCode::kPushSlot:
+        st.push_back(&row[op.arg]);
+        break;
+      case ExprOpCode::kArith: {
+        const Value* r = st.back();
+        st.pop_back();
+        const Value* l = st.back();
+        st.pop_back();
+        DV_ASSIGN_OR_RETURN(Value v, EvalArithOp(op.bop, *l, *r));
+        temps.push_back(std::move(v));
+        st.push_back(&temps.back());
+        break;
+      }
+      case ExprOpCode::kCompare: {
+        const Value* r = st.back();
+        st.pop_back();
+        const Value* l = st.back();
+        st.pop_back();
+        DV_ASSIGN_OR_RETURN(TriBool t, EvalCompareOp(op.bop, *l, *r));
+        temps.push_back(TriBoolToValue(t));
+        st.push_back(&temps.back());
+        break;
+      }
+      case ExprOpCode::kLike: {
+        const Value* r = st.back();
+        st.pop_back();
+        const Value* l = st.back();
+        st.pop_back();
+        DV_ASSIGN_OR_RETURN(TriBool t, EvalLikeOp(*l, *r));
+        temps.push_back(TriBoolToValue(t));
+        st.push_back(&temps.back());
+        break;
+      }
+      case ExprOpCode::kContains: {
+        const Value* r = st.back();
+        st.pop_back();
+        const Value* l = st.back();
+        st.pop_back();
+        DV_ASSIGN_OR_RETURN(TriBool t, EvalContainsOp(*l, *r));
+        temps.push_back(TriBoolToValue(t));
+        st.push_back(&temps.back());
+        break;
+      }
+      case ExprOpCode::kHasWord: {
+        const Value* r = st.back();
+        st.pop_back();
+        const Value* l = st.back();
+        st.pop_back();
+        DV_ASSIGN_OR_RETURN(TriBool t, EvalHasWordOp(*l, *r));
+        temps.push_back(TriBoolToValue(t));
+        st.push_back(&temps.back());
+        break;
+      }
+      case ExprOpCode::kIsNull: {
+        bool null = st.back()->is_null();
+        st.pop_back();
+        if (op.arg != 0) null = !null;
+        temps.push_back(Value::Bool(null));
+        st.push_back(&temps.back());
+        break;
+      }
+      case ExprOpCode::kNot: {
+        TriBool t = TriOf(*st.back());
+        st.pop_back();
+        temps.push_back(TriBoolToValue(TriNot(t)));
+        st.push_back(&temps.back());
+        break;
+      }
+      case ExprOpCode::kAnd: {
+        TriBool r = TriOf(*st.back());
+        st.pop_back();
+        TriBool l = TriOf(*st.back());
+        st.pop_back();
+        temps.push_back(TriBoolToValue(TriAnd(l, r)));
+        st.push_back(&temps.back());
+        break;
+      }
+      case ExprOpCode::kOr: {
+        TriBool r = TriOf(*st.back());
+        st.pop_back();
+        TriBool l = TriOf(*st.back());
+        st.pop_back();
+        temps.push_back(TriBoolToValue(TriOr(l, r)));
+        st.push_back(&temps.back());
+        break;
+      }
+      case ExprOpCode::kJumpIfFalse:
+        if (TriOf(*st.back()) == TriBool::kFalse) {
+          ip = static_cast<size_t>(op.arg) - 1;
+        }
+        break;
+      case ExprOpCode::kJumpIfTrue:
+        if (TriOf(*st.back()) == TriBool::kTrue) {
+          ip = static_cast<size_t>(op.arg) - 1;
+        }
+        break;
+      case ExprOpCode::kCoerceBool: {
+        const Value& v = *st.back();
+        if (!v.is_null() && v.kind() != TypeKind::kBool) {
+          return Status::TypeError("predicate did not evaluate to a boolean");
+        }
+        break;
+      }
+    }
+  }
+  return *st.back();
+}
+
+Result<Value> CompiledExpr::EvalValue(const Row& row) const {
+  return Run(row);
+}
+
+Result<TriBool> CompiledExpr::EvalPredicate(const Row& row) const {
+  DV_ASSIGN_OR_RETURN(Value v, Run(row));
+  if (v.is_null()) return TriBool::kUnknown;
+  if (v.kind() == TypeKind::kBool) {
+    return v.as_bool() ? TriBool::kTrue : TriBool::kFalse;
+  }
+  return Status::TypeError("predicate did not evaluate to a boolean");
+}
+
+namespace {
+
+/// Resolved slot indexes in pre-order — the part of a program's identity the
+/// rendering alone cannot capture (groundings clone one AST into several
+/// working-set layouts; same text, different slots).
+void SlotSignature(const Expr& e, const ColumnBindings& b, std::string* out) {
+  switch (e.kind) {
+    case ExprKind::kVarRef:
+      *out += ';';
+      *out += std::to_string(b.LookupBare(e.var_name));
+      return;
+    case ExprKind::kColumnRef:
+      *out += ';';
+      *out += std::to_string(
+          e.column.is_variable
+              ? -3
+              : b.LookupQualified(e.qualifier, e.column.text));
+      return;
+    default:
+      if (e.left != nullptr) SlotSignature(*e.left, b, out);
+      if (e.right != nullptr) SlotSignature(*e.right, b, out);
+      return;
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<const CompiledExpr> ExprProgramCache::GetOrCompile(
+    const Expr& e, const ColumnBindings& bindings, bool as_predicate,
+    MetricsRegistry* metrics) {
+  std::string key = as_predicate ? "P|" : "V|";
+  key += e.ToString();
+  key += '|';
+  SlotSignature(e, bindings, &key);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) return it->second;
+  }
+  std::shared_ptr<const CompiledExpr> prog =
+      CompiledExpr::Compile(e, bindings, as_predicate);
+  bool inserted = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) return it->second;  // Raced compile: first in wins.
+    if (map_.size() >= max_entries_) map_.clear();
+    map_.emplace(std::move(key), prog);
+    inserted = true;
+  }
+  if (inserted && prog != nullptr && metrics != nullptr) {
+    metrics->Add(counters::kExprsFlattened, 1);
+  }
+  return prog;
+}
+
+size_t ExprProgramCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+}  // namespace dynview

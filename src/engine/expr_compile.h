@@ -1,0 +1,123 @@
+#ifndef DYNVIEW_ENGINE_EXPR_COMPILE_H_
+#define DYNVIEW_ENGINE_EXPR_COMPILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/expr_eval.h"
+#include "relational/table.h"
+#include "sql/ast.h"
+
+namespace dynview {
+
+class MetricsRegistry;
+
+/// One op of a flattened expression program. Programs are postfix: operand
+/// ops push onto an evaluation stack, operator ops pop their inputs and push
+/// the result. Column references are resolved to row slots at compile time
+/// (`arg` = column index), so per-row evaluation does no name lookup and no
+/// tree walk — just a linear scan over a contiguous array.
+enum class ExprOpCode : uint8_t {
+  kPushLiteral,  // push literals[arg]
+  kPushSlot,     // push row[arg]             (slot-bound value holder)
+  kArith,        // pop r, l; push EvalArithOp(bop, l, r)
+  kCompare,      // pop r, l; push tri(EvalCompareOp(bop, l, r))
+  kLike,         // pop r, l; push tri(EvalLikeOp(l, r))
+  kContains,     // pop r, l; push tri(EvalContainsOp(l, r))
+  kHasWord,      // pop r, l; push tri(EvalHasWordOp(l, r))
+  kIsNull,       // pop v; push Bool(v.is_null() xor negated-in-arg)
+  kNot,          // pop tri; push tri(TriNot)
+  kAnd,          // pop r, l; push tri(TriAnd)
+  kOr,           // pop r, l; push tri(TriOr)
+  kJumpIfFalse,  // if tri(top) == False, jump to op index `arg` (keep top)
+  kJumpIfTrue,   // if tri(top) == True, jump to op index `arg` (keep top)
+  kCoerceBool,   // pop v; push v if NULL/BOOL else "predicate did not
+                 // evaluate to a boolean" (the interpreter's coercion rule)
+};
+
+struct ExprOp {
+  ExprOpCode code = ExprOpCode::kPushLiteral;
+  BinaryOp bop = BinaryOp::kEq;
+  /// kPushLiteral: literal pool index. kPushSlot: row slot. kJump*: target
+  /// op index. kIsNull: 1 when negated (IS NOT NULL).
+  int32_t arg = 0;
+};
+
+/// A predicate/projection tree flattened into a contiguous op array with all
+/// names resolved to row slots. Immutable after Compile, so one program is
+/// safely shared by every morsel worker and every grounding of a fan-out;
+/// evaluation scratch lives in a thread-local pmr arena, not in the program.
+///
+/// Three-valued logic is encoded in the value domain (True/False → BOOL,
+/// Unknown → NULL, the same bijection TriBoolToValue uses), and AND/OR
+/// short-circuit through jump ops exactly like the interpreter: AND stops on
+/// False, OR on True — skipping the right operand's *errors* too, which is
+/// part of the byte-identity contract.
+class CompiledExpr {
+ public:
+  /// Flattens `e` for rows shaped by `bindings`. Returns nullptr when the
+  /// tree is not compilable — aggregates, `*`, un-instantiated attribute
+  /// variables, unbound parameters, or names that don't resolve — in which
+  /// case the caller falls back to the interpreted tree walk (identical
+  /// semantics, including the error the unresolved name would raise).
+  static std::shared_ptr<const CompiledExpr> Compile(
+      const Expr& e, const ColumnBindings& bindings, bool as_predicate);
+
+  /// Evaluates the program over `row` in value context.
+  Result<Value> EvalValue(const Row& row) const;
+
+  /// Evaluates the program over `row` as a three-valued predicate.
+  Result<TriBool> EvalPredicate(const Row& row) const;
+
+  size_t num_ops() const { return ops_.size(); }
+
+ private:
+  CompiledExpr() = default;
+
+  Result<Value> Run(const Row& row) const;
+
+  std::vector<ExprOp> ops_;
+  std::vector<Value> literals_;
+  size_t max_stack_ = 0;
+};
+
+/// Memoizes compiled programs by (predicate-ness, expression rendering,
+/// resolved slot signature) so (a) the grounding fan-out of a higher-order
+/// query — N instantiations of one plan, each a fresh AST clone — compiles
+/// every distinct shape once instead of once per grounding, and (b) repeated
+/// executions of a plan-cache hit skip compilation entirely (the cache is
+/// owned by the cached plan). Negative results are memoized too: an
+/// uncompilable expression is probed once, not once per grounding.
+///
+/// Thread-safe; lookups happen per operator setup, never per row. Bounded:
+/// at `max_entries` the map is dropped wholesale (programs still referenced
+/// by running operators stay alive through their shared_ptr).
+class ExprProgramCache {
+ public:
+  explicit ExprProgramCache(size_t max_entries = 512)
+      : max_entries_(max_entries) {}
+
+  /// The program for (e, bindings), compiling on miss. nullptr when `e` is
+  /// not compilable. Bumps `compile.exprs_flattened` on `metrics` (when
+  /// given) for every fresh successful compile.
+  std::shared_ptr<const CompiledExpr> GetOrCompile(
+      const Expr& e, const ColumnBindings& bindings, bool as_predicate,
+      MetricsRegistry* metrics);
+
+  size_t size() const;
+
+ private:
+  const size_t max_entries_;
+  mutable std::mutex mu_;
+  /// Value nullptr = memoized "not compilable".
+  std::unordered_map<std::string, std::shared_ptr<const CompiledExpr>> map_;
+};
+
+}  // namespace dynview
+
+#endif  // DYNVIEW_ENGINE_EXPR_COMPILE_H_

@@ -42,9 +42,7 @@ void ColumnBindings::MergeShifted(const ColumnBindings& other, int offset) {
   width_ = std::max(width_, other.width_ + offset);
 }
 
-namespace {
-
-Result<Value> EvalArith(BinaryOp op, const Value& l, const Value& r) {
+Result<Value> EvalArithOp(BinaryOp op, const Value& l, const Value& r) {
   if (l.is_null() || r.is_null()) return Value::Null();
   // Date arithmetic: date ± int, date - date.
   if (l.kind() == TypeKind::kDate && r.kind() == TypeKind::kInt) {
@@ -101,7 +99,7 @@ Result<Value> EvalArith(BinaryOp op, const Value& l, const Value& r) {
   }
 }
 
-Result<TriBool> EvalCompare(BinaryOp op, const Value& l, const Value& r) {
+Result<TriBool> EvalCompareOp(BinaryOp op, const Value& l, const Value& r) {
   int cmp = 0;
   DV_ASSIGN_OR_RETURN(TriBool known, Value::Compare(l, r, &cmp));
   if (known == TriBool::kUnknown) return TriBool::kUnknown;
@@ -119,7 +117,44 @@ Result<TriBool> EvalCompare(BinaryOp op, const Value& l, const Value& r) {
   return result ? TriBool::kTrue : TriBool::kFalse;
 }
 
-Value TriToValue(TriBool t) {
+Result<TriBool> EvalLikeOp(const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return TriBool::kUnknown;
+  if (l.kind() != TypeKind::kString || r.kind() != TypeKind::kString) {
+    return Status::TypeError("LIKE requires string operands");
+  }
+  return LikeMatch(l.as_string(), r.as_string()) ? TriBool::kTrue
+                                                 : TriBool::kFalse;
+}
+
+Result<TriBool> EvalContainsOp(const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return TriBool::kUnknown;
+  if (r.kind() != TypeKind::kString) {
+    return Status::TypeError("CONTAINS pattern must be a string");
+  }
+  // Any value can be searched; non-strings match on their label form
+  // (the keyword-search semantics of Sec. 1.1.2).
+  std::string text = l.kind() == TypeKind::kString ? l.as_string() : l.ToLabel();
+  return ContainsIgnoreCase(text, r.as_string()) ? TriBool::kTrue
+                                                 : TriBool::kFalse;
+}
+
+Result<TriBool> EvalHasWordOp(const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return TriBool::kUnknown;
+  if (r.kind() != TypeKind::kString) {
+    return Status::TypeError("HASWORD word must be a string");
+  }
+  std::vector<std::string> words = TokenizeWords(r.as_string());
+  if (words.size() != 1) {
+    return Status::TypeError("HASWORD takes a single word");
+  }
+  std::string text = l.kind() == TypeKind::kString ? l.as_string() : l.ToLabel();
+  for (const std::string& w : TokenizeWords(text)) {
+    if (w == words[0]) return TriBool::kTrue;
+  }
+  return TriBool::kFalse;
+}
+
+Value TriBoolToValue(TriBool t) {
   switch (t) {
     case TriBool::kTrue: return Value::Bool(true);
     case TriBool::kFalse: return Value::Bool(false);
@@ -128,12 +163,14 @@ Value TriToValue(TriBool t) {
   return Value::Null();
 }
 
-}  // namespace
-
 Result<Value> EvaluateExpr(const Expr& expr, const Row& row,
                            const ColumnBindings& bindings) {
   switch (expr.kind) {
     case ExprKind::kLiteral:
+      if (expr.param_index >= 0) {
+        return Status::EvalError("unbound parameter ?" +
+                                 std::to_string(expr.param_index + 1));
+      }
       return expr.literal;
     case ExprKind::kVarRef: {
       int idx = bindings.LookupBare(expr.var_name);
@@ -160,7 +197,7 @@ Result<Value> EvaluateExpr(const Expr& expr, const Row& row,
     case ExprKind::kArith: {
       DV_ASSIGN_OR_RETURN(Value l, EvaluateExpr(*expr.left, row, bindings));
       DV_ASSIGN_OR_RETURN(Value r, EvaluateExpr(*expr.right, row, bindings));
-      return EvalArith(expr.op, l, r);
+      return EvalArithOp(expr.op, l, r);
     }
     case ExprKind::kCompare:
     case ExprKind::kLogic:
@@ -170,7 +207,7 @@ Result<Value> EvaluateExpr(const Expr& expr, const Row& row,
     case ExprKind::kHasWord:
     case ExprKind::kIsNull: {
       DV_ASSIGN_OR_RETURN(TriBool t, EvaluatePredicate(expr, row, bindings));
-      return TriToValue(t);
+      return TriBoolToValue(t);
     }
     case ExprKind::kAgg:
       return Status::EvalError(
@@ -187,7 +224,7 @@ Result<TriBool> EvaluatePredicate(const Expr& expr, const Row& row,
     case ExprKind::kCompare: {
       DV_ASSIGN_OR_RETURN(Value l, EvaluateExpr(*expr.left, row, bindings));
       DV_ASSIGN_OR_RETURN(Value r, EvaluateExpr(*expr.right, row, bindings));
-      return EvalCompare(expr.op, l, r);
+      return EvalCompareOp(expr.op, l, r);
     }
     case ExprKind::kLogic: {
       DV_ASSIGN_OR_RETURN(TriBool l,
@@ -211,44 +248,17 @@ Result<TriBool> EvaluatePredicate(const Expr& expr, const Row& row,
     case ExprKind::kLike: {
       DV_ASSIGN_OR_RETURN(Value l, EvaluateExpr(*expr.left, row, bindings));
       DV_ASSIGN_OR_RETURN(Value r, EvaluateExpr(*expr.right, row, bindings));
-      if (l.is_null() || r.is_null()) return TriBool::kUnknown;
-      if (l.kind() != TypeKind::kString || r.kind() != TypeKind::kString) {
-        return Status::TypeError("LIKE requires string operands");
-      }
-      return LikeMatch(l.as_string(), r.as_string()) ? TriBool::kTrue
-                                                     : TriBool::kFalse;
+      return EvalLikeOp(l, r);
     }
     case ExprKind::kContains: {
       DV_ASSIGN_OR_RETURN(Value l, EvaluateExpr(*expr.left, row, bindings));
       DV_ASSIGN_OR_RETURN(Value r, EvaluateExpr(*expr.right, row, bindings));
-      if (l.is_null() || r.is_null()) return TriBool::kUnknown;
-      if (r.kind() != TypeKind::kString) {
-        return Status::TypeError("CONTAINS pattern must be a string");
-      }
-      // Any value can be searched; non-strings match on their label form
-      // (the keyword-search semantics of Sec. 1.1.2).
-      std::string text =
-          l.kind() == TypeKind::kString ? l.as_string() : l.ToLabel();
-      return ContainsIgnoreCase(text, r.as_string()) ? TriBool::kTrue
-                                                     : TriBool::kFalse;
+      return EvalContainsOp(l, r);
     }
     case ExprKind::kHasWord: {
       DV_ASSIGN_OR_RETURN(Value l, EvaluateExpr(*expr.left, row, bindings));
       DV_ASSIGN_OR_RETURN(Value r, EvaluateExpr(*expr.right, row, bindings));
-      if (l.is_null() || r.is_null()) return TriBool::kUnknown;
-      if (r.kind() != TypeKind::kString) {
-        return Status::TypeError("HASWORD word must be a string");
-      }
-      std::vector<std::string> words = TokenizeWords(r.as_string());
-      if (words.size() != 1) {
-        return Status::TypeError("HASWORD takes a single word");
-      }
-      std::string text =
-          l.kind() == TypeKind::kString ? l.as_string() : l.ToLabel();
-      for (const std::string& w : TokenizeWords(text)) {
-        if (w == words[0]) return TriBool::kTrue;
-      }
-      return TriBool::kFalse;
+      return EvalHasWordOp(l, r);
     }
     case ExprKind::kIsNull: {
       DV_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*expr.left, row, bindings));

@@ -44,6 +44,21 @@ class ColumnBindings {
   size_t width_ = 0;
 };
 
+/// Shared scalar semantics used by BOTH the interpreted tree-walk below and
+/// the compiled flat-op evaluator (engine/expr_compile.h). Keeping one
+/// definition of each operation — including its error messages and NULL
+/// behavior — is what makes compiled output byte-identical to interpreted
+/// output.
+Result<Value> EvalArithOp(BinaryOp op, const Value& l, const Value& r);
+Result<TriBool> EvalCompareOp(BinaryOp op, const Value& l, const Value& r);
+Result<TriBool> EvalLikeOp(const Value& l, const Value& r);
+Result<TriBool> EvalContainsOp(const Value& l, const Value& r);
+Result<TriBool> EvalHasWordOp(const Value& l, const Value& r);
+
+/// True → Bool(true), False → Bool(false), Unknown → NULL (the SQL
+/// embedding of three-valued logic into the value domain).
+Value TriBoolToValue(TriBool t);
+
 /// Evaluates `expr` over `row` using `bindings`. Aggregates are rejected
 /// (the grouping operator evaluates them; see operators.h).
 Result<Value> EvaluateExpr(const Expr& expr, const Row& row,

@@ -15,7 +15,8 @@
 
 namespace dynview {
 
-class CatalogSnapshot;  // relational/catalog.h — one pinned catalog version.
+class CatalogSnapshot;   // relational/catalog.h — one pinned catalog version.
+class ExprProgramCache;  // engine/expr_compile.h — compiled-program memo.
 
 /// Per-query execution context handed to operators: a borrowed pool (null =
 /// serial), the morsel granularity, and the query's guard state (null =
@@ -40,6 +41,14 @@ struct ExecContext {
   /// observe/metrics.h for which counters are thread-count invariant.
   QueryTrace* trace = nullptr;
   MetricsRegistry* metrics = nullptr;
+
+  /// Compiled-expression program memo (engine/expr_compile.h). Null disables
+  /// compilation: every expression takes the interpreted tree walk. The
+  /// engine fills it (from the query's cached plan when one is attached,
+  /// else its own default cache) when ExecConfig::compile_expressions is
+  /// set. Lookups happen at operator setup on the driving thread, never per
+  /// row; the programs themselves are immutable and shared across workers.
+  ExprProgramCache* programs = nullptr;
 
   /// Adds `n` to counter `name` when metrics are attached.
   void Count(const char* name, uint64_t n) const {

@@ -11,6 +11,7 @@
 
 #include "common/failpoint.h"
 #include "common/str_util.h"
+#include "engine/expr_compile.h"
 #include "engine/expr_eval.h"
 #include "engine/operators.h"
 #include "observe/observer.h"
@@ -49,25 +50,91 @@ std::string OutputName(const SelectItem& item, size_t index) {
   return "col" + std::to_string(index);
 }
 
+/// A predicate ready for per-row evaluation: the compiled flat-op program
+/// (engine/expr_compile.h) when the tree compiles, else the interpreted
+/// walk — byte-identical either way. Prepared once per operator on the
+/// driving thread; Eval is safe to call concurrently on distinct rows (the
+/// program is immutable, its scratch thread-local).
+struct PreparedPredicate {
+  const Expr* expr = nullptr;
+  const ColumnBindings* bindings = nullptr;
+  std::shared_ptr<const CompiledExpr> program;
+
+  Result<TriBool> Eval(const Row& r) const {
+    if (program != nullptr) return program->EvalPredicate(r);
+    return EvaluatePredicate(*expr, r, *bindings);
+  }
+};
+
+PreparedPredicate PreparePredicate(const Expr& e, const ColumnBindings& b,
+                                   const ExecContext& ctx) {
+  PreparedPredicate p;
+  p.expr = &e;
+  p.bindings = &b;
+  if (ctx.programs != nullptr) {
+    p.program = ctx.programs->GetOrCompile(e, b, /*as_predicate=*/true,
+                                           ctx.metrics);
+  }
+  return p;
+}
+
+/// Value-context counterpart of PreparedPredicate (join keys, projections,
+/// group/order keys).
+struct PreparedValue {
+  const Expr* expr = nullptr;
+  const ColumnBindings* bindings = nullptr;
+  std::shared_ptr<const CompiledExpr> program;
+
+  Result<Value> Eval(const Row& r) const {
+    if (program != nullptr) return program->EvalValue(r);
+    return EvaluateExpr(*expr, r, *bindings);
+  }
+};
+
+PreparedValue PrepareValue(const Expr& e, const ColumnBindings& b,
+                           const ExecContext& ctx) {
+  PreparedValue v;
+  v.expr = &e;
+  v.bindings = &b;
+  // A bare literal gains nothing from a program and would pollute the cache
+  // with one entry per grounding-substituted label (schema variables become
+  // per-grounding literals) — the interpreted eval is a single switch.
+  if (ctx.programs != nullptr && e.kind != ExprKind::kLiteral) {
+    v.program = ctx.programs->GetOrCompile(e, b, /*as_predicate=*/false,
+                                           ctx.metrics);
+  }
+  return v;
+}
+
+std::vector<PreparedValue> PrepareValues(const std::vector<const Expr*>& es,
+                                         const ColumnBindings& b,
+                                         const ExecContext& ctx) {
+  std::vector<PreparedValue> out;
+  out.reserve(es.size());
+  for (const Expr* e : es) out.push_back(PrepareValue(*e, b, ctx));
+  return out;
+}
+
 /// Filters `in` by `pred` (rows kept iff the predicate is True),
 /// morsel-parallel above the context's threshold.
 Result<Table> FilterTable(const Table& in, const ColumnBindings& bindings,
                           const Expr& pred, const ExecContext& ctx) {
+  const PreparedPredicate p = PreparePredicate(pred, bindings, ctx);
   return FilterRows(in, ctx, [&](const Row& r) -> Result<bool> {
-    DV_ASSIGN_OR_RETURN(TriBool t, EvaluatePredicate(pred, r, bindings));
+    DV_ASSIGN_OR_RETURN(TriBool t, p.Eval(r));
     return t == TriBool::kTrue;
   });
 }
 
 /// Evaluates the key expressions of `keys` over `row`; a NULL component
 /// marks the row as unjoinable (NULL keys never match, per SQL).
-Result<Row> EvalKey(const std::vector<const Expr*>& keys, const Row& row,
-                    const ColumnBindings& bindings, bool* null_key) {
+Result<Row> EvalKey(const std::vector<PreparedValue>& keys, const Row& row,
+                    bool* null_key) {
   Row key;
   key.reserve(keys.size());
   *null_key = false;
-  for (const Expr* k : keys) {
-    DV_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*k, row, bindings));
+  for (const PreparedValue& k : keys) {
+    DV_ASSIGN_OR_RETURN(Value v, k.Eval(row));
     if (v.is_null()) *null_key = true;
     key.push_back(std::move(v));
   }
@@ -88,6 +155,10 @@ Result<Table> JoinOnExprs(const Table& left, const ColumnBindings& lb,
   for (const Column& c : right.schema().columns()) cols.push_back(c);
   Table out{Schema(std::move(cols))};
 
+  // Key programs compiled once per join, shared by every build/probe worker.
+  const std::vector<PreparedValue> lk = PrepareValues(lkeys, lb, ctx);
+  const std::vector<PreparedValue> rk = PrepareValues(rkeys, rb, ctx);
+
   using Index =
       std::unordered_map<Row, std::vector<size_t>, RowGroupHash, RowGroupEq>;
   const bool parallel = ctx.ShouldParallelize(left.num_rows()) ||
@@ -99,7 +170,7 @@ Result<Table> JoinOnExprs(const Table& left, const ColumnBindings& lb,
     index.reserve(right.num_rows());
     for (size_t i = 0; i < right.num_rows(); ++i) {
       bool null_key = false;
-      DV_ASSIGN_OR_RETURN(Row key, EvalKey(rkeys, right.row(i), rb, &null_key));
+      DV_ASSIGN_OR_RETURN(Row key, EvalKey(rk, right.row(i), &null_key));
       if (!null_key) index[std::move(key)].push_back(i);
     }
     size_t since_check = 0;
@@ -108,7 +179,7 @@ Result<Table> JoinOnExprs(const Table& left, const ColumnBindings& lb,
         DV_RETURN_IF_ERROR(ctx.CheckGuard());
       }
       bool null_key = false;
-      DV_ASSIGN_OR_RETURN(Row key, EvalKey(lkeys, lrow, lb, &null_key));
+      DV_ASSIGN_OR_RETURN(Row key, EvalKey(lk, lrow, &null_key));
       if (null_key) continue;
       auto it = index.find(key);
       if (it == index.end()) continue;
@@ -142,7 +213,7 @@ Result<Table> JoinOnExprs(const Table& left, const ColumnBindings& lb,
           for (size_t i = p * m, end = std::min(build_rows, (p + 1) * m);
                i < end; ++i) {
             bool null_key = false;
-            Result<Row> key = EvalKey(rkeys, right.row(i), rb, &null_key);
+            Result<Row> key = EvalKey(rk, right.row(i), &null_key);
             if (!key.ok()) {
               errors[p] = key.status();
               return;
@@ -190,7 +261,7 @@ Result<Table> JoinOnExprs(const Table& left, const ColumnBindings& lb,
                i < end; ++i) {
             const Row& lrow = left.row(i);
             bool null_key = false;
-            Result<Row> key = EvalKey(lkeys, lrow, lb, &null_key);
+            Result<Row> key = EvalKey(lk, lrow, &null_key);
             if (!key.ok()) {
               errors[p] = key.status();
               break;
@@ -475,6 +546,14 @@ ExecContext QueryEngine::Ctx(QueryContext* qc, const SnapshotRef& snap) const {
   if (exec_.enable_trace && qc != nullptr && qc->observer() != nullptr) {
     ctx.trace = &qc->observer()->trace;
     ctx.metrics = &qc->observer()->metrics;
+  }
+  if (exec_.compile_expressions) {
+    // A cached plan's own program memo wins (satisfying one-compile-per-plan
+    // across the grounding fan-out and across executions); otherwise the
+    // engine's default cache still dedups within and across queries.
+    ctx.programs = (qc != nullptr && qc->expr_programs() != nullptr)
+                       ? qc->expr_programs().get()
+                       : &default_programs_;
   }
   return ctx;
 }
@@ -848,11 +927,15 @@ Result<Table> QueryEngine::EvaluateFirstOrder(const SelectStmt& stmt,
       applied[i] = true;
     }
     if (!infeasible) {
+      std::vector<PreparedPredicate> pushed_preds;
+      pushed_preds.reserve(pushed.size());
+      for (const Expr* c : pushed) {
+        pushed_preds.push_back(PreparePredicate(*c, scan.bindings, ctx));
+      }
       DV_ASSIGN_OR_RETURN(
           scan.table, FilterRows(*base, ctx, [&](const Row& r) -> Result<bool> {
-            for (const Expr* c : pushed) {
-              DV_ASSIGN_OR_RETURN(TriBool t,
-                                  EvaluatePredicate(*c, r, scan.bindings));
+            for (const PreparedPredicate& p : pushed_preds) {
+              DV_ASSIGN_OR_RETURN(TriBool t, p.Eval(r));
               if (t != TriBool::kTrue) return false;
             }
             return true;
@@ -962,27 +1045,38 @@ Result<Table> QueryEngine::EvaluateFirstOrder(const SelectStmt& stmt,
 
   size_t since_check = 0;
   if (!has_agg) {
+    // Projection and order-key programs compiled once, evaluated per row.
+    std::vector<PreparedValue> proj(stmt.select_list.size());
+    for (size_t si = 0; si < stmt.select_list.size(); ++si) {
+      if (stmt.select_list[si].expr->kind == ExprKind::kStar) continue;
+      proj[si] = PrepareValue(*stmt.select_list[si].expr, w.bindings, ctx);
+    }
+    std::vector<PreparedValue> order_vals;
+    order_vals.reserve(stmt.order_by.size());
+    for (const OrderItem& o : stmt.order_by) {
+      order_vals.push_back(PrepareValue(*o.expr, w.bindings, ctx));
+    }
     out.Reserve(w.table.num_rows());
     for (const Row& r : w.table.rows()) {
       if ((since_check++ & 1023) == 0) DV_RETURN_IF_ERROR(ctx.CheckGuard());
       Row orow;
-      for (const SelectItem& item : stmt.select_list) {
-        if (item.expr->kind == ExprKind::kStar) {
+      for (size_t si = 0; si < stmt.select_list.size(); ++si) {
+        if (stmt.select_list[si].expr->kind == ExprKind::kStar) {
           orow.insert(orow.end(), r.begin(), r.end());
           continue;
         }
-        DV_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*item.expr, r, w.bindings));
+        DV_ASSIGN_OR_RETURN(Value v, proj[si].Eval(r));
         orow.push_back(std::move(v));
       }
       if (!stmt.order_by.empty()) {
         Row key;
-        for (const OrderItem& o : stmt.order_by) {
-          int pos = order_output_pos(*o.expr);
+        for (size_t k = 0; k < stmt.order_by.size(); ++k) {
+          int pos = order_output_pos(*stmt.order_by[k].expr);
           if (pos >= 0) {
             key.push_back(orow[pos]);
             continue;
           }
-          DV_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*o.expr, r, w.bindings));
+          DV_ASSIGN_OR_RETURN(Value v, order_vals[k].Eval(r));
           key.push_back(std::move(v));
         }
         order_keys.push_back(std::move(key));
@@ -999,11 +1093,18 @@ Result<Table> QueryEngine::EvaluateFirstOrder(const SelectStmt& stmt,
       group_keys.emplace_back();
       for (const Row& r : w.table.rows()) groups[0].push_back(&r);
     } else {
+      // Group-key programs compiled once; the per-group aggregate folding
+      // below stays interpreted (aggregates never compile).
+      std::vector<PreparedValue> gkeys;
+      gkeys.reserve(stmt.group_by.size());
+      for (const auto& g : stmt.group_by) {
+        gkeys.push_back(PrepareValue(*g, w.bindings, ctx));
+      }
       for (const Row& r : w.table.rows()) {
         Row key;
         key.reserve(stmt.group_by.size());
-        for (const auto& g : stmt.group_by) {
-          DV_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*g, r, w.bindings));
+        for (const PreparedValue& g : gkeys) {
+          DV_ASSIGN_OR_RETURN(Value v, g.Eval(r));
           key.push_back(std::move(v));
         }
         auto [it, inserted] = group_of.emplace(key, groups.size());

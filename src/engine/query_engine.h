@@ -9,6 +9,7 @@
 #include "common/query_context.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "engine/expr_compile.h"
 #include "relational/catalog.h"
 #include "sql/ast.h"
 #include "sql/binder.h"
@@ -124,6 +125,10 @@ class QueryEngine {
   /// one set of workers.
   mutable std::mutex pool_mu_;
   std::atomic<std::shared_ptr<ThreadPool>> pool_;
+  /// Compiled-program memo used when the query carries none of its own
+  /// (ExecContext::programs; thread-safe, bounded). Mutable because program
+  /// compilation is a cache fill, not a semantic change.
+  mutable ExprProgramCache default_programs_;
 };
 
 }  // namespace dynview

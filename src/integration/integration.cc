@@ -1,5 +1,6 @@
 #include "integration/integration.h"
 
+#include "common/failpoint.h"
 #include "common/str_util.h"
 #include "core/aggregate_rewrite.h"
 #include "schemasql/view_materializer.h"
@@ -7,12 +8,34 @@
 
 namespace dynview {
 
+namespace {
+/// Raw-SQL → fingerprint memo bound; dropped wholesale at capacity.
+constexpr size_t kRawMemoCapacity = 1024;
+}  // namespace
+
 IntegrationSystem::IntegrationSystem(Catalog* catalog,
                                      std::string integration_db)
+    : IntegrationSystem(catalog, std::move(integration_db),
+                        IntegrationOptions{}) {}
+
+IntegrationSystem::IntegrationSystem(Catalog* catalog,
+                                     std::string integration_db,
+                                     const IntegrationOptions& options)
     : catalog_(catalog),
       integration_db_(std::move(integration_db)),
-      engine_(catalog, integration_db_),
-      optimizer_(catalog, integration_db_) {}
+      engine_(catalog, integration_db_, options.exec),
+      optimizer_(catalog, integration_db_),
+      plan_cache_(options.plan_cache_capacity == 0
+                      ? 1
+                      : options.plan_cache_capacity,
+                  options.plan_cache_shards),
+      plan_cache_enabled_(options.plan_cache_capacity > 0) {}
+
+void IntegrationSystem::ClearPlanCache() {
+  plan_cache_.Clear();
+  std::lock_guard<std::mutex> lock(memo_mu_);
+  raw_memo_.clear();
+}
 
 Result<DefinedView> IntegrationSystem::DefineView(
     const std::string& create_view_sql, const DefineViewOptions& options) {
@@ -80,6 +103,10 @@ Result<const ViewDefinition*> IntegrationSystem::RegisterSource(
   auto holder = std::make_shared<ViewDefinition>(std::move(view));
   sources_.push_back(holder);
   optimizer_.RegisterView(holder);
+  // The source universe changed: cached rewritings chose among the old
+  // sources. (The raw-SQL memo survives — fingerprints are a pure function
+  // of the text.)
+  plan_cache_.Clear();
   return holder.get();
 }
 
@@ -90,6 +117,7 @@ Result<const ViewIndex*> IntegrationSystem::RegisterIndex(
   DV_ASSIGN_OR_RETURN(ViewIndex index, ViewIndex::Build(*stmt, &engine_));
   auto holder = std::make_shared<ViewIndex>(std::move(index));
   indexes_.push_back(holder);
+  plan_cache_.Clear();
   // Derive optimizer registration metadata when the defining query has the
   // restricted single-table shape `... by given T.key select T.a1,... from
   // [db::]rel T [...]`; richer indexes remain probe-able directly.
@@ -200,6 +228,44 @@ Result<Table> IntegrationSystem::Answer(const std::string& sql,
 
 Result<AnswerResult> IntegrationSystem::AnswerGuarded(
     const std::string& sql, const AnswerOptions& options, QueryContext* ctx) {
+  if (!plan_cache_enabled_) return AnswerUncached(sql, options, ctx);
+  // First cache level: exact raw text. Repeats of the same string skip
+  // parsing and fingerprinting entirely.
+  const std::string memo_key = (options.multiset ? "m|" : "s|") + sql;
+  std::string memo_cache_key;
+  std::string memo_fp_hex;
+  {
+    std::lock_guard<std::mutex> lock(memo_mu_);
+    auto it = raw_memo_.find(memo_key);
+    if (it != raw_memo_.end()) {
+      memo_cache_key = it->second.first;
+      memo_fp_hex = it->second.second;
+    }
+  }
+  if (!memo_cache_key.empty()) {
+    return AnswerWithCache(sql, memo_cache_key, memo_fp_hex, /*stmt=*/nullptr,
+                           options, ctx);
+  }
+  // Second level: parse once, fingerprint the normalized statement. A query
+  // I's grammar rejects takes the legacy path verbatim so its error surface
+  // (engine parse error vs NotFound precedence) is unchanged.
+  Result<std::unique_ptr<SelectStmt>> parsed = Parser::ParseSelect(sql);
+  if (!parsed.ok()) return AnswerUncached(sql, options, ctx);
+  QueryFingerprint fp =
+      FingerprintStatement(*parsed.value(), FingerprintMode::kExact);
+  std::string fp_hex = fp.Hex();
+  std::string cache_key = (options.multiset ? "m|" : "s|") + fp_hex;
+  {
+    std::lock_guard<std::mutex> lock(memo_mu_);
+    if (raw_memo_.size() >= kRawMemoCapacity) raw_memo_.clear();
+    raw_memo_.emplace(memo_key, std::make_pair(cache_key, fp_hex));
+  }
+  return AnswerWithCache(sql, cache_key, fp_hex, std::move(parsed).value(),
+                         options, ctx);
+}
+
+Result<AnswerResult> IntegrationSystem::AnswerUncached(
+    const std::string& sql, const AnswerOptions& options, QueryContext* ctx) {
   QueryContext local(options.guards);
   QueryContext* qc = ctx != nullptr ? ctx : &local;
   // Pin the one catalog version the whole call reads. A snapshot the caller
@@ -281,6 +347,203 @@ Result<AnswerResult> IntegrationSystem::AnswerGuarded(
   DedupSourceWarnings(&warnings);
   return AnswerResult{std::move(answered).value(), std::move(warnings),
                       std::move(observer), snap->version(), std::move(snap)};
+}
+
+Result<AnswerResult> IntegrationSystem::AnswerWithCache(
+    const std::string& sql, const std::string& cache_key,
+    const std::string& fp_hex, std::unique_ptr<SelectStmt> stmt,
+    const AnswerOptions& options, QueryContext* ctx) {
+  QueryContext local(options.guards);
+  QueryContext* qc = ctx != nullptr ? ctx : &local;
+  if (qc->snapshot() == nullptr || qc->snapshot()->origin() != catalog_) {
+    qc->PinSnapshot(catalog_->Snapshot());
+  }
+  std::shared_ptr<const CatalogSnapshot> snap = qc->snapshot();
+  std::shared_ptr<QueryObserver> observer;
+  if (engine_.exec_config().enable_trace && qc->observer() == nullptr) {
+    observer = std::make_shared<QueryObserver>();
+    qc->set_observer(observer.get());
+  }
+  // The observer AND the plan's compiled-program memo are borrowed by qc for
+  // this call only; a caller-owned context must not keep either alive.
+  struct Detach {
+    QueryContext* qc;
+    bool owns_observer;
+    ~Detach() {
+      if (owns_observer) qc->set_observer(nullptr);
+      qc->set_expr_programs(nullptr);
+    }
+  } detach{qc, observer != nullptr};
+  QueryObserver* sink = qc->observer();
+
+  // Chaos hook: a poisoned cache entry is erased and the query degrades to a
+  // fresh compile with a warning — never a wrong answer.
+  std::vector<SourceWarning> cache_warnings;
+  if (FailPoints::AnyArmed()) {
+    Status poisoned = FailPoints::Check("plan_cache.lookup", fp_hex);
+    if (!poisoned.ok()) {
+      plan_cache_.Erase(cache_key);
+      cache_warnings.push_back(SourceWarning{"plan_cache", poisoned});
+    }
+  }
+
+  CacheLookupOutcome outcome = CacheLookupOutcome::kMiss;
+  std::shared_ptr<CachedPlan> plan =
+      plan_cache_.Lookup(cache_key, snap->version(), &outcome);
+  if (sink != nullptr) {
+    sink->metrics.Add(plan != nullptr ? counters::kPlanCacheHits
+                                      : counters::kPlanCacheMisses,
+                      1);
+    if (outcome == CacheLookupOutcome::kStaleMiss) {
+      sink->metrics.Add(counters::kPlanCacheInvalidations, 1);
+    }
+  }
+
+  std::vector<SourceWarning> stale;
+  const ViewDefinition* chosen = nullptr;
+  const bool plan_cached = plan != nullptr;
+  Result<Table> answered = Status::NotFound("unreached");
+  if (plan != nullptr) {
+    // Hot path: no parse, no Alg. 5.1 rewrite, shared compiled programs.
+    // Statements are immutable templates (the binder annotates the AST in
+    // place), so execution works on a clone.
+    qc->set_expr_programs(plan->programs);
+    stale = plan->stale;
+    chosen = plan->chosen;
+    const SelectStmt* tmpl =
+        plan->rewritten != nullptr ? plan->rewritten.get() : plan->direct.get();
+    std::unique_ptr<SelectStmt> exec_stmt = tmpl->Clone();
+    answered = engine_.Execute(exec_stmt.get(), qc);
+  } else {
+    // Cold path: the full rewrite, then cache what it decided. The programs
+    // compiled during this execution (including every grounding of the
+    // fan-out) ride along in the entry for future hits.
+    auto programs = std::make_shared<ExprProgramCache>();
+    qc->set_expr_programs(programs);
+    Result<TranslationResult> rewritten =
+        RewriteOver(sql, options.multiset, *snap, &stale, &chosen);
+    if (rewritten.ok()) {
+      auto entry = std::make_shared<CachedPlan>();
+      entry->rewritten =
+          std::shared_ptr<const SelectStmt>(std::move(rewritten.value().query));
+      entry->chosen = chosen;
+      entry->stale = stale;
+      entry->programs = programs;
+      // Insert before execution: a rewriting is valid for this version even
+      // if this particular execution trips a guard.
+      size_t evicted = plan_cache_.Insert(cache_key, snap->version(), entry);
+      if (sink != nullptr && evicted > 0) {
+        sink->metrics.Add(counters::kPlanCacheEvictions,
+                          static_cast<uint64_t>(evicted));
+      }
+      std::unique_ptr<SelectStmt> exec_stmt = entry->rewritten->Clone();
+      answered = engine_.Execute(exec_stmt.get(), qc);
+    } else {
+      std::unique_ptr<SelectStmt> direct_stmt = std::move(stmt);
+      if (direct_stmt == nullptr) {
+        // Raw-memo hit but plan evicted/invalidated: re-parse. The memo
+        // guarantees this text parsed before.
+        Result<std::unique_ptr<SelectStmt>> reparsed = Parser::ParseSelect(sql);
+        if (reparsed.ok()) direct_stmt = std::move(reparsed).value();
+      }
+      std::unique_ptr<SelectStmt> exec_stmt;
+      if (direct_stmt != nullptr) exec_stmt = direct_stmt->Clone();
+      Result<Table> direct = direct_stmt != nullptr
+                                 ? engine_.Execute(exec_stmt.get(), qc)
+                                 : engine_.ExecuteSql(sql, qc);
+      if (direct.ok() && direct_stmt != nullptr) {
+        // Cache the direct plan only on success: a failing direct probe must
+        // keep reporting the rewrite's NotFound, exactly like the cold path.
+        auto entry = std::make_shared<CachedPlan>();
+        entry->direct =
+            std::shared_ptr<const SelectStmt>(std::move(direct_stmt));
+        entry->stale = stale;
+        entry->programs = programs;
+        size_t evicted = plan_cache_.Insert(cache_key, snap->version(), entry);
+        if (sink != nullptr && evicted > 0) {
+          sink->metrics.Add(counters::kPlanCacheEvictions,
+                            static_cast<uint64_t>(evicted));
+        }
+      }
+      if (direct.ok()) {
+        answered = std::move(direct);
+      } else if (!qc->CheckGuards().ok()) {
+        answered = std::move(direct);
+      } else {
+        answered = rewritten.status();
+      }
+    }
+  }
+
+  if (sink != nullptr && !stale.empty()) {
+    sink->metrics.Add(counters::kCatalogStalePath,
+                      static_cast<uint64_t>(stale.size()));
+  }
+  DV_RETURN_IF_ERROR(answered.status());
+  if (sink != nullptr) {
+    sink->metrics.Set(counters::kBudgetRowsCharged, qc->rows_charged());
+    sink->metrics.Set(counters::kBudgetBytesCharged, qc->bytes_charged());
+  }
+  std::vector<SourceWarning> warnings = std::move(cache_warnings);
+  for (SourceWarning& w : stale) warnings.push_back(std::move(w));
+  if (chosen != nullptr) {
+    auto it = source_diags_.find(chosen);
+    if (it != source_diags_.end()) {
+      const NameTerm& db = chosen->db_term();
+      std::string name =
+          (db.empty() ? std::string() : db.text + "::") + chosen->rel_term().text;
+      for (const Diagnostic& d : it->second) {
+        if (d.severity != Severity::kWarning) continue;
+        warnings.push_back(SourceWarning{
+            name, Status::InvalidArgument(d.code + " [" + d.anchor +
+                                          "]: " + d.message)});
+      }
+    }
+  }
+  for (SourceWarning& w : qc->warnings()) warnings.push_back(std::move(w));
+  DedupSourceWarnings(&warnings);
+  AnswerResult result{std::move(answered).value(), std::move(warnings),
+                      std::move(observer), snap->version(), std::move(snap)};
+  result.plan_cached = plan_cached;
+  result.plan_fingerprint = fp_hex;
+  return result;
+}
+
+Result<std::shared_ptr<PreparedQuery>> IntegrationSystem::Prepare(
+    const std::string& sql) {
+  DV_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> stmt,
+                      Parser::ParseSelect(sql));
+  auto prepared = std::make_shared<PreparedQuery>();
+  prepared->sql_ = sql;
+  prepared->num_params_ = CountParameters(*stmt);
+  prepared->fp_hex_ =
+      FingerprintStatement(*stmt, FingerprintMode::kParameterized).Hex();
+  prepared->template_ = std::shared_ptr<const SelectStmt>(std::move(stmt));
+  return prepared;
+}
+
+Result<AnswerResult> IntegrationSystem::ExecutePrepared(
+    const PreparedQuery& prepared, const std::vector<Value>& params,
+    const AnswerOptions& options, QueryContext* ctx) {
+  if (static_cast<int>(params.size()) != prepared.num_params()) {
+    return Status::InvalidArgument(
+        "prepared query expects " + std::to_string(prepared.num_params()) +
+        " parameter(s), got " + std::to_string(params.size()));
+  }
+  std::unique_ptr<SelectStmt> stmt = prepared.template_->Clone();
+  DV_RETURN_IF_ERROR(SubstituteParameters(stmt.get(), params));
+  // Cache on the *exact* fingerprint of the substituted statement: usability
+  // decisions in Alg. 5.1 may read literal values, so keying the rewriting
+  // on the parameterized shape alone would be unsound.
+  QueryFingerprint fp = FingerprintStatement(*stmt, FingerprintMode::kExact);
+  std::string fp_hex = fp.Hex();
+  std::string cache_key = (options.multiset ? "m|" : "s|") + fp_hex;
+  // The rendered text only matters on a cache miss (Alg. 5.1's translators
+  // take SQL); repeats hit the plan cache and never round-trip through text.
+  std::string rendered = stmt->ToString();
+  if (!plan_cache_enabled_) return AnswerUncached(rendered, options, ctx);
+  return AnswerWithCache(rendered, cache_key, fp_hex, std::move(stmt), options,
+                         ctx);
 }
 
 Result<Table> IntegrationSystem::AnswerOptimized(const std::string& sql) {

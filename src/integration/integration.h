@@ -3,7 +3,10 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "analyze/analyzer.h"
@@ -16,9 +19,22 @@
 #include "engine/query_engine.h"
 #include "index/view_index.h"
 #include "optimizer/optimizer.h"
+#include "plan_cache/fingerprint.h"
+#include "plan_cache/plan_cache.h"
 #include "relational/catalog.h"
 
 namespace dynview {
+
+/// Construction knobs for IntegrationSystem: the engine's ExecConfig plus
+/// the plan cache's bounds. Defaults match the pre-plan-cache behavior apart
+/// from repeated queries getting faster.
+struct IntegrationOptions {
+  ExecConfig exec;
+  /// Total cached plans across shards; 0 disables the plan cache (every
+  /// Answer takes the cold parse → rewrite path).
+  size_t plan_cache_capacity = 256;
+  size_t plan_cache_shards = 8;
+};
 
 /// Options for a guarded Answer call. `guards` bounds execution (deadline,
 /// budgets) and selects the SourcePolicy applied when a source relation is
@@ -48,6 +64,36 @@ struct AnswerResult {
   std::shared_ptr<const QueryObserver> observer;
   uint64_t snapshot_version = 0;
   std::shared_ptr<const CatalogSnapshot> snapshot;
+
+  /// True when the answer reused a cached plan (parse → rewrite skipped);
+  /// false on the cold compile path. `plan_fingerprint` is the normalized
+  /// query hash (16 hex digits, exact mode) the plan cache keyed on — empty
+  /// only when the query never reached the cache (unparseable, or the cache
+  /// is disabled).
+  bool plan_cached = false;
+  std::string plan_fingerprint;
+};
+
+/// A query template compiled once by IntegrationSystem::Prepare: the parsed
+/// AST with `?` parameter markers plus its parameterized-shape fingerprint.
+/// Immutable and shareable across threads; each ExecutePrepared clones the
+/// template, substitutes positional values, and joins the normal cached
+/// answer path (so repeats of the same substituted query hit the plan cache
+/// without ever re-parsing SQL text).
+class PreparedQuery {
+ public:
+  const std::string& sql() const { return sql_; }
+  int num_params() const { return num_params_; }
+  /// Parameterized-mode fingerprint (literals stripped): identifies the
+  /// query *shape* independent of the values later bound.
+  const std::string& fingerprint() const { return fp_hex_; }
+
+ private:
+  friend class IntegrationSystem;
+  std::string sql_;
+  std::shared_ptr<const SelectStmt> template_;
+  int num_params_ = 0;
+  std::string fp_hex_;
 };
 
 /// Options for IntegrationSystem::DefineView. `materialize` selects the
@@ -82,6 +128,8 @@ class IntegrationSystem {
   /// binding and statistics) but possibly empty, with the data living only
   /// under the sources.
   IntegrationSystem(Catalog* catalog, std::string integration_db);
+  IntegrationSystem(Catalog* catalog, std::string integration_db,
+                    const IntegrationOptions& options);
 
   /// The analyzed registration path (CREATE VIEW through the lint pass):
   /// runs the static analyzer (DV001..DV006) against a pinned catalog
@@ -149,6 +197,29 @@ class IntegrationSystem {
                                      const AnswerOptions& options,
                                      QueryContext* ctx = nullptr);
 
+  /// Compiles `sql` (which may hold positional `?` parameters) into a
+  /// reusable template. Parsing and parameter counting happen once, here.
+  Result<std::shared_ptr<PreparedQuery>> Prepare(const std::string& sql);
+
+  /// Executes a prepared template with `params` bound positionally (params
+  /// [i] replaces the i-th `?`, left-to-right). Semantically identical to
+  /// AnswerGuarded over the substituted SQL, but skips parsing entirely and
+  /// shares cached plans across repeats: the cache key is the *exact*
+  /// fingerprint of the substituted statement, because Alg. 5.1's usability
+  /// decisions may depend on the literal values — parameterized-key caching
+  /// of rewritings would be unsound.
+  Result<AnswerResult> ExecutePrepared(const PreparedQuery& prepared,
+                                       const std::vector<Value>& params,
+                                       const AnswerOptions& options = {},
+                                       QueryContext* ctx = nullptr);
+
+  /// Drops every cached plan (and the raw-SQL memo). Benches use this to
+  /// measure the cold path; registration paths call it internally.
+  void ClearPlanCache();
+
+  /// Cumulative plan-cache counters since construction.
+  PlanCacheStats plan_cache_stats() const { return plan_cache_.Stats(); }
+
   /// Like Answer, but returns the chosen rewriting without executing.
   /// Aggregate queries are additionally offered to aggregate-defined
   /// sources via the Sec. 5.2 re-aggregation machinery (Ex. 5.3).
@@ -178,6 +249,20 @@ class IntegrationSystem {
   Optimizer* optimizer() { return &optimizer_; }
 
  private:
+  /// One plan-cache entry: everything a repeat of the same normalized query
+  /// at the same catalog version needs to skip parse → rewrite (Alg. 5.1).
+  /// Statements are immutable templates — execution clones them, because
+  /// the binder annotates the AST in place. `programs` is the plan's own
+  /// compiled-expression memo: every execution (and every grounding of its
+  /// fan-out) shares the programs compiled the first time.
+  struct CachedPlan {
+    std::shared_ptr<const SelectStmt> rewritten;  // Null = direct path on I.
+    std::shared_ptr<const SelectStmt> direct;     // Set when rewritten null.
+    const ViewDefinition* chosen = nullptr;
+    std::vector<SourceWarning> stale;
+    std::shared_ptr<ExprProgramCache> programs;
+  };
+
   /// Rewrite against one pinned catalog version: translators resolve view
   /// bodies and I's schema through `snap`, and fenced sources whose
   /// materialization is stale against `snap` are skipped. Each skip appends
@@ -187,6 +272,23 @@ class IntegrationSystem {
                                         const CatalogSnapshot& snap,
                                         std::vector<SourceWarning>* stale,
                                         const ViewDefinition** chosen = nullptr);
+
+  /// The shared answer path behind AnswerGuarded and ExecutePrepared once a
+  /// cache key exists. `stmt` is the parsed statement when the caller has
+  /// it (null on a raw-memo hit — it is only needed, and then re-parsed, on
+  /// a cache miss). `cache_key` empty = caching disabled for this call.
+  Result<AnswerResult> AnswerWithCache(const std::string& sql,
+                                       const std::string& cache_key,
+                                       const std::string& fp_hex,
+                                       std::unique_ptr<SelectStmt> stmt,
+                                       const AnswerOptions& options,
+                                       QueryContext* ctx);
+
+  /// The pre-plan-cache AnswerGuarded body, kept verbatim for unparseable
+  /// SQL so error surfaces are unchanged.
+  Result<AnswerResult> AnswerUncached(const std::string& sql,
+                                      const AnswerOptions& options,
+                                      QueryContext* ctx);
 
   Catalog* catalog_;
   std::string integration_db_;
@@ -199,6 +301,21 @@ class IntegrationSystem {
   std::map<const ViewDefinition*, std::vector<Diagnostic>> source_diags_;
   /// Cumulative analyze.* tallies (DefineView and LintSources record here).
   mutable MetricsRegistry analyze_metrics_;
+
+  /// Normalized-fingerprint plan cache: key = exact fingerprint + multiset
+  /// flag, version = pinned snapshot version. Cleared whenever the source /
+  /// index universe changes (RegisterSource, RegisterIndex).
+  mutable ShardedLruCache<CachedPlan> plan_cache_;
+  bool plan_cache_enabled_ = true;
+
+  /// First cache level: raw SQL text (+ multiset flag) → (cache key, hex
+  /// fingerprint). Repeated identical strings skip parsing AND
+  /// fingerprinting. Bounded, dropped wholesale at capacity; never needs
+  /// registration-time clearing because a fingerprint is a pure function of
+  /// the text.
+  mutable std::mutex memo_mu_;
+  mutable std::unordered_map<std::string, std::pair<std::string, std::string>>
+      raw_memo_;
 };
 
 }  // namespace dynview

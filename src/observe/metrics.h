@@ -42,6 +42,19 @@ inline constexpr char kPivotMultiplicityDropped[] =
 // Gauges (set at query end from QueryContext accounting).
 inline constexpr char kBudgetRowsCharged[] = "budget.rows_charged";
 inline constexpr char kBudgetBytesCharged[] = "budget.bytes_charged";
+// Compiled query path: plan cache outcomes and expression compilation.
+// All four plan_cache counters are decided on the driving thread before any
+// worker runs, and exprs_flattened counts distinct programs inserted into
+// the program cache (raced compiles insert once) — thread-count invariant.
+inline constexpr char kPlanCacheHits[] = "plan_cache.hits";  // [invariant]
+inline constexpr char kPlanCacheMisses[] =
+    "plan_cache.misses";                                     // [invariant]
+inline constexpr char kPlanCacheEvictions[] =
+    "plan_cache.evictions";                                  // [invariant]
+inline constexpr char kPlanCacheInvalidations[] =
+    "plan_cache.invalidations";                              // [invariant]
+inline constexpr char kExprsFlattened[] =
+    "compile.exprs_flattened";                               // [invariant]
 // Static analysis (DefineView / dynview-lint) tallies.
 inline constexpr char kAnalyzeChecksRun[] = "analyze.checks_run";
 inline constexpr char kAnalyzeDiagnostics[] = "analyze.diagnostics";

@@ -11,6 +11,7 @@
 #include "core/view_definition.h"
 #include "index/view_index.h"
 #include "optimizer/plan.h"
+#include "plan_cache/plan_cache.h"
 
 namespace dynview {
 
@@ -58,8 +59,12 @@ class Optimizer {
 
   /// Enables exact catalog statistics (distinct counts, min/max) for
   /// cardinality estimation instead of the System-R magic constants. Costs
-  /// one scan per referenced table at first planning.
-  void EnableStatistics(bool on = true) { use_stats_ = on; }
+  /// one scan per referenced table at first planning. Drops cached plans —
+  /// they were costed under the other regime.
+  void EnableStatistics(bool on = true) {
+    use_stats_ = on;
+    plan_cache_.Clear();
+  }
 
   /// Registers a view-described index over `source` keyed on `key_attr`.
   /// The index payload columns must be attributes of `source` (the
@@ -80,7 +85,21 @@ class Optimizer {
   /// projection/aggregation/ordering over its output.
   Result<Table> Execute(const OptimizedPlan& plan) const;
 
-  /// Convenience: Plan + Execute.
+  /// Like Plan/PlanBaseline, but through the fingerprinted plan cache: the
+  /// normalized query hash plus the catalog version key an immutable shared
+  /// plan, so repeated traffic skips parse → normalize → DP search entirely.
+  /// Entries pinned to an older catalog version die lazily at lookup, and
+  /// RegisterView/RegisterIndex/EnableStatistics clear the cache (the
+  /// access-path universe changed). `cache_hit` (optional) reports whether
+  /// the plan was served from cache.
+  Result<std::shared_ptr<const OptimizedPlan>> PlanCached(
+      const std::string& sql, bool allow_resources = true,
+      bool* cache_hit = nullptr) const;
+
+  /// Cumulative hit/miss/eviction/invalidation counts of the plan cache.
+  PlanCacheStats plan_cache_stats() const { return plan_cache_.Stats(); }
+
+  /// Convenience: PlanCached + Execute.
   Result<Table> Run(const std::string& sql) const;
 
   /// EXPLAIN: plans `sql` twice — with and without view/index access paths —
@@ -106,6 +125,10 @@ class Optimizer {
   bool use_stats_ = false;
   std::vector<std::shared_ptr<ViewDefinition>> views_;
   std::vector<IndexEntry> indexes_;
+  /// Fingerprint+version keyed plans (OptimizedPlan is immutable once
+  /// planned: Execute clones its stmt and never touches the tree). Mutable:
+  /// caching is invisible to the const planning API.
+  mutable ShardedLruCache<const OptimizedPlan> plan_cache_{64, 4};
 };
 
 }  // namespace dynview

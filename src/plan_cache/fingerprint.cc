@@ -1,0 +1,102 @@
+#include "plan_cache/fingerprint.h"
+
+#include <cctype>
+#include <cstdio>
+#include <functional>
+#include <memory_resource>
+
+#include "sql/parser.h"
+
+namespace dynview {
+
+namespace {
+
+/// Lowercases everything outside single-quoted string literals, so the
+/// normalized form is case-insensitive for identifiers and keywords but
+/// never rewrites data values ('NYSE' and 'nyse' stay distinct). Scratch
+/// runs through a stack-adjacent pmr arena: fingerprinting happens on every
+/// uncached Answer, so the normalization pass should not hit the global
+/// allocator.
+std::string NormalizeCase(const std::string& in) {
+  char stack_buf[512];
+  std::pmr::monotonic_buffer_resource arena(stack_buf, sizeof(stack_buf));
+  std::pmr::string tmp(&arena);
+  tmp.reserve(in.size());
+  bool in_string = false;
+  for (char c : in) {
+    if (c == '\'') in_string = !in_string;
+    tmp.push_back(in_string
+                      ? c
+                      : static_cast<char>(
+                            std::tolower(static_cast<unsigned char>(c))));
+  }
+  return std::string(tmp.begin(), tmp.end());
+}
+
+/// Pre-order walk over every expression of `stmt`, all UNION branches.
+void ForEachExprTree(SelectStmt* stmt,
+                     const std::function<void(Expr*)>& fn) {
+  std::function<void(Expr*)> walk = [&](Expr* e) {
+    if (e == nullptr) return;
+    fn(e);
+    walk(e->left.get());
+    walk(e->right.get());
+  };
+  for (SelectStmt* s = stmt; s != nullptr; s = s->union_next.get()) {
+    for (SelectItem& item : s->select_list) walk(item.expr.get());
+    walk(s->where.get());
+    for (auto& g : s->group_by) walk(g.get());
+    walk(s->having.get());
+    for (OrderItem& o : s->order_by) walk(o.expr.get());
+  }
+}
+
+}  // namespace
+
+uint64_t Fnv1a64(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string QueryFingerprint::Hex() const {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return std::string(buf);
+}
+
+QueryFingerprint FingerprintStatement(const SelectStmt& stmt,
+                                      FingerprintMode mode) {
+  QueryFingerprint fp;
+  if (mode == FingerprintMode::kExact) {
+    fp.normalized = NormalizeCase(stmt.ToString());
+  } else {
+    // Parameterize on a clone: every literal position (including positions
+    // already holding a `?` parameter) is renumbered in render order, so
+    // equal shapes normalize identically regardless of how their markers
+    // were originally numbered.
+    std::unique_ptr<SelectStmt> shape = stmt.Clone();
+    int next = 0;
+    ForEachExprTree(shape.get(), [&](Expr* e) {
+      if (e->kind != ExprKind::kLiteral) return;
+      if (e->param_index < 0) fp.literals.push_back(e->literal);
+      e->param_index = next++;
+    });
+    fp.normalized = NormalizeCase(shape->ToString());
+  }
+  fp.hash = Fnv1a64(fp.normalized);
+  return fp;
+}
+
+Result<QueryFingerprint> FingerprintSql(const std::string& sql,
+                                        FingerprintMode mode) {
+  DV_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> stmt,
+                      Parser::ParseSelect(sql));
+  return FingerprintStatement(*stmt, mode);
+}
+
+}  // namespace dynview

@@ -1,0 +1,55 @@
+#ifndef DYNVIEW_PLAN_CACHE_FINGERPRINT_H_
+#define DYNVIEW_PLAN_CACHE_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/value.h"
+#include "sql/ast.h"
+
+namespace dynview {
+
+/// How literals participate in the fingerprint.
+///
+/// kExact keeps them: two queries share a fingerprint only when they are the
+/// same query modulo whitespace and identifier/keyword case. This is the
+/// mode the plan cache keys on — Alg. 5.1's translation decisions (which
+/// source view is usable, how a predicate restricts a grounding) depend on
+/// literal values, so caching a rewriting across different literals would be
+/// unsound.
+///
+/// kParameterized replaces every literal by a positional `?N` marker and
+/// collects the stripped values — the *shape* identity used to label
+/// prepared-query templates and to group repeated traffic in diagnostics.
+enum class FingerprintMode { kExact, kParameterized };
+
+/// A normalized query identity: a canonical rendering (AST-derived, so
+/// whitespace-insensitive; lowercased outside string literals, so case-
+/// insensitive without touching data values) plus its FNV-1a 64-bit hash.
+struct QueryFingerprint {
+  uint64_t hash = 0;
+  std::string normalized;
+  /// kParameterized only: the stripped literal values in marker order.
+  std::vector<Value> literals;
+
+  /// 16 lowercase hex digits of `hash` — the compact form shown in EXPLAIN,
+  /// AnswerResult and dynview-lint --show-fingerprint.
+  std::string Hex() const;
+};
+
+/// Fingerprints a parsed statement (all UNION branches).
+QueryFingerprint FingerprintStatement(const SelectStmt& stmt,
+                                      FingerprintMode mode);
+
+/// Parses `sql` as a SELECT and fingerprints it.
+Result<QueryFingerprint> FingerprintSql(const std::string& sql,
+                                        FingerprintMode mode);
+
+/// FNV-1a 64-bit over `s` (exposed for tests and for composing cache keys).
+uint64_t Fnv1a64(const std::string& s);
+
+}  // namespace dynview
+
+#endif  // DYNVIEW_PLAN_CACHE_FINGERPRINT_H_

@@ -1,5 +1,7 @@
 #include "sql/ast.h"
 
+#include <functional>
+
 namespace dynview {
 
 const char* BinaryOpName(BinaryOp op) {
@@ -111,6 +113,7 @@ std::unique_ptr<Expr> Expr::Clone() const {
   auto e = std::make_unique<Expr>();
   e->kind = kind;
   e->literal = literal;
+  e->param_index = param_index;
   e->var_name = var_name;
   e->qualifier = qualifier;
   e->column = column;
@@ -126,6 +129,7 @@ std::unique_ptr<Expr> Expr::Clone() const {
 std::string Expr::ToString() const {
   switch (kind) {
     case ExprKind::kLiteral:
+      if (param_index >= 0) return "?" + std::to_string(param_index + 1);
       return literal.ToString();
     case ExprKind::kVarRef:
       return var_name;
@@ -263,6 +267,57 @@ std::string SelectStmt::ToString() const {
     out += union_next->ToString();
   }
   return out;
+}
+
+namespace {
+
+void ForEachExpr(Expr* e, const std::function<void(Expr*)>& fn) {
+  if (e == nullptr) return;
+  fn(e);
+  ForEachExpr(e->left.get(), fn);
+  ForEachExpr(e->right.get(), fn);
+}
+
+void ForEachExpr(SelectStmt* stmt, const std::function<void(Expr*)>& fn) {
+  for (SelectStmt* s = stmt; s != nullptr; s = s->union_next.get()) {
+    for (SelectItem& item : s->select_list) ForEachExpr(item.expr.get(), fn);
+    ForEachExpr(s->where.get(), fn);
+    for (auto& g : s->group_by) ForEachExpr(g.get(), fn);
+    ForEachExpr(s->having.get(), fn);
+    for (OrderItem& o : s->order_by) ForEachExpr(o.expr.get(), fn);
+  }
+}
+
+}  // namespace
+
+int CountParameters(const SelectStmt& stmt) {
+  int max_index = -1;
+  ForEachExpr(const_cast<SelectStmt*>(&stmt), [&](Expr* e) {
+    if (e->kind == ExprKind::kLiteral && e->param_index > max_index) {
+      max_index = e->param_index;
+    }
+  });
+  return max_index + 1;
+}
+
+Status SubstituteParameters(SelectStmt* stmt,
+                            const std::vector<Value>& params) {
+  Status status = Status::OK();
+  ForEachExpr(stmt, [&](Expr* e) {
+    if (e->kind != ExprKind::kLiteral || e->param_index < 0) return;
+    if (static_cast<size_t>(e->param_index) >= params.size()) {
+      if (status.ok()) {
+        status = Status::InvalidArgument(
+            "parameter ?" + std::to_string(e->param_index + 1) +
+            " has no bound value (" + std::to_string(params.size()) +
+            " provided)");
+      }
+      return;
+    }
+    e->literal = params[e->param_index];
+    e->param_index = -1;
+  });
+  return status;
 }
 
 bool SelectStmt::IsHigherOrder() const {

@@ -73,6 +73,12 @@ struct Expr {
   // kLiteral.
   Value literal;
 
+  /// >= 0 marks this literal node as the positional parameter `?` with that
+  /// ordinal (0-based, left-to-right parse order). An un-substituted
+  /// parameter renders as "?N", never evaluates, and blocks compilation;
+  /// SubstituteParameters replaces `literal` and resets this to -1.
+  int param_index = -1;
+
   // kVarRef: the referenced name.
   std::string var_name;
 
@@ -192,6 +198,16 @@ struct SelectStmt {
   /// attribute variable) — i.e. the query is higher order.
   bool IsHigherOrder() const;
 };
+
+/// Number of positional parameters a statement declares: one plus the
+/// largest Expr::param_index found anywhere in the statement (all UNION
+/// branches), 0 when parameter-free.
+int CountParameters(const SelectStmt& stmt);
+
+/// Replaces every positional parameter `?k` in `stmt` (all UNION branches)
+/// by `params[k]` and clears the param markers. Errors when a parameter
+/// ordinal has no corresponding value.
+Status SubstituteParameters(SelectStmt* stmt, const std::vector<Value>& params);
 
 /// CREATE VIEW with a possibly data-dependent output schema:
 ///   create view s2::C(date, price) as select ...      (C is a variable)

@@ -152,6 +152,7 @@ Result<std::vector<Token>> Lexer::Tokenize(const std::string& input) {
       case '*': push(TokenKind::kStar, "*", start); ++i; continue;
       case '+': push(TokenKind::kPlus, "+", start); ++i; continue;
       case ';': push(TokenKind::kSemicolon, ";", start); ++i; continue;
+      case '?': push(TokenKind::kQuestion, "?", start); ++i; continue;
       case '/': push(TokenKind::kSlash, "/", start); ++i; continue;
       case '-':
         if (i + 1 < n && input[i + 1] == '>') {

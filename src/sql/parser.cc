@@ -501,6 +501,14 @@ Result<std::unique_ptr<Expr>> Parser::ParsePrimary() {
       }
       return Expr::MakeAgg(f, std::move(arg), distinct);
     }
+    case TokenKind::kQuestion: {
+      // Positional parameter for prepared queries: a literal placeholder
+      // whose value is bound by SubstituteParameters before execution.
+      Advance();
+      auto param = Expr::MakeLiteral(Value::Null());
+      param->param_index = next_param_index_++;
+      return param;
+    }
     case TokenKind::kContains:
     case TokenKind::kHasword: {
       ExprKind kind = Advance().kind == TokenKind::kContains

@@ -77,6 +77,8 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  /// Next `?` parameter ordinal, assigned in left-to-right parse order.
+  int next_param_index_ = 0;
 };
 
 }  // namespace dynview

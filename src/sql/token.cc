@@ -21,6 +21,7 @@ const char* TokenKindName(TokenKind kind) {
     case TokenKind::kArrow: return "'->'";
     case TokenKind::kDoubleColon: return "'::'";
     case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kQuestion: return "'?'";
     case TokenKind::kEq: return "'='";
     case TokenKind::kNotEq: return "'<>'";
     case TokenKind::kLess: return "'<'";

@@ -28,6 +28,7 @@ enum class TokenKind {
   kArrow,        // ->
   kDoubleColon,  // ::
   kSemicolon,
+  kQuestion,     // ?  (positional parameter in prepared queries)
 
   // Comparison operators.
   kEq,        // =

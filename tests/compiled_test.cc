@@ -1,0 +1,610 @@
+// Differential suite for the compiled query path (ctest -L compiled):
+//
+//  - interpreted vs compiled expression evaluation must be BYTE-identical
+//    (Table::ToString equality, not just bag equality) at 1 and 8 threads,
+//    on the Fig. 6 workload, on higher-order fan-out queries, and on seeded
+//    random catalogs/queries;
+//  - the plan cache must serve byte-identical answers on hits, die on
+//    catalog commits and source/index registration, count
+//    hits/misses/evictions/invalidations, and degrade to a fresh compile
+//    (never a wrong answer) when a lookup is poisoned via the
+//    `plan_cache.lookup` failpoint;
+//  - prepared queries must bind positionally, share cached plans across
+//    repeats and with equivalent ad-hoc SQL, and reject arity mismatches;
+//  - the Ex. 5.2 / Ex. 5.3 golden rewritings must answer identically
+//    through the cache (the goldens themselves live in
+//    golden_translation_test; here we pin the cached execution to them);
+//  - grounding fan-out must share one compiled program per plan: the
+//    `compile.exprs_flattened` counter is invariant in both the grounding
+//    width and the thread count.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "engine/query_engine.h"
+#include "integration/integration.h"
+#include "plan_cache/fingerprint.h"
+#include "schemasql/view_materializer.h"
+#include "workload/stock_data.h"
+
+namespace dynview {
+namespace {
+
+ExecConfig Config(size_t threads, bool compiled) {
+  ExecConfig exec;
+  exec.num_threads = threads;
+  exec.morsel_rows = 4;  // Engage the parallel operator paths on small data.
+  exec.compile_expressions = compiled;
+  return exec;
+}
+
+// ---- interpreted vs compiled byte-identity ---------------------------------
+
+class CompiledEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StockGenConfig cfg;
+    cfg.num_companies = 5;
+    cfg.num_dates = 8;
+    Table s1 = GenerateStockS1(cfg);
+    ASSERT_TRUE(InstallStockS1(&catalog_, "s1", s1).ok());
+    ASSERT_TRUE(InstallStockS2(&catalog_, "s2", s1).ok());
+    ASSERT_TRUE(InstallStockS3(&catalog_, "s3", s1).ok());
+    ASSERT_TRUE(InstallDb0(&catalog_, "db0", cfg).ok());
+  }
+
+  /// Interpreted and compiled evaluation must agree byte-for-byte — same
+  /// rows, same order, same rendering — at every thread count, and errors
+  /// must carry identical statuses.
+  void ExpectByteIdentical(const std::string& sql,
+                           const std::string& default_db = "s1") {
+    for (size_t threads : {1u, 8u}) {
+      QueryEngine interp(&catalog_, default_db, Config(threads, false));
+      QueryEngine comp(&catalog_, default_db, Config(threads, true));
+      Result<Table> a = interp.ExecuteSql(sql);
+      Result<Table> b = comp.ExecuteSql(sql);
+      ASSERT_EQ(a.ok(), b.ok())
+          << sql << " [threads=" << threads << "]\n  interpreted: "
+          << a.status().ToString() << "\n  compiled:    "
+          << b.status().ToString();
+      if (!a.ok()) {
+        EXPECT_EQ(a.status().ToString(), b.status().ToString()) << sql;
+        continue;
+      }
+      EXPECT_EQ(a.value().ToString(), b.value().ToString())
+          << sql << " diverges at threads=" << threads;
+    }
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(CompiledEngineTest, Fig6WorkloadByteIdentity) {
+  const char* queries[] = {
+      // The Fig. 6 integration query (pushdown filter + projection).
+      "select C, P from s1::stock T, T.company C, T.price P where P > 300",
+      // Self-join on company with a conjunctive filter (join keys compiled).
+      "select C1, P1 from s1::stock T1, s1::stock T2, T1.company C1, "
+      "T2.company C2, T1.price P1, T2.price P2 "
+      "where C1 = C2 and P1 > P2 and P2 > 100",
+      // Logic short-circuit shapes: and/or/not over tri-state inputs.
+      "select C from s1::stock T, T.company C, T.price P, T.exch E "
+      "where (P > 200 and E = 'nyse') or not (P between 50 and 400)",
+      // String operators.
+      "select C from s1::stock T, T.company C where C like 'co%' "
+      "and contains(C, 'o')",
+      // Arithmetic in projection and ORDER BY keys.
+      "select C, P + 10 from s1::stock T, T.company C, T.price P "
+      "order by P desc, C",
+      // Grouping (group keys compiled; aggregate fold interpreted).
+      "select C, max(P), count(*) from s1::stock T, T.company C, T.price P "
+      "where P > 50 group by C having min(P) > 0",
+      "select distinct E from s1::stock T, T.exch E",
+  };
+  for (const char* q : queries) {
+    SCOPED_TRACE(q);
+    ExpectByteIdentical(q);
+  }
+}
+
+TEST_F(CompiledEngineTest, HigherOrderFanOutByteIdentity) {
+  // Relation / attribute / database variables: compiled programs are reused
+  // across groundings (schemas agree per the s2/s3 layouts), and evaluation
+  // must not diverge from the interpreter.
+  const char* queries[] = {
+      "select R, D, P from s2 -> R, R T, T.date D, T.price P where P > 100",
+      "select distinct R from s2 -> R, R T, T.price P where P > 100",
+      "select A, D, P from s3::stock -> A, s3::stock T, T.date D, T.A P "
+      "where A <> 'date'",
+      "select DB from -> DB, DB::stock T",
+  };
+  for (const char* q : queries) {
+    SCOPED_TRACE(q);
+    ExpectByteIdentical(q, "s2");
+  }
+}
+
+TEST_F(CompiledEngineTest, ErrorSurfacesMatchInterpreter) {
+  // Fallback and error paths: non-boolean predicates and unbound parameters
+  // must produce the interpreter's exact statuses.
+  ExpectByteIdentical("select C from s1::stock T, T.company C where C");
+  ExpectByteIdentical(
+      "select C from s1::stock T, T.company C where T.price > ?");
+}
+
+// Seeded random catalogs and queries (the differential_test generator's
+// shape family, re-run as a byte-identity oracle instead of a bag oracle).
+class CompiledRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+uint64_t NextRandom(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+int Pick(uint64_t* state, int n) {
+  return static_cast<int>(NextRandom(state) % static_cast<uint64_t>(n));
+}
+
+std::string RandomQuery(uint64_t seed, int num_companies) {
+  uint64_t state = seed;
+  int num_stock = 1 + Pick(&state, 2);
+  std::string from;
+  std::string where;
+  auto add_conj = [&](const std::string& c) {
+    if (!where.empty()) where += " and ";
+    where += c;
+  };
+  for (int i = 0; i < num_stock; ++i) {
+    std::string n = std::to_string(i);
+    if (i > 0) from += ", ";
+    from += "db0::stock T" + n + ", T" + n + ".company C" + n + ", T" + n +
+            ".date D" + n + ", T" + n + ".price P" + n;
+    switch (Pick(&state, 4)) {
+      case 0:
+        add_conj("P" + n + " > " + std::to_string(50 + Pick(&state, 300)));
+        break;
+      case 1:
+        add_conj("P" + n + " between " +
+                 std::to_string(50 + Pick(&state, 150)) + " and " +
+                 std::to_string(250 + Pick(&state, 150)));
+        break;
+      case 2:
+        add_conj("C" + n + " = '" + CompanyName(Pick(&state, num_companies)) +
+                 "'");
+        break;
+      default:
+        break;
+    }
+    if (i > 0) {
+      add_conj(Pick(&state, 2) == 0 ? "C" + n + " = C" + std::to_string(i - 1)
+                                    : "D" + n + " = D" + std::to_string(i - 1));
+    }
+  }
+  std::string select = "C0, D0, P0";
+  if (Pick(&state, 3) == 0) {
+    const char* funcs[] = {"max", "min", "count", "sum"};
+    return "select C0, " + std::string(funcs[Pick(&state, 4)]) +
+           "(P0) from " + from + (where.empty() ? "" : " where " + where) +
+           " group by C0";
+  }
+  return "select " + select + " from " + from +
+         (where.empty() ? "" : " where " + where) + " order by P0, C0, D0";
+}
+
+TEST_P(CompiledRandomTest, SeededCatalogByteIdentity) {
+  uint64_t seed = GetParam();
+  // The catalog itself is seeded: shape varies per instance.
+  StockGenConfig cfg;
+  cfg.num_companies = 4 + static_cast<int>(seed % 5);
+  cfg.num_dates = 6 + static_cast<int>(seed % 7);
+  cfg.seed = seed;
+  Catalog catalog;
+  ASSERT_TRUE(InstallDb0(&catalog, "db0", cfg).ok());
+  for (int i = 0; i < 6; ++i) {
+    std::string sql = RandomQuery(seed * 1000 + static_cast<uint64_t>(i),
+                                  cfg.num_companies);
+    SCOPED_TRACE(sql);
+    for (size_t threads : {1u, 8u}) {
+      QueryEngine interp(&catalog, "db0", Config(threads, false));
+      QueryEngine comp(&catalog, "db0", Config(threads, true));
+      Result<Table> a = interp.ExecuteSql(sql);
+      Result<Table> b = comp.ExecuteSql(sql);
+      ASSERT_TRUE(a.ok()) << a.status().ToString();
+      ASSERT_TRUE(b.ok()) << b.status().ToString();
+      EXPECT_EQ(a.value().ToString(), b.value().ToString())
+          << "diverges at threads=" << threads;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompiledRandomTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+// ---- plan cache behavior through IntegrationSystem -------------------------
+
+constexpr char kFig6SourceSql[] =
+    "create view s2::C(date, price) as "
+    "select D, P from I::stock T, T.company C, T.date D, T.price P";
+
+constexpr char kFig6Query[] =
+    "select C, P from I::stock T, T.company C, T.price P where P > 300";
+
+class PlanCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StockGenConfig cfg;
+    cfg.num_companies = 5;
+    cfg.num_dates = 10;
+    Table s1 = GenerateStockS1(cfg);
+    // I is virtual: data lives only under the s2 source.
+    ASSERT_TRUE(catalog_
+                    .PutTable("I", "stock",
+                              Table(Schema({{"company", TypeKind::kString},
+                                            {"date", TypeKind::kDate},
+                                            {"price", TypeKind::kInt}})))
+                    .ok());
+    ASSERT_TRUE(InstallStockS2(&catalog_, "s2", s1).ok());
+    system_ = std::make_unique<IntegrationSystem>(&catalog_, "I");
+    ASSERT_TRUE(system_->RegisterSource(kFig6SourceSql).ok());
+  }
+
+  void TearDown() override { FailPoints::DisarmAll(); }
+
+  AnswerOptions Multiset() {
+    AnswerOptions opts;
+    opts.multiset = true;
+    return opts;
+  }
+
+  Catalog catalog_;
+  std::unique_ptr<IntegrationSystem> system_;
+};
+
+TEST_F(PlanCacheTest, SecondAnswerHitsAndIsByteIdentical) {
+  auto cold = system_->AnswerGuarded(kFig6Query, Multiset());
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_FALSE(cold.value().plan_cached);
+  ASSERT_FALSE(cold.value().plan_fingerprint.empty());
+  ASSERT_NE(cold.value().observer, nullptr);
+  EXPECT_EQ(cold.value().observer->metrics.Value(counters::kPlanCacheMisses),
+            1u);
+  EXPECT_EQ(cold.value().observer->metrics.Value(counters::kPlanCacheHits),
+            0u);
+  // The cold execution compiled at least the pushdown predicate.
+  EXPECT_GT(cold.value().observer->metrics.Value(counters::kExprsFlattened),
+            0u);
+
+  auto warm = system_->AnswerGuarded(kFig6Query, Multiset());
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  EXPECT_TRUE(warm.value().plan_cached);
+  EXPECT_EQ(warm.value().plan_fingerprint, cold.value().plan_fingerprint);
+  EXPECT_EQ(warm.value().table.ToString(), cold.value().table.ToString());
+  ASSERT_NE(warm.value().observer, nullptr);
+  EXPECT_EQ(warm.value().observer->metrics.Value(counters::kPlanCacheHits),
+            1u);
+  // The hit reuses the plan's program memo: nothing new is flattened.
+  EXPECT_EQ(warm.value().observer->metrics.Value(counters::kExprsFlattened),
+            0u);
+
+  PlanCacheStats stats = system_->plan_cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST_F(PlanCacheTest, EquivalentSpellingsShareOnePlan) {
+  // Case and whitespace differences normalize to the same fingerprint;
+  // string literals keep their case.
+  auto a = system_->AnswerGuarded(kFig6Query, Multiset());
+  ASSERT_TRUE(a.ok());
+  auto b = system_->AnswerGuarded(
+      "SELECT  C,  P   FROM I::stock T, T.company C, T.price P "
+      "WHERE P > 300",
+      Multiset());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(b.value().plan_cached);
+  EXPECT_EQ(b.value().plan_fingerprint, a.value().plan_fingerprint);
+  EXPECT_EQ(b.value().table.ToString(), a.value().table.ToString());
+  // A different literal is a different exact fingerprint (Alg. 5.1 may
+  // decide differently on it) — never a false hit.
+  auto c = system_->AnswerGuarded(
+      "select C, P from I::stock T, T.company C, T.price P where P > 301",
+      Multiset());
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(c.value().plan_cached);
+  EXPECT_NE(c.value().plan_fingerprint, a.value().plan_fingerprint);
+}
+
+TEST_F(PlanCacheTest, CatalogCommitInvalidatesCachedPlan) {
+  auto cold = system_->AnswerGuarded(kFig6Query, Multiset());
+  ASSERT_TRUE(cold.ok());
+  auto warm = system_->AnswerGuarded(kFig6Query, Multiset());
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm.value().plan_cached);
+
+  // Any commit moves the catalog version; version-pinned entries die lazily
+  // at next lookup.
+  ASSERT_TRUE(catalog_
+                  .PutTable("scratch", "t",
+                            Table(Schema({{"x", TypeKind::kInt}})))
+                  .ok());
+  auto after = system_->AnswerGuarded(kFig6Query, Multiset());
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_FALSE(after.value().plan_cached);
+  ASSERT_NE(after.value().observer, nullptr);
+  EXPECT_EQ(after.value().observer->metrics.Value(
+                counters::kPlanCacheInvalidations),
+            1u);
+  // Data did not change, so the recompiled answer is still byte-identical.
+  EXPECT_EQ(after.value().table.ToString(), cold.value().table.ToString());
+  EXPECT_GE(system_->plan_cache_stats().invalidations, 1u);
+
+  // And the fresh entry serves hits again.
+  auto rewarm = system_->AnswerGuarded(kFig6Query, Multiset());
+  ASSERT_TRUE(rewarm.ok());
+  EXPECT_TRUE(rewarm.value().plan_cached);
+}
+
+TEST_F(PlanCacheTest, SourceRegistrationClearsCache) {
+  auto cold = system_->AnswerGuarded(kFig6Query, Multiset());
+  ASSERT_TRUE(cold.ok());
+  auto warm = system_->AnswerGuarded(kFig6Query, Multiset());
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm.value().plan_cached);
+  // A new source changes the universe Alg. 5.1 probes: cached rewritings
+  // chose among the old sources and must not survive.
+  ASSERT_TRUE(system_
+                  ->RegisterSource(
+                      "create view s2::B(date, price) as "
+                      "select D, P from I::stock T, T.company C, T.date D, "
+                      "T.price P")
+                  .ok());
+  auto after = system_->AnswerGuarded(kFig6Query, Multiset());
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after.value().plan_cached);
+  EXPECT_EQ(after.value().table.ToString(), cold.value().table.ToString());
+}
+
+TEST_F(PlanCacheTest, PoisonedLookupDegradesToFreshCompile) {
+  auto cold = system_->AnswerGuarded(kFig6Query, Multiset());
+  ASSERT_TRUE(cold.ok());
+  auto warm = system_->AnswerGuarded(kFig6Query, Multiset());
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm.value().plan_cached);
+
+  // Chaos: the next lookup finds a poisoned/evicted entry. The query must
+  // degrade to a fresh compile with a warning — never a wrong answer.
+  FailSpec spec;
+  spec.mode = FailMode::kErrorOnce;
+  FailPoints::Arm("plan_cache.lookup", spec);
+  auto poisoned = system_->AnswerGuarded(kFig6Query, Multiset());
+  ASSERT_TRUE(poisoned.ok()) << poisoned.status().ToString();
+  EXPECT_FALSE(poisoned.value().plan_cached);
+  EXPECT_EQ(poisoned.value().table.ToString(), cold.value().table.ToString());
+  bool warned = false;
+  for (const SourceWarning& w : poisoned.value().warnings) {
+    if (w.source == "plan_cache") warned = true;
+  }
+  EXPECT_TRUE(warned) << "poisoned lookup must surface a plan_cache warning";
+
+  // The fail point passed; the re-inserted entry serves hits again.
+  auto recovered = system_->AnswerGuarded(kFig6Query, Multiset());
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(recovered.value().plan_cached);
+  EXPECT_EQ(recovered.value().table.ToString(), cold.value().table.ToString());
+}
+
+TEST_F(PlanCacheTest, BoundedCapacityEvicts) {
+  IntegrationOptions opts;
+  opts.plan_cache_capacity = 4;
+  opts.plan_cache_shards = 1;
+  IntegrationSystem tiny(&catalog_, "I", opts);
+  ASSERT_TRUE(tiny.RegisterSource(kFig6SourceSql).ok());
+  for (int p = 0; p < 12; ++p) {
+    auto r = tiny.AnswerGuarded(
+        "select C, P from I::stock T, T.company C, T.price P where P > " +
+            std::to_string(100 + p),
+        Multiset());
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  PlanCacheStats stats = tiny.plan_cache_stats();
+  EXPECT_GT(stats.evictions, 0u);
+  // Evicted plans recompile correctly.
+  auto again = tiny.AnswerGuarded(
+      "select C, P from I::stock T, T.company C, T.price P where P > 100",
+      Multiset());
+  ASSERT_TRUE(again.ok());
+}
+
+TEST_F(PlanCacheTest, ZeroCapacityDisablesCaching) {
+  IntegrationOptions opts;
+  opts.plan_cache_capacity = 0;
+  IntegrationSystem uncached(&catalog_, "I", opts);
+  ASSERT_TRUE(uncached.RegisterSource(kFig6SourceSql).ok());
+  auto a = uncached.AnswerGuarded(kFig6Query, Multiset());
+  auto b = uncached.AnswerGuarded(kFig6Query, Multiset());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(b.value().plan_cached);
+  EXPECT_EQ(a.value().table.ToString(), b.value().table.ToString());
+}
+
+// ---- prepared queries ------------------------------------------------------
+
+TEST_F(PlanCacheTest, PreparedQueryBindsAndHitsCache) {
+  auto prepared = system_->Prepare(
+      "select C, P from I::stock T, T.company C, T.price P where P > ?");
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  EXPECT_EQ(prepared.value()->num_params(), 1);
+  EXPECT_FALSE(prepared.value()->fingerprint().empty());
+
+  auto cold = system_->ExecutePrepared(*prepared.value(), {Value::Int(300)},
+                                       Multiset());
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_FALSE(cold.value().plan_cached);
+  auto warm = system_->ExecutePrepared(*prepared.value(), {Value::Int(300)},
+                                       Multiset());
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm.value().plan_cached);
+  EXPECT_EQ(warm.value().table.ToString(), cold.value().table.ToString());
+
+  // The substituted statement fingerprints exactly like the equivalent
+  // ad-hoc SQL, so the two entry points share one plan.
+  auto adhoc = system_->AnswerGuarded(kFig6Query, Multiset());
+  ASSERT_TRUE(adhoc.ok());
+  EXPECT_TRUE(adhoc.value().plan_cached);
+  EXPECT_EQ(adhoc.value().plan_fingerprint, cold.value().plan_fingerprint);
+  EXPECT_EQ(adhoc.value().table.ToString(), cold.value().table.ToString());
+
+  // A different binding is a different exact fingerprint: cold, then warm.
+  auto other = system_->ExecutePrepared(*prepared.value(), {Value::Int(100)},
+                                        Multiset());
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE(other.value().plan_cached);
+  EXPECT_NE(other.value().plan_fingerprint, cold.value().plan_fingerprint);
+  auto other_warm = system_->ExecutePrepared(*prepared.value(),
+                                             {Value::Int(100)}, Multiset());
+  ASSERT_TRUE(other_warm.ok());
+  EXPECT_TRUE(other_warm.value().plan_cached);
+  EXPECT_EQ(other_warm.value().table.ToString(),
+            other.value().table.ToString());
+}
+
+TEST_F(PlanCacheTest, PreparedArityMismatchRejected) {
+  auto prepared = system_->Prepare(
+      "select C from I::stock T, T.company C, T.price P where P > ?");
+  ASSERT_TRUE(prepared.ok());
+  auto none = system_->ExecutePrepared(*prepared.value(), {}, Multiset());
+  EXPECT_EQ(none.status().code(), StatusCode::kInvalidArgument);
+  auto extra = system_->ExecutePrepared(
+      *prepared.value(), {Value::Int(1), Value::Int(2)}, Multiset());
+  EXPECT_EQ(extra.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---- Ex. 5.2 / Ex. 5.3 golden workloads through the cache ------------------
+
+class GoldenCachedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StockGenConfig cfg;
+    cfg.num_companies = 6;
+    cfg.num_dates = 10;
+    ASSERT_TRUE(InstallDb0(&catalog_, "db0", cfg).ok());
+    system_ = std::make_unique<IntegrationSystem>(&catalog_, "db0");
+  }
+
+  Catalog catalog_;
+  std::unique_ptr<IntegrationSystem> system_;
+};
+
+TEST_F(GoldenCachedTest, Ex52MaxThroughPivotViewCachedIsIdentical) {
+  ASSERT_TRUE(system_
+                  ->RegisterAndMaterializeSource(
+                      "create view db2::nyse(date, C) as "
+                      "select D, P from db0::stock T, T.exch E, T.company C, "
+                      "T.date D, T.price P where E = 'nyse'")
+                  .ok());
+  const std::string q =
+      "select D, max(P) from db0::stock T, T.date D, T.price P, T.exch E "
+      "where E = 'nyse' group by D having min(P) > 60";
+  auto cold = system_->AnswerGuarded(q, AnswerOptions{});
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_FALSE(cold.value().plan_cached);
+  auto warm = system_->AnswerGuarded(q, AnswerOptions{});
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm.value().plan_cached);
+  EXPECT_EQ(warm.value().table.ToString(), cold.value().table.ToString());
+}
+
+TEST_F(GoldenCachedTest, Ex53ReaggregationCachedIsIdentical) {
+  ASSERT_TRUE(system_
+                  ->RegisterAndMaterializeSource(
+                      "create view E::daily(date, C) as "
+                      "select D, avg(P) from db0::stock T, T.exch E, "
+                      "T.date D, T.price P, T.company C group by E, D, C")
+                  .ok());
+  const std::string q =
+      "select E2, avg(P) from db0::stock T, T.exch E2, T.price P group by E2";
+  auto cold = system_->AnswerGuarded(q, AnswerOptions{});
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  auto warm = system_->AnswerGuarded(q, AnswerOptions{});
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm.value().plan_cached);
+  EXPECT_EQ(warm.value().table.ToString(), cold.value().table.ToString());
+}
+
+// ---- one compiled program per plan across the grounding fan-out ------------
+
+TEST_F(CompiledEngineTest, FanOutSharesOneProgramAcrossGroundings) {
+  // s2 holds one relation per company; the predicate is compiled once per
+  // distinct (expression, slot signature), NOT once per grounding, and the
+  // count is thread-count invariant.
+  const std::string q =
+      "select R, P from s2 -> R, R T, T.price P where P > 100";
+  uint64_t flattened_serial = 0;
+  for (size_t threads : {1u, 8u}) {
+    QueryEngine engine(&catalog_, "s2", Config(threads, true));
+    QueryObserver obs;
+    QueryContext qc;
+    qc.set_observer(&obs);
+    auto r = engine.ExecuteSql(q, &qc);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    uint64_t flattened = obs.metrics.Value(counters::kExprsFlattened);
+    EXPECT_GT(flattened, 0u);
+    EXPECT_LT(flattened, 5u)
+        << "per-grounding recompilation detected at threads=" << threads;
+    if (threads == 1) {
+      flattened_serial = flattened;
+    } else {
+      EXPECT_EQ(flattened, flattened_serial)
+          << "compile.exprs_flattened must be thread-count invariant";
+    }
+    // Re-running on the same engine reuses the engine's program memo.
+    QueryObserver obs2;
+    QueryContext qc2;
+    qc2.set_observer(&obs2);
+    ASSERT_TRUE(engine.ExecuteSql(q, &qc2).ok());
+    EXPECT_EQ(obs2.metrics.Value(counters::kExprsFlattened), 0u);
+  }
+}
+
+// ---- fingerprint unit behavior ---------------------------------------------
+
+TEST(FingerprintTest, NormalizationAndModes) {
+  auto a = FingerprintSql(
+      "select C from s1::stock T, T.company C where C = 'NYSE'",
+      FingerprintMode::kExact);
+  auto b = FingerprintSql(
+      "SELECT   C FROM s1::stock T, T.company C WHERE C = 'NYSE'",
+      FingerprintMode::kExact);
+  auto c = FingerprintSql(
+      "select C from s1::stock T, T.company C where C = 'nyse'",
+      FingerprintMode::kExact);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  // Keyword case and whitespace are erased; string literal case is data.
+  EXPECT_EQ(a.value().hash, b.value().hash);
+  EXPECT_EQ(a.value().normalized, b.value().normalized);
+  EXPECT_NE(a.value().hash, c.value().hash);
+
+  // Parameterized mode strips literals: different constants, same shape.
+  auto p1 = FingerprintSql(
+      "select C from s1::stock T, T.company C, T.price P where P > 100",
+      FingerprintMode::kParameterized);
+  auto p2 = FingerprintSql(
+      "select C from s1::stock T, T.company C, T.price P where P > 999",
+      FingerprintMode::kParameterized);
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  EXPECT_EQ(p1.value().hash, p2.value().hash);
+  ASSERT_EQ(p1.value().literals.size(), 1u);
+  EXPECT_EQ(p1.value().literals[0].ToString(), "100");
+  EXPECT_EQ(p2.value().literals[0].ToString(), "999");
+  EXPECT_EQ(p1.value().Hex().size(), 16u);
+}
+
+}  // namespace
+}  // namespace dynview
