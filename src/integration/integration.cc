@@ -254,7 +254,10 @@ Result<AnswerResult> IntegrationSystem::AnswerGuarded(
   QueryFingerprint fp =
       FingerprintStatement(*parsed.value(), FingerprintMode::kExact);
   std::string fp_hex = fp.Hex();
-  std::string cache_key = (options.multiset ? "m|" : "s|") + fp_hex;
+  // Key on the full normalized text, not the 64-bit hash: a hash collision
+  // between distinct queries must miss, never serve the other query's plan.
+  // The hex hash stays display-only (EXPLAIN, AnswerResult, failpoints).
+  std::string cache_key = (options.multiset ? "m|" : "s|") + fp.normalized;
   {
     std::lock_guard<std::mutex> lock(memo_mu_);
     if (raw_memo_.size() >= kRawMemoCapacity) raw_memo_.clear();
@@ -537,9 +540,12 @@ Result<AnswerResult> IntegrationSystem::ExecutePrepared(
   // on the parameterized shape alone would be unsound.
   QueryFingerprint fp = FingerprintStatement(*stmt, FingerprintMode::kExact);
   std::string fp_hex = fp.Hex();
-  std::string cache_key = (options.multiset ? "m|" : "s|") + fp_hex;
+  // Full normalized text as the key (hash collisions must miss, not alias).
+  std::string cache_key = (options.multiset ? "m|" : "s|") + fp.normalized;
   // The rendered text only matters on a cache miss (Alg. 5.1's translators
   // take SQL); repeats hit the plan cache and never round-trip through text.
+  // Value::ToString doubles embedded quotes, so any bound string parameter —
+  // including one shaped like SQL — re-parses as exactly the literal it was.
   std::string rendered = stmt->ToString();
   if (!plan_cache_enabled_) return AnswerUncached(rendered, options, ctx);
   return AnswerWithCache(rendered, cache_key, fp_hex, std::move(stmt), options,
@@ -563,10 +569,11 @@ Result<Table> IntegrationSystem::KeywordSearch(
     Result<Table> hits = idx->ProbeKeyword(ToLower(keyword));
     if (hits.ok()) return hits;
   }
-  // Scan fallback: any attribute whose value contains the keyword.
+  // Scan fallback: any attribute whose value contains the keyword. Render
+  // the keyword through Value::ToString so embedded quotes stay literal.
   return engine_.ExecuteSql("select * from " + integration_db_ +
-                            "::" + interface_table +
-                            " T where contains(T.value, '" + keyword + "')");
+                            "::" + interface_table + " T where contains(T.value, " +
+                            Value::String(keyword).ToString() + ")");
 }
 
 }  // namespace dynview

@@ -836,7 +836,9 @@ Result<std::shared_ptr<const OptimizedPlan>> Optimizer::PlanCached(
   // cache layer never changes an error message.
   DV_ASSIGN_OR_RETURN(QueryFingerprint fp,
                       FingerprintSql(sql, FingerprintMode::kExact));
-  const std::string key = (allow_resources ? "r|" : "b|") + fp.Hex();
+  // Full normalized text, not the 64-bit hash: an FNV collision between
+  // distinct queries must miss rather than serve the other query's plan.
+  const std::string key = (allow_resources ? "r|" : "b|") + fp.normalized;
   const uint64_t version = catalog_->Snapshot()->version();
   std::shared_ptr<const OptimizedPlan> hit = plan_cache_.Lookup(key, version);
   if (hit != nullptr) {

@@ -188,8 +188,20 @@ std::string Value::ToString() const {
       std::snprintf(buf, sizeof(buf), "%g", as_double());
       return buf;
     }
-    case TypeKind::kString:
-      return "'" + as_string() + "'";
+    case TypeKind::kString: {
+      // Double embedded quotes ('' escaping) so the rendering round-trips
+      // through the lexer: 'A''B' must re-parse as the value A'B, and two
+      // distinct values must never render to the same SQL text.
+      std::string quoted;
+      quoted.reserve(as_string().size() + 2);
+      quoted.push_back('\'');
+      for (char c : as_string()) {
+        if (c == '\'') quoted.push_back('\'');
+        quoted.push_back(c);
+      }
+      quoted.push_back('\'');
+      return quoted;
+    }
     case TypeKind::kDate:
       return as_date().ToString();
   }

@@ -130,6 +130,11 @@ std::string Expr::ToString() const {
   switch (kind) {
     case ExprKind::kLiteral:
       if (param_index >= 0) return "?" + std::to_string(param_index + 1);
+      // A bare 1998-01-02 would re-parse as integer subtraction; the DATE
+      // prefix keeps literal renderings lossless through the lexer.
+      if (literal.kind() == TypeKind::kDate) {
+        return "DATE '" + literal.ToString() + "'";
+      }
       return literal.ToString();
     case ExprKind::kVarRef:
       return var_name;

@@ -79,11 +79,23 @@ TEST(AstPrinterTest, DateLiteralPrintsReparseably) {
   auto e = Parser::ParseSelect(
       "select a from t where a > DATE '1998-01-02'");
   ASSERT_TRUE(e.ok());
-  // Dates print as 1998-01-02; the printed form must reparse. (The printer
-  // emits the bare ISO form, which the lexer reads back as an identifier
-  // context... verify via full round trip.)
-  auto again = Parser::ParseSelect(e.value()->ToString());
-  ASSERT_TRUE(again.ok()) << e.value()->ToString();
+  // Dates print with the DATE prefix: a bare 1998-01-02 would reparse as
+  // integer subtraction (1998 - 1 - 2), silently changing semantics.
+  std::string printed = e.value()->ToString();
+  EXPECT_NE(printed.find("DATE '1998-01-02'"), std::string::npos) << printed;
+  auto again = Parser::ParseSelect(printed);
+  ASSERT_TRUE(again.ok()) << printed;
+  EXPECT_EQ(again.value()->where->right->literal.kind(), TypeKind::kDate);
+}
+
+TEST(AstPrinterTest, StringLiteralWithQuoteRoundTrips) {
+  auto e = Parser::ParseSelect("select a from t where a = 'A''B'");
+  ASSERT_TRUE(e.ok());
+  std::string printed = e.value()->ToString();
+  EXPECT_NE(printed.find("'A''B'"), std::string::npos) << printed;
+  auto again = Parser::ParseSelect(printed);
+  ASSERT_TRUE(again.ok()) << printed;
+  EXPECT_EQ(again.value()->where->right->literal.as_string(), "A'B");
 }
 
 class StatementRoundTrip : public ::testing::TestWithParam<const char*> {};

@@ -28,6 +28,7 @@
 #include "engine/query_engine.h"
 #include "integration/integration.h"
 #include "plan_cache/fingerprint.h"
+#include "sql/parser.h"
 #include "schemasql/view_materializer.h"
 #include "workload/stock_data.h"
 
@@ -475,6 +476,43 @@ TEST_F(PlanCacheTest, PreparedQueryBindsAndHitsCache) {
             other.value().table.ToString());
 }
 
+TEST_F(PlanCacheTest, QuotedLiteralsNeverShareAPlan) {
+  // 'A''B' and 'A''b' are distinct values (A'B vs A'b). An unescaped
+  // rendering would let the normalizer lowercase text "after" the embedded
+  // quote, collide the fingerprints, and serve query b query a's plan.
+  auto a = system_->AnswerGuarded(
+      "select C, P from I::stock T, T.company C, T.price P "
+      "where C = 'A''B' and P > 0",
+      Multiset());
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  auto b = system_->AnswerGuarded(
+      "select C, P from I::stock T, T.company C, T.price P "
+      "where C = 'A''b' and P > 0",
+      Multiset());
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_FALSE(b.value().plan_cached);
+  EXPECT_NE(b.value().plan_fingerprint, a.value().plan_fingerprint);
+}
+
+TEST_F(PlanCacheTest, PreparedStringParameterIsNeverInjected) {
+  auto prepared = system_->Prepare(
+      "select C, P from I::stock T, T.company C, T.price P where C = ?");
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  // A benign binding matches rows...
+  auto hit = system_->ExecutePrepared(*prepared.value(),
+                                      {Value::String("coA")}, Multiset());
+  ASSERT_TRUE(hit.ok()) << hit.status().ToString();
+  EXPECT_GT(hit.value().table.num_rows(), 0u);
+  // ...and a binding shaped like SQL is compared as the literal string it
+  // is, never re-parsed into an extra predicate (which would match every
+  // row). This exercises the cache-miss path, where the substituted
+  // statement round-trips through rendered SQL.
+  auto inj = system_->ExecutePrepared(
+      *prepared.value(), {Value::String("coA' or 'a' <> 'b")}, Multiset());
+  ASSERT_TRUE(inj.ok()) << inj.status().ToString();
+  EXPECT_EQ(inj.value().table.num_rows(), 0u);
+}
+
 TEST_F(PlanCacheTest, PreparedArityMismatchRejected) {
   auto prepared = system_->Prepare(
       "select C from I::stock T, T.company C, T.price P where P > ?");
@@ -604,6 +642,30 @@ TEST(FingerprintTest, NormalizationAndModes) {
   EXPECT_EQ(p1.value().literals[0].ToString(), "100");
   EXPECT_EQ(p2.value().literals[0].ToString(), "999");
   EXPECT_EQ(p1.value().Hex().size(), 16u);
+}
+
+TEST(FingerprintTest, EmbeddedQuotesStayDistinctAndRoundTrip) {
+  // 'A''B' parses to the value A'B; the AST rendering must escape it back
+  // so the normalizer's quote tracking stays in sync with the lexer's.
+  auto a = FingerprintSql(
+      "select C from s1::stock T, T.company C where C = 'A''B'",
+      FingerprintMode::kExact);
+  auto b = FingerprintSql(
+      "select C from s1::stock T, T.company C where C = 'A''b'",
+      FingerprintMode::kExact);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a.value().normalized, b.value().normalized);
+  EXPECT_NE(a.value().hash, b.value().hash);
+
+  // The rendered AST re-parses to the identical fingerprint: rendering is a
+  // lossless round-trip even with embedded quotes.
+  auto stmt = Parser::ParseSelect(
+      "select C from s1::stock T, T.company C where C = 'A''B'");
+  ASSERT_TRUE(stmt.ok());
+  auto again =
+      FingerprintSql(stmt.value()->ToString(), FingerprintMode::kExact);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again.value().normalized, a.value().normalized);
 }
 
 }  // namespace

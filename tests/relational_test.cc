@@ -75,6 +75,12 @@ TEST(ValueTest, ToStringForms) {
   EXPECT_EQ(Value::String("x").ToString(), "'x'");
   EXPECT_EQ(Value::String("x").ToLabel(), "x");
   EXPECT_EQ(Value::Bool(false).ToString(), "FALSE");
+  // Embedded quotes are doubled so the rendering re-parses as the same
+  // value; ToLabel stays raw (it names schema objects, not SQL text).
+  EXPECT_EQ(Value::String("A'B").ToString(), "'A''B'");
+  EXPECT_EQ(Value::String("'").ToString(), "''''");
+  EXPECT_EQ(Value::String("").ToString(), "''");
+  EXPECT_EQ(Value::String("A'B").ToLabel(), "A'B");
 }
 
 TEST(SchemaTest, LookupIsCaseInsensitive) {
