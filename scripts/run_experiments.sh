@@ -177,6 +177,38 @@ EOF
 ctest --test-dir build --output-on-failure -L compiled 2>&1 |
   tee results/tests_compiled.txt
 
+# Durability: snapshot encode/write/load throughput, per-commit WAL append
+# cost (fsync on/off), and recovery time vs log length. Every recovery
+# benchmark re-checks the crash-consistency oracle (exact head version +
+# byte-identical state) and reports it as recovery_ok — gate on it.
+build/bench/bench_durability \
+  --benchmark_out=results/BENCH_durability.json \
+  --benchmark_out_format=json >/dev/null
+python3 - <<'EOF'
+import json
+with open("results/BENCH_durability.json") as f:
+    doc = json.load(f)
+checked = 0
+for b in doc["benchmarks"]:
+    if "recovery_ok" not in b:
+        continue
+    checked += 1
+    if b["recovery_ok"] != 1.0:
+        raise SystemExit(
+            f"FAIL: {b['name']}: recovery_ok={b['recovery_ok']} — recovered "
+            "state diverged from the pre-crash catalog")
+if checked == 0:
+    raise SystemExit("FAIL: no recovery benchmarks reported recovery_ok")
+print(f"durability: recovery oracle held in {checked} benchmark(s)")
+EOF
+
+# The durability suite proper (ctest -L durability): snapshot round-trip
+# byte-identity, WAL replay to the exact head version, torn-tail
+# truncation, the wal.append / wal.fsync / snapshot.write / snapshot.load
+# failpoints, and the crash-recovery chaos oracle at 1 and 8 threads.
+ctest --test-dir build --output-on-failure -L durability 2>&1 |
+  tee results/tests_durability.txt
+
 # Analyzer cost on the Fig. 6 catalog: every per-view analysis must stay
 # under 5 ms — definition-time linting is invisible next to materialization.
 build/bench/bench_analyze \
@@ -226,6 +258,11 @@ DYNVIEW_FAILPOINTS="catalog.resolve=latency(1)" \
 # share immutable plans and compiled programs across threads.
 ctest --test-dir build-tsan-chaos --output-on-failure -L compiled 2>&1 |
   tee results/tests_compiled_tsan.txt
+# And so must durability: WAL appends run under the catalog writer mutex
+# while checkpoints pause the writer — the crash-recovery oracle at 8
+# mutator threads has to hold race-free too.
+ctest --test-dir build-tsan-chaos --output-on-failure -L durability 2>&1 |
+  tee results/tests_durability_tsan.txt
 
 # Fault-injected pass: run the engine/integration-facing suites with a
 # latency failpoint armed on every catalog resolution, proving injection is

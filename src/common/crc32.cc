@@ -1,0 +1,58 @@
+#include "common/crc32.h"
+
+#include <mutex>
+
+namespace dynview {
+
+namespace {
+
+constexpr uint32_t kPoly = 0xEDB88320u;  // Reflected IEEE polynomial.
+
+struct Tables {
+  uint32_t t[4][256];
+};
+
+const Tables& GetTables() {
+  static Tables tables;
+  static std::once_flag once;
+  std::call_once(once, [] {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      }
+      tables.t[0][i] = crc;
+    }
+    // Slice tables: t[k][b] is the CRC of byte b followed by k zero bytes,
+    // letting 4 bytes fold in per iteration.
+    for (uint32_t i = 0; i < 256; ++i) {
+      tables.t[1][i] = (tables.t[0][i] >> 8) ^ tables.t[0][tables.t[0][i] & 0xFFu];
+      tables.t[2][i] = (tables.t[1][i] >> 8) ^ tables.t[0][tables.t[1][i] & 0xFFu];
+      tables.t[3][i] = (tables.t[2][i] >> 8) ^ tables.t[0][tables.t[2][i] & 0xFFu];
+    }
+  });
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t len, uint32_t seed) {
+  const Tables& tb = GetTables();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  while (len >= 4) {
+    crc ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = tb.t[3][crc & 0xFFu] ^ tb.t[2][(crc >> 8) & 0xFFu] ^
+          tb.t[1][(crc >> 16) & 0xFFu] ^ tb.t[0][crc >> 24];
+    p += 4;
+    len -= 4;
+  }
+  while (len-- > 0) {
+    crc = (crc >> 8) ^ tb.t[0][(crc ^ *p++) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace dynview

@@ -65,6 +65,10 @@ bool ParseMode(const std::string& mode_str, FailSpec* spec) {
     spec->mode = FailMode::kLatency;
     if (arg.empty()) return false;
     spec->latency_ms = static_cast<int>(std::strtol(arg.c_str(), nullptr, 10));
+  } else if (mode == "torn-write") {
+    spec->mode = FailMode::kTornWrite;
+    if (arg.empty()) return false;
+    spec->keep_bytes = std::strtoull(arg.c_str(), nullptr, 10);
   } else {
     return false;
   }
@@ -140,6 +144,11 @@ Status FailPoints::Check(const std::string& name, const std::string& detail) {
       case FailMode::kLatency:
         sleep_ms = spec.latency_ms;
         break;
+      case FailMode::kTornWrite:
+        // Only CheckTornWrite consumes torn-write arms: an ordinary check
+        // has no partial record to leave behind, so it passes untouched.
+        --point.hits;
+        break;
     }
     if (fail) {
       r.trips.fetch_add(1, std::memory_order_relaxed);
@@ -154,6 +163,28 @@ Status FailPoints::Check(const std::string& name, const std::string& detail) {
     std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
   }
   return injected;
+}
+
+int64_t FailPoints::CheckTornWrite(const std::string& name,
+                                   const std::string& detail) {
+  Registry& r = GetRegistry();
+  ParseEnvOnce(r);
+  if (r.armed_count.load(std::memory_order_relaxed) == 0) return -1;
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.points.find(name);
+  if (it == r.points.end()) return -1;
+  const FailSpec& spec = it->second.spec;
+  if (spec.mode != FailMode::kTornWrite) return -1;
+  if (!spec.match.empty() && detail.find(spec.match) == std::string::npos) {
+    return -1;
+  }
+  int64_t keep = static_cast<int64_t>(spec.keep_bytes);
+  // One simulated crash per arm: the point disarms itself, so recovery code
+  // running after the "crash" never re-tears its own repair writes.
+  r.points.erase(it);
+  r.armed_count.fetch_sub(1, std::memory_order_relaxed);
+  r.trips.fetch_add(1, std::memory_order_relaxed);
+  return keep;
 }
 
 Status FailPoints::ArmFromString(const std::string& spec_string) {

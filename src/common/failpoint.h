@@ -13,6 +13,7 @@ enum class FailMode {
   kErrorAlways,  // fail every matching evaluation
   kFailAfterN,   // pass the first N matching evaluations, fail afterwards
   kLatency,      // sleep `latency_ms` then pass (slow-source injection)
+  kTornWrite,    // storage points only: persist a truncated record, then fail
 };
 
 /// Configuration for one armed fail point.
@@ -32,6 +33,10 @@ struct FailSpec {
 
   /// kLatency: injected delay per matching evaluation.
   int latency_ms = 0;
+
+  /// kTornWrite: prefix bytes of the framed record the simulated crash
+  /// leaves on disk (the torn tail recovery must truncate).
+  uint64_t keep_bytes = 0;
 };
 
 /// Process-wide registry of deterministic fault-injection points, wired into
@@ -47,7 +52,8 @@ struct FailSpec {
 ///                       catalog.resolve=fail-after(3)"
 ///
 /// Grammar per entry: `name=mode[(arg)][@match]` with modes error-once,
-/// error-always, fail-after(N), latency(MS). Entries separated by ';'.
+/// error-always, fail-after(N), latency(MS), torn-write(KEEP_BYTES).
+/// Entries separated by ';'.
 ///
 /// All methods are thread-safe (the registry is mutex-guarded; tests run
 /// under TSan with points armed).
@@ -64,7 +70,17 @@ class FailPoints {
 
   /// Evaluates point `name` against `detail` (e.g. "db::rel" for source
   /// access). Returns the injected error, or OK after any injected latency.
+  /// A point armed in torn-write mode passes here — only the storage layer's
+  /// CheckTornWrite consumes it (ordinary checks can't half-write anything).
   static Status Check(const std::string& name, const std::string& detail = "");
+
+  /// Storage-only evaluation of the torn-write mode: when `name` is armed
+  /// as torn-write and `detail` matches, fires once (the point disarms
+  /// itself — one simulated crash per arm) and returns the number of framed
+  /// bytes the caller must persist before failing. Returns -1 when the point
+  /// is not armed in torn-write mode or the detail does not match.
+  static int64_t CheckTornWrite(const std::string& name,
+                                const std::string& detail = "");
 
   /// Parses a DYNVIEW_FAILPOINTS-style spec string and arms each entry.
   /// Returns InvalidArgument naming the first malformed entry.

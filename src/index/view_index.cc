@@ -47,6 +47,34 @@ Result<ViewIndex> ViewIndex::Build(const CreateIndexStmt& stmt,
   return index;
 }
 
+Result<ViewIndex> ViewIndex::Restore(const std::string& name,
+                                     IndexMethod method,
+                                     const std::string& definition,
+                                     uint64_t build_version, Table contents) {
+  if (contents.schema().num_columns() == 0 ||
+      contents.schema().columns()[0].name != "xx_key") {
+    return Status::InvalidArgument(
+        "restored index contents must carry the key as column 0 (xx_key)");
+  }
+  ViewIndex index;
+  index.name_ = name;
+  index.method_ = method;
+  index.definition_ = definition;
+  index.build_version_ = build_version;
+  index.contents_ = std::move(contents);
+  if (method == IndexMethod::kBtree) {
+    DV_ASSIGN_OR_RETURN(BTreeIndex bt,
+                        BTreeIndex::Build(index.contents_, "xx_key"));
+    index.btree_ = std::make_unique<BTreeIndex>(std::move(bt));
+  } else {
+    DV_ASSIGN_OR_RETURN(
+        InvertedIndex inv,
+        InvertedIndex::BuildKeyed(index.contents_, "xx_key", "xx_key"));
+    index.inverted_ = std::make_unique<InvertedIndex>(std::move(inv));
+  }
+  return index;
+}
+
 Table ViewIndex::RowsFor(const std::vector<int64_t>& row_ids) const {
   // Payload schema: contents without the key column.
   std::vector<Column> cols(contents_.schema().columns().begin() + 1,

@@ -37,6 +37,15 @@ class ViewIndex {
   static Result<ViewIndex> BuildSql(const std::string& create_index_sql,
                                     QueryEngine* engine);
 
+  /// Reconstructs an index from persisted state (storage recovery): the
+  /// materialized `contents` (key prepended as column 0, as Build left
+  /// them) plus the recorded `build_version`. The physical structure is
+  /// rebuilt from the rows — only the logical payload is stored on disk.
+  static Result<ViewIndex> Restore(const std::string& name,
+                                   IndexMethod method,
+                                   const std::string& definition,
+                                   uint64_t build_version, Table contents);
+
   const std::string& name() const { return name_; }
   IndexMethod method() const { return method_; }
 

@@ -1,10 +1,13 @@
 #include "integration/integration.h"
 
+#include <cstdlib>
+
 #include "common/failpoint.h"
 #include "common/str_util.h"
 #include "core/aggregate_rewrite.h"
 #include "schemasql/view_materializer.h"
 #include "sql/parser.h"
+#include "storage/codec.h"
 
 namespace dynview {
 
@@ -52,11 +55,14 @@ Result<DefinedView> IntegrationSystem::DefineView(
                                    RenderDiagnosticsText(diags));
   }
   Result<const ViewDefinition*> registered =
-      options.materialize ? RegisterAndMaterializeSource(create_view_sql)
-                          : RegisterSource(create_view_sql);
+      options.materialize ? RegisterAndMaterializeInternal(create_view_sql)
+                          : RegisterSourceInternal(create_view_sql);
   DV_RETURN_IF_ERROR(registered.status());
   const ViewDefinition* view = registered.value();
   if (!diags.empty()) source_diags_[view] = diags;
+  // One durable record per definition, carrying the diagnostics set above
+  // so they restore byte-exact.
+  DV_RETURN_IF_ERROR(AppendSourceRecord(view));
   return DefinedView{view, std::move(diags)};
 }
 
@@ -79,13 +85,21 @@ std::vector<Diagnostic> IntegrationSystem::LintSources() const {
 
 Result<const ViewDefinition*> IntegrationSystem::RegisterAndMaterializeSource(
     const std::string& create_view_sql) {
+  DV_ASSIGN_OR_RETURN(const ViewDefinition* view,
+                      RegisterAndMaterializeInternal(create_view_sql));
+  DV_RETURN_IF_ERROR(AppendSourceRecord(view));
+  return view;
+}
+
+Result<const ViewDefinition*> IntegrationSystem::RegisterAndMaterializeInternal(
+    const std::string& create_view_sql) {
   uint64_t commit_version = 0;
   DV_RETURN_IF_ERROR(ViewMaterializer::MaterializeSql(
                          create_view_sql, &engine_, catalog_, integration_db_,
                          /*qc=*/nullptr, &commit_version)
                          .status());
   DV_ASSIGN_OR_RETURN(const ViewDefinition* view,
-                      RegisterSource(create_view_sql));
+                      RegisterSourceInternal(create_view_sql));
   // The materialization is derived state: fence it at the version its
   // install committed so queries pinned to a later snapshot can detect
   // whether I has moved underneath it (ViewDefinition::IsStaleAgainst).
@@ -96,6 +110,14 @@ Result<const ViewDefinition*> IntegrationSystem::RegisterAndMaterializeSource(
 }
 
 Result<const ViewDefinition*> IntegrationSystem::RegisterSource(
+    const std::string& create_view_sql) {
+  DV_ASSIGN_OR_RETURN(const ViewDefinition* view,
+                      RegisterSourceInternal(create_view_sql));
+  DV_RETURN_IF_ERROR(AppendSourceRecord(view));
+  return view;
+}
+
+Result<const ViewDefinition*> IntegrationSystem::RegisterSourceInternal(
     const std::string& create_view_sql) {
   DV_ASSIGN_OR_RETURN(
       ViewDefinition view,
@@ -116,12 +138,19 @@ Result<const ViewIndex*> IntegrationSystem::RegisterIndex(
                       Parser::ParseCreateIndex(create_index_sql));
   DV_ASSIGN_OR_RETURN(ViewIndex index, ViewIndex::Build(*stmt, &engine_));
   auto holder = std::make_shared<ViewIndex>(std::move(index));
+  const ViewIndex* installed = InstallIndex(holder, *stmt);
+  DV_RETURN_IF_ERROR(AppendIndexRecord(*installed));
+  return installed;
+}
+
+const ViewIndex* IntegrationSystem::InstallIndex(
+    std::shared_ptr<ViewIndex> holder, const CreateIndexStmt& stmt) {
   indexes_.push_back(holder);
   plan_cache_.Clear();
   // Derive optimizer registration metadata when the defining query has the
   // restricted single-table shape `... by given T.key select T.a1,... from
   // [db::]rel T [...]`; richer indexes remain probe-able directly.
-  const SelectStmt& body = *stmt->query;
+  const SelectStmt& body = *stmt.query;
   size_t tuple_count = 0;
   const FromItem* scan = nullptr;
   for (const FromItem& f : body.from_items) {
@@ -131,8 +160,8 @@ Result<const ViewIndex*> IntegrationSystem::RegisterIndex(
     }
   }
   if (tuple_count == 1 && scan != nullptr && !scan->rel.is_variable &&
-      !scan->db.is_variable && stmt->given.size() == 1 &&
-      stmt->given[0]->kind == ExprKind::kColumnRef) {
+      !scan->db.is_variable && stmt.given.size() == 1 &&
+      stmt.given[0]->kind == ExprKind::kColumnRef) {
     std::vector<std::string> payload;
     bool simple = true;
     for (const SelectItem& item : body.select_list) {
@@ -147,10 +176,240 @@ Result<const ViewIndex*> IntegrationSystem::RegisterIndex(
       std::string db = scan->db.empty() ? integration_db_ : scan->db.text;
       optimizer_.RegisterIndex(holder,
                                TableRef{ToLower(db), ToLower(scan->rel.text)},
-                               stmt->given[0]->column.text, payload);
+                               stmt.given[0]->column.text, payload);
     }
   }
   return holder.get();
+}
+
+namespace {
+constexpr char kMaintainerTagPrefix[] = "maintainer.delta#";
+}  // namespace
+
+Status IntegrationSystem::OpenDurable(const std::string& dir,
+                                      const DurabilityOptions& options) {
+  if (durable_ != nullptr) {
+    return Status::InvalidArgument("durable storage is already open (" +
+                                   durable_->dir() + ")");
+  }
+  DurableHooks hooks;
+  hooks.blob_replay = [this](const std::string& kind,
+                             const std::string& payload) -> Status {
+    if (kind == "source") return RestoreSourceRecord(payload);
+    if (kind == "index") return RestoreIndexRecord(payload);
+    return Status::ParseError("unknown durable registration kind '" + kind +
+                              "'");
+  };
+  hooks.commit_replay = [this](uint64_t version, const std::string& tag) {
+    // Maintainer delta commits carry the source index in their tag; the
+    // replayed commit version re-advances that source's fence, restoring
+    // the exact staleness state (DV007) the crash interrupted.
+    if (tag.rfind(kMaintainerTagPrefix, 0) != 0) return;
+    char* end = nullptr;
+    unsigned long long idx =
+        std::strtoull(tag.c_str() + sizeof(kMaintainerTagPrefix) - 1, &end,
+                      10);
+    if (end == nullptr || *end != '\0') return;
+    if (idx < sources_.size()) {
+      sources_[idx]->AdvanceMaterializedVersion(version);
+    }
+  };
+  hooks.blob_provider = [this]() { return RegistrationExtras(); };
+  DV_ASSIGN_OR_RETURN(durable_,
+                      DurableCatalog::Open(catalog_, dir, options,
+                                           std::move(hooks),
+                                           &recovery_report_));
+  {
+    std::lock_guard<std::mutex> lock(recovery_warn_mu_);
+    pending_recovery_warnings_.clear();
+    for (const std::string& w : recovery_report_.warnings) {
+      pending_recovery_warnings_.push_back(
+          SourceWarning{"recovery", Status::Unavailable(w)});
+    }
+  }
+  // Recovery repopulated the source/index universe outside the normal
+  // registration paths.
+  ClearPlanCache();
+  return Status::OK();
+}
+
+Status IntegrationSystem::Checkpoint() {
+  if (durable_ == nullptr) {
+    return Status::InvalidArgument("durable storage is not open");
+  }
+  return durable_->Checkpoint();
+}
+
+Status IntegrationSystem::CloseDurable() {
+  if (durable_ == nullptr) {
+    return Status::InvalidArgument("durable storage is not open");
+  }
+  Status st = durable_->Close();
+  durable_.reset();
+  return st;
+}
+
+Result<ViewMaintainer> IntegrationSystem::CreateMaintainer(
+    size_t source_index, const std::string& default_target_db) {
+  if (source_index >= sources_.size()) {
+    return Status::InvalidArgument(
+        "source index " + std::to_string(source_index) + " out of range (" +
+        std::to_string(sources_.size()) + " registered)");
+  }
+  ViewDefinition* source = sources_[source_index].get();
+  DV_ASSIGN_OR_RETURN(ViewMaintainer maintainer,
+                      ViewMaintainer::Create(source->stmt(), catalog_,
+                                             integration_db_,
+                                             default_target_db));
+  maintainer.BindFence(source);
+  maintainer.set_commit_tag(kMaintainerTagPrefix +
+                            std::to_string(source_index));
+  return maintainer;
+}
+
+std::string IntegrationSystem::EncodeSourceRecord(
+    const ViewDefinition& view) const {
+  ByteWriter w;
+  w.Str(view.stmt().ToString());
+  w.U8(view.fenced() ? 1 : 0);
+  w.U64(view.materialized_version());
+  auto it = source_diags_.find(&view);
+  const std::vector<Diagnostic>* diags =
+      it != source_diags_.end() ? &it->second : nullptr;
+  w.U32(diags != nullptr ? static_cast<uint32_t>(diags->size()) : 0);
+  if (diags != nullptr) {
+    for (const Diagnostic& d : *diags) {
+      w.Str(d.code);
+      w.U8(static_cast<uint8_t>(d.severity));
+      w.U64(d.span.offset);
+      w.U64(d.span.length);
+      w.Str(d.message);
+      w.Str(d.fix_hint);
+      w.Str(d.anchor);
+      w.I32(d.statement);
+    }
+  }
+  return w.Take();
+}
+
+Status IntegrationSystem::RestoreSourceRecord(const std::string& payload) {
+  ByteReader r(payload);
+  std::string sql;
+  uint8_t fenced = 0;
+  uint64_t materialized_version = 0;
+  uint32_t ndiags = 0;
+  DV_RETURN_IF_ERROR(r.Str(&sql));
+  DV_RETURN_IF_ERROR(r.U8(&fenced));
+  DV_RETURN_IF_ERROR(r.U64(&materialized_version));
+  DV_RETURN_IF_ERROR(r.U32(&ndiags));
+  std::vector<Diagnostic> diags;
+  diags.reserve(ndiags);
+  for (uint32_t i = 0; i < ndiags; ++i) {
+    Diagnostic d;
+    uint8_t severity = 0;
+    uint64_t offset = 0;
+    uint64_t length = 0;
+    DV_RETURN_IF_ERROR(r.Str(&d.code));
+    DV_RETURN_IF_ERROR(r.U8(&severity));
+    DV_RETURN_IF_ERROR(r.U64(&offset));
+    DV_RETURN_IF_ERROR(r.U64(&length));
+    DV_RETURN_IF_ERROR(r.Str(&d.message));
+    DV_RETURN_IF_ERROR(r.Str(&d.fix_hint));
+    DV_RETURN_IF_ERROR(r.Str(&d.anchor));
+    DV_RETURN_IF_ERROR(r.I32(&d.statement));
+    if (severity > static_cast<uint8_t>(Severity::kError)) {
+      return Status::ParseError("unknown diagnostic severity tag " +
+                                std::to_string(severity));
+    }
+    d.severity = static_cast<Severity>(severity);
+    d.span.offset = static_cast<size_t>(offset);
+    d.span.length = static_cast<size_t>(length);
+    diags.push_back(std::move(d));
+  }
+  // Re-register against the recovered catalog (the record replays after
+  // the commits that materialized the view, so binding sees at least the
+  // state registration originally saw), then restore the fence exactly.
+  DV_ASSIGN_OR_RETURN(const ViewDefinition* view,
+                      RegisterSourceInternal(sql));
+  ViewDefinition* restored = sources_.back().get();
+  if (fenced != 0) {
+    restored->AdvanceMaterializedVersion(materialized_version);
+    restored->set_fenced(true);
+  }
+  if (!diags.empty()) source_diags_[view] = std::move(diags);
+  return Status::OK();
+}
+
+std::string IntegrationSystem::EncodeIndexRecord(
+    const ViewIndex& index) const {
+  ByteWriter w;
+  w.Str(index.name());
+  w.U8(static_cast<uint8_t>(index.method()));
+  w.U64(index.build_version());
+  w.Str(index.definition());
+  EncodeStandaloneTable(index.contents(), &w);
+  return w.Take();
+}
+
+Status IntegrationSystem::RestoreIndexRecord(const std::string& payload) {
+  ByteReader r(payload);
+  std::string name;
+  uint8_t method = 0;
+  uint64_t build_version = 0;
+  std::string definition;
+  DV_RETURN_IF_ERROR(r.Str(&name));
+  DV_RETURN_IF_ERROR(r.U8(&method));
+  DV_RETURN_IF_ERROR(r.U64(&build_version));
+  DV_RETURN_IF_ERROR(r.Str(&definition));
+  DV_ASSIGN_OR_RETURN(Table contents, DecodeStandaloneTable(&r));
+  if (method > static_cast<uint8_t>(IndexMethod::kInverted)) {
+    return Status::ParseError("unknown index method tag " +
+                              std::to_string(method));
+  }
+  // The definition text is the statement's own rendering, so it re-parses;
+  // the physical structure rebuilds from the persisted contents, not from
+  // re-running the defining query (whose inputs may have moved since).
+  DV_ASSIGN_OR_RETURN(std::unique_ptr<CreateIndexStmt> stmt,
+                      Parser::ParseCreateIndex(definition));
+  DV_ASSIGN_OR_RETURN(
+      ViewIndex index,
+      ViewIndex::Restore(name, static_cast<IndexMethod>(method), definition,
+                         build_version, std::move(contents)));
+  InstallIndex(std::make_shared<ViewIndex>(std::move(index)), *stmt);
+  return Status::OK();
+}
+
+std::vector<std::pair<std::string, std::string>>
+IntegrationSystem::RegistrationExtras() const {
+  std::vector<std::pair<std::string, std::string>> extras;
+  extras.reserve(sources_.size() + indexes_.size());
+  for (const auto& source : sources_) {
+    extras.emplace_back("source", EncodeSourceRecord(*source));
+  }
+  for (const auto& index : indexes_) {
+    extras.emplace_back("index", EncodeIndexRecord(*index));
+  }
+  return extras;
+}
+
+Status IntegrationSystem::AppendSourceRecord(const ViewDefinition* view) {
+  if (durable_ == nullptr) return Status::OK();
+  return durable_->AppendBlob("source", EncodeSourceRecord(*view));
+}
+
+Status IntegrationSystem::AppendIndexRecord(const ViewIndex& index) {
+  if (durable_ == nullptr) return Status::OK();
+  return durable_->AppendBlob("index", EncodeIndexRecord(index));
+}
+
+void IntegrationSystem::DrainRecoveryWarnings(
+    std::vector<SourceWarning>* out) {
+  std::lock_guard<std::mutex> lock(recovery_warn_mu_);
+  if (pending_recovery_warnings_.empty()) return;
+  out->insert(out->begin(),
+              std::make_move_iterator(pending_recovery_warnings_.begin()),
+              std::make_move_iterator(pending_recovery_warnings_.end()));
+  pending_recovery_warnings_.clear();
 }
 
 Result<TranslationResult> IntegrationSystem::Rewrite(const std::string& sql,
@@ -345,6 +604,9 @@ Result<AnswerResult> IntegrationSystem::AnswerUncached(
     }
   }
   for (SourceWarning& w : qc->warnings()) warnings.push_back(std::move(w));
+  // Recovery warnings (torn WAL tail etc.) lead the first post-restart
+  // answer, then never repeat.
+  DrainRecoveryWarnings(&warnings);
   // Same (source, code, detail) emitted once, with an occurrence count —
   // grounding fan-out width does not change warning output.
   DedupSourceWarnings(&warnings);
@@ -504,6 +766,7 @@ Result<AnswerResult> IntegrationSystem::AnswerWithCache(
     }
   }
   for (SourceWarning& w : qc->warnings()) warnings.push_back(std::move(w));
+  DrainRecoveryWarnings(&warnings);
   DedupSourceWarnings(&warnings);
   AnswerResult result{std::move(answered).value(), std::move(warnings),
                       std::move(observer), snap->version(), std::move(snap)};

@@ -22,6 +22,8 @@
 #include "plan_cache/fingerprint.h"
 #include "plan_cache/plan_cache.h"
 #include "relational/catalog.h"
+#include "schemasql/view_maintainer.h"
+#include "storage/durable_catalog.h"
 
 namespace dynview {
 
@@ -168,6 +170,43 @@ class IntegrationSystem {
   /// Registers a view-described index built against I.
   Result<const ViewIndex*> RegisterIndex(const std::string& create_index_sql);
 
+  // --- Durability (storage/durable_catalog.h) ----------------------------
+
+  /// Binds this system to `dir`: recovers catalog, sources, indexes and
+  /// fences from the newest valid snapshot + WAL replay (restoring the
+  /// exact pre-crash head version, so stale fencing and DV007 hold across
+  /// restarts), then persists every subsequent catalog commit and
+  /// registration. Two intended shapes:
+  ///   * fresh system + existing dir  — the restart/recovery path;
+  ///   * populated system + fresh dir — "start persisting now" (current
+  ///     state is captured by the initial checkpoint).
+  /// Recovery warnings (torn WAL tail, skipped snapshot) surface once on
+  /// the next AnswerGuarded result and stay readable via recovery_report().
+  Status OpenDurable(const std::string& dir,
+                     const DurabilityOptions& options = {});
+
+  /// Writes a snapshot (catalog + registrations) and truncates the WAL.
+  Status Checkpoint();
+
+  /// Final checkpoint + detach. The report survives for inspection.
+  Status CloseDurable();
+
+  bool durable() const { return durable_ != nullptr; }
+  const RecoveryReport& recovery_report() const { return recovery_report_; }
+  /// storage.* counters of the open durable attachment (null when closed).
+  const MetricsRegistry* storage_metrics() const {
+    return durable_ != nullptr ? &durable_->metrics() : nullptr;
+  }
+
+  /// An incremental maintainer for registered source `source_index`, with
+  /// the fence bound and the commit tag set to
+  /// "maintainer.delta#<source_index>" — the tag the WAL persists, so
+  /// recovery re-advances THIS source's fence to the replayed commit
+  /// version. `default_target_db` routes materialization rows of views
+  /// without an explicit target database (usually the materialization db).
+  Result<ViewMaintainer> CreateMaintainer(size_t source_index,
+                                          const std::string& default_target_db);
+
   /// Answers `sql` (a first-order query on I) by rewriting it onto a usable
   /// source (Alg. 5.1) and executing the rewriting. Tries sources in
   /// registration order; `multiset` demands a bag-correct rewriting
@@ -245,6 +284,10 @@ class IntegrationSystem {
     return sources_;
   }
 
+  const std::vector<std::shared_ptr<ViewIndex>>& indexes() const {
+    return indexes_;
+  }
+
   QueryEngine* engine() { return &engine_; }
   Optimizer* optimizer() { return &optimizer_; }
 
@@ -290,6 +333,30 @@ class IntegrationSystem {
                                       const AnswerOptions& options,
                                       QueryContext* ctx);
 
+  /// Registration cores without the durability echo (the restore path uses
+  /// them so replaying a WAL never re-appends to it).
+  Result<const ViewDefinition*> RegisterSourceInternal(
+      const std::string& create_view_sql);
+  Result<const ViewDefinition*> RegisterAndMaterializeInternal(
+      const std::string& create_view_sql);
+  /// Shared index installation: indexes_ push, plan-cache clear, optimizer
+  /// metadata derivation from the (parsed) defining statement.
+  const ViewIndex* InstallIndex(std::shared_ptr<ViewIndex> holder,
+                                const CreateIndexStmt& stmt);
+
+  /// Durably logs a registration ("source"/"index" WAL blob). No-ops when
+  /// durability is closed; called by the public registration paths only.
+  Status AppendSourceRecord(const ViewDefinition* view);
+  Status AppendIndexRecord(const ViewIndex& index);
+  std::string EncodeSourceRecord(const ViewDefinition& view) const;
+  std::string EncodeIndexRecord(const ViewIndex& index) const;
+  Status RestoreSourceRecord(const std::string& payload);
+  Status RestoreIndexRecord(const std::string& payload);
+  /// Everything blob-shaped a checkpoint must persist (registration order).
+  std::vector<std::pair<std::string, std::string>> RegistrationExtras() const;
+  /// Moves pending recovery warnings (drained once) to the front of `out`.
+  void DrainRecoveryWarnings(std::vector<SourceWarning>* out);
+
   Catalog* catalog_;
   std::string integration_db_;
   QueryEngine engine_;
@@ -316,6 +383,13 @@ class IntegrationSystem {
   mutable std::mutex memo_mu_;
   mutable std::unordered_map<std::string, std::pair<std::string, std::string>>
       raw_memo_;
+
+  /// Declared last: destroying the attachment runs a final checkpoint whose
+  /// blob_provider still reads sources_/indexes_ above.
+  RecoveryReport recovery_report_;
+  std::mutex recovery_warn_mu_;
+  std::vector<SourceWarning> pending_recovery_warnings_;
+  std::unique_ptr<DurableCatalog> durable_;
 };
 
 }  // namespace dynview

@@ -55,6 +55,15 @@ inline constexpr char kPlanCacheInvalidations[] =
     "plan_cache.invalidations";                              // [invariant]
 inline constexpr char kExprsFlattened[] =
     "compile.exprs_flattened";                               // [invariant]
+// Durable catalog storage (WAL + snapshot checkpoints). Owned by the
+// DurableCatalog's registry, not the per-query one: these count storage
+// events across the life of one durable attachment.
+inline constexpr char kStorageWalAppends[] = "storage.wal_appends";
+inline constexpr char kStorageWalBytes[] = "storage.wal_bytes";
+inline constexpr char kStorageReplayedRecords[] =
+    "storage.replayed_records";
+inline constexpr char kStorageTornTail[] = "storage.torn_tail";
+inline constexpr char kStorageCheckpoints[] = "storage.checkpoints";
 // Static analysis (DefineView / dynview-lint) tallies.
 inline constexpr char kAnalyzeChecksRun[] = "analyze.checks_run";
 inline constexpr char kAnalyzeDiagnostics[] = "analyze.diagnostics";

@@ -213,6 +213,11 @@ Catalog::Catalog() {
 
 Result<uint64_t> Catalog::Mutate(
     const std::function<Status(CatalogTxn&)>& fn) {
+  return Mutate(fn, "txn");
+}
+
+Result<uint64_t> Catalog::Mutate(const std::function<Status(CatalogTxn&)>& fn,
+                                 const std::string& tag) {
   std::lock_guard<std::mutex> lock(writer_mu_);
   std::shared_ptr<const CatalogSnapshot> base = Snapshot();
   CatalogTxn txn(*base);
@@ -229,8 +234,72 @@ Result<uint64_t> Catalog::Mutate(
   // Assemble the new version before taking the head lock: readers are only
   // ever excluded for the duration of one pointer swap.
   std::shared_ptr<const CatalogSnapshot> built = txn.Build(next, this);
+  if (sink_ != nullptr) {
+    // Durability before visibility: the sink (WAL) must acknowledge the
+    // commit — append + fsync — before the head pointer swaps. Its error
+    // aborts the commit; readers keep the old version.
+    std::vector<std::string> touched(txn.touched_.begin(),
+                                     txn.touched_.end());
+    DV_RETURN_IF_ERROR(sink_->OnCommit(*built, touched, tag));
+  }
   Publish(std::move(built));
   return next;
+}
+
+void Catalog::SetCommitSink(CatalogCommitSink* sink) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  sink_ = sink;
+}
+
+Status Catalog::WithWriterPaused(
+    const std::function<Status(const CatalogSnapshot&)>& fn) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  std::shared_ptr<const CatalogSnapshot> snap = Snapshot();
+  return fn(*snap);
+}
+
+Status Catalog::InstallRecoveredSnapshot(
+    uint64_t version, std::vector<RecoveredDatabase> databases) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  std::shared_ptr<const CatalogSnapshot> cur = Snapshot();
+  if (cur->version() != 0 || cur->num_databases() != 0) {
+    return Status::InvalidArgument(
+        "recovery requires an untouched catalog (version 0, no databases)");
+  }
+  auto snap = std::make_shared<CatalogSnapshot>();
+  for (RecoveredDatabase& rd : databases) {
+    std::string key = ToLower(rd.name);
+    snap->entries_[key] = CatalogSnapshot::Entry{
+        rd.name, std::make_shared<Database>(std::move(rd.db)), rd.version};
+  }
+  snap->version_ = version;
+  snap->origin_ = this;
+  Publish(std::move(snap));
+  return Status::OK();
+}
+
+Status Catalog::ApplyRecoveredCommit(uint64_t version,
+                                     std::vector<RecoveredDatabase> puts,
+                                     const std::vector<std::string>& drops) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  std::shared_ptr<const CatalogSnapshot> base = Snapshot();
+  if (version <= base->version()) {
+    return Status::InvalidArgument(
+        "replayed commit version " + std::to_string(version) +
+        " is not newer than head " + std::to_string(base->version()));
+  }
+  auto snap = std::make_shared<CatalogSnapshot>();
+  snap->entries_ = base->entries_;
+  for (RecoveredDatabase& rd : puts) {
+    std::string key = ToLower(rd.name);
+    snap->entries_[key] = CatalogSnapshot::Entry{
+        rd.name, std::make_shared<Database>(std::move(rd.db)), version};
+  }
+  for (const std::string& key : drops) snap->entries_.erase(key);
+  snap->version_ = version;
+  snap->origin_ = this;
+  Publish(std::move(snap));
+  return Status::OK();
 }
 
 Status Catalog::CreateDatabase(const std::string& db_name) {

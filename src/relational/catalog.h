@@ -16,6 +16,7 @@
 namespace dynview {
 
 class Catalog;
+struct RecoveryReport;  // storage/durable_catalog.h
 
 /// A named database: an ordered map of relation name → table. Relation names
 /// are schema labels that SchemaSQL relation variables (`db -> R`) range
@@ -176,6 +177,37 @@ class CatalogTxn {
   std::set<std::string> touched_;
 };
 
+/// Observer of committed catalog transactions (the WAL hook). Attached via
+/// `Catalog::SetCommitSink`; `OnCommit` runs under the writer mutex AFTER
+/// the next snapshot is assembled but BEFORE it publishes. Returning an
+/// error aborts the whole commit — nothing becomes visible — which is what
+/// makes the sink's append+fsync the commit point: a record is durable
+/// before any reader can observe the version it describes, and a version no
+/// reader ever observed may at worst exist as a durable-but-unacknowledged
+/// WAL record (recovery treats it as committed; see storage/wal.h).
+class CatalogCommitSink {
+ public:
+  virtual ~CatalogCommitSink() = default;
+
+  /// `next` is the snapshot about to publish. `touched` holds the sorted
+  /// lowercase keys of every database the transaction created, modified or
+  /// dropped (a touched key absent from `next` was dropped). `tag` labels
+  /// the mutation's origin ("txn" by default); it is persisted verbatim and
+  /// handed back during replay, letting higher layers re-attach semantics
+  /// (e.g. maintainer fence advances) to physical records.
+  virtual Status OnCommit(const CatalogSnapshot& next,
+                          const std::vector<std::string>& touched,
+                          const std::string& tag) = 0;
+};
+
+/// One database of a recovered snapshot: original-case name, the catalog
+/// version that last modified it, and its full contents.
+struct RecoveredDatabase {
+  std::string name;
+  uint64_t version = 0;
+  Database db;
+};
+
 /// A federation of databases (Fig. 6 of the paper): the range of SchemaSQL
 /// database variables (`-> D`).
 ///
@@ -220,6 +252,51 @@ class Catalog final : public CatalogReader {
   /// as the match detail — an injected error aborts the whole commit.
   Result<uint64_t> Mutate(const std::function<Status(CatalogTxn&)>& fn);
 
+  /// Like Mutate, with `tag` labeling the mutation for the commit sink (the
+  /// WAL persists it and hands it back at replay). The no-tag overload uses
+  /// "txn".
+  Result<uint64_t> Mutate(const std::function<Status(CatalogTxn&)>& fn,
+                          const std::string& tag);
+
+  /// Attaches (or clears, with nullptr) the durability hook. The sink is
+  /// invoked for every subsequent commit, under the writer mutex, before
+  /// publish; its error aborts the commit. The sink must outlive the catalog
+  /// or be detached first.
+  void SetCommitSink(CatalogCommitSink* sink);
+
+  /// Runs `fn` over the current snapshot while HOLDING the writer mutex, so
+  /// no commit can append to the WAL or publish concurrently. This is the
+  /// checkpoint's consistency device: the snapshot written to disk and the
+  /// WAL truncation that follows see the same frozen history (without it, a
+  /// commit could slip its record into the WAL after the snapshot was taken
+  /// and lose it to the truncate). Keep `fn` short; writers block meanwhile.
+  Status WithWriterPaused(
+      const std::function<Status(const CatalogSnapshot&)>& fn);
+
+  // --- Recovery (storage/durable_catalog.cc) -----------------------------
+  // These bypass the commit sink and failpoints: they reconstruct history
+  // that already committed, they do not create new history.
+
+  /// Installs a recovered snapshot wholesale as version `version`. The
+  /// catalog must be untouched (version 0, no databases).
+  Status InstallRecoveredSnapshot(uint64_t version,
+                                  std::vector<RecoveredDatabase> databases);
+
+  /// Re-applies one replayed WAL commit: `puts` replace whole databases
+  /// (original-case name + contents), `drops` remove by lowercase key.
+  /// `version` must be strictly newer than the current head.
+  Status ApplyRecoveredCommit(uint64_t version,
+                              std::vector<RecoveredDatabase> puts,
+                              const std::vector<std::string>& drops);
+
+  /// Restores this catalog from `dir` (newest valid snapshot + WAL replay,
+  /// tolerating a torn tail — truncate, warn, never crash). Defined in
+  /// storage/durable_catalog.cc; see RecoveryReport there for what recovery
+  /// observed. The catalog must be untouched. Standalone recovery ignores
+  /// integration-layer records (IntegrationSystem::OpenDurable replays
+  /// those) and does not attach a WAL: later mutations are NOT persisted.
+  Status Recover(const std::string& dir, RecoveryReport* report = nullptr);
+
   // Convenience single-op mutations (each is one Mutate transaction).
 
   /// Creates an empty database; fails if the name is taken.
@@ -263,6 +340,7 @@ class Catalog final : public CatalogReader {
   mutable std::mutex writer_mu_;  // Serializes Mutate; readers never take it.
   mutable std::mutex head_mu_;    // Guards head_ for the copy/swap only.
   std::shared_ptr<const CatalogSnapshot> head_;
+  CatalogCommitSink* sink_ = nullptr;  // Guarded by writer_mu_.
 };
 
 }  // namespace dynview

@@ -42,6 +42,45 @@ Status EnsureDirectory(const std::string& path) {
   return Status::OK();
 }
 
+/// Manifest schema column: comma-joined per-column TypeKind names
+/// ("INT,STRING,DATE"); NULL names a column loaded by inference.
+std::string RenderColumnKinds(const std::vector<TypeKind>& kinds) {
+  std::string out;
+  for (size_t i = 0; i < kinds.size(); ++i) {
+    if (i > 0) out += ',';
+    out += TypeKindName(kinds[i]);
+  }
+  return out;
+}
+
+Result<std::vector<TypeKind>> ParseColumnKinds(const std::string& rendered) {
+  std::vector<TypeKind> kinds;
+  if (rendered.empty()) return kinds;  // Zero-column table.
+  size_t pos = 0;
+  while (pos <= rendered.size()) {
+    size_t comma = rendered.find(',', pos);
+    std::string name = rendered.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    bool known = false;
+    for (TypeKind k :
+         {TypeKind::kNull, TypeKind::kBool, TypeKind::kInt, TypeKind::kDouble,
+          TypeKind::kString, TypeKind::kDate}) {
+      if (name == TypeKindName(k)) {
+        kinds.push_back(k);
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return Status::ParseError("manifest schema names unknown type '" +
+                                name + "'");
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return kinds;
+}
+
 }  // namespace
 
 Status SaveCatalog(const CatalogReader& catalog, const std::string& directory) {
@@ -52,11 +91,16 @@ Status SaveCatalog(const CatalogReader& catalog, const std::string& directory) {
     for (const std::string& rel_name : db->TableNames()) {
       DV_ASSIGN_OR_RETURN(const Table* t, db->GetTable(rel_name));
       std::string file = Sanitize(db_name) + "__" + Sanitize(rel_name) + ".csv";
-      DV_RETURN_IF_ERROR(WriteCsvFile(*t, directory + "/" + file));
+      // Typed writer + recorded column kinds: quoted strings, DATE cells,
+      // DOUBLE precision/kind and single-column NULL rows all round-trip
+      // (see relational/csv.h, typed layer).
+      DV_RETURN_IF_ERROR(WriteCsvFileTyped(*t, directory + "/" + file));
       // Manifest lines are themselves CSV-quoted where needed.
-      Table line(Schema::FromNames({"db", "rel", "file"}));
+      Table line(Schema::FromNames({"db", "rel", "file", "schema"}));
       line.AppendRowUnchecked({Value::String(db_name), Value::String(rel_name),
-                               Value::String(file)});
+                               Value::String(file),
+                               Value::String(RenderColumnKinds(
+                                   ColumnKindsOf(*t)))});
       std::string csv = TableToCsv(line);
       // Strip the header row of the helper table.
       manifest += csv.substr(csv.find('\n') + 1);
@@ -68,7 +112,7 @@ Status SaveCatalog(const CatalogReader& catalog, const std::string& directory) {
     return Status::InvalidArgument("cannot open '" + path +
                                    "': " + std::strerror(errno));
   }
-  std::string header = "db,rel,file\n";
+  std::string header = "db,rel,file,schema\n";
   std::fwrite(header.data(), 1, header.size(), f);
   std::fwrite(manifest.data(), 1, manifest.size(), f);
   std::fclose(f);
@@ -79,8 +123,11 @@ Status LoadCatalog(const std::string& directory, Catalog* catalog) {
   DV_ASSIGN_OR_RETURN(Table manifest,
                       ReadCsvFile(directory + "/manifest",
                                   /*infer_types=*/false));
-  if (manifest.schema().num_columns() != 3) {
-    return Status::ParseError("malformed manifest (expected 3 columns)");
+  const size_t ncols = manifest.schema().num_columns();
+  // 4 columns since the typed layer landed; 3-column manifests from older
+  // saves load through the legacy inference path.
+  if (ncols != 3 && ncols != 4) {
+    return Status::ParseError("malformed manifest (expected 3 or 4 columns)");
   }
   // One transaction for the whole manifest: a failed file load publishes
   // nothing, and concurrent readers never observe a half-loaded federation.
@@ -93,8 +140,16 @@ Status LoadCatalog(const std::string& directory, Catalog* catalog) {
           std::string db = r[0].as_string();
           std::string rel = r[1].as_string();
           std::string file = r[2].as_string();
-          DV_ASSIGN_OR_RETURN(Table t, ReadCsvFile(directory + "/" + file,
-                                                   /*infer_types=*/true));
+          Table t;
+          if (ncols == 4 && !r[3].is_null()) {
+            DV_ASSIGN_OR_RETURN(std::vector<TypeKind> kinds,
+                                ParseColumnKinds(r[3].as_string()));
+            DV_ASSIGN_OR_RETURN(
+                t, ReadCsvFileTyped(directory + "/" + file, kinds));
+          } else {
+            DV_ASSIGN_OR_RETURN(t, ReadCsvFile(directory + "/" + file,
+                                               /*infer_types=*/true));
+          }
           txn.GetOrCreateDatabase(db)->PutTable(rel, std::move(t));
         }
         return Status::OK();

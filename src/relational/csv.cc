@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/str_util.h"
@@ -125,7 +126,152 @@ Value InferValue(const std::string& field, bool was_quoted) {
   return Value::String(field);
 }
 
+/// Shortest decimal rendering of `v` that strtod's back to the same bits
+/// (tries 15, 16, then 17 significant digits — 17 always round-trips for
+/// IEEE binary64).
+std::string RoundTripDouble(double v) {
+  char buf[40];
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    double back = std::strtod(buf, nullptr);
+    if (std::memcmp(&back, &v, sizeof(double)) == 0) break;
+  }
+  return buf;
+}
+
+Result<Value> ParseTypedField(const std::string& field, bool was_quoted,
+                              TypeKind type, size_t column) {
+  if (field.empty() && !was_quoted) return Value::Null();
+  switch (type) {
+    case TypeKind::kNull:
+      return InferValue(field, was_quoted);
+    case TypeKind::kString:
+      return Value::String(field);
+    case TypeKind::kInt: {
+      char* end = nullptr;
+      errno = 0;
+      long long v = std::strtoll(field.c_str(), &end, 10);
+      if (errno != 0 || end == field.c_str() || *end != '\0') {
+        return Status::ParseError("CSV column " + std::to_string(column) +
+                                  ": '" + field + "' is not an INT");
+      }
+      return Value::Int(v);
+    }
+    case TypeKind::kDouble: {
+      char* end = nullptr;
+      errno = 0;
+      double v = std::strtod(field.c_str(), &end);
+      if (end == field.c_str() || *end != '\0') {
+        return Status::ParseError("CSV column " + std::to_string(column) +
+                                  ": '" + field + "' is not a DOUBLE");
+      }
+      return Value::Double(v);
+    }
+    case TypeKind::kBool:
+      if (EqualsIgnoreCase(field, "true")) return Value::Bool(true);
+      if (EqualsIgnoreCase(field, "false")) return Value::Bool(false);
+      return Status::ParseError("CSV column " + std::to_string(column) +
+                                ": '" + field + "' is not a BOOL");
+    case TypeKind::kDate: {
+      DV_ASSIGN_OR_RETURN(Date d, Date::Parse(field));
+      return Value::MakeDate(d);
+    }
+  }
+  return Status::ParseError("unknown column type");
+}
+
 }  // namespace
+
+std::string TableToCsvTyped(const Table& table) {
+  std::string out;
+  const Schema& schema = table.schema();
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if (c > 0) out += ',';
+    AppendField(&out, schema.column(c).name);
+  }
+  out += '\n';
+  for (const Row& r : table.rows()) {
+    for (size_t c = 0; c < r.size(); ++c) {
+      if (c > 0) out += ',';
+      if (r[c].is_null()) continue;  // Empty unquoted field.
+      if (r[c].kind() == TypeKind::kDouble) {
+        AppendField(&out, RoundTripDouble(r[c].as_double()));
+      } else if (r[c].kind() == TypeKind::kString) {
+        // Strings always quoted: under a declared STRING column quoting is
+        // not needed to disambiguate, but mixed/inferred columns read back
+        // "1997-01-01" as a DATE unless the quotes say otherwise.
+        const std::string& field = r[c].as_string();
+        out += '"';
+        for (char ch : field) {
+          if (ch == '"') out += '"';
+          out += ch;
+        }
+        out += '"';
+      } else {
+        AppendField(&out, FieldOf(r[c]));
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<Table> TableFromCsvTyped(const std::string& csv,
+                                const std::vector<TypeKind>& column_types) {
+  size_t pos = 0;
+  std::vector<std::string> fields;
+  std::vector<bool> quoted;
+  DV_ASSIGN_OR_RETURN(bool has_header,
+                      ParseRecord(csv, &pos, &fields, &quoted));
+  if (!has_header) return Status::ParseError("empty CSV input");
+  if (fields.size() != column_types.size()) {
+    return Status::ParseError(
+        "CSV header arity " + std::to_string(fields.size()) +
+        " does not match declared column types (" +
+        std::to_string(column_types.size()) + ")");
+  }
+  Table table(Schema::FromNames(fields));
+  const size_t arity = fields.size();
+  while (true) {
+    DV_ASSIGN_OR_RETURN(bool more, ParseRecord(csv, &pos, &fields, &quoted));
+    if (!more) break;
+    if (arity > 1 && fields.size() == 1 && fields[0].empty() && !quoted[0]) {
+      continue;  // Blank line. In single-column mode it IS a NULL row.
+    }
+    if (fields.size() != arity) {
+      return Status::ParseError("CSV row arity " +
+                                std::to_string(fields.size()) +
+                                " does not match header " +
+                                std::to_string(arity));
+    }
+    Row row;
+    row.reserve(arity);
+    for (size_t c = 0; c < arity; ++c) {
+      DV_ASSIGN_OR_RETURN(
+          Value v, ParseTypedField(fields[c], quoted[c], column_types[c], c));
+      row.push_back(std::move(v));
+    }
+    table.AppendRowUnchecked(std::move(row));
+  }
+  return table;
+}
+
+std::vector<TypeKind> ColumnKindsOf(const Table& table) {
+  std::vector<TypeKind> kinds(table.schema().num_columns(), TypeKind::kNull);
+  std::vector<bool> mixed(kinds.size(), false);
+  for (const Row& r : table.rows()) {
+    for (size_t c = 0; c < r.size(); ++c) {
+      if (r[c].is_null() || mixed[c]) continue;
+      if (kinds[c] == TypeKind::kNull) {
+        kinds[c] = r[c].kind();
+      } else if (kinds[c] != r[c].kind()) {
+        kinds[c] = TypeKind::kNull;
+        mixed[c] = true;
+      }
+    }
+  }
+  return kinds;
+}
 
 std::string TableToCsv(const Table& table) {
   std::string out;
@@ -223,6 +369,38 @@ Result<Table> ReadCsvFile(const std::string& path, bool infer_types) {
   }
   std::fclose(f);
   return TableFromCsv(csv, infer_types);
+}
+
+Status WriteCsvFileTyped(const Table& table, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open '" + path +
+                                   "': " + std::strerror(errno));
+  }
+  std::string csv = TableToCsvTyped(table);
+  size_t written = std::fwrite(csv.data(), 1, csv.size(), f);
+  std::fclose(f);
+  if (written != csv.size()) {
+    return Status::Internal("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<Table> ReadCsvFileTyped(const std::string& path,
+                               const std::vector<TypeKind>& column_types) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open '" + path +
+                            "': " + std::strerror(errno));
+  }
+  std::string csv;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    csv.append(buf, n);
+  }
+  std::fclose(f);
+  return TableFromCsvTyped(csv, column_types);
 }
 
 }  // namespace dynview

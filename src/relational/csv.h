@@ -26,6 +26,33 @@ Result<Table> TableFromCsv(const std::string& csv, bool infer_types);
 Status WriteCsvFile(const Table& table, const std::string& path);
 Result<Table> ReadCsvFile(const std::string& path, bool infer_types);
 
+/// Typed round-trip layer (what SaveCatalog/LoadCatalog use). The untyped
+/// functions above re-infer each field, which is lossy in three known ways:
+/// a DOUBLE with an integral value reads back as INT, a double's display
+/// rendering (%g) drops precision, and a single-column NULL row serializes
+/// as a blank line the reader skips. The typed variants fix all three:
+/// doubles are written with round-trip precision (shortest rendering that
+/// parses back to the same bits), declared column types decide parsing
+/// (kNull declares "infer like TableFromCsv"), and in single-column mode a
+/// bare empty line is a NULL row, not a blank line.
+
+std::string TableToCsvTyped(const Table& table);
+
+/// `column_types` must match the header arity; type mismatches in the data
+/// (e.g. "abc" under INT) are ParseErrors.
+Result<Table> TableFromCsvTyped(const std::string& csv,
+                                const std::vector<TypeKind>& column_types);
+
+/// The dominant cell kind per column: the single kind every non-null cell
+/// of the column has, or kNull when the column is empty or mixes kinds
+/// (mixed columns fall back to inference on load, keeping today's
+/// behavior). This is what SaveCatalog records in its manifest.
+std::vector<TypeKind> ColumnKindsOf(const Table& table);
+
+Status WriteCsvFileTyped(const Table& table, const std::string& path);
+Result<Table> ReadCsvFileTyped(const std::string& path,
+                               const std::vector<TypeKind>& column_types);
+
 }  // namespace dynview
 
 #endif  // DYNVIEW_RELATIONAL_CSV_H_

@@ -165,7 +165,7 @@ Status ViewMaintainer::ApplyInserts(const std::vector<Row>& rows) {
         }
         if (pivot_position_ >= 0) return RecomputeAffectedGroups(txn, rows);
         return PropagateAppend(txn, rows);
-      });
+      }, commit_tag_);
   if (!committed.ok()) return committed.status();
   if (fence_ != nullptr) fence_->AdvanceMaterializedVersion(committed.value());
   return Status::OK();
@@ -199,7 +199,7 @@ Status ViewMaintainer::ApplyDeletes(const std::vector<Row>& rows) {
           return RecomputeAffectedGroups(txn, actually_removed);
         }
         return PropagateRemove(txn, actually_removed);
-      });
+      }, commit_tag_);
   if (!committed.ok()) return committed.status();
   if (fence_ != nullptr) fence_->AdvanceMaterializedVersion(committed.value());
   return Status::OK();

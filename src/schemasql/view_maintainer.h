@@ -74,6 +74,13 @@ class ViewMaintainer {
   /// the maintainer (or be rebound/cleared).
   void BindFence(ViewDefinition* fence) { fence_ = fence; }
 
+  /// Tag recorded with every delta commit (the WAL persists it). The
+  /// integration layer sets "maintainer.delta#<source index>" so recovery
+  /// can re-advance the right fence; standalone maintainers keep the
+  /// default and their fence advance is NOT durable across restarts.
+  void set_commit_tag(std::string tag) { commit_tag_ = std::move(tag); }
+  const std::string& commit_tag() const { return commit_tag_; }
+
   ViewMaintainer(ViewMaintainer&&) = default;
   ViewMaintainer& operator=(ViewMaintainer&&) = default;
 
@@ -102,6 +109,7 @@ class ViewMaintainer {
 
   Catalog* catalog_ = nullptr;
   ViewDefinition* fence_ = nullptr;  // Borrowed; null = no fence to advance.
+  std::string commit_tag_ = "maintainer.delta";
   std::string integration_db_;
   std::string default_target_db_;
   std::unique_ptr<CreateViewStmt> view_;  // Bound.

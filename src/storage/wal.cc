@@ -1,0 +1,304 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/crc32.h"
+#include "common/failpoint.h"
+#include "storage/codec.h"
+
+namespace dynview {
+
+namespace {
+
+constexpr uint8_t kRecordCommit = 1;
+constexpr uint8_t kRecordBlob = 2;
+
+std::string Errno(const std::string& op, const std::string& path) {
+  return op + " " + path + ": " + std::strerror(errno);
+}
+
+Status WriteAll(int fd, const char* data, size_t len, const std::string& path) {
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::write(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(Errno("write", path));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+std::string FrameRecord(const std::string& payload) {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(payload.size()));
+  w.U32(Crc32(payload.data(), payload.size()));
+  w.Raw(payload.data(), payload.size());
+  return w.Take();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
+                                                   bool fsync_each) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return Status::Internal(Errno("open", path));
+  return std::unique_ptr<WalWriter>(new WalWriter(fd, path, fsync_each));
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status WalWriter::AppendRecord(const std::string& payload,
+                               const std::string& detail) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (broken_) {
+    return Status::Unavailable(
+        "WAL " + path_ +
+        " is fail-stop after an ambiguous append; recover before writing");
+  }
+  // Clean abort: checked before any byte reaches the file, so the log is
+  // exactly as if this commit never happened.
+  DV_RETURN_IF_ERROR(FailPoints::Check("wal.append", detail));
+
+  const std::string frame = FrameRecord(payload);
+
+  int64_t keep = FailPoints::CheckTornWrite("wal.append", detail);
+  if (keep >= 0) {
+    // Simulated crash mid-append: persist a prefix of the frame, then die.
+    size_t partial = std::min(static_cast<size_t>(keep), frame.size());
+    Status st = WriteAll(fd_, frame.data(), partial, path_);
+    if (st.ok()) ::fsync(fd_);
+    broken_ = true;
+    return Status::Unavailable("WAL " + path_ + ": torn write injected (" +
+                               std::to_string(partial) + " of " +
+                               std::to_string(frame.size()) +
+                               " bytes persisted)");
+  }
+
+  Status st = WriteAll(fd_, frame.data(), frame.size(), path_);
+  if (!st.ok()) {
+    // The frame may be partially on disk: ambiguous, so fail-stop.
+    broken_ = true;
+    return st;
+  }
+  if (fsync_each_ && ::fsync(fd_) != 0) {
+    broken_ = true;
+    return Status::Internal(Errno("fsync", path_));
+  }
+  // Crash window under test: the record is durable but the head has not
+  // swapped. An injected failure aborts the commit, yet recovery replays
+  // the record — callers observing the error must treat the operation as
+  // "unknown outcome", exactly like a process kill here.
+  Status fsync_fp = FailPoints::Check("wal.fsync", detail);
+  if (!fsync_fp.ok()) {
+    broken_ = true;
+    return fsync_fp;
+  }
+  ++appends_;
+  bytes_ += frame.size();
+  return Status::OK();
+}
+
+Status WalWriter::OnCommit(const CatalogSnapshot& next,
+                           const std::vector<std::string>& touched,
+                           const std::string& tag) {
+  ByteWriter w;
+  w.U8(kRecordCommit);
+  w.U64(next.version());
+  w.Str(tag);
+  std::vector<const Database*> puts;
+  std::vector<std::string> drops;
+  for (const std::string& key : touched) {
+    Result<const Database*> db = next.GetDatabase(key);
+    if (db.ok()) {
+      puts.push_back(db.value());
+    } else {
+      drops.push_back(key);
+    }
+  }
+  w.U32(static_cast<uint32_t>(puts.size()));
+  for (const Database* db : puts) {
+    w.U64(next.DatabaseVersion(db->name()));
+    EncodeDatabasePayload(*db, &w);
+  }
+  w.U32(static_cast<uint32_t>(drops.size()));
+  for (const std::string& key : drops) w.Str(key);
+  return AppendRecord(w.buffer(), tag);
+}
+
+Status WalWriter::AppendBlob(const std::string& kind,
+                             const std::string& payload,
+                             uint64_t catalog_version) {
+  ByteWriter w;
+  w.U8(kRecordBlob);
+  w.U64(catalog_version);
+  w.Str(kind);
+  w.Str(payload);
+  return AppendRecord(w.buffer(), kind);
+}
+
+Status WalWriter::Truncate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::Internal(Errno("ftruncate", path_));
+  }
+  if (fsync_each_ && ::fsync(fd_) != 0) {
+    return Status::Internal(Errno("fsync", path_));
+  }
+  broken_ = false;  // The ambiguous suffix (if any) is gone with the log.
+  return Status::OK();
+}
+
+bool WalWriter::broken() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return broken_;
+}
+
+uint64_t WalWriter::appends() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appends_;
+}
+
+uint64_t WalWriter::bytes_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+namespace {
+
+Status DecodeCommitPayload(ByteReader* r, WalCommitRecord* rec) {
+  DV_RETURN_IF_ERROR(r->U64(&rec->version));
+  DV_RETURN_IF_ERROR(r->Str(&rec->tag));
+  uint32_t nputs = 0;
+  DV_RETURN_IF_ERROR(r->U32(&nputs));
+  rec->puts.reserve(nputs);
+  for (uint32_t i = 0; i < nputs; ++i) {
+    RecoveredDatabase rd;
+    DV_RETURN_IF_ERROR(r->U64(&rd.version));
+    DV_ASSIGN_OR_RETURN(rd.db, DecodeDatabasePayload(r));
+    rd.name = rd.db.name();
+    rec->puts.push_back(std::move(rd));
+  }
+  uint32_t ndrops = 0;
+  DV_RETURN_IF_ERROR(r->U32(&ndrops));
+  rec->drops.reserve(ndrops);
+  for (uint32_t i = 0; i < ndrops; ++i) {
+    std::string key;
+    DV_RETURN_IF_ERROR(r->Str(&key));
+    rec->drops.push_back(std::move(key));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ReplayWal(const std::string& path, uint64_t snapshot_version,
+                 const std::function<Status(WalCommitRecord&&)>& on_commit,
+                 const std::function<Status(WalBlobRecord&&)>& on_blob,
+                 WalReplayStats* stats) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      if (stats != nullptr) stats->missing = true;
+      return Status::OK();
+    }
+    return Status::Internal(Errno("open", path));
+  }
+  std::string log;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status st = Status::Internal(Errno("read", path));
+      ::close(fd);
+      return st;
+    }
+    if (n == 0) break;
+    log.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  size_t pos = 0;
+  bool torn = false;
+  while (pos < log.size()) {
+    ByteReader frame(log.data() + pos, log.size() - pos);
+    uint32_t len = 0;
+    uint32_t crc = 0;
+    if (!frame.U32(&len).ok() || !frame.U32(&crc).ok() ||
+        frame.remaining() < len) {
+      torn = true;
+      break;
+    }
+    const char* payload = log.data() + pos + 8;
+    if (crc != Crc32(payload, static_cast<size_t>(len))) {
+      torn = true;
+      break;
+    }
+    ByteReader r(payload, len);
+    uint8_t type = 0;
+    if (!r.U8(&type).ok()) {
+      torn = true;
+      break;
+    }
+    if (type == kRecordCommit) {
+      WalCommitRecord rec;
+      if (!DecodeCommitPayload(&r, &rec).ok()) {
+        torn = true;
+        break;
+      }
+      if (rec.version <= snapshot_version) {
+        if (stats != nullptr) ++stats->skipped_records;
+      } else {
+        if (stats != nullptr) ++stats->commit_records;
+        if (on_commit) DV_RETURN_IF_ERROR(on_commit(std::move(rec)));
+      }
+    } else if (type == kRecordBlob) {
+      WalBlobRecord rec;
+      if (!r.U64(&rec.version).ok() || !r.Str(&rec.kind).ok() ||
+          !r.Str(&rec.payload).ok()) {
+        torn = true;
+        break;
+      }
+      // Blobs use >=, not >: a blob appended right after a checkpoint at
+      // version V (no commit in between) is stamped V but is NOT in that
+      // snapshot's extras — the checkpoint truncated the WAL before the
+      // append (AppendBlob and Checkpoint serialize on ckpt_mu_), so any
+      // blob still in the log postdates the snapshot.
+      if (rec.version < snapshot_version || !on_blob) {
+        if (stats != nullptr) ++stats->skipped_records;
+      } else {
+        if (stats != nullptr) ++stats->blob_records;
+        DV_RETURN_IF_ERROR(on_blob(std::move(rec)));
+      }
+    } else {
+      torn = true;
+      break;
+    }
+    pos += 8 + len;
+  }
+
+  if (torn) {
+    if (stats != nullptr) {
+      stats->torn_tail = true;
+      stats->torn_bytes = log.size() - pos;
+    }
+    // Truncate the tail so the next recovery (and any append that follows)
+    // sees a log that ends exactly at the last good record.
+    if (::truncate(path.c_str(), static_cast<off_t>(pos)) != 0) {
+      return Status::Internal(Errno("truncate", path));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dynview

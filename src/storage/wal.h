@@ -1,0 +1,126 @@
+#ifndef DYNVIEW_STORAGE_WAL_H_
+#define DYNVIEW_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/catalog.h"
+
+namespace dynview {
+
+/// Write-ahead delta log for the catalog.
+///
+/// Record framing: u32 payload_len | u32 crc32(payload) | payload, appended
+/// back to back. Payloads (storage/codec.h primitives):
+///
+///   commit (u8 1): u64 catalog_version | str tag | u32 put_count
+///                  | per put: database payload (codec) prefixed by u64
+///                    database version | u32 drop_count | per drop: str key
+///   blob   (u8 2): u64 catalog_version_at_append | str kind | str payload
+///
+/// Commit records mirror one CatalogTxn commit (the touched databases in
+/// full — deltas here are per-database, not per-row, matching the catalog's
+/// copy-on-write granularity). Blob records carry opaque integration state
+/// (view/index registrations) stamped with the catalog version current when
+/// appended; replay applies a blob iff its stamp is at least the snapshot
+/// version being recovered from (a blob cannot ride the WAL past the
+/// checkpoint that would have captured it — Truncate removes it — so a
+/// stamp equal to the snapshot version means "appended just after that
+/// checkpoint, with no commit in between").
+///
+/// Durability contract: Append fsyncs (when enabled) BEFORE returning OK,
+/// and the catalog publishes the new head only after that — the WAL fsync
+/// is the commit point. If a record may have reached the disk but the
+/// append did not return OK (torn write, failed/injected fsync), the writer
+/// turns fail-stop: every later append returns Unavailable until the log is
+/// recovered. That keeps the on-disk prefix unambiguous.
+///
+/// Failpoints (detail = commit tag or blob kind):
+///   wal.append — checked before any byte is written: clean abort.
+///   wal.append in torn-write(K) mode — persists only the first K bytes of
+///     the frame, then fails and goes fail-stop: a simulated crash
+///     mid-write. Recovery truncates the torn tail.
+///   wal.fsync  — checked after the real fsync: the record IS durable but
+///     the commit aborts, simulating a crash between append and head swap.
+///     Recovery must include this record.
+
+class WalWriter final : public CatalogCommitSink {
+ public:
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path,
+                                                 bool fsync_each);
+  ~WalWriter() override;
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// CatalogCommitSink: appends a commit record for the touched databases.
+  Status OnCommit(const CatalogSnapshot& next,
+                  const std::vector<std::string>& touched,
+                  const std::string& tag) override;
+
+  Status AppendBlob(const std::string& kind, const std::string& payload,
+                    uint64_t catalog_version);
+
+  /// Checkpoint: drops every record (the snapshot now covers them).
+  Status Truncate();
+
+  bool broken() const;
+  uint64_t appends() const;
+  uint64_t bytes_written() const;
+
+ private:
+  WalWriter(int fd, std::string path, bool fsync_each)
+      : fd_(fd), path_(std::move(path)), fsync_each_(fsync_each) {}
+
+  Status AppendRecord(const std::string& payload, const std::string& detail);
+
+  mutable std::mutex mu_;
+  int fd_;
+  std::string path_;
+  bool fsync_each_;
+  bool broken_ = false;
+  uint64_t appends_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+struct WalCommitRecord {
+  uint64_t version = 0;
+  std::string tag;
+  std::vector<RecoveredDatabase> puts;
+  std::vector<std::string> drops;
+};
+
+struct WalBlobRecord {
+  uint64_t version = 0;
+  std::string kind;
+  std::string payload;
+};
+
+struct WalReplayStats {
+  uint64_t commit_records = 0;   // delivered to on_commit
+  uint64_t blob_records = 0;     // delivered to on_blob
+  uint64_t skipped_records = 0;  // at or below the snapshot version
+  bool torn_tail = false;
+  uint64_t torn_bytes = 0;  // bytes truncated off the tail
+  bool missing = false;     // no WAL file at all (fresh directory)
+};
+
+/// Replays `path` in append order. Records with version <= snapshot_version
+/// are counted as skipped (the snapshot already covers them). The first
+/// frame that is short, fails its CRC, or fails to decode marks a torn
+/// tail: the file is truncated back to the last good record and replay
+/// stops with OK — a partial tail is an expected crash artifact, never an
+/// error. Errors returned by the callbacks abort the replay and propagate.
+Status ReplayWal(const std::string& path, uint64_t snapshot_version,
+                 const std::function<Status(WalCommitRecord&&)>& on_commit,
+                 const std::function<Status(WalBlobRecord&&)>& on_blob,
+                 WalReplayStats* stats);
+
+}  // namespace dynview
+
+#endif  // DYNVIEW_STORAGE_WAL_H_

@@ -92,6 +92,56 @@ TEST_F(CatalogIoTest, EmptyCatalogRoundTrips) {
   EXPECT_EQ(loaded.num_databases(), 0u);
 }
 
+TEST_F(CatalogIoTest, QuotedStringAndDateCellsRoundTripExactly) {
+  // Regression: the untyped save path re-inferred every field on load, so
+  // a STRING cell holding "1997-01-01" came back as a DATE (and "42" as an
+  // INT). The manifest now records per-column kinds.
+  Catalog catalog;
+  Table t(Schema({{"s", TypeKind::kString},
+                  {"d", TypeKind::kDate},
+                  {"x", TypeKind::kDouble}}));
+  t.AppendRowUnchecked({Value::String("1997-01-01"),
+                        Value::MakeDate(Date::Parse("1998-03-04").value()),
+                        Value::Double(0.1)});
+  t.AppendRowUnchecked({Value::String("42"), Value::Null(),
+                        Value::Double(3.0)});
+  ASSERT_TRUE(catalog.PutTable("db", "t", std::move(t)).ok());
+  ASSERT_TRUE(SaveCatalog(catalog, dir_).ok());
+
+  Catalog loaded;
+  ASSERT_TRUE(LoadCatalog(dir_, &loaded).ok());
+  const Table* got = loaded.ResolveTable("db", "t").value();
+  EXPECT_EQ(got->row(0)[0].kind(), TypeKind::kString);
+  EXPECT_EQ(got->row(0)[0].as_string(), "1997-01-01");
+  EXPECT_EQ(got->row(1)[0].kind(), TypeKind::kString);
+  EXPECT_EQ(got->row(1)[0].as_string(), "42");
+  EXPECT_EQ(got->row(0)[1].kind(), TypeKind::kDate);
+  EXPECT_TRUE(got->row(1)[1].is_null());
+  EXPECT_EQ(got->row(0)[2].kind(), TypeKind::kDouble);
+  EXPECT_EQ(got->row(0)[2].as_double(), 0.1);
+  EXPECT_EQ(got->row(1)[2].kind(), TypeKind::kDouble)
+      << "integral-valued DOUBLE must not come back as INT";
+}
+
+TEST_F(CatalogIoTest, LegacyThreeColumnManifestStillLoads) {
+  Catalog catalog;
+  Table t(Schema({{"a", TypeKind::kInt}}));
+  t.AppendRowUnchecked({Value::Int(9)});
+  ASSERT_TRUE(catalog.PutTable("db", "t", std::move(t)).ok());
+  ASSERT_TRUE(SaveCatalog(catalog, dir_).ok());
+  // Rewrite the manifest in the pre-typed 3-column format.
+  {
+    std::FILE* f = std::fopen((dir_ + "/manifest").c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("db,rel,file\ndb,t,db__t.csv\n", f);
+    std::fclose(f);
+  }
+  Catalog loaded;
+  Status st = LoadCatalog(dir_, &loaded);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(loaded.ResolveTable("db", "t").value()->row(0)[0].as_int(), 9);
+}
+
 TEST_F(CatalogIoTest, OverwriteIsClean) {
   Catalog a;
   ASSERT_TRUE(a.PutTable("x", "t", Table(Schema::FromNames({"c"}))).ok());

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/crc32.h"
 #include "common/date.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -205,6 +206,45 @@ INSTANTIATE_TEST_SUITE_P(Sweep, DateRoundTrip,
                          ::testing::Values(-100000, -400, -1, 0, 1, 59, 60,
                                            365, 366, 10000, 10957, 28488,
                                            100000));
+
+// ---- CRC32 (storage checksums) ---------------------------------------------
+
+TEST(Crc32Test, KnownVectors) {
+  // IEEE reflected polynomial 0xEDB88320 check values.
+  EXPECT_EQ(Crc32(std::string("")), 0x00000000u);
+  EXPECT_EQ(Crc32(std::string("a")), 0xE8B7BE43u);
+  EXPECT_EQ(Crc32(std::string("abc")), 0x352441C2u);
+  EXPECT_EQ(Crc32(std::string("123456789")), 0xCBF43926u);
+  EXPECT_EQ(Crc32(std::string("The quick brown fox jumps over the lazy dog")),
+            0x414FA339u);
+}
+
+TEST(Crc32Test, EmbeddedNulAndBinaryBytes) {
+  std::string with_nul("a\0b", 3);
+  EXPECT_NE(Crc32(with_nul), Crc32(std::string("ab")));
+  EXPECT_EQ(Crc32(with_nul), Crc32(with_nul.data(), with_nul.size()));
+}
+
+TEST(Crc32Test, IncrementalEqualsOneShot) {
+  // Seed chaining: crc(s1+s2) == crc(s2 seeded with crc(s1)) — how the
+  // slice-by-4 loop and the scalar tail compose must not matter.
+  std::string s = "incremental checksum composition, 31 bytes+";
+  for (size_t split = 0; split <= s.size(); ++split) {
+    uint32_t part = Crc32(s.data(), split);
+    uint32_t whole = Crc32(s.data() + split, s.size() - split, part);
+    EXPECT_EQ(whole, Crc32(s)) << "split at " << split;
+  }
+}
+
+TEST(Crc32Test, UnalignedStartsAgree) {
+  // The slice-by-4 fast path must produce the same digest regardless of
+  // the buffer's alignment.
+  std::string pad = "xxxxxxx0123456789abcdef0123456789abcdef";
+  for (size_t off = 0; off < 7; ++off) {
+    EXPECT_EQ(Crc32(pad.data() + off, 32),
+              Crc32(std::string(pad.substr(off, 32))));
+  }
+}
 
 }  // namespace
 }  // namespace dynview

@@ -109,5 +109,97 @@ TEST(CsvTest, NoInferenceKeepsStrings) {
   EXPECT_EQ(t.value().row(0)[0].kind(), TypeKind::kString);
 }
 
+// ---- Typed layer (what SaveCatalog/LoadCatalog use) ------------------------
+
+/// Round-trips `t` through the typed writer/reader and requires exact kind
+/// and value equality cell by cell.
+void ExpectTypedRoundTrip(const Table& t) {
+  auto back = TableFromCsvTyped(TableToCsvTyped(t), ColumnKindsOf(t));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back.value().num_rows(), t.num_rows());
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    for (size_t c = 0; c < t.schema().num_columns(); ++c) {
+      const Value& orig = t.row(i)[c];
+      const Value& got = back.value().row(i)[c];
+      EXPECT_EQ(got.kind(), orig.kind()) << "row " << i << " col " << c;
+      EXPECT_EQ(got.ToString(), orig.ToString())
+          << "row " << i << " col " << c;
+    }
+  }
+}
+
+TEST(CsvTypedTest, StringsThatLookLikeOtherTypesStayStrings) {
+  // Untyped inference would turn these back into DATE/INT/BOOL — the bug
+  // this layer exists to fix.
+  Table t(Schema({{"s", TypeKind::kString}}));
+  t.AppendRowUnchecked({Value::String("1997-01-01")});
+  t.AppendRowUnchecked({Value::String("42")});
+  t.AppendRowUnchecked({Value::String("true")});
+  t.AppendRowUnchecked({Value::String("")});
+  ExpectTypedRoundTrip(t);
+}
+
+TEST(CsvTypedTest, DateCellsRoundTripAsDates) {
+  Table t(Schema({{"d", TypeKind::kDate}, {"note", TypeKind::kString}}));
+  t.AppendRowUnchecked({Value::MakeDate(Date::Parse("1996-02-29").value()),
+                        Value::String("leap")});
+  t.AppendRowUnchecked({Value::Null(), Value::String("missing")});
+  ExpectTypedRoundTrip(t);
+}
+
+TEST(CsvTypedTest, DoublePrecisionAndKindSurvive) {
+  // 0.1 and 1/3 have no short decimal rendering; an integral-valued double
+  // must come back as DOUBLE, not INT.
+  Table t(Schema({{"x", TypeKind::kDouble}}));
+  t.AppendRowUnchecked({Value::Double(0.1)});
+  t.AppendRowUnchecked({Value::Double(1.0 / 3.0)});
+  t.AppendRowUnchecked({Value::Double(2.0)});
+  t.AppendRowUnchecked({Value::Double(1e-300)});
+  std::string csv = TableToCsvTyped(t);
+  auto back = TableFromCsvTyped(csv, {TypeKind::kDouble});
+  ASSERT_TRUE(back.ok());
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    EXPECT_EQ(back.value().row(i)[0].kind(), TypeKind::kDouble) << i;
+    // Bit-exact, not approximately equal.
+    EXPECT_EQ(back.value().row(i)[0].as_double(), t.row(i)[0].as_double())
+        << i;
+  }
+}
+
+TEST(CsvTypedTest, SingleColumnNullRowIsNotABlankLine) {
+  // The untyped reader skips blank lines, silently dropping a NULL row of
+  // a one-column table. The typed reader keeps it.
+  Table t(Schema({{"only", TypeKind::kInt}}));
+  t.AppendRowUnchecked({Value::Int(5)});
+  t.AppendRowUnchecked({Value::Null()});
+  t.AppendRowUnchecked({Value::Int(7)});
+  ExpectTypedRoundTrip(t);
+}
+
+TEST(CsvTypedTest, EmbeddedQuotesAndNewlines) {
+  Table t(Schema({{"s", TypeKind::kString}, {"i", TypeKind::kInt}}));
+  t.AppendRowUnchecked({Value::String("say \"hi\",\nplease"), Value::Int(1)});
+  ExpectTypedRoundTrip(t);
+}
+
+TEST(CsvTypedTest, TypeMismatchIsParseErrorNamingColumn) {
+  auto bad = TableFromCsvTyped("a\nnot_an_int\n", {TypeKind::kInt});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kParseError);
+  auto wrong_arity = TableFromCsvTyped("a,b\n1,2\n", {TypeKind::kInt});
+  EXPECT_FALSE(wrong_arity.ok());
+}
+
+TEST(CsvTypedTest, ColumnKindsOfReportsDominantKind) {
+  Table t(Schema::FromNames({"i", "mixed", "empty"}));
+  t.AppendRowUnchecked({Value::Int(1), Value::Int(2), Value::Null()});
+  t.AppendRowUnchecked({Value::Int(3), Value::String("x"), Value::Null()});
+  auto kinds = ColumnKindsOf(t);
+  ASSERT_EQ(kinds.size(), 3u);
+  EXPECT_EQ(kinds[0], TypeKind::kInt);
+  EXPECT_EQ(kinds[1], TypeKind::kNull);  // mixed -> fall back to inference
+  EXPECT_EQ(kinds[2], TypeKind::kNull);  // all-null -> inference
+}
+
 }  // namespace
 }  // namespace dynview
