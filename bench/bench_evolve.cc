@@ -1,0 +1,178 @@
+// Schema evolution cost: the DDL transaction itself, the re-lint pass over
+// registered dynamic-view definitions, and full propagation including
+// re-materialization of affected fenced sources.
+//
+// Shape: the bare transaction is O(|rows|) for row-rewriting kinds (add /
+// drop attribute) and O(1) for renames; re-lint is O(#sources × |def|) and
+// independent of data size; re-materialization dominates at O(|base|) per
+// affected fenced source — the same gap bench_maintenance measures from
+// the data-evolution direction.
+
+#include <memory>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "evolve/evolution.h"
+#include "integration/integration.h"
+#include "relational/catalog.h"
+#include "workload/stock_data.h"
+
+namespace dynview {
+namespace {
+
+constexpr char kPartitionView[] =
+    "create view s2x::C(date, price) as "
+    "select D, P from I::stock T, T.company C, T.date D, T.price P";
+constexpr char kPivotView[] =
+    "create view s3x::stock(date, C) as "
+    "select D, P from I::stock T, T.company C, T.date D, T.price P";
+
+std::unique_ptr<Catalog> MakeCatalog(int companies, int dates) {
+  auto catalog = std::make_unique<Catalog>();
+  StockGenConfig cfg;
+  cfg.num_companies = companies;
+  cfg.num_dates = dates;
+  InstallStockS1(catalog.get(), "I", GenerateStockS1(cfg));
+  return catalog;
+}
+
+struct Bound {
+  std::unique_ptr<Catalog> catalog;
+  std::unique_ptr<IntegrationSystem> system;
+};
+
+Bound MakeBound(int companies, int dates, int sources) {
+  Bound b;
+  b.catalog = MakeCatalog(companies, dates);
+  b.system = std::make_unique<IntegrationSystem>(b.catalog.get(), "I");
+  if (sources >= 1) {
+    b.system->RegisterAndMaterializeSource(kPartitionView).value();
+  }
+  if (sources >= 2) {
+    b.system->RegisterAndMaterializeSource(kPivotView).value();
+  }
+  return b;
+}
+
+void PrintReproduction() {
+  std::printf("=== Evolution transaction and propagation ===\n");
+  Bound b = MakeBound(10, 50, 2);
+  SchemaEvolver evolver(b.catalog.get(), b.system.get());
+  auto res = evolver.Apply(DdlOp::AddAttribute("I", "stock", "vol",
+                                               Value::Int(0)));
+  if (!res.ok()) {
+    std::printf("evolution failed: %s\n", res.status().ToString().c_str());
+    return;
+  }
+  std::printf(
+      "add-attribute committed as v%llu: %zu sources affected, "
+      "%zu rematerialized, %zu left stale, %zu lint findings\n\n",
+      static_cast<unsigned long long>(res.value().version),
+      res.value().sources_affected, res.value().rematerialized,
+      res.value().left_stale, res.value().relint.size());
+}
+
+// The DDL transaction alone: no bound system, so no propagation at all.
+// One iteration = one add + one drop so the schema is steady-state.
+void BM_EvolveTxnAddDropAttribute(benchmark::State& state) {
+  auto catalog = MakeCatalog(static_cast<int>(state.range(0)),
+                             static_cast<int>(state.range(1)));
+  SchemaEvolver evolver(catalog.get());
+  for (auto _ : state) {
+    auto add = evolver.Apply(DdlOp::AddAttribute("I", "stock", "vol",
+                                                 Value::Int(0)));
+    benchmark::DoNotOptimize(add);
+    auto drop = evolver.Apply(DdlOp::DropAttribute("I", "stock", "vol"));
+    benchmark::DoNotOptimize(drop);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_EvolveTxnAddDropAttribute)->Args({10, 100})->Args({50, 1000});
+
+// Rename is O(1) in data size: rows move, nothing is rewritten.
+void BM_EvolveTxnRenameRelation(benchmark::State& state) {
+  auto catalog = MakeCatalog(10, static_cast<int>(state.range(0)));
+  SchemaEvolver evolver(catalog.get());
+  for (auto _ : state) {
+    auto away = evolver.Apply(DdlOp::RenameRelation("I", "stock", "stockx"));
+    benchmark::DoNotOptimize(away);
+    auto back = evolver.Apply(DdlOp::RenameRelation("I", "stockx", "stock"));
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_EvolveTxnRenameRelation)->Arg(100)->Arg(1000);
+
+// Re-lint cost in isolation: propagation runs DV001..DV007 over the
+// affected definitions but leaves materializations fenced instead of
+// rebuilding them. range(2) = number of registered sources.
+void BM_EvolveRelintOnly(benchmark::State& state) {
+  Bound b = MakeBound(static_cast<int>(state.range(0)),
+                      static_cast<int>(state.range(1)),
+                      static_cast<int>(state.range(2)));
+  SchemaEvolver evolver(b.catalog.get(), b.system.get());
+  EvolveOptions opts;
+  opts.relint = true;
+  opts.rematerialize = false;
+  size_t findings = 0;
+  for (auto _ : state) {
+    auto add = evolver.Apply(
+        DdlOp::AddAttribute("I", "stock", "vol", Value::Int(0)), opts);
+    benchmark::DoNotOptimize(add);
+    if (add.ok()) findings += add.value().relint.size();
+    auto drop =
+        evolver.Apply(DdlOp::DropAttribute("I", "stock", "vol"), opts);
+    benchmark::DoNotOptimize(drop);
+  }
+  state.counters["lint_findings"] =
+      benchmark::Counter(static_cast<double>(findings));
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_EvolveRelintOnly)->Args({10, 100, 1})->Args({10, 100, 2});
+
+// Full propagation: every affected fenced materialization is rebuilt
+// inside the evolution, so cost tracks O(|base|) like rematerialization.
+void BM_EvolveWithRematerialization(benchmark::State& state) {
+  Bound b = MakeBound(static_cast<int>(state.range(0)),
+                      static_cast<int>(state.range(1)),
+                      static_cast<int>(state.range(2)));
+  SchemaEvolver evolver(b.catalog.get(), b.system.get());
+  size_t remats = 0;
+  size_t left_stale = 0;
+  for (auto _ : state) {
+    auto add = evolver.Apply(
+        DdlOp::AddAttribute("I", "stock", "vol", Value::Int(0)));
+    benchmark::DoNotOptimize(add);
+    if (add.ok()) {
+      remats += add.value().rematerialized;
+      left_stale += add.value().left_stale;
+    }
+    auto drop = evolver.Apply(DdlOp::DropAttribute("I", "stock", "vol"));
+    benchmark::DoNotOptimize(drop);
+    if (drop.ok()) {
+      remats += drop.value().rematerialized;
+      left_stale += drop.value().left_stale;
+    }
+  }
+  state.counters["remats"] = benchmark::Counter(static_cast<double>(remats));
+  state.counters["left_stale"] =
+      benchmark::Counter(static_cast<double>(left_stale));
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_EvolveWithRematerialization)
+    ->Args({10, 100, 1})
+    ->Args({10, 100, 2})
+    ->Args({50, 1000, 2});
+
+}  // namespace
+}  // namespace dynview
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  dynview::PrintReproduction();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

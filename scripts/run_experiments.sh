@@ -209,6 +209,60 @@ EOF
 ctest --test-dir build --output-on-failure -L durability 2>&1 |
   tee results/tests_durability.txt
 
+# Schema evolution cost: the DDL transaction itself, the re-lint pass over
+# registered definitions, and full propagation with re-materialization.
+# Acceptance bars: a rename-relation transaction stays under 5 ms per op
+# (it must not scale with data), a relint-only evolution over two sources
+# stays under 5 ms per op, and skipping re-materialization actually skips
+# its cost (relint-only ≤ full propagation on the same workload).
+build/bench/bench_evolve \
+  --benchmark_out=results/BENCH_evolve.json \
+  --benchmark_out_format=json >/dev/null
+python3 - <<'EOF'
+import json
+with open("results/BENCH_evolve.json") as f:
+    runs = {b["name"]: b for b in json.load(f)["benchmarks"]}
+unit = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+def per_op_ms(name):
+    b = runs[name]
+    return b["cpu_time"] * unit[b["time_unit"]] / 2  # 2 DDL ops / iteration
+rename = per_op_ms("BM_EvolveTxnRenameRelation/100")
+relint = per_op_ms("BM_EvolveRelintOnly/10/100/2")
+full = per_op_ms("BM_EvolveWithRematerialization/10/100/2")
+print(f"evolution txn (rename-relation): {rename:.3f} ms/op")
+print(f"evolution relint-only (2 sources): {relint:.3f} ms/op")
+print(f"evolution full propagation (2 sources): {full:.3f} ms/op")
+if rename > 5.0:
+    raise SystemExit(f"FAIL: rename-relation txn {rename:.3f} ms > 5 ms")
+if relint > 5.0:
+    raise SystemExit(f"FAIL: relint-only evolution {relint:.3f} ms > 5 ms")
+if relint > 1.25 * full:
+    raise SystemExit(
+        f"FAIL: relint-only ({relint:.3f} ms) costs more than full "
+        f"propagation ({full:.3f} ms) — skipping remat is not skipping work")
+EOF
+
+# The fuzz suite (ctest -L fuzz): bounded, seeded, deterministic — the
+# randomized-heterogeneity fuzzer's differential oracle (rewriting vs.
+# direct, compiled vs. interpreted, threads {1,8}, pre/post every DDL step,
+# replay-after-crash) must hold byte-identically. The soak knobs are
+# explicitly unset so CI always runs the pinned baseline workload.
+env -u DYNVIEW_FUZZ_ITERS -u DYNVIEW_FUZZ_SEED -u DYNVIEW_FUZZ_REPRO \
+  ctest --test-dir build --output-on-failure -L fuzz 2>&1 |
+  tee results/tests_fuzz.txt
+
+# Nightly soak hook: DYNVIEW_FUZZ_ITERS=<n> scales the same seeded run to n
+# scenarios (optionally reseeded via DYNVIEW_FUZZ_SEED); on an oracle
+# mismatch the fuzzer delta-minimizes the DDL stream and dumps a
+# self-contained repro under results/fuzz_repro/.
+if [[ -n "${DYNVIEW_FUZZ_ITERS:-}" ]]; then
+  mkdir -p results/fuzz_repro
+  DYNVIEW_FUZZ_REPRO="$PWD/results/fuzz_repro" \
+    ctest --test-dir build --output-on-failure \
+    -R 'FuzzTest.SeededRunIsCleanAndCoversAllDdlKinds' 2>&1 |
+    tee results/tests_fuzz_soak.txt
+fi
+
 # Analyzer cost on the Fig. 6 catalog: every per-view analysis must stay
 # under 5 ms — definition-time linting is invisible next to materialization.
 build/bench/bench_analyze \
@@ -263,6 +317,11 @@ ctest --test-dir build-tsan-chaos --output-on-failure -L compiled 2>&1 |
 # mutator threads has to hold race-free too.
 ctest --test-dir build-tsan-chaos --output-on-failure -L durability 2>&1 |
   tee results/tests_durability_tsan.txt
+# The fuzz oracle drives real 8-thread executors through every evolution
+# step — the whole differential harness must also hold race-free.
+env -u DYNVIEW_FUZZ_ITERS -u DYNVIEW_FUZZ_SEED -u DYNVIEW_FUZZ_REPRO \
+  ctest --test-dir build-tsan-chaos --output-on-failure -L fuzz 2>&1 |
+  tee results/tests_fuzz_tsan.txt
 
 # Fault-injected pass: run the engine/integration-facing suites with a
 # latency failpoint armed on every catalog resolution, proving injection is

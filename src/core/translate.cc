@@ -248,7 +248,15 @@ Result<TranslationResult> QueryTranslator::Translate(
   for (const auto& [needed, supplier] : usability.supplied_by) {
     if (needed != ToLower(supplier)) renames[needed] = supplier;
   }
-  for (SelectItem& item : q.select_list) RenameRefs(item.expr.get(), renames);
+  for (SelectItem& item : q.select_list) {
+    // A supplier substitution must not change the answer's column name:
+    // pin the original name as an alias before rewriting the reference.
+    if (item.alias.empty() && item.expr->kind == ExprKind::kVarRef &&
+        renames.count(ToLower(item.expr->var_name)) > 0) {
+      item.alias = item.expr->var_name;
+    }
+    RenameRefs(item.expr.get(), renames);
+  }
   for (auto& g : q.group_by) RenameRefs(g.get(), renames);
   if (q.having) RenameRefs(q.having.get(), renames);
   for (OrderItem& o : q.order_by) RenameRefs(o.expr.get(), renames);

@@ -59,6 +59,7 @@ Result<QueryInfo> AnalyzeQuery(const SelectStmt& stmt, const BoundQuery& bq,
       if (f.attr.is_variable) continue;
       info.domain_of[ToLower(f.tuple)][ToLower(f.attr.text)] = f.var;
       info.tuple_of_domain[ToLower(f.var)] = ToLower(f.tuple);
+      info.attr_of_domain[ToLower(f.var)] = ToLower(f.attr.text);
     }
   }
   CollectConjuncts(stmt.where.get(), &info.conds);
@@ -266,20 +267,53 @@ Result<UsabilityResult> UsabilityChecker::Check(const ViewDefinition& view,
         image_all.insert(ToLower(to));
         if (view.IsOutput(from)) image_out.insert(ToLower(to));
       }
-      auto allowed = [&](const std::string& var_lower) {
-        if (image_out.count(var_lower) > 0) return true;
-        return image_all.count(var_lower) == 0;
+      // Query tuple variables the translation covers away — every domain
+      // declaration over them is removed from Q′, so any OTHER variable
+      // declared there survives only through a supplier in φ(Out(V)).
+      std::set<std::string> covered_q;
+      for (size_t i = 0; i < picks.size(); ++i) {
+        covered_q.insert(ToLower(q.tuple_vars[picks[i]]));
+      }
+      auto decl_removed = [&](const std::string& var_lower) {
+        auto td = q.tuple_of_domain.find(var_lower);
+        return td != q.tuple_of_domain.end() && covered_q.count(td->second) > 0;
       };
-      // Repair disallowed references through implied equalities, else fail.
+      // The Out(V) image that can stand in for `var_lower` in Q′: itself if
+      // it IS such an image; else a variable Conds(Q) proves equal; else a
+      // sibling declaration of the same (tuple, attribute) — two domain
+      // variables over one attribute are equal by construction even though
+      // no WHERE conjunct says so. Empty = unrecoverable.
+      auto supplier_for = [&](const std::string& var_lower) -> std::string {
+        if (image_out.count(var_lower) > 0) return var_lower;
+        if (image_all.count(var_lower) == 0 && !decl_removed(var_lower)) {
+          return var_lower;  // Untouched by the translation.
+        }
+        for (const std::string& eq : q_conds.EqualVariables(var_lower)) {
+          if (eq != var_lower && image_out.count(eq) > 0) return eq;
+        }
+        auto td = q.tuple_of_domain.find(var_lower);
+        auto ad = q.attr_of_domain.find(var_lower);
+        if (td != q.tuple_of_domain.end() && ad != q.attr_of_domain.end()) {
+          for (const auto& [v2, t2] : q.tuple_of_domain) {
+            if (v2 == var_lower || t2 != td->second) continue;
+            auto a2 = q.attr_of_domain.find(v2);
+            if (a2 != q.attr_of_domain.end() && a2->second == ad->second &&
+                image_out.count(v2) > 0) {
+              return v2;
+            }
+          }
+        }
+        return std::string();
+      };
+      // Repair disallowed references through suppliers, else fail.
       std::function<bool(Expr*)> repair = [&](Expr* e) -> bool {
         if (e->kind == ExprKind::kVarRef) {
           std::string v = ToLower(e->var_name);
-          if (allowed(v)) return true;
-          for (const std::string& eq : q_conds.EqualVariables(v)) {
-            if (eq != v && allowed(eq)) {
-              e->var_name = eq;
-              return true;
-            }
+          std::string s = supplier_for(v);
+          if (s == v) return true;
+          if (!s.empty()) {
+            e->var_name = s;
+            return true;
           }
           last_failure = "residual condition uses non-output view column '" +
                          e->var_name + "' (Thm. 5.2, 3b)";
@@ -293,30 +327,20 @@ Result<UsabilityResult> UsabilityChecker::Check(const ViewDefinition& view,
         if (!repair(rc.get())) return false;
       }
 
-      // Condition 2: every needed query variable that is an image of a view
-      // variable must be recoverable from Out(V).
+      // Condition 2: every needed query variable the translation touches —
+      // an image of a view variable, or a variable whose declaration is
+      // removed with the covered tuple variables — must be recoverable from
+      // Out(V).
       std::map<std::string, std::string> supplied;
       for (const std::string& a : q.needed_vars) {
-        if (image_all.count(a) == 0) continue;  // Not produced by the view.
-        if (image_out.count(a) > 0) {
-          supplied[a] = a;
-          continue;
-        }
-        // ∃ B ∈ Out(V): Conds(Q) ⊨ A = φ(B)?
-        bool found = false;
-        for (const std::string& eq : q_conds.EqualVariables(a)) {
-          if (image_out.count(eq) > 0) {
-            supplied[a] = eq;
-            found = true;
-            break;
-          }
-        }
-        if (!found) {
+        std::string s = supplier_for(a);
+        if (s.empty()) {
           last_failure = "needed variable '" + a +
                          "' is projected out by the view and not recoverable "
                          "(Thm. 5.2, cond. 2)";
           return false;
         }
+        supplied[a] = s;
       }
 
       result.usable = true;

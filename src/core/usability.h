@@ -56,6 +56,11 @@ struct QueryInfo {
   std::map<std::string, std::map<std::string, std::string>> domain_of;
   /// domain variable (lower) → declaring tuple variable (lower).
   std::map<std::string, std::string> tuple_of_domain;
+  /// domain variable (lower) → declared attribute (lower). Distinct from
+  /// domain_of, which keeps one variable per (tuple, attribute): a query may
+  /// declare several variables over the SAME attribute, and each needs its
+  /// own supplier when the declaring tuple variable is covered away.
+  std::map<std::string, std::string> attr_of_domain;
   std::vector<const Expr*> conds;
   /// Variables whose values the answer needs: select + GROUP BY + HAVING +
   /// ORDER BY references (lowercased, deduplicated).

@@ -127,7 +127,15 @@ bool ViewDefinition::IsAggregateView() const {
 bool ViewDefinition::IsStaleAgainst(const CatalogSnapshot& snapshot) const {
   if (!fenced_) return false;
   uint64_t built = materialized_version_.load();
+  // A database that disappeared entirely reports version 0, which would
+  // read as "older than the build" — it is the opposite: everything the
+  // fence protected is gone.
   for (const TableRef& t : tables_) {
+    if (!snapshot.HasDatabase(t.db)) return true;
+    if (snapshot.DatabaseVersion(t.db) > built) return true;
+  }
+  for (const TableRef& t : materialization_) {
+    if (!snapshot.HasDatabase(t.db)) return true;
     if (snapshot.DatabaseVersion(t.db) > built) return true;
   }
   return false;

@@ -161,8 +161,23 @@ class ViewDefinition {
     materialized_version_.Advance(v);
   }
 
-  /// True iff the view is fenced and some body table's database has a
-  /// last-modified version in `snapshot` newer than the materialization.
+  /// The (db, rel) pairs the view's materialization installed, recorded by
+  /// the registration / re-materialization paths. The fence checks these
+  /// databases too: a DDL that drops or renames a materialization table
+  /// bumps its database's version past the build version, so the view
+  /// degrades to a deterministic stale warning instead of executing a
+  /// rewriting over vanished (or silently wrong) tables.
+  const std::vector<TableRef>& materialization() const {
+    return materialization_;
+  }
+  void set_materialization(std::vector<TableRef> refs) {
+    materialization_ = std::move(refs);
+  }
+
+  /// True iff the view is fenced and some database it depends on — a body
+  /// table's database or a materialization target database — has a
+  /// last-modified version in `snapshot` newer than the materialization
+  /// (or no longer exists).
   bool IsStaleAgainst(const CatalogSnapshot& snapshot) const;
 
   ViewDefinition(ViewDefinition&&) = default;
@@ -180,6 +195,7 @@ class ViewDefinition {
   std::vector<std::string> tuple_vars_;
   std::vector<const Expr*> conds_;
   std::map<std::string, DomainDecl> domain_decls_;  // Lowercased var name.
+  std::vector<TableRef> materialization_;           // Lowercased.
   bool fenced_ = false;
   VersionCell materialized_version_;
 };

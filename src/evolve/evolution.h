@@ -1,0 +1,160 @@
+#ifndef DYNVIEW_EVOLVE_EVOLUTION_H_
+#define DYNVIEW_EVOLVE_EVOLUTION_H_
+
+#include <string>
+#include <vector>
+
+#include "analyze/diagnostic.h"
+#include "common/query_context.h"
+#include "common/result.h"
+#include "integration/integration.h"
+#include "relational/catalog.h"
+#include "relational/value.h"
+
+namespace dynview {
+
+/// The six online DDL kinds of the schema-evolution layer. The first four
+/// are classical relational DDL; the last two are the paper's schematic
+/// dimension — data migrating into schema labels and back (Sec. 4):
+/// demote-data-to-label partitions a relation by a column's values (the
+/// s1 → s2 restructuring applied *in place*), promote-label-to-data unites
+/// a family of relations back into one, their names becoming a data column.
+enum class DdlKind {
+  kAddAttribute,
+  kDropAttribute,
+  kRenameAttribute,
+  kRenameRelation,
+  kPromoteLabelToData,
+  kDemoteDataToLabel,
+};
+
+/// Stable lowercase-hyphen name ("add-attribute", ...), used for commit
+/// tags ("evolve.<name>"), repro dumps, and coverage accounting.
+const char* DdlKindName(DdlKind kind);
+
+/// One online DDL statement. Field use per kind:
+///   kAddAttribute        db, rel, attr, fill (new column value for
+///                        existing rows; its type kind types the column)
+///   kDropAttribute       db, rel, attr
+///   kRenameAttribute     db, rel, attr → new_name
+///   kRenameRelation      db, rel → new_name
+///   kDemoteDataToLabel   db, rel, attr (the label column; the relation is
+///                        replaced by one relation per distinct value)
+///   kPromoteLabelToData  db, family (relations to unite), rel (the new
+///                        relation), attr (the new label column)
+struct DdlOp {
+  DdlKind kind = DdlKind::kAddAttribute;
+  std::string db;
+  std::string rel;
+  std::string attr;
+  std::string new_name;
+  Value fill;
+  std::vector<std::string> family;
+
+  static DdlOp AddAttribute(std::string db, std::string rel, std::string attr,
+                            Value fill = Value::Null());
+  static DdlOp DropAttribute(std::string db, std::string rel,
+                             std::string attr);
+  static DdlOp RenameAttribute(std::string db, std::string rel,
+                               std::string attr, std::string new_name);
+  static DdlOp RenameRelation(std::string db, std::string rel,
+                              std::string new_name);
+  static DdlOp DemoteDataToLabel(std::string db, std::string rel,
+                                 std::string attr);
+  static DdlOp PromoteLabelToData(std::string db,
+                                  std::vector<std::string> family,
+                                  std::string rel, std::string attr);
+
+  /// Deterministic one-line rendering for logs and minimized repro dumps.
+  std::string ToString() const;
+};
+
+/// What one committed evolution did. `warnings` is deterministic
+/// (registration order) and uses the same SourceWarning currency as
+/// AnswerResult: a source left fenced-stale because its definition no
+/// longer lints clean (or its re-materialization failed) warns here AND on
+/// every subsequent answer until repaired — never a wrong answer.
+struct EvolutionResult {
+  /// Catalog version the DDL transaction committed as.
+  uint64_t version = 0;
+  /// Lowercased "db::rel" of every relation the DDL created, dropped,
+  /// renamed (both names) or rewrote. Sorted, deduplicated.
+  std::vector<std::string> tables_changed;
+  /// Re-lint findings (DV001..DV007) over affected sources, in
+  /// registration order; Diagnostic::statement is the source index.
+  std::vector<Diagnostic> relint;
+  std::vector<SourceWarning> warnings;
+  /// Affected-source accounting: how many registered sources read the
+  /// evolved database, how many fenced materializations were rebuilt, and
+  /// how many were left fenced (stale) instead.
+  size_t sources_affected = 0;
+  size_t rematerialized = 0;
+  size_t left_stale = 0;
+  /// Indexes re-fenced by this evolution (they stop serving until rebuilt;
+  /// the optimizer's stale fence handles the "never a wrong answer" side).
+  size_t indexes_fenced = 0;
+};
+
+/// Propagation knobs. Defaults give full propagation; tests and benches
+/// switch parts off to isolate the DDL transaction itself.
+struct EvolveOptions {
+  /// Re-lint affected source definitions (DV001..DV007) post-commit.
+  bool relint = true;
+  /// Rebuild affected fenced materializations whose definitions still lint
+  /// clean. Off, every affected fenced source is left stale (re-fenced).
+  bool rematerialize = true;
+};
+
+/// Online schema evolution with propagation through dynamic views.
+///
+/// Each Apply is ONE `Catalog::Mutate` transaction (commit-or-nothing,
+/// tagged "evolve.<kind>" so the WAL records why the commit exists),
+/// followed by propagation over the bound IntegrationSystem's registered
+/// sources: re-lint affected definitions, then for each affected *fenced*
+/// materialization either rebuild it — obsolete partitions retired and the
+/// fresh set installed in one commit tagged EvolveRematTag(index, refs),
+/// which crash recovery replays into the exact same fence state — or leave
+/// it fenced with a deterministic warning when the definition no longer
+/// lints clean. A system-less evolver (nullptr) applies bare catalog DDL.
+///
+/// Failpoint: `evolve.apply` fires before the DDL commit with lowercased
+/// "db::rel" as the match detail; an injected error aborts the evolution
+/// with the catalog untouched.
+///
+/// Not thread-safe against other writers of the same sources: evolutions
+/// serialize on the catalog writer mutex, but propagation assumes no
+/// concurrent registration on the bound system (the usual single-writer
+/// DDL discipline).
+class SchemaEvolver {
+ public:
+  explicit SchemaEvolver(Catalog* catalog,
+                         IntegrationSystem* system = nullptr);
+
+  /// Applies one DDL op and propagates. An invalid op (missing relation,
+  /// duplicate column, NULL demote label, heterogeneous promote family...)
+  /// fails with the catalog untouched.
+  Result<EvolutionResult> Apply(const DdlOp& op,
+                                const EvolveOptions& options = {});
+
+  /// Applies a DDL stream in order, stopping at the first failing op
+  /// (whose transaction published nothing).
+  Result<std::vector<EvolutionResult>> ApplyAll(
+      const std::vector<DdlOp>& ops, const EvolveOptions& options = {});
+
+  /// The transaction core: applies `op` to `txn`, recording every touched
+  /// relation as lowercased "db::rel" into `tables_changed` (when given).
+  /// Exposed so tests can compose several ops into one transaction.
+  static Status ApplyToTxn(CatalogTxn& txn, const DdlOp& op,
+                           std::vector<std::string>* tables_changed = nullptr);
+
+ private:
+  Status Propagate(const DdlOp& op, const EvolveOptions& options,
+                   EvolutionResult* out);
+
+  Catalog* catalog_;
+  IntegrationSystem* system_;
+};
+
+}  // namespace dynview
+
+#endif  // DYNVIEW_EVOLVE_EVOLUTION_H_

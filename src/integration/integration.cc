@@ -83,6 +83,18 @@ std::vector<Diagnostic> IntegrationSystem::LintSources() const {
   return all;
 }
 
+std::vector<Diagnostic> IntegrationSystem::LintSource(
+    size_t index, const CatalogSnapshot& snap) const {
+  std::vector<Diagnostic> diags;
+  if (index >= sources_.size()) return diags;
+  Analyzer analyzer(&snap, integration_db_);
+  diags = analyzer.AnalyzeRegisteredView(*sources_[index], snap);
+  for (Diagnostic& d : diags) d.statement = static_cast<int>(index);
+  RecordAnalyzeMetrics(diags, &analyze_metrics_);
+  SortDiagnostics(&diags);
+  return diags;
+}
+
 Result<const ViewDefinition*> IntegrationSystem::RegisterAndMaterializeSource(
     const std::string& create_view_sql) {
   DV_ASSIGN_OR_RETURN(const ViewDefinition* view,
@@ -94,16 +106,25 @@ Result<const ViewDefinition*> IntegrationSystem::RegisterAndMaterializeSource(
 Result<const ViewDefinition*> IntegrationSystem::RegisterAndMaterializeInternal(
     const std::string& create_view_sql) {
   uint64_t commit_version = 0;
-  DV_RETURN_IF_ERROR(ViewMaterializer::MaterializeSql(
-                         create_view_sql, &engine_, catalog_, integration_db_,
-                         /*qc=*/nullptr, &commit_version)
-                         .status());
+  DV_ASSIGN_OR_RETURN(auto created,
+                      ViewMaterializer::MaterializeSql(
+                          create_view_sql, &engine_, catalog_, integration_db_,
+                          /*qc=*/nullptr, &commit_version));
   DV_ASSIGN_OR_RETURN(const ViewDefinition* view,
                       RegisterSourceInternal(create_view_sql));
   // The materialization is derived state: fence it at the version its
   // install committed so queries pinned to a later snapshot can detect
   // whether I has moved underneath it (ViewDefinition::IsStaleAgainst).
+  // The created (db, rel) pairs are remembered so the fence also covers
+  // DDL against the materialization itself (drop/rename of a partition)
+  // and so re-materialization can retire partitions that no longer exist.
   ViewDefinition* fenced = sources_.back().get();
+  std::vector<TableRef> refs;
+  refs.reserve(created.size());
+  for (const auto& [db, rel] : created) {
+    refs.push_back(TableRef{ToLower(db), ToLower(rel)});
+  }
+  fenced->set_materialization(std::move(refs));
   fenced->AdvanceMaterializedVersion(commit_version);
   fenced->set_fenced(true);
   return view;
@@ -184,7 +205,59 @@ const ViewIndex* IntegrationSystem::InstallIndex(
 
 namespace {
 constexpr char kMaintainerTagPrefix[] = "maintainer.delta#";
+constexpr char kEvolveRematTagPrefix[] = "evolve.remat#";
+
+/// "db::name" (or bare "name") display form of a source, for warnings.
+std::string SourceDisplayName(const ViewDefinition& view) {
+  const NameTerm& db = view.db_term();
+  return (db.empty() ? std::string() : db.text + "::") + view.rel_term().text;
+}
+
+/// The deterministic degrade warning for a rewriting whose materialization
+/// relation vanished under DDL (dropped or renamed without a fence to trip).
+SourceWarning VanishedMaterializationWarning(const ViewDefinition& view,
+                                             const Status& exec_status) {
+  return SourceWarning{
+      SourceDisplayName(view),
+      Status::Unavailable("stale materialization: " + exec_status.message() +
+                          "; answered from the direct plan on I")};
+}
 }  // namespace
+
+std::string EvolveRematTag(size_t index, const std::vector<TableRef>& refs) {
+  std::string tag = kEvolveRematTagPrefix + std::to_string(index) + "|";
+  for (size_t i = 0; i < refs.size(); ++i) {
+    if (i > 0) tag += ",";
+    tag += refs[i].ToString();
+  }
+  return tag;
+}
+
+bool ParseEvolveRematTag(const std::string& tag, size_t* index,
+                         std::vector<TableRef>* refs) {
+  if (tag.rfind(kEvolveRematTagPrefix, 0) != 0) return false;
+  size_t pos = sizeof(kEvolveRematTagPrefix) - 1;
+  size_t bar = tag.find('|', pos);
+  if (bar == std::string::npos) return false;
+  char* end = nullptr;
+  std::string idx_text = tag.substr(pos, bar - pos);
+  unsigned long long idx = std::strtoull(idx_text.c_str(), &end, 10);
+  if (idx_text.empty() || end == nullptr || *end != '\0') return false;
+  std::vector<TableRef> parsed;
+  size_t at = bar + 1;
+  while (at < tag.size()) {
+    size_t comma = tag.find(',', at);
+    if (comma == std::string::npos) comma = tag.size();
+    std::string item = tag.substr(at, comma - at);
+    size_t sep = item.find("::");
+    if (sep == std::string::npos) return false;
+    parsed.push_back(TableRef{item.substr(0, sep), item.substr(sep + 2)});
+    at = comma + 1;
+  }
+  *index = static_cast<size_t>(idx);
+  *refs = std::move(parsed);
+  return true;
+}
 
 Status IntegrationSystem::OpenDurable(const std::string& dir,
                                       const DurabilityOptions& options) {
@@ -201,6 +274,19 @@ Status IntegrationSystem::OpenDurable(const std::string& dir,
                               "'");
   };
   hooks.commit_replay = [this](uint64_t version, const std::string& tag) {
+    // Evolver re-materialization commits carry the source index AND the
+    // installed partition set in their tag: replay re-advances the fence
+    // and restores the refs, so post-recovery evolutions retire exactly
+    // the partitions that exist.
+    size_t remat_index = 0;
+    std::vector<TableRef> remat_refs;
+    if (ParseEvolveRematTag(tag, &remat_index, &remat_refs)) {
+      if (remat_index < sources_.size()) {
+        sources_[remat_index]->set_materialization(std::move(remat_refs));
+        sources_[remat_index]->AdvanceMaterializedVersion(version);
+      }
+      return;
+    }
     // Maintainer delta commits carry the source index in their tag; the
     // replayed commit version re-advances that source's fence, restoring
     // the exact staleness state (DV007) the crash interrupted.
@@ -273,6 +359,11 @@ std::string IntegrationSystem::EncodeSourceRecord(
   w.Str(view.stmt().ToString());
   w.U8(view.fenced() ? 1 : 0);
   w.U64(view.materialized_version());
+  w.U32(static_cast<uint32_t>(view.materialization().size()));
+  for (const TableRef& ref : view.materialization()) {
+    w.Str(ref.db);
+    w.Str(ref.rel);
+  }
   auto it = source_diags_.find(&view);
   const std::vector<Diagnostic>* diags =
       it != source_diags_.end() ? &it->second : nullptr;
@@ -297,10 +388,20 @@ Status IntegrationSystem::RestoreSourceRecord(const std::string& payload) {
   std::string sql;
   uint8_t fenced = 0;
   uint64_t materialized_version = 0;
+  uint32_t nrefs = 0;
   uint32_t ndiags = 0;
   DV_RETURN_IF_ERROR(r.Str(&sql));
   DV_RETURN_IF_ERROR(r.U8(&fenced));
   DV_RETURN_IF_ERROR(r.U64(&materialized_version));
+  DV_RETURN_IF_ERROR(r.U32(&nrefs));
+  std::vector<TableRef> refs;
+  refs.reserve(nrefs);
+  for (uint32_t i = 0; i < nrefs; ++i) {
+    TableRef ref;
+    DV_RETURN_IF_ERROR(r.Str(&ref.db));
+    DV_RETURN_IF_ERROR(r.Str(&ref.rel));
+    refs.push_back(std::move(ref));
+  }
   DV_RETURN_IF_ERROR(r.U32(&ndiags));
   std::vector<Diagnostic> diags;
   diags.reserve(ndiags);
@@ -332,6 +433,7 @@ Status IntegrationSystem::RestoreSourceRecord(const std::string& payload) {
   DV_ASSIGN_OR_RETURN(const ViewDefinition* view,
                       RegisterSourceInternal(sql));
   ViewDefinition* restored = sources_.back().get();
+  restored->set_materialization(std::move(refs));
   if (fenced != 0) {
     restored->AdvanceMaterializedVersion(materialized_version);
     restored->set_fenced(true);
@@ -565,7 +667,21 @@ Result<AnswerResult> IntegrationSystem::AnswerUncached(
     Result<TranslationResult> rewritten =
         RewriteOver(sql, options.multiset, *snap, &stale, &chosen);
     if (rewritten.ok()) {
-      return engine_.Execute(rewritten.value().query.get(), qc);
+      Result<Table> over_source =
+          engine_.Execute(rewritten.value().query.get(), qc);
+      // A rewriting can reference a materialization relation that DDL has
+      // since dropped or renamed (an unfenced source has no staleness
+      // fence to trip). That must degrade like a stale fence — a
+      // deterministic warning plus the direct plan on I — never surface as
+      // a hard NotFound for a query I itself can answer.
+      if (over_source.ok() ||
+          over_source.status().code() != StatusCode::kNotFound) {
+        return over_source;
+      }
+      stale.push_back(
+          VanishedMaterializationWarning(*chosen, over_source.status()));
+      chosen = nullptr;
+      return engine_.ExecuteSql(sql, qc);
     }
     Result<Table> direct = engine_.ExecuteSql(sql, qc);
     if (direct.ok()) return direct;
@@ -679,6 +795,18 @@ Result<AnswerResult> IntegrationSystem::AnswerWithCache(
         plan->rewritten != nullptr ? plan->rewritten.get() : plan->direct.get();
     std::unique_ptr<SelectStmt> exec_stmt = tmpl->Clone();
     answered = engine_.Execute(exec_stmt.get(), qc);
+    if (!answered.ok() &&
+        answered.status().code() == StatusCode::kNotFound &&
+        plan->rewritten != nullptr && chosen != nullptr) {
+      // The cached rewriting references a materialization relation DDL has
+      // since removed: drop the entry and degrade to the direct plan with a
+      // deterministic warning (same surface as the uncached path).
+      plan_cache_.Erase(cache_key);
+      stale.push_back(
+          VanishedMaterializationWarning(*chosen, answered.status()));
+      chosen = nullptr;
+      answered = engine_.ExecuteSql(sql, qc);
+    }
   } else {
     // Cold path: the full rewrite, then cache what it decided. The programs
     // compiled during this execution (including every grounding of the
@@ -703,6 +831,15 @@ Result<AnswerResult> IntegrationSystem::AnswerWithCache(
       }
       std::unique_ptr<SelectStmt> exec_stmt = entry->rewritten->Clone();
       answered = engine_.Execute(exec_stmt.get(), qc);
+      if (!answered.ok() &&
+          answered.status().code() == StatusCode::kNotFound &&
+          chosen != nullptr) {
+        plan_cache_.Erase(cache_key);
+        stale.push_back(
+            VanishedMaterializationWarning(*chosen, answered.status()));
+        chosen = nullptr;
+        answered = engine_.ExecuteSql(sql, qc);
+      }
     } else {
       std::unique_ptr<SelectStmt> direct_stmt = std::move(stmt);
       if (direct_stmt == nullptr) {

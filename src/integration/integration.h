@@ -116,6 +116,18 @@ struct DefinedView {
   std::vector<Diagnostic> diagnostics;
 };
 
+/// Commit tag the schema evolver stamps on a source re-materialization
+/// commit: "evolve.remat#<index>|db::rel,db::rel,...". The WAL persists it
+/// verbatim, so replay re-advances source <index>'s fence to the replayed
+/// commit version AND restores its materialization refs to exactly the
+/// partition set that commit installed — crash recovery lands on the same
+/// staleness state the evolution reached.
+std::string EvolveRematTag(size_t index, const std::vector<TableRef>& refs);
+
+/// Parses an EvolveRematTag; returns false when `tag` is not one.
+bool ParseEvolveRematTag(const std::string& tag, size_t* index,
+                         std::vector<TableRef>* refs);
+
 /// The Fig. 6 architecture. The integration schema I is a stable,
 /// first-order schema designed for the new application; every data source
 /// (legacy schema, interface schema, or index) is registered as an SQL or
@@ -149,6 +161,13 @@ class IntegrationSystem {
   /// materialization fence). Diagnostics carry the registration index in
   /// Diagnostic::statement. Deterministic for a fixed catalog version.
   std::vector<Diagnostic> LintSources() const;
+
+  /// Re-lints ONE registered source against `snap` (the schema evolver's
+  /// per-affected-source pass). Same checks and determinism as LintSources;
+  /// diagnostics carry `index` in Diagnostic::statement and tally into
+  /// analyze_metrics().
+  std::vector<Diagnostic> LintSource(size_t index,
+                                     const CatalogSnapshot& snap) const;
 
   /// The cumulative `analyze.*` counters across DefineView/LintSources
   /// calls on this system.
@@ -290,6 +309,8 @@ class IntegrationSystem {
 
   QueryEngine* engine() { return &engine_; }
   Optimizer* optimizer() { return &optimizer_; }
+  Catalog* catalog() const { return catalog_; }
+  const std::string& integration_db() const { return integration_db_; }
 
  private:
   /// One plan-cache entry: everything a repeat of the same normalized query

@@ -27,6 +27,34 @@ ViewMaterializer::Materialize(const CreateViewStmt& view, QueryEngine* engine,
                               Catalog* target,
                               const std::string& default_target_db,
                               QueryContext* qc, uint64_t* commit_version) {
+  DV_ASSIGN_OR_RETURN(std::vector<MaterializedPartition> parts,
+                      Build(view, engine, default_target_db, qc));
+  // Fault-injection point for the install: an injected error materializes
+  // nothing (the partitions above are discarded, the catalog is untouched).
+  if (FailPoints::AnyArmed()) {
+    DV_RETURN_IF_ERROR(
+        FailPoints::Check("engine.materialize", ToLower(view.name.text)));
+  }
+  // Install every partition in ONE commit, in Build's deterministic
+  // (database, relation) order — a reader either sees the whole
+  // materialization or none of it.
+  std::vector<std::pair<std::string, std::string>> created;
+  created.reserve(parts.size());
+  DV_ASSIGN_OR_RETURN(
+      uint64_t version, target->Mutate([&](CatalogTxn& txn) {
+        for (MaterializedPartition& p : parts) {
+          txn.GetOrCreateDatabase(p.db)->PutTable(p.rel, std::move(p.table));
+          created.emplace_back(p.db, p.rel);
+        }
+        return Status::OK();
+      }));
+  if (commit_version != nullptr) *commit_version = version;
+  return created;
+}
+
+Result<std::vector<MaterializedPartition>> ViewMaterializer::Build(
+    const CreateViewStmt& view, QueryEngine* engine,
+    const std::string& default_target_db, QueryContext* qc) {
   if (qc == nullptr) qc = engine->query_context();
   // Bind a private copy (annotates NameTerms and classifies labels).
   std::unique_ptr<CreateViewStmt> v = view.Clone();
@@ -191,29 +219,14 @@ ViewMaterializer::Materialize(const CreateViewStmt& view, QueryEngine* engine,
   for (size_t i = 0; i < ordered.size(); ++i) {
     if (!outs[i].ok()) return outs[i].status();
   }
-  // Fault-injection point for the install: an injected error materializes
-  // nothing (the partitions above are discarded, the catalog is untouched).
-  if (FailPoints::AnyArmed()) {
-    DV_RETURN_IF_ERROR(
-        FailPoints::Check("engine.materialize", ToLower(v->name.text)));
+  std::vector<MaterializedPartition> parts;
+  parts.reserve(ordered.size());
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    const auto& key = ordered[i]->first;
+    parts.push_back(MaterializedPartition{key.first, key.second,
+                                          std::move(outs[i]).value()});
   }
-  // Install every partition in ONE commit, in the map's deterministic
-  // (database, relation) order — a reader either sees the whole
-  // materialization or none of it.
-  std::vector<std::pair<std::string, std::string>> created;
-  created.reserve(ordered.size());
-  DV_ASSIGN_OR_RETURN(
-      uint64_t version, target->Mutate([&](CatalogTxn& txn) {
-        for (size_t i = 0; i < ordered.size(); ++i) {
-          const auto& key = ordered[i]->first;
-          txn.GetOrCreateDatabase(key.first)
-              ->PutTable(key.second, std::move(outs[i]).value());
-          created.push_back(key);
-        }
-        return Status::OK();
-      }));
-  if (commit_version != nullptr) *commit_version = version;
-  return created;
+  return parts;
 }
 
 }  // namespace dynview

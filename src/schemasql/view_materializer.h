@@ -25,6 +25,15 @@ namespace dynview {
 ///
 /// At most one attribute position may be a variable (SchemaSQL's practical
 /// restriction; more would require nested pivots).
+/// One output relation of a materialization, built but not yet installed.
+/// `db`/`rel` keep the label's original case (catalog keys are
+/// case-insensitive).
+struct MaterializedPartition {
+  std::string db;
+  std::string rel;
+  Table table;
+};
+
 class ViewMaterializer {
  public:
   /// Evaluates `view`'s body against `engine`'s catalog and writes the
@@ -53,6 +62,15 @@ class ViewMaterializer {
   MaterializeSql(const std::string& create_view_sql, QueryEngine* engine,
                  Catalog* target, const std::string& default_target_db,
                  QueryContext* qc = nullptr, uint64_t* commit_version = nullptr);
+
+  /// The evaluation half of Materialize: builds every output partition (in
+  /// the same deterministic order) without touching any catalog. Callers
+  /// that need install-time control — the schema evolver drops obsolete
+  /// partitions and installs the fresh ones in ONE tagged commit — compose
+  /// their own transaction from the result.
+  static Result<std::vector<MaterializedPartition>> Build(
+      const CreateViewStmt& view, QueryEngine* engine,
+      const std::string& default_target_db, QueryContext* qc = nullptr);
 };
 
 }  // namespace dynview

@@ -389,5 +389,133 @@ TEST_F(ChaosTest, StaleSourceIsFencedWithWarningAndCounter) {
   EXPECT_EQ(replay.value().table.ToString(0), fresh.value().table.ToString(0));
 }
 
+TEST_F(ChaosTest, DdlRacingFencedMaterializationDegradesToWarning) {
+  // Schema evolution vs. a fenced materialized source: query threads race
+  // mutators that (a) drop and restore one of the view's materialization
+  // partitions, (b) rename the base relation away and back, and (c) grow the
+  // base data so the materialization lags. The contract under fire: every
+  // answer either matches a serial direct execution against its own pinned
+  // snapshot (stale fencing fell back to base data) or fails with the SAME
+  // status the direct engine reports — a deterministic warning, never a
+  // crash and never silently stale rows.
+  IntegrationSystem system(&catalog_, "I");
+  ASSERT_TRUE(system
+                  .RegisterAndMaterializeSource(
+                      "create view s2x::C(date, price) as select D, P from "
+                      "I::stock T, T.company C, T.date D, T.price P")
+                  .ok());
+  const char* query =
+      "select C, P from I::stock T, T.company C, T.price P where P >= 0";
+  AnswerOptions options;
+  options.multiset = true;
+  QueryEngine direct(&catalog_, "I", ExecConfig{});
+
+  auto canon = [](const Table& t) {
+    Table c = t;
+    c.SortRows();
+    return c.ToString(0);
+  };
+
+  std::atomic<int> oracle_violations{0};
+  std::atomic<int> warned_answers{0};
+  std::mutex mu;
+  std::string first_violation;
+  auto violation = [&](const std::string& what) {
+    oracle_violations.fetch_add(1);
+    std::lock_guard<std::mutex> lock(mu);
+    if (first_violation.empty()) first_violation = what;
+  };
+
+  constexpr int kQueryThreads = 3;
+  constexpr int kQueriesPerThread = 15;
+  constexpr int kMutations = 20;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kQueryThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        auto r = system.AnswerGuarded(query, options);
+        std::shared_ptr<const CatalogSnapshot> snap =
+            r.ok() ? r.value().snapshot : catalog_.Snapshot();
+        QueryContext qc;
+        qc.PinSnapshot(snap);
+        auto ref = direct.ExecuteSql(query, &qc);
+        if (r.ok() != ref.ok()) {
+          violation("answer ok=" + std::string(r.ok() ? "1" : "0") +
+                    " but direct ok=" + (ref.ok() ? "1" : "0"));
+          continue;
+        }
+        if (r.ok()) {
+          if (canon(r.value().table) != canon(ref.value())) {
+            violation("rows diverge from direct replay on pinned snapshot");
+          }
+          if (!r.value().warnings.empty()) warned_answers.fetch_add(1);
+        } else if (r.status().code() != ref.status().code()) {
+          violation("status " + r.status().ToString() + " vs direct " +
+                    ref.status().ToString());
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {  // Drop/restore one materialization partition.
+    for (int i = 0; i < kMutations; ++i) {
+      (void)catalog_.Mutate([&](CatalogTxn& txn) -> Status {
+        DV_ASSIGN_OR_RETURN(Database * db, txn.GetMutableDatabase("s2x"));
+        std::vector<std::string> names = db->TableNames();
+        if (names.empty()) return Status::OK();
+        if (db->HasTable(names[0])) {
+          DV_RETURN_IF_ERROR(db->DropTable(names[0]));
+        }
+        return Status::OK();
+      });
+    }
+  });
+  threads.emplace_back([&] {  // Rename the base relation away and back.
+    for (int i = 0; i < kMutations; ++i) {
+      (void)catalog_.Mutate([&](CatalogTxn& txn) -> Status {
+        DV_ASSIGN_OR_RETURN(Database * db, txn.GetMutableDatabase("I"));
+        if (db->HasTable("stock")) {
+          DV_ASSIGN_OR_RETURN(Table * t, db->GetMutableTable("stock"));
+          Table moved = *t;
+          DV_RETURN_IF_ERROR(db->DropTable("stock"));
+          db->PutTable("stockx", std::move(moved));
+        } else if (db->HasTable("stockx")) {
+          DV_ASSIGN_OR_RETURN(Table * t, db->GetMutableTable("stockx"));
+          Table moved = *t;
+          DV_RETURN_IF_ERROR(db->DropTable("stockx"));
+          db->PutTable("stock", std::move(moved));
+        }
+        return Status::OK();
+      });
+    }
+  });
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(oracle_violations.load(), 0) << first_violation;
+
+  // Deterministic epilogue: leave the base present and the materialization
+  // stale, and pin one snapshot — the answer must carry the DV007-style
+  // stale warning for the source and still match the direct rows exactly.
+  (void)catalog_.Mutate([&](CatalogTxn& txn) -> Status {
+    DV_ASSIGN_OR_RETURN(Database * db, txn.GetMutableDatabase("I"));
+    if (!db->HasTable("stock") && db->HasTable("stockx")) {
+      DV_ASSIGN_OR_RETURN(Table * t, db->GetMutableTable("stockx"));
+      Table moved = *t;
+      DV_RETURN_IF_ERROR(db->DropTable("stockx"));
+      db->PutTable("stock", std::move(moved));
+    }
+    return Status::OK();
+  });
+  auto final_answer = system.AnswerGuarded(query, options);
+  ASSERT_TRUE(final_answer.ok()) << final_answer.status().ToString();
+  ASSERT_GE(final_answer.value().warnings.size(), 1u);
+  EXPECT_EQ(final_answer.value().warnings[0].source, "s2x::C");
+  EXPECT_EQ(final_answer.value().warnings[0].status.code(),
+            StatusCode::kUnavailable);
+  QueryContext qc;
+  qc.PinSnapshot(final_answer.value().snapshot);
+  auto ref = direct.ExecuteSql(query, &qc);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(canon(final_answer.value().table), canon(ref.value()));
+}
+
 }  // namespace
 }  // namespace dynview

@@ -26,6 +26,7 @@
 
 #include "common/failpoint.h"
 #include "engine/query_engine.h"
+#include "evolve/evolution.h"
 #include "integration/integration.h"
 #include "plan_cache/fingerprint.h"
 #include "sql/parser.h"
@@ -666,6 +667,88 @@ TEST(FingerprintTest, EmbeddedQuotesStayDistinctAndRoundTrip) {
       FingerprintSql(stmt.value()->ToString(), FingerprintMode::kExact);
   ASSERT_TRUE(again.ok()) << again.status().ToString();
   EXPECT_EQ(again.value().normalized, a.value().normalized);
+}
+
+// ---- plan cache invalidation under schema evolution ------------------------
+
+TEST_F(PlanCacheTest, EvolutionRenameStaleMissesEveryCachedPlan) {
+  // Evolution DDL is a catalog commit like any other: EVERY cached plan
+  // touching the evolved source must stale-miss afterwards — answering from
+  // a pre-DDL plan could bind dropped columns or read retired partitions.
+  SchemaEvolver evolver(&catalog_, system_.get());
+  ASSERT_TRUE(
+      evolver.Apply(DdlOp::AddAttribute("I", "stock", "extra", Value::Int(0)))
+          .ok());
+  const char* second_query =
+      "select C, D from I::stock T, T.company C, T.date D";
+  auto warm1 = system_->AnswerGuarded(kFig6Query, Multiset());
+  auto warm2 = system_->AnswerGuarded(second_query, Multiset());
+  ASSERT_TRUE(warm1.ok() && warm2.ok());
+  ASSERT_TRUE(system_->AnswerGuarded(kFig6Query, Multiset())->plan_cached);
+  ASSERT_TRUE(system_->AnswerGuarded(second_query, Multiset())->plan_cached);
+
+  // Rename an attribute the queries never read: answers stay identical, but
+  // the plans must be recompiled against the evolved schema anyway.
+  uint64_t invalidations_before = system_->plan_cache_stats().invalidations;
+  ASSERT_TRUE(
+      evolver.Apply(DdlOp::RenameAttribute("I", "stock", "extra", "extra2"))
+          .ok());
+  auto after1 = system_->AnswerGuarded(kFig6Query, Multiset());
+  auto after2 = system_->AnswerGuarded(second_query, Multiset());
+  ASSERT_TRUE(after1.ok() && after2.ok());
+  EXPECT_FALSE(after1.value().plan_cached) << "stale plan served after DDL";
+  EXPECT_FALSE(after2.value().plan_cached) << "stale plan served after DDL";
+  EXPECT_GT(system_->plan_cache_stats().invalidations, invalidations_before);
+  EXPECT_EQ(after1.value().table.ToString(), warm1.value().table.ToString());
+  EXPECT_EQ(after2.value().table.ToString(), warm2.value().table.ToString());
+
+  // The recompiled plans re-cache at the new version.
+  EXPECT_TRUE(system_->AnswerGuarded(kFig6Query, Multiset())->plan_cached);
+  EXPECT_TRUE(system_->AnswerGuarded(second_query, Multiset())->plan_cached);
+}
+
+TEST_F(PlanCacheTest, LabelPromotionStaleMissesAndRecompilesCleanly) {
+  // Demote shatters I::stock into per-company partitions; a fan-out plan
+  // caches over that family. Promoting the label back to data must
+  // stale-miss the cached plan and recompile against the united relation.
+  Catalog catalog;
+  StockGenConfig cfg;
+  cfg.num_companies = 3;
+  cfg.num_dates = 4;
+  Table s1 = GenerateStockS1(cfg);
+  ASSERT_TRUE(InstallStockS1(&catalog, "I", s1).ok());
+  IntegrationSystem system(&catalog, "I");
+  SchemaEvolver evolver(&catalog, &system);
+  ASSERT_TRUE(
+      evolver.Apply(DdlOp::DemoteDataToLabel("I", "stock", "company")).ok());
+  auto snap = catalog.Snapshot();
+  std::vector<std::string> family =
+      snap->GetDatabase("I").value()->TableNames();
+  ASSERT_GT(family.size(), 1u);
+
+  const char* fan_out = "select R, D from I -> R, R T, T.date D";
+  auto cold = system.AnswerGuarded(fan_out, Multiset());
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_FALSE(cold.value().plan_cached);
+  auto warm = system.AnswerGuarded(fan_out, Multiset());
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm.value().plan_cached);
+
+  ASSERT_TRUE(
+      evolver.Apply(DdlOp::PromoteLabelToData("I", family, "stock", "company"))
+          .ok());
+  auto promoted = system.AnswerGuarded(fan_out, Multiset());
+  ASSERT_TRUE(promoted.ok()) << promoted.status().ToString();
+  EXPECT_FALSE(promoted.value().plan_cached)
+      << "plan compiled over the partition family must not survive promotion";
+  // The recompiled fan-out now ranges over the single united relation.
+  std::set<std::string> rels;
+  const Table& t = promoted.value().table;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    rels.insert(t.row(r)[0].ToString());
+  }
+  EXPECT_EQ(rels.size(), 1u);
+  EXPECT_TRUE(system.AnswerGuarded(fan_out, Multiset())->plan_cached);
 }
 
 }  // namespace

@@ -18,12 +18,14 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/failpoint.h"
+#include "evolve/evolution.h"
 #include "integration/integration.h"
 #include "relational/catalog.h"
 #include "relational/csv.h"
@@ -781,6 +783,113 @@ TEST_F(DurabilityTest, CheckpointRenameKillChaos) {
   ASSERT_TRUE(recovered.Recover(dir_, &report).ok());
   EXPECT_EQ(report.head_version, head);
   ExpectCatalogsByteIdentical(catalog, recovered);
+}
+
+// ---- Schema evolution under durability -------------------------------------
+
+TEST_F(DurableIntegrationTest, EvolutionCommitsReplayToExactPreCrashHead) {
+  // A DDL stream (add → rename → drop) flows through the evolver, each op
+  // one tagged Mutate commit plus its re-materialization commit — all on the
+  // WAL. Crash with the final checkpoint suppressed: replay must land on the
+  // exact pre-crash head with the source's fence advanced to the replayed
+  // re-materialization, and answer byte-identically.
+  uint64_t head_before = 0;
+  uint64_t fence_before = 0;
+  std::string before_csv;
+  {
+    Catalog catalog;
+    InstallStocks(&catalog);
+    IntegrationSystem system(&catalog, "I");
+    ASSERT_TRUE(system.OpenDurable(dir_).ok());
+    ASSERT_TRUE(system.RegisterAndMaterializeSource(kS2View).ok());
+    SchemaEvolver evolver(&catalog, &system);
+    ASSERT_TRUE(
+        evolver.Apply(DdlOp::AddAttribute("I", "stock", "vol", Value::Int(0)))
+            .ok());
+    ASSERT_TRUE(
+        evolver.Apply(DdlOp::RenameAttribute("I", "stock", "vol", "volume"))
+            .ok());
+    ASSERT_TRUE(
+        evolver.Apply(DdlOp::DropAttribute("I", "stock", "volume")).ok());
+    auto before = system.Answer(kFig6Query, /*multiset=*/true);
+    ASSERT_TRUE(before.ok()) << before.status().ToString();
+    before_csv = TableToCsvTyped(before.value());
+    head_before = catalog.version();
+    fence_before = system.sources()[0]->materialized_version();
+    EXPECT_GT(fence_before, 0u);
+    FailSpec kill;
+    kill.mode = FailMode::kErrorAlways;
+    FailPoints::Arm("snapshot.write", kill);
+  }
+  FailPoints::DisarmAll();
+
+  Catalog catalog;
+  IntegrationSystem system(&catalog, "I");
+  ASSERT_TRUE(system.OpenDurable(dir_).ok());
+  EXPECT_EQ(catalog.version(), head_before);
+  ASSERT_EQ(system.sources().size(), 1u);
+  EXPECT_EQ(system.sources()[0]->materialized_version(), fence_before)
+      << "re-materialization fence must replay with the DDL commits";
+  EXPECT_FALSE(system.sources()[0]->IsStaleAgainst(*catalog.Snapshot()))
+      << "replayed source must be current at the replayed head";
+  auto after = system.Answer(kFig6Query, /*multiset=*/true);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(TableToCsvTyped(after.value()), before_csv);
+}
+
+TEST_F(DurableIntegrationTest, TornTailMidDdlStreamReplaysToCommittedPrefix) {
+  // Crash mid-DDL-stream with the WAL torn inside the SECOND op's first
+  // record: recovery must truncate the tail with a warning and land exactly
+  // on the head after the first op — a committed prefix, never a
+  // half-applied DDL.
+  uint64_t head_mid = 0;
+  std::string mid_csv;
+  uintmax_t wal_mid = 0;
+  const std::string wal_path = dir_ + "/wal.log";
+  {
+    Catalog catalog;
+    InstallStocks(&catalog);
+    IntegrationSystem system(&catalog, "I");
+    ASSERT_TRUE(system.OpenDurable(dir_).ok());
+    ASSERT_TRUE(system.RegisterAndMaterializeSource(kS2View).ok());
+    SchemaEvolver evolver(&catalog, &system);
+    ASSERT_TRUE(
+        evolver.Apply(DdlOp::AddAttribute("I", "stock", "vol", Value::Int(7)))
+            .ok());
+    auto mid = system.Answer(kFig6Query, /*multiset=*/true);
+    ASSERT_TRUE(mid.ok()) << mid.status().ToString();
+    mid_csv = TableToCsvTyped(mid.value());
+    head_mid = catalog.version();
+    wal_mid = std::filesystem::file_size(wal_path);
+    // Second op lands on the WAL, then the "machine dies" mid-write.
+    ASSERT_TRUE(
+        evolver.Apply(DdlOp::RenameAttribute("I", "stock", "vol", "volume"))
+            .ok());
+    FailSpec kill;
+    kill.mode = FailMode::kErrorAlways;
+    FailPoints::Arm("snapshot.write", kill);
+  }
+  FailPoints::DisarmAll();
+  ASSERT_GT(std::filesystem::file_size(wal_path), wal_mid);
+  // Keep a few bytes of the second op's record: a genuinely torn tail.
+  std::filesystem::resize_file(wal_path, wal_mid + 5);
+
+  Catalog catalog;
+  IntegrationSystem system(&catalog, "I");
+  ASSERT_TRUE(system.OpenDurable(dir_).ok());
+  EXPECT_TRUE(system.recovery_report().torn_tail);
+  EXPECT_EQ(catalog.version(), head_mid)
+      << "replay must stop at the last complete commit before the tear";
+  // The first op's attribute is present, the torn rename never applied.
+  auto stock = catalog.ResolveTable("I", "stock");
+  ASSERT_TRUE(stock.ok());
+  EXPECT_TRUE(stock.value()->schema().HasColumn("vol"));
+  EXPECT_FALSE(stock.value()->schema().HasColumn("volume"));
+  ASSERT_EQ(system.sources().size(), 1u);
+  EXPECT_FALSE(system.sources()[0]->IsStaleAgainst(*catalog.Snapshot()));
+  auto after = system.Answer(kFig6Query, /*multiset=*/true);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(TableToCsvTyped(after.value()), mid_csv);
 }
 
 }  // namespace
