@@ -242,6 +242,57 @@ if relint > 1.25 * full:
         f"propagation ({full:.3f} ms) — skipping remat is not skipping work")
 EOF
 
+# The query-server suite (ctest -L server): wire-codec round-trips,
+# concurrent sessions byte-identical to in-process answers, deterministic
+# load shedding (admission queues, session caps, pool backpressure),
+# disconnect cancellation, and chaos inputs (accept/read/write failpoints,
+# torn/garbage/oversized frames) degrading to clean errors.
+ctest --test-dir build --output-on-failure -L server 2>&1 |
+  tee results/tests_server.txt
+
+# Server robustness benchmarks: throughput + p50/p95/p99 at 1/8/32
+# sessions, shed behavior under 2× admission overload, and a chaos run
+# (read-failpoint storm + mid-query hangups). Gates: overload SHEDS
+# (shed > 0, kResourceExhausted + retry-after) instead of violating
+# deadlines (zero violations, admitted p99 under the request deadline), and
+# after the storm the server still answers byte-identically (chaos_ok).
+build/bench/bench_server \
+  --benchmark_out=results/BENCH_server.json \
+  --benchmark_out_format=json >/dev/null
+python3 - <<'EOF'
+import json
+with open("results/BENCH_server.json") as f:
+    runs = {b["name"]: b for b in json.load(f)["benchmarks"]}
+over = runs["BM_ServerOverloadShed/iterations:1/real_time"]
+chaos = runs["BM_ServerChaos/iterations:1/real_time"]
+for n in (1, 8, 32):
+    b = runs[f"BM_ServerThroughput/{n}/real_time"]
+    print(f"server throughput @{n} sessions: {b['qps']:.0f} req/s, "
+          f"p50={b['p50_ms']:.2f} p95={b['p95_ms']:.2f} "
+          f"p99={b['p99_ms']:.2f} ms, shed={b.get('shed', 0):.0f}")
+    if b["errors"] != 0:
+        raise SystemExit(f"FAIL: {b['errors']:.0f} hard errors at {n} sessions")
+print(f"overload (2x): shed_rate={over['shed_rate']:.2f} ok={over['ok']:.0f} "
+      f"shed={over['shed']:.0f} p99={over['p99_ms']:.2f} ms "
+      f"(deadline {over['deadline_ms']:.0f} ms)")
+if over["shed"] == 0:
+    raise SystemExit("FAIL: 2x overload shed nothing — admission control "
+                     "is not bounding the queues")
+if over["deadline_violations"] != 0 or over["other_errors"] != 0:
+    raise SystemExit(
+        f"FAIL: overload violated deadlines ({over['deadline_violations']:.0f}) "
+        f"or errored ({over['other_errors']:.0f}) instead of shedding")
+if over["p99_ms"] >= over["deadline_ms"]:
+    raise SystemExit(f"FAIL: admitted p99 {over['p99_ms']:.2f} ms breaches "
+                     f"the {over['deadline_ms']:.0f} ms deadline")
+print(f"chaos: survived={chaos['survived']:.0f} dropped={chaos['dropped']:.0f} "
+      f"failpoint_trips={chaos['failpoint_trips']:.0f} "
+      f"disconnect_cancels={chaos['disconnect_cancels']:.0f}")
+if chaos["chaos_ok"] != 1.0 or chaos["server_running"] != 1.0:
+    raise SystemExit("FAIL: server did not answer byte-identically after the "
+                     "chaos storm")
+EOF
+
 # The fuzz suite (ctest -L fuzz): bounded, seeded, deterministic — the
 # randomized-heterogeneity fuzzer's differential oracle (rewriting vs.
 # direct, compiled vs. interpreted, threads {1,8}, pre/post every DDL step,
@@ -322,6 +373,11 @@ ctest --test-dir build-tsan-chaos --output-on-failure -L durability 2>&1 |
 env -u DYNVIEW_FUZZ_ITERS -u DYNVIEW_FUZZ_SEED -u DYNVIEW_FUZZ_REPRO \
   ctest --test-dir build-tsan-chaos --output-on-failure -L fuzz 2>&1 |
   tee results/tests_fuzz_tsan.txt
+# The server reactor, admission controller and pool-side request execution
+# share connections across reactor + workers + client threads — the whole
+# suite (shedding, disconnects, frame chaos included) must hold race-free.
+ctest --test-dir build-tsan-chaos --output-on-failure -L server 2>&1 |
+  tee results/tests_server_tsan.txt
 
 # Fault-injected pass: run the engine/integration-facing suites with a
 # latency failpoint armed on every catalog resolution, proving injection is

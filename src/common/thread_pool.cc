@@ -47,6 +47,11 @@ bool ThreadPool::TrySubmit(std::function<void()> fn) {
 
 bool ThreadPool::OnWorkerThread() { return t_on_worker_thread; }
 
+size_t ThreadPool::ApproxQueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
 void ThreadPool::WorkerLoop() {
   t_on_worker_thread = true;
   for (;;) {

@@ -50,6 +50,16 @@ class ThreadPool {
   /// nested parallel regions inline instead of flooding the queue.
   static bool OnWorkerThread();
 
+  /// Instantaneous pending-task count (tasks queued, not yet claimed by a
+  /// worker). Advisory by nature — the depth can change before the caller
+  /// acts on it — but exact at the moment of the read. The query server
+  /// reports it in kResourceExhausted shed responses so clients can tell
+  /// pool backpressure ("queue 1024/1024") from a real execution error.
+  size_t ApproxQueueDepth() const;
+
+  /// The TrySubmit cap this pool was built with (0 = unbounded).
+  size_t max_queued() const { return max_queued_; }
+
   /// Runs `fn(0) … fn(n-1)` across the workers plus the calling thread and
   /// returns when all iterations finished. Iterations are claimed from a
   /// shared counter, so completion order is nondeterministic — callers that
@@ -68,7 +78,7 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;

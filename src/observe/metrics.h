@@ -64,6 +64,25 @@ inline constexpr char kStorageReplayedRecords[] =
     "storage.replayed_records";
 inline constexpr char kStorageTornTail[] = "storage.torn_tail";
 inline constexpr char kStorageCheckpoints[] = "storage.checkpoints";
+// Query server (src/server/) counter family. Owned by the QueryServer's
+// atomic stats block, not a per-query registry: these count connection and
+// admission events across the life of one server, and are exported by
+// QueryServer::MetricsSnapshot() / the wire "stats" verb under exactly
+// these names.
+inline constexpr char kServerAccepted[] = "server.connections_accepted";
+inline constexpr char kServerClosed[] = "server.connections_closed";
+inline constexpr char kServerRequests[] = "server.requests";
+inline constexpr char kServerAdmitted[] = "server.requests_admitted";
+inline constexpr char kServerQueued[] = "server.requests_queued";
+inline constexpr char kServerShedQueueFull[] = "server.shed_queue_full";
+inline constexpr char kServerShedSessionCap[] = "server.shed_session_cap";
+inline constexpr char kServerShedPool[] = "server.shed_pool_backpressure";
+inline constexpr char kServerBadFrames[] = "server.bad_frames";
+inline constexpr char kServerOversizedFrames[] = "server.oversized_frames";
+inline constexpr char kServerDisconnectCancels[] = "server.disconnect_cancels";
+inline constexpr char kServerChunksSent[] = "server.chunks_sent";
+inline constexpr char kServerBytesSent[] = "server.bytes_sent";
+inline constexpr char kServerFailpointTrips[] = "server.failpoint_trips";
 // Static analysis (DefineView / dynview-lint) tallies.
 inline constexpr char kAnalyzeChecksRun[] = "analyze.checks_run";
 inline constexpr char kAnalyzeDiagnostics[] = "analyze.diagnostics";

@@ -1,0 +1,138 @@
+#ifndef DYNVIEW_SERVER_CLIENT_H_
+#define DYNVIEW_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "server/protocol.h"
+#include "server/wire.h"
+
+namespace dynview {
+
+/// Everything one request's reply carries, whatever the verb. `status` is
+/// the terminal outcome; on error the other fields hold whatever arrived
+/// before the error frame (usually nothing).
+struct ClientReply {
+  uint64_t id = 0;
+  Status status;
+
+  /// Concatenated chunk payloads in seq order — byte-identical to the
+  /// server-side TableToCsvTyped rendering of the result.
+  std::string csv;
+  uint64_t chunks = 0;
+  uint64_t rows = 0;
+  std::vector<std::string> kinds;
+
+  struct Warning {
+    std::string source;
+    StatusCode code = StatusCode::kOk;
+    std::string message;
+    uint64_t count = 0;
+  };
+  std::vector<Warning> warnings;
+
+  uint64_t snapshot_version = 0;
+  bool plan_cached = false;
+  std::string fingerprint;
+  double queue_ms = 0.0;
+  double exec_ms = 0.0;
+
+  std::string text;          // explain / lint.
+  uint64_t prepared = 0;     // prepare.
+  int prepared_params = -1;  // prepare.
+  std::map<std::string, uint64_t> stats;  // stats verb.
+
+  int retry_after_ms = 0;     // Shed responses only.
+  std::string queue_depth;    // Shed responses only.
+};
+
+/// Per-request guard overrides mirrored onto the wire.
+struct ClientQueryOptions {
+  bool multiset = false;
+  int64_t deadline_ms = -1;
+  uint64_t row_budget = 0;
+  uint64_t byte_budget = 0;
+  std::string source_policy;  // "" = inherit server session default.
+};
+
+/// Blocking client for the dynview wire protocol. One TCP connection, one
+/// session; requests may be pipelined (several Send* before any Await) up to
+/// the server's negotiated per-session inflight cap. NOT thread-safe — one
+/// thread per client, the intended load-generator shape.
+class ServerClient {
+ public:
+  /// Connects and performs the hello handshake.
+  static Result<std::unique_ptr<ServerClient>> Connect(
+      const std::string& host, int port, const std::string& client_name = "");
+
+  ~ServerClient();
+  ServerClient(const ServerClient&) = delete;
+  ServerClient& operator=(const ServerClient&) = delete;
+
+  const HelloReply& hello() const { return hello_; }
+
+  /// Fire-and-await conveniences.
+  Result<ClientReply> Query(const std::string& sql,
+                            const ClientQueryOptions& options = {});
+  Result<ClientReply> Explain(const std::string& sql);
+  Result<ClientReply> Lint();
+  Result<ClientReply> Prepare(const std::string& sql);
+  Result<ClientReply> Execute(uint64_t prepared,
+                              const std::vector<Value>& params,
+                              const ClientQueryOptions& options = {});
+  Result<ClientReply> Stats();
+  Result<ClientReply> Ping();
+
+  /// Pipelining: send now, collect later with Await. Returns the request id.
+  Result<uint64_t> SendQuery(const std::string& sql,
+                             const ClientQueryOptions& options = {});
+  Result<uint64_t> SendExplain(const std::string& sql);
+  Result<uint64_t> SendExecute(uint64_t prepared,
+                               const std::vector<Value>& params,
+                               const ClientQueryOptions& options = {});
+  Result<uint64_t> SendRequest(Request req);
+
+  /// Blocks until the terminal frame for `id` arrives; replies for other
+  /// ids arriving first are buffered and returned by their own Await.
+  Result<ClientReply> Await(uint64_t id);
+
+  /// Blocks until the next terminal frame in ARRIVAL order (buffered ones
+  /// first). This is how tests observe server-side completion order — e.g.
+  /// the cheap lane overtaking a queued heavy query.
+  Result<ClientReply> AwaitNext();
+
+  /// Chaos hooks. SendRawBytes writes exactly these bytes (no framing) —
+  /// for torn/garbage/oversized frame tests. CloseAbruptly drops the
+  /// connection with no goodbye, as a crashing client would.
+  Status SendRawBytes(const std::string& bytes);
+  Status SendRawFrame(const std::string& payload);
+  void CloseAbruptly();
+
+ private:
+  ServerClient() = default;
+
+  Status WriteAll(const char* data, size_t len);
+  /// Reads frames until the terminal frame for `want` arrives (any
+  /// terminal frame, when `any`).
+  Status Pump(bool any, uint64_t want);
+  Status HandleReplyFrame(const std::string& payload);
+  ClientReply TakeFinished(uint64_t id);
+
+  int fd_ = -1;
+  uint64_t next_id_ = 1;
+  HelloReply hello_;
+  FrameDecoder decoder_{64u << 20};
+  std::unordered_map<uint64_t, ClientReply> pending_;   // Chunks so far.
+  std::unordered_map<uint64_t, ClientReply> finished_;  // Awaiting pickup.
+  std::vector<uint64_t> order_;  // Arrival order of finished_ entries.
+};
+
+}  // namespace dynview
+
+#endif  // DYNVIEW_SERVER_CLIENT_H_
