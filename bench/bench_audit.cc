@@ -1,0 +1,85 @@
+// Workload-auditor cost on a deliberately containment-heavy workload: the CI
+// gate (scripts/run_experiments.sh) requires the full 20-view audit to stay
+// under 50 ms and the per-view-pair containment check under 2 ms — the audit
+// is a static tool and must stay interactive at workload scale. Also
+// measures the what-if blast-radius path, which adds a scratch-catalog
+// rebuild on top of the per-source re-lint.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "analyze/audit.h"
+#include "evolve/evolution.h"
+#include "integration/integration.h"
+#include "relational/catalog.h"
+
+namespace dynview {
+namespace {
+
+Table BaseTable(size_t rows) {
+  Table t(Schema({{"id", TypeKind::kInt},
+                  {"cat", TypeKind::kString},
+                  {"val", TypeKind::kInt}}));
+  for (size_t i = 0; i < rows; ++i) {
+    t.AppendRowUnchecked({Value::Int(static_cast<int64_t>(i)),
+                          Value::String(i % 2 == 0 ? "a" : "b"),
+                          Value::Int(static_cast<int64_t>(i * 7 % 100))});
+  }
+  return t;
+}
+
+/// `num_views` selection views over one base table, all pairwise comparable
+/// (same header shape, same body tables) with nested predicate ranges — the
+/// worst case for the pairwise containment sweep: every pair reaches the
+/// prover, and many of them genuinely subsume.
+struct Setup {
+  Catalog catalog;
+  std::unique_ptr<IntegrationSystem> system;
+
+  explicit Setup(int num_views) {
+    (void)catalog.PutTable("I", "base0", BaseTable(256));
+    system = std::make_unique<IntegrationSystem>(&catalog, "I");
+    for (int i = 0; i < num_views; ++i) {
+      std::string sql = "create view v" + std::to_string(i) +
+                        "::base0(id) as select A from I::base0 T, T.id A, "
+                        "T.val V where V < " + std::to_string(100 + i);
+      (void)system->RegisterAndMaterializeSource(sql);
+    }
+  }
+};
+
+void BM_AuditWorkload(benchmark::State& state) {
+  Setup s(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    AuditReport report = s.system->AuditWorkload();
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_AuditWorkload)->Arg(20)->Unit(benchmark::kMillisecond);
+
+void BM_AuditPair(benchmark::State& state) {
+  // Two comparable views: exactly one pair, both containment directions.
+  Setup s(2);
+  for (auto _ : state) {
+    AuditReport report = s.system->AuditWorkload();
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_AuditPair)->Unit(benchmark::kMillisecond);
+
+void BM_WhatIfBlastRadius(benchmark::State& state) {
+  Setup s(static_cast<int>(state.range(0)));
+  DdlOp op = DdlOp::AddAttribute("I", "base0", "extra");
+  for (auto _ : state) {
+    WhatIfReport report = s.system->WhatIfAudit(op);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_WhatIfBlastRadius)->Arg(20)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dynview
+
+BENCHMARK_MAIN();

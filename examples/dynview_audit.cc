@@ -1,0 +1,214 @@
+// dynview-audit: workload-level static audit over SchemaSQL files.
+//
+//   dynview-audit FILE.ssql [--format=text|json]
+//                 [--workload=stock|hotel|tickets|none] [--db=NAME]
+//                 [--what-if='<ddl>'] [--threads=N]
+//
+// Registers every CREATE VIEW / CREATE INDEX statement in FILE.ssql
+// (';'-separated, `--` comments) against a catalog seeded with the selected
+// workload schema, then runs the workload auditor (analyze/audit.h): the
+// cross-view dependency graph plus the DV100..DV103 redundancy findings.
+// With --what-if='<ddl>' (DdlOp::ToString form, e.g.
+// "drop-attribute db0::stock -dividend") the audit instead predicts the DDL
+// op's blast radius: which sources re-lint clean, which materializations are
+// left fenced, and which rebuilds are O(base).
+//
+// Exit status is 1 iff any error-severity diagnostic fired (a broken
+// definition in what-if mode, or an invalid op); warnings and notes exit 0.
+//
+// Analysis is purely static (nothing is executed), so output is
+// byte-identical for any --threads value; the flag exists so CI can sweep
+// thread counts and diff the outputs.
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/audit.h"
+#include "core/view_definition.h"
+#include "evolve/evolution.h"
+#include "relational/catalog.h"
+#include "workload/hotel_data.h"
+#include "workload/stock_data.h"
+#include "workload/tickets_data.h"
+
+using namespace dynview;
+
+namespace {
+
+// Splits on ';' outside single-quoted strings; strips `--` comments.
+std::vector<std::string> SplitStatements(const std::string& text) {
+  std::vector<std::string> stmts;
+  std::string cur;
+  bool in_string = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (!in_string && c == '-' && i + 1 < text.size() && text[i + 1] == '-') {
+      while (i < text.size() && text[i] != '\n') ++i;
+      cur += ' ';
+      continue;
+    }
+    if (c == '\'') in_string = !in_string;
+    if (c == ';' && !in_string) {
+      stmts.push_back(cur);
+      cur.clear();
+      continue;
+    }
+    cur += c;
+  }
+  stmts.push_back(cur);
+  std::vector<std::string> out;
+  for (std::string& s : stmts) {
+    size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos) continue;
+    size_t e = s.find_last_not_of(" \t\r\n");
+    out.push_back(s.substr(b, e - b + 1));
+  }
+  return out;
+}
+
+bool StartsWithWord(const std::string& s, const char* w0, const char* w1) {
+  std::istringstream in(s);
+  std::string a, b;
+  in >> a >> b;
+  for (char& c : a) c = static_cast<char>(std::tolower(c));
+  for (char& c : b) c = static_cast<char>(std::tolower(c));
+  return a == w0 && b == w1;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: dynview-audit FILE.ssql [--format=text|json]\n"
+      "       [--workload=stock|hotel|tickets|none] [--db=NAME]\n"
+      "       [--what-if='<ddl>'] [--threads=N]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string file, format = "text", workload = "none", default_db = "I";
+  std::string what_if;
+  bool db_set = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+    } else if (arg.rfind("--workload=", 0) == 0) {
+      workload = arg.substr(11);
+    } else if (arg.rfind("--db=", 0) == 0) {
+      default_db = arg.substr(5);
+      db_set = true;
+    } else if (arg.rfind("--what-if=", 0) == 0) {
+      what_if = arg.substr(10);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      // Accepted for CI thread sweeps; analysis is static and
+      // thread-independent, so the value changes nothing.
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else {
+      file = arg;
+    }
+  }
+  if (file.empty() || (format != "text" && format != "json")) return Usage();
+
+  std::ifstream in(file);
+  if (!in) {
+    std::fprintf(stderr, "dynview-audit: cannot open %s\n", file.c_str());
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  // Seed the catalog the audit runs against (same seeding as dynview-lint).
+  Catalog catalog;
+  if (workload == "stock") {
+    StockGenConfig cfg;
+    if (auto s = InstallDb0(&catalog, "db0", cfg); !s.ok()) {
+      std::fprintf(stderr, "dynview-audit: %s\n", s.message().c_str());
+      return 2;
+    }
+    if (!db_set) default_db = "db0";
+  } else if (workload == "hotel") {
+    HotelGenConfig cfg;
+    Status s = InstallHotelDatabase(&catalog, "hoteldb", cfg);
+    if (s.ok()) s = InstallHprice(&catalog, "hoteldb");
+    if (s.ok()) s = InstallHotelwords(&catalog, "hoteldb");
+    if (!s.ok()) {
+      std::fprintf(stderr, "dynview-audit: %s\n", s.message().c_str());
+      return 2;
+    }
+    if (!db_set) default_db = "hoteldb";
+  } else if (workload == "tickets") {
+    TicketsGenConfig cfg;
+    Status s = InstallTicketJurisdictions(&catalog, "srcdb", cfg);
+    if (s.ok()) s = InstallTicketsIntegration(&catalog, "I", cfg);
+    if (!s.ok()) {
+      std::fprintf(stderr, "dynview-audit: %s\n", s.message().c_str());
+      return 2;
+    }
+    if (!db_set) default_db = "I";
+  } else if (workload != "none") {
+    return Usage();
+  }
+
+  std::shared_ptr<const CatalogSnapshot> snap = catalog.Snapshot();
+
+  // Register the workload: CREATE VIEW statements become sources, CREATE
+  // INDEX statements become graph nodes. Everything else (queries) only
+  // matters to the per-statement linter, not the workload audit.
+  std::vector<std::shared_ptr<ViewDefinition>> sources;
+  std::vector<AuditIndexInfo> indexes;
+  for (const std::string& stmt : SplitStatements(buf.str())) {
+    if (StartsWithWord(stmt, "create", "view")) {
+      Result<ViewDefinition> vd =
+          ViewDefinition::FromSql(stmt, *snap, default_db);
+      if (!vd.ok()) {
+        std::fprintf(stderr, "dynview-audit: bad view definition: %s\n",
+                     vd.status().message().c_str());
+        return 2;
+      }
+      sources.push_back(
+          std::make_shared<ViewDefinition>(std::move(vd).value()));
+    } else if (StartsWithWord(stmt, "create", "index")) {
+      AuditIndexInfo info =
+          WorkloadAuditor::DescribeIndexSql(stmt, default_db);
+      if (info.name.empty()) {
+        std::fprintf(stderr, "dynview-audit: bad index definition in %s\n",
+                     file.c_str());
+        return 2;
+      }
+      indexes.push_back(std::move(info));
+    }
+  }
+
+  WorkloadAuditor auditor(snap, default_db, std::move(sources),
+                          std::move(indexes));
+  if (!what_if.empty()) {
+    Result<DdlOp> op = ParseDdlOp(what_if);
+    if (!op.ok()) {
+      std::fprintf(stderr, "dynview-audit: bad --what-if: %s\n",
+                   op.status().message().c_str());
+      return 2;
+    }
+    WhatIfReport report = auditor.WhatIf(op.value());
+    std::fputs((format == "json" ? RenderWhatIfJson(report)
+                                 : RenderWhatIfText(report))
+                   .c_str(),
+               stdout);
+    if (!report.op_valid) return 1;
+    return HasErrors(report.relint) ? 1 : 0;
+  }
+  AuditReport report = auditor.Audit();
+  std::fputs(
+      (format == "json" ? RenderAuditJson(report) : RenderAuditText(report))
+          .c_str(),
+      stdout);
+  return HasErrors(report.diagnostics) ? 1 : 0;
+}

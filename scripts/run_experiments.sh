@@ -336,8 +336,65 @@ if worst[0] > 5.0:
     raise SystemExit(f"FAIL: {worst[1]} takes {worst[0]:.3f} ms > 5 ms per view")
 EOF
 
+# Workload-auditor cost on a containment-heavy 20-view workload (every view
+# pair comparable, so the pairwise sweep does maximal prover work).
+# Acceptance bars: the full 20-view audit stays under 50 ms and the
+# per-view-pair containment check under 2 ms — the audit is a static tool
+# and must stay interactive at workload scale.
+build/bench/bench_audit \
+  --benchmark_out=results/BENCH_audit.json \
+  --benchmark_out_format=json >/dev/null
+python3 - <<'EOF'
+import json
+with open("results/BENCH_audit.json") as f:
+    runs = {b["name"]: b for b in json.load(f)["benchmarks"]}
+unit = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+def ms(name):
+    b = runs[name]
+    return b["real_time"] * unit[b["time_unit"]]
+full = ms("BM_AuditWorkload/20")
+pair = ms("BM_AuditPair")
+whatif = ms("BM_WhatIfBlastRadius/20")
+print(f"audit: 20-view workload {full:.3f} ms, per-pair {pair:.3f} ms, "
+      f"what-if {whatif:.3f} ms")
+if full > 50.0:
+    raise SystemExit(f"FAIL: 20-view audit {full:.3f} ms > 50 ms")
+if pair > 2.0:
+    raise SystemExit(f"FAIL: per-view-pair containment {pair:.3f} ms > 2 ms")
+EOF
+
+# Audit gate: dynview-audit over the workload catalogs must report ZERO
+# findings (the shipped workloads carry no redundancy), and JSON output must
+# be byte-stable across thread counts — the auditor is static and its bytes
+# must not depend on engine parallelism.
+for wl in stock hotel tickets; do
+  echo "=== dynview-audit: ${wl} ==="
+  build/examples/dynview_audit "examples/lint/${wl}.ssql" \
+    --workload="${wl}" --format=json --threads=1 \
+    | tee "results/audit_${wl}.json"
+  build/examples/dynview_audit "examples/lint/${wl}.ssql" \
+    --workload="${wl}" --format=json --threads=8 \
+    > "results/audit_${wl}_t8.json"
+  cmp "results/audit_${wl}.json" "results/audit_${wl}_t8.json" || {
+    echo "FAIL: dynview-audit output differs across thread counts (${wl})"
+    exit 1
+  }
+  rm -f "results/audit_${wl}_t8.json"
+  python3 - "results/audit_${wl}.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+n = len(report["findings"])
+if n != 0:
+    raise SystemExit(f"FAIL: {sys.argv[1]}: {n} audit finding(s) on a "
+                     "shipped workload (false positives)")
+print(f"{sys.argv[1]}: 0 findings, {report['pairs_checked']} pair(s) checked")
+EOF
+done
+
 # The static-analysis suite proper (ctest -L analyze): check registry,
-# DefineView gating, golden text/JSON diagnostics, thread determinism.
+# DefineView gating, golden text/JSON diagnostics, thread determinism,
+# plus the workload auditor (DV100..DV103 and the what-if oracle).
 ctest --test-dir build --output-on-failure -L analyze 2>&1 |
   tee results/tests_analyze.txt
 
@@ -393,18 +450,25 @@ for e in quickstart stock_integration hotel_publishing ticket_indexing \
   "./build/examples/$e" 2>&1 | tee "results/example_${e}.txt"
 done
 
-# DYNVIEW_SANITIZE=1: rebuild under ThreadSanitizer and AddressSanitizer and
-# run the concurrency-sensitive suites under each — guard trips and
-# cancellation must be crash-, leak-, and race-free.
+# DYNVIEW_SANITIZE=1: rebuild under ThreadSanitizer, AddressSanitizer and
+# UndefinedBehaviorSanitizer. The thread lane runs the concurrency-sensitive
+# suites (races are concurrency-shaped); the address and undefined lanes run
+# the FULL tier-1 suite — memory and UB bugs hide anywhere, and both
+# sanitizers are cheap enough to afford everything.
 if [[ "${DYNVIEW_SANITIZE:-0}" == "1" ]]; then
-  for san in thread address; do
+  for san in thread address undefined; do
     dir="build-${san}san"
     cmake -B "$dir" -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DDYNVIEW_SANITIZE="$san"
     cmake --build "$dir"
-    ctest --test-dir "$dir" --output-on-failure \
-      -R 'GuardTest|QueryContextTest|FailPointTest|ThreadPool|Parallel|MetricsRegistryTest|QueryTraceTest|ObserveEngineTest|DeterminismTest|FailpointCoverageTest|ChaosTest|CompiledEngineTest|CompiledRandomTest|PlanCacheTest|GoldenCachedTest' \
-      2>&1 | tee "results/tests_${san}san.txt"
+    if [[ "$san" == "thread" ]]; then
+      ctest --test-dir "$dir" --output-on-failure \
+        -R 'GuardTest|QueryContextTest|FailPointTest|ThreadPool|Parallel|MetricsRegistryTest|QueryTraceTest|ObserveEngineTest|DeterminismTest|FailpointCoverageTest|ChaosTest|CompiledEngineTest|CompiledRandomTest|PlanCacheTest|GoldenCachedTest' \
+        2>&1 | tee "results/tests_${san}san.txt"
+    else
+      ctest --test-dir "$dir" --output-on-failure -j \
+        2>&1 | tee "results/tests_${san}san.txt"
+    fi
   done
 fi
 

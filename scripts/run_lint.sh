@@ -4,9 +4,12 @@
 #
 #   scripts/run_lint.sh [BUILD_DIR]     # default: build
 #
-# Exits non-zero on any clang-tidy diagnostic. When clang-tidy is not
-# installed (e.g. the minimal CI container), prints a notice and exits 0 so
-# the gate degrades gracefully instead of failing on a missing tool.
+# Exits non-zero on any clang-tidy diagnostic: .clang-tidy promotes every
+# enabled check to an error (WarningsAsErrors: '*'), so a new bugprone-* or
+# performance-* finding in src/ fails this gate instead of scrolling by.
+# When clang-tidy is not installed (e.g. the minimal CI container), prints a
+# notice and exits 0 so the gate degrades gracefully instead of failing on a
+# missing tool.
 set -u
 cd "$(dirname "$0")/.."
 

@@ -1,0 +1,94 @@
+#ifndef DYNVIEW_ANALYZE_DEPGRAPH_H_
+#define DYNVIEW_ANALYZE_DEPGRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/view_definition.h"
+#include "relational/catalog.h"
+
+namespace dynview {
+
+/// One registered index as the audit layer sees it: its name plus the body
+/// tables its defining query scans (resolved against the integration db).
+struct AuditIndexInfo {
+  std::string name;
+  std::vector<TableRef> tables;
+};
+
+/// One edge of the workload dependency graph. Directions follow the data:
+///   kReads             table  -> view   (the view's body scans the table)
+///   kMaterializesInto  view   -> table  (the view's partitions live there)
+///   kIndexReads        table  -> index  (the index body scans the table)
+/// `attributes` carries the attribute-level detail of a kReads edge: one
+/// "table_attr->view_output" entry per output position (and per view
+/// variable) the table supplies, sorted and comma-joined. Variables render
+/// with a '$' prefix.
+struct DepEdge {
+  enum class Kind { kReads, kMaterializesInto, kIndexReads };
+  Kind kind = Kind::kReads;
+  std::string from;
+  std::string to;
+  std::string attributes;
+};
+
+/// Workload-level shape statistics of the dependency graph.
+struct DepGraphStats {
+  size_t tables = 0;
+  size_t views = 0;
+  size_t indexes = 0;
+  size_t edges = 0;
+  /// The most-depended-on table (readers = views + indexes scanning it).
+  size_t max_fan_in = 0;
+  std::string max_fan_in_table;
+  /// The widest view (distinct body tables scanned).
+  size_t max_fan_out = 0;
+  std::string max_fan_out_view;
+  /// Strongly connected components of size >= 2 (a view chain that reads a
+  /// table some view in the chain materializes into).
+  size_t cycles = 0;
+};
+
+/// The cross-view/source/index dependency graph over one pinned catalog
+/// snapshot: which tables feed which views, where materializations land,
+/// and which tables back which indexes. Construction is purely static and
+/// deterministic — nodes and edges come out sorted, so Describe() is
+/// byte-stable for a fixed (snapshot, registration order) input.
+class DependencyGraph {
+ public:
+  static DependencyGraph Build(
+      const CatalogSnapshot& snap, const std::string& integration_db,
+      const std::vector<std::shared_ptr<ViewDefinition>>& sources,
+      const std::vector<AuditIndexInfo>& indexes);
+
+  const std::vector<DepEdge>& edges() const { return edges_; }
+  const DepGraphStats& stats() const { return stats_; }
+
+  /// Tables with no reachable view/query path: not scanned by any view or
+  /// index body and not a materialization target, restricted to databases
+  /// the workload references at all (a database no registered view touches
+  /// is out of audit scope) and excluding the integration db, which is the
+  /// query surface itself. Sorted "db::rel" keys.
+  const std::vector<std::string>& unused_tables() const { return unused_; }
+
+  /// Member tables of each cycle (one sorted line per SCC of size >= 2).
+  const std::vector<std::string>& cycle_members() const { return cycles_; }
+
+  /// Deterministic multi-line text block: stats, then one line per edge.
+  std::string Describe() const;
+
+ private:
+  DependencyGraph() = default;
+
+  std::vector<DepEdge> edges_;
+  std::vector<std::string> unused_;
+  std::vector<std::string> cycles_;
+  DepGraphStats stats_;
+};
+
+}  // namespace dynview
+
+#endif  // DYNVIEW_ANALYZE_DEPGRAPH_H_

@@ -47,7 +47,11 @@ bool DiagnosticLess(const Diagnostic& a, const Diagnostic& b) {
   if (a.statement != b.statement) return a.statement < b.statement;
   if (a.code != b.code) return a.code < b.code;
   if (a.span.offset != b.span.offset) return a.span.offset < b.span.offset;
-  return a.message < b.message;
+  if (a.message != b.message) return a.message < b.message;
+  // Workload-audit findings can share (statement, code, span, message) and
+  // differ only in the suggested fix; keep those byte-stable too.
+  if (a.fix_hint != b.fix_hint) return a.fix_hint < b.fix_hint;
+  return a.anchor < b.anchor;
 }
 
 void SortDiagnostics(std::vector<Diagnostic>* diags) {

@@ -48,8 +48,8 @@ struct Diagnostic {
 };
 
 /// Deterministic order: statement, then code, then span offset, then
-/// message. Emitters require sorted input so text and JSON renderings are
-/// byte-stable across runs and thread counts.
+/// message, then fix hint, then anchor. Emitters require sorted input so
+/// text and JSON renderings are byte-stable across runs and thread counts.
 bool DiagnosticLess(const Diagnostic& a, const Diagnostic& b);
 void SortDiagnostics(std::vector<Diagnostic>* diags);
 

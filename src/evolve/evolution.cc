@@ -159,6 +159,8 @@ bool TouchesDatabase(const ViewDefinition& view, const std::string& db_key) {
   return false;
 }
 
+}  // namespace
+
 /// Registration normalizes a view body into explicit-variable form, which
 /// declares a domain variable for EVERY attribute of the defining relation
 /// (see ViewDefinition::Create). Those extra declarations pin the view to
@@ -215,8 +217,6 @@ std::unique_ptr<CreateViewStmt> PruneUnusedDomainVars(
   }
   return pruned;
 }
-
-}  // namespace
 
 SchemaEvolver::SchemaEvolver(Catalog* catalog, IntegrationSystem* system)
     : catalog_(catalog), system_(system) {}
@@ -429,6 +429,11 @@ Result<std::vector<EvolutionResult>> SchemaEvolver::ApplyAll(
     results.push_back(std::move(r));
   }
   return results;
+}
+
+bool SchemaEvolver::Touches(const ViewDefinition& view,
+                            const std::string& db_key) {
+  return TouchesDatabase(view, db_key);
 }
 
 Status SchemaEvolver::Propagate(const DdlOp& op, const EvolveOptions& options,

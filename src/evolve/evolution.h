@@ -125,6 +125,17 @@ struct EvolveOptions {
 /// serialize on the catalog writer mutex, but propagation assumes no
 /// concurrent registration on the bound system (the usual single-writer
 /// DDL discipline).
+/// Returns a clone of `stmt` with every constant-attribute domain-variable
+/// declaration whose variable is referenced nowhere (select list, WHERE,
+/// GROUP BY/HAVING, ORDER BY, header terms, other FROM items) removed,
+/// iterated to a fixpoint. Registration can annotate view bodies with
+/// domain declarations for every base attribute; re-materialization prunes
+/// them first so a dropped-but-unread column does not fail the rebuild.
+/// Shared with the workload auditor's what-if mode, which must predict
+/// rebuild feasibility against the same pruned body.
+std::unique_ptr<CreateViewStmt> PruneUnusedDomainVars(
+    const CreateViewStmt& stmt);
+
 class SchemaEvolver {
  public:
   explicit SchemaEvolver(Catalog* catalog,
@@ -146,6 +157,12 @@ class SchemaEvolver {
   /// Exposed so tests can compose several ops into one transaction.
   static Status ApplyToTxn(CatalogTxn& txn, const DdlOp& op,
                            std::vector<std::string>* tables_changed = nullptr);
+
+  /// The propagation's affected-source predicate: true when `view` reads
+  /// from or materializes into `db_key` (lowercased). Shared with the
+  /// workload auditor's what-if mode so prediction and propagation can
+  /// never disagree on which sources a DDL touches.
+  static bool Touches(const ViewDefinition& view, const std::string& db_key);
 
  private:
   Status Propagate(const DdlOp& op, const EvolveOptions& options,

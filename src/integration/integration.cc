@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "analyze/audit.h"
 #include "common/failpoint.h"
 #include "common/str_util.h"
 #include "core/aggregate_rewrite.h"
@@ -93,6 +94,28 @@ std::vector<Diagnostic> IntegrationSystem::LintSource(
   RecordAnalyzeMetrics(diags, &analyze_metrics_);
   SortDiagnostics(&diags);
   return diags;
+}
+
+void IntegrationSystem::ExportAnalyzeMetrics(MetricsRegistry* sink) const {
+  for (const auto& [name, value] : analyze_metrics_.Merged()) {
+    sink->Set(name.c_str(), value);
+  }
+}
+
+AuditReport IntegrationSystem::AuditWorkload() const {
+  WorkloadAuditor auditor(catalog_->Snapshot(), integration_db_, sources_,
+                          WorkloadAuditor::DescribeIndexes(indexes_,
+                                                           integration_db_),
+                          &analyze_metrics_);
+  return auditor.Audit();
+}
+
+WhatIfReport IntegrationSystem::WhatIfAudit(const DdlOp& op) const {
+  WorkloadAuditor auditor(catalog_->Snapshot(), integration_db_, sources_,
+                          WorkloadAuditor::DescribeIndexes(indexes_,
+                                                           integration_db_),
+                          &analyze_metrics_);
+  return auditor.WhatIf(op);
 }
 
 Result<const ViewDefinition*> IntegrationSystem::RegisterAndMaterializeSource(
@@ -701,6 +724,7 @@ Result<AnswerResult> IntegrationSystem::AnswerUncached(
     // on the driving thread.
     sink->metrics.Set(counters::kBudgetRowsCharged, qc->rows_charged());
     sink->metrics.Set(counters::kBudgetBytesCharged, qc->bytes_charged());
+    ExportAnalyzeMetrics(&sink->metrics);
   }
   std::vector<SourceWarning> warnings = std::move(stale);
   // Analysis warnings DefineView attached to the chosen source travel with
@@ -885,6 +909,7 @@ Result<AnswerResult> IntegrationSystem::AnswerWithCache(
   if (sink != nullptr) {
     sink->metrics.Set(counters::kBudgetRowsCharged, qc->rows_charged());
     sink->metrics.Set(counters::kBudgetBytesCharged, qc->bytes_charged());
+    ExportAnalyzeMetrics(&sink->metrics);
   }
   std::vector<SourceWarning> warnings = std::move(cache_warnings);
   for (SourceWarning& w : stale) warnings.push_back(std::move(w));

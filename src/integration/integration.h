@@ -27,6 +27,10 @@
 
 namespace dynview {
 
+struct AuditReport;   // analyze/audit.h
+struct WhatIfReport;  // analyze/audit.h
+struct DdlOp;         // evolve/evolution.h
+
 /// Construction knobs for IntegrationSystem: the engine's ExecConfig plus
 /// the plan cache's bounds. Defaults match the pre-plan-cache behavior apart
 /// from repeated queries getting faster.
@@ -172,6 +176,23 @@ class IntegrationSystem {
   /// The cumulative `analyze.*` counters across DefineView/LintSources
   /// calls on this system.
   const MetricsRegistry& analyze_metrics() const { return analyze_metrics_; }
+
+  /// Copies the cumulative `analyze.*` / `analyze.audit.*` tallies into
+  /// `sink` as gauges. Answer paths call this at query end so the per-answer
+  /// observer export (AnswerResult::observer) carries the analysis counters
+  /// alongside the engine's own; the server `stats` verb uses
+  /// analyze_metrics() directly.
+  void ExportAnalyzeMetrics(MetricsRegistry* sink) const;
+
+  /// Workload-level static audit (analyze/audit.h) over the current catalog
+  /// snapshot: dependency graph + DV100..DV103 redundancy/reachability
+  /// findings. Tallies into analyze_metrics() (analyze.audit.*).
+  AuditReport AuditWorkload() const;
+
+  /// Blast-radius prediction for `op` without applying it: which sources
+  /// re-lint clean, which would be left fenced, and which rematerializations
+  /// are O(base) — the static mirror of SchemaEvolver's propagation.
+  WhatIfReport WhatIfAudit(const DdlOp& op) const;
 
   /// Registers a source described by `create_view_sql` (a view over I) and
   /// materializes it from I's current contents into `catalog`. Use when I

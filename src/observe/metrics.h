@@ -89,6 +89,16 @@ inline constexpr char kAnalyzeDiagnostics[] = "analyze.diagnostics";
 inline constexpr char kAnalyzeErrors[] = "analyze.errors";
 inline constexpr char kAnalyzeWarnings[] = "analyze.warnings";
 inline constexpr char kAnalyzeNotes[] = "analyze.notes";
+// Workload audit (src/analyze/audit.cc) tallies: whole-audit runs, view
+// pairs offered to the containment checker, findings by code, and what-if
+// predictions computed.
+inline constexpr char kAuditRuns[] = "analyze.audit.runs";
+inline constexpr char kAuditPairsChecked[] = "analyze.audit.pairs_checked";
+inline constexpr char kAuditDuplicates[] = "analyze.audit.duplicates";
+inline constexpr char kAuditSubsumed[] = "analyze.audit.subsumed";
+inline constexpr char kAuditShadowed[] = "analyze.audit.shadowed";
+inline constexpr char kAuditUnused[] = "analyze.audit.unused";
+inline constexpr char kAuditWhatIfRuns[] = "analyze.audit.whatif_runs";
 }  // namespace counters
 
 /// A per-query registry of named counters and gauges.

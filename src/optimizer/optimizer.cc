@@ -8,6 +8,7 @@
 #include <set>
 
 #include "analyze/analyzer.h"
+#include "analyze/audit.h"
 #include "common/str_util.h"
 #include "core/normalize.h"
 #include "optimizer/stats.h"
@@ -229,6 +230,31 @@ Result<std::string> Optimizer::Explain(const std::string& sql) const {
     for (const std::string& f : facts) {
       out += f;
       out += '\n';
+    }
+  }
+  // Workload-level audit over the same snapshot the plan was costed on:
+  // dependency-graph shape plus any cross-view redundancy findings
+  // (DV100..DV103). Compact on purpose — the full report (edges, what-if) is
+  // the `audit` server verb / dynview_audit CLI.
+  out += "== audit ==\n";
+  {
+    std::vector<std::shared_ptr<ViewIndex>> audit_indexes;
+    audit_indexes.reserve(indexes_.size());
+    for (const IndexEntry& e : indexes_) audit_indexes.push_back(e.index);
+    WorkloadAuditor auditor(
+        chosen.snapshot != nullptr ? chosen.snapshot : catalog_->Snapshot(),
+        default_db_, views_,
+        WorkloadAuditor::DescribeIndexes(audit_indexes, default_db_));
+    AuditReport audit = auditor.Audit();
+    out += "nodes: " + std::to_string(audit.graph_stats.tables) +
+           " table(s), " + std::to_string(audit.graph_stats.views) +
+           " view(s), " + std::to_string(audit.graph_stats.indexes) +
+           " index(es); edges: " + std::to_string(audit.graph_stats.edges) +
+           "; cycles: " + std::to_string(audit.graph_stats.cycles) + "\n";
+    if (audit.diagnostics.empty()) {
+      out += "no workload findings\n";
+    } else {
+      out += RenderDiagnosticsText(audit.diagnostics);
     }
   }
   out += "== baseline (no view/index access paths) ==\n";

@@ -318,6 +318,16 @@ Result<ClientReply> ServerClient::Lint() {
   return Await(id);
 }
 
+Result<ClientReply> ServerClient::Audit(const std::string& what_if,
+                                        const std::string& format) {
+  Request req;
+  req.verb = Verb::kAudit;
+  req.what_if = what_if;
+  req.format = format;
+  DV_ASSIGN_OR_RETURN(uint64_t id, SendRequest(std::move(req)));
+  return Await(id);
+}
+
 Result<ClientReply> ServerClient::Prepare(const std::string& sql) {
   Request req;
   req.verb = Verb::kPrepare;

@@ -82,6 +82,10 @@ class ServerClient {
                             const ClientQueryOptions& options = {});
   Result<ClientReply> Explain(const std::string& sql);
   Result<ClientReply> Lint();
+  /// Workload audit; `what_if` non-empty switches to DDL blast-radius mode
+  /// (DdlOp::ToString form). `format` is "text" (default) or "json".
+  Result<ClientReply> Audit(const std::string& what_if = "",
+                            const std::string& format = "");
   Result<ClientReply> Prepare(const std::string& sql);
   Result<ClientReply> Execute(uint64_t prepared,
                               const std::vector<Value>& params,

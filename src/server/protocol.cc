@@ -13,6 +13,7 @@ const char* VerbName(Verb verb) {
     case Verb::kExecute: return "execute";
     case Verb::kExplain: return "explain";
     case Verb::kLint: return "lint";
+    case Verb::kAudit: return "audit";
     case Verb::kPrepare: return "prepare";
     case Verb::kStats: return "stats";
     case Verb::kPing: return "ping";
@@ -26,6 +27,7 @@ Result<Verb> ParseVerb(const std::string& name) {
   if (name == "execute") return Verb::kExecute;
   if (name == "explain") return Verb::kExplain;
   if (name == "lint") return Verb::kLint;
+  if (name == "audit") return Verb::kAudit;
   if (name == "prepare") return Verb::kPrepare;
   if (name == "stats") return Verb::kStats;
   if (name == "ping") return Verb::kPing;
@@ -74,6 +76,11 @@ Result<Request> ParseRequest(const JsonValue& doc) {
   req.client = doc.GetString("client");
   int64_t inflight = doc.GetInt("max_inflight", 0);
   req.max_inflight = inflight > 0 ? static_cast<size_t>(inflight) : 0;
+  req.what_if = doc.GetString("what_if");
+  req.format = doc.GetString("format");
+  if (!req.format.empty() && req.format != "text" && req.format != "json") {
+    return Status::InvalidArgument("unknown format \"" + req.format + "\"");
+  }
   return req;
 }
 
@@ -98,6 +105,8 @@ std::string EncodeRequest(const Request& req) {
   }
   if (!req.client.empty()) w.Key("client").String(req.client);
   if (req.max_inflight > 0) w.Key("max_inflight").UInt(req.max_inflight);
+  if (!req.what_if.empty()) w.Key("what_if").String(req.what_if);
+  if (!req.format.empty()) w.Key("format").String(req.format);
   w.EndObject();
   return w.Take();
 }

@@ -26,6 +26,7 @@ enum class Verb {
   kExecute,  // heavy: ExecutePrepared over a prepared id + params
   kExplain,  // cheap: ExplainOptimized
   kLint,     // cheap: LintSources
+  kAudit,    // cheap: workload audit / DDL what-if (analyze/audit.h)
   kPrepare,  // cheap: Prepare (parse + fingerprint once)
   kStats,    // cheap, answered inline on the reactor: server.* counters
   kPing,     // cheap, answered inline on the reactor
@@ -58,6 +59,12 @@ struct Request {
   /// kHello: client identity + requested per-session concurrency.
   std::string client;
   size_t max_inflight = 0;  // 0 = server default.
+
+  /// kAudit: optional DDL text (DdlOp::ToString form) switching the audit
+  /// into what-if blast-radius mode, and the reply rendering ("text" |
+  /// "json", default "text").
+  std::string what_if;
+  std::string format;
 };
 
 /// Parses one request payload (already a JSON object). Protocol errors are

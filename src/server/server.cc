@@ -15,8 +15,10 @@
 #include <deque>
 #include <utility>
 
+#include "analyze/audit.h"
 #include "analyze/diagnostic.h"
 #include "common/failpoint.h"
+#include "evolve/evolution.h"
 #include "observe/metrics.h"
 #include "relational/csv.h"
 
@@ -208,6 +210,12 @@ std::map<std::string, uint64_t> QueryServer::MetricsSnapshot() const {
   out["server.admission_running"] = adm.running;
   out["server.admission_queued_cheap"] = adm.queued_cheap;
   out["server.admission_queued_heavy"] = adm.queued_heavy;
+  // The integration system's cumulative analyze.* / analyze.audit.* tallies
+  // (DefineView, lint and audit verbs), exported under their own names so
+  // the stats verb is the one-stop counter surface.
+  for (const auto& [name, value] : system_->analyze_metrics().Merged()) {
+    out[name] = value;
+  }
   return out;
 }
 
@@ -741,6 +749,28 @@ void QueryServer::RunRequest(const std::shared_ptr<Connection>& conn,
     case Verb::kLint: {
       std::vector<Diagnostic> diags = system_->LintSources();
       done.text = RenderDiagnosticsJson(diags);
+      done.exec_ms = MsBetween(started, Clock::now());
+      std::vector<std::string> frames;
+      frames.push_back(EncodeDone(done));
+      SendFrames(conn, std::move(frames));
+      return;
+    }
+    case Verb::kAudit: {
+      const bool json = req.format == "json";
+      if (!req.what_if.empty()) {
+        Result<DdlOp> op = ParseDdlOp(req.what_if);
+        if (!op.ok()) {
+          finish_error(op.status());
+          return;
+        }
+        WhatIfReport report = system_->WhatIfAudit(op.value());
+        done.text = json ? RenderWhatIfJson(report) : RenderWhatIfText(report);
+        done.snapshot_version = report.base_version;
+      } else {
+        AuditReport report = system_->AuditWorkload();
+        done.text = json ? RenderAuditJson(report) : RenderAuditText(report);
+        done.snapshot_version = report.catalog_version;
+      }
       done.exec_ms = MsBetween(started, Clock::now());
       std::vector<std::string> frames;
       frames.push_back(EncodeDone(done));

@@ -63,17 +63,18 @@ class AnalyzeTest : public ::testing::Test {
   std::shared_ptr<const CatalogSnapshot> snap_;
 };
 
-TEST_F(AnalyzeTest, CheckCatalogListsSevenChecksWithAnchors) {
+TEST_F(AnalyzeTest, CheckCatalogListsAllChecksWithAnchors) {
   const auto& checks = CheckCatalog();
-  ASSERT_EQ(checks.size(), 7u);
+  ASSERT_EQ(checks.size(), 11u);
   std::set<std::string> codes;
   for (const CheckInfo& c : checks) {
     codes.insert(c.code);
     EXPECT_STRNE(c.anchor, "") << c.code;
     EXPECT_STRNE(c.summary, "") << c.code;
   }
-  EXPECT_EQ(codes.size(), 7u) << "codes must be distinct";
+  EXPECT_EQ(codes.size(), 11u) << "codes must be distinct";
   EXPECT_TRUE(codes.count("DV001") && codes.count("DV007"));
+  EXPECT_TRUE(codes.count("DV100") && codes.count("DV103"));
 }
 
 TEST_F(AnalyzeTest, SpanOfWordMatchesWholeWordsCaseInsensitively) {

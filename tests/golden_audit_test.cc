@@ -1,0 +1,171 @@
+// Golden-file tests for the workload auditor: the DV100..DV103 findings and
+// one what-if blast-radius report are pinned — text AND json rendering —
+// under tests/golden/analyze/, plus a determinism test asserting the
+// auditor's bytes are identical whether the surrounding engine runs at 1 or
+// 8 threads.
+//
+// Regenerate after an intentional change with:
+//   DYNVIEW_REGOLD=1 ctest -R golden_audit
+// then review the golden diff like any other code change.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/audit.h"
+#include "common/exec_config.h"
+#include "evolve/evolution.h"
+#include "integration/integration.h"
+#include "relational/catalog.h"
+
+#ifndef DYNVIEW_TESTDATA_DIR
+#error "DYNVIEW_TESTDATA_DIR must point at tests/golden/analyze"
+#endif
+
+namespace dynview {
+namespace {
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(DYNVIEW_TESTDATA_DIR) + "/" + name + ".txt";
+}
+
+void CompareAgainstGolden(const std::string& name, const std::string& got) {
+  const std::string path = GoldenPath(name);
+  if (std::getenv("DYNVIEW_REGOLD") != nullptr) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << got;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (run with DYNVIEW_REGOLD=1 to create)";
+  std::stringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(want.str(), got)
+      << "audit output drifted from " << path
+      << "; if intentional, regenerate with DYNVIEW_REGOLD=1";
+}
+
+Table BaseTable() {
+  Table t(Schema({{"id", TypeKind::kInt},
+                  {"cat", TypeKind::kString},
+                  {"val", TypeKind::kInt}}));
+  t.AppendRowUnchecked({Value::Int(0), Value::String("a"), Value::Int(10)});
+  t.AppendRowUnchecked({Value::Int(1), Value::String("b"), Value::Int(20)});
+  t.AppendRowUnchecked({Value::Int(2), Value::String("a"), Value::Int(30)});
+  t.AppendRowUnchecked({Value::Int(3), Value::String("b"), Value::Int(40)});
+  return t;
+}
+
+/// One audit fixture: catalog + integration system at a given engine
+/// parallelism, with the requested view definitions materialized.
+struct Fixture {
+  Fixture(int num_threads, const std::vector<std::string>& views) {
+    EXPECT_TRUE(catalog.PutTable("I", "base0", BaseTable()).ok());
+    IntegrationOptions options;
+    options.exec.num_threads = static_cast<size_t>(num_threads);
+    system = std::make_unique<IntegrationSystem>(&catalog, "I", options);
+    for (const std::string& sql : views) {
+      auto r = system->RegisterAndMaterializeSource(sql);
+      EXPECT_TRUE(r.ok()) << r.status().ToString();
+    }
+  }
+
+  Catalog catalog;
+  std::unique_ptr<IntegrationSystem> system;
+};
+
+std::string RenderBoth(const AuditReport& report) {
+  return "== text ==\n" + RenderAuditText(report) + "== json ==\n" +
+         RenderAuditJson(report);
+}
+
+constexpr char kCopyViewSql[] =
+    "create view cp::base0(id, cat) as "
+    "select A, C from I::base0 T, T.id A, T.cat C";
+
+std::string RenderDv100AtThreads(int num_threads) {
+  Fixture f(num_threads,
+            {kCopyViewSql,
+             "create view cp2::base0(id, cat) as "
+             "select A, C from I::base0 T, T.id A, T.cat C"});
+  return RenderBoth(f.system->AuditWorkload());
+}
+
+std::string RenderDv101AtThreads(int num_threads) {
+  Fixture f(num_threads,
+            {"create view narrow::base0(id) as "
+             "select A from I::base0 T, T.id A, T.val V where V < 25",
+             "create view wide::base0(id) as "
+             "select A from I::base0 T, T.id A"});
+  return RenderBoth(f.system->AuditWorkload());
+}
+
+std::string RenderDv102AtThreads(int num_threads) {
+  Fixture f(num_threads, {kCopyViewSql});
+  // A base commit moves I past the fence.
+  EXPECT_TRUE(f.catalog.PutTable("I", "base0", BaseTable()).ok());
+  return RenderBoth(f.system->AuditWorkload());
+}
+
+std::string RenderDv103AtThreads(int num_threads) {
+  Fixture f(num_threads, {});
+  EXPECT_TRUE(f.catalog.PutTable("legacy", "used", BaseTable()).ok());
+  EXPECT_TRUE(f.catalog.PutTable("legacy", "orphan", BaseTable()).ok());
+  EXPECT_TRUE(
+      f.system
+          ->RegisterSource("create view v::used(id) as "
+                           "select A from legacy::used T, T.id A")
+          .ok());
+  return RenderBoth(f.system->AuditWorkload());
+}
+
+std::string RenderWhatIfAtThreads(int num_threads) {
+  Fixture f(num_threads,
+            {kCopyViewSql,
+             "create view pv::base0(id, val) as "
+             "select A, V from I::base0 T, T.id A, T.val V"});
+  WhatIfReport report =
+      f.system->WhatIfAudit(DdlOp::DropAttribute("I", "base0", "val"));
+  return "== text ==\n" + RenderWhatIfText(report) + "== json ==\n" +
+         RenderWhatIfJson(report);
+}
+
+TEST(GoldenAuditTest, Dv100DuplicateView) {
+  CompareAgainstGolden("dv100", RenderDv100AtThreads(1));
+}
+
+TEST(GoldenAuditTest, Dv101SubsumedView) {
+  CompareAgainstGolden("dv101", RenderDv101AtThreads(1));
+}
+
+TEST(GoldenAuditTest, Dv102ShadowedMaterialization) {
+  CompareAgainstGolden("dv102", RenderDv102AtThreads(1));
+}
+
+TEST(GoldenAuditTest, Dv103UnusedSource) {
+  CompareAgainstGolden("dv103", RenderDv103AtThreads(1));
+}
+
+TEST(GoldenAuditTest, WhatIfBlastRadius) {
+  CompareAgainstGolden("whatif", RenderWhatIfAtThreads(1));
+}
+
+TEST(GoldenAuditTest, OutputByteIdenticalAcrossThreadCounts) {
+  // The auditor is static: its bytes must not depend on the parallelism of
+  // the engine that materialized the catalog state it inspects.
+  EXPECT_EQ(RenderDv100AtThreads(1), RenderDv100AtThreads(8));
+  EXPECT_EQ(RenderDv101AtThreads(1), RenderDv101AtThreads(8));
+  EXPECT_EQ(RenderDv102AtThreads(1), RenderDv102AtThreads(8));
+  EXPECT_EQ(RenderDv103AtThreads(1), RenderDv103AtThreads(8));
+  EXPECT_EQ(RenderWhatIfAtThreads(1), RenderWhatIfAtThreads(8));
+}
+
+}  // namespace
+}  // namespace dynview
